@@ -1,0 +1,345 @@
+// Command clap runs the CLAP pipeline on mini-language programs.
+//
+// Usage:
+//
+//	clap run <prog.mc> [flags]         execute once under a seeded schedule
+//	clap record <prog.mc> [flags]      hunt a failing schedule, dump the path log
+//	clap reproduce <prog.mc> [flags]   record, solve, and replay the failure
+//	clap bench <name>                  reproduce one built-in benchmark
+//
+// Flags (after the subcommand):
+//
+//	-model SC|TSO|PSO   memory model (default SC)
+//	-seed N             first scheduler seed (default 0)
+//	-seeds N            how many seeds to try when hunting (default 2000)
+//	-input a,b,c        deterministic program inputs
+//	-solver seq|par|cnf solving strategy (default seq)
+//	-cs N               preemption bound (-1 = minimal, default)
+//	-simplify           post-process the schedule to fewer preemptions
+//	-dump-constraints   print the constraint system before solving
+//	-v                  verbose
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cnfsolver"
+	"repro/internal/core"
+	"repro/internal/parsolve"
+	"repro/internal/replay"
+	"repro/internal/simplify"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clap:", err)
+		os.Exit(1)
+	}
+}
+
+type flags struct {
+	model    vm.MemModel
+	seed     int64
+	seeds    int64
+	inputs   []int64
+	solver   string
+	cs       int
+	dump     bool
+	simplify bool
+	verbose  bool
+}
+
+func parseFlags(args []string) (rest []string, f flags, err error) {
+	f = flags{seeds: 2000, solver: "seq", cs: -1}
+	i := 0
+	need := func(name string) (string, error) {
+		i++
+		if i >= len(args) {
+			return "", fmt.Errorf("flag %s needs a value", name)
+		}
+		return args[i], nil
+	}
+	for ; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-model":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			switch strings.ToUpper(v) {
+			case "SC":
+				f.model = vm.SC
+			case "TSO":
+				f.model = vm.TSO
+			case "PSO":
+				f.model = vm.PSO
+			default:
+				return nil, f, fmt.Errorf("unknown model %q", v)
+			}
+		case "-seed":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, f, err
+			}
+		case "-seeds":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.seeds, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, f, err
+			}
+		case "-input":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			for _, part := range strings.Split(v, ",") {
+				n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					return nil, f, err
+				}
+				f.inputs = append(f.inputs, n)
+			}
+		case "-solver":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.solver = v
+		case "-cs":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.cs, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, f, err
+			}
+		case "-dump-constraints":
+			f.dump = true
+		case "-simplify":
+			f.simplify = true
+		case "-v":
+			f.verbose = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, f, nil
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: clap run|record|reproduce|bench ... (see -h in source docs)")
+	}
+	cmd := args[0]
+	rest, f, err := parseFlags(args[1:])
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "run":
+		return cmdRun(rest, f)
+	case "record":
+		return cmdRecord(rest, f)
+	case "reproduce":
+		return cmdReproduce(rest, f)
+	case "bench":
+		return cmdBench(rest, f)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadProgram(rest []string) (string, error) {
+	if len(rest) != 1 {
+		return "", fmt.Errorf("expected exactly one program file")
+	}
+	src, err := os.ReadFile(rest[0])
+	if err != nil {
+		return "", err
+	}
+	return string(src), nil
+}
+
+func cmdRun(rest []string, f flags) error {
+	src, err := loadProgram(rest)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Compile(src)
+	if err != nil {
+		return err
+	}
+	rec, err := core.RecordSeed(prog, f.seed, core.RecordOptions{Model: f.model, Inputs: f.inputs})
+	if err != nil {
+		return err
+	}
+	for _, v := range rec.Run.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("model=%s seed=%d threads=%d instructions=%d branches=%d SAPs=%d\n",
+		f.model, f.seed, rec.Run.Threads, rec.Run.Instructions, rec.Run.Branches, rec.Run.VisibleEvents)
+	if rec.Failure != nil {
+		fmt.Printf("FAILURE: %s\n", rec.Failure)
+	} else {
+		fmt.Println("run completed cleanly")
+	}
+	return nil
+}
+
+func cmdRecord(rest []string, f flags) error {
+	src, err := loadProgram(rest)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Compile(src)
+	if err != nil {
+		return err
+	}
+	rec, err := core.Record(prog, core.RecordOptions{
+		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failure found with seed %d: %s\n", rec.Seed, rec.Failure)
+	fmt.Printf("path log: %d threads, %d events, %d bytes encoded\n",
+		len(rec.Log.Threads), rec.Log.EventCount(), rec.LogSize())
+	if f.verbose {
+		for _, tl := range rec.Log.Threads {
+			fmt.Printf("  thread %d (parent %d, index %d): %d events\n",
+				tl.Thread, tl.Parent, tl.Index, len(tl.Events))
+		}
+	}
+	return nil
+}
+
+func cmdReproduce(rest []string, f flags) error {
+	src, err := loadProgram(rest)
+	if err != nil {
+		return err
+	}
+	return reproduceSource(src, f)
+}
+
+func cmdBench(rest []string, f flags) error {
+	if len(rest) != 1 {
+		names := ""
+		for _, b := range bench.All() {
+			names += " " + b.Name
+		}
+		return fmt.Errorf("usage: clap bench <name>; available:%s", names)
+	}
+	b, ok := bench.ByName(rest[0])
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", rest[0])
+	}
+	f.model = b.Model
+	f.inputs = b.Inputs
+	f.seeds = b.SeedLimit
+	if b.MaxPreemptions != 0 {
+		f.cs = b.MaxPreemptions
+	}
+	fmt.Printf("benchmark %s: %s\n", b.Name, b.Description)
+	return reproduceSource(b.Source, f)
+}
+
+func reproduceSource(src string, f flags) error {
+	prog, err := core.Compile(src)
+	if err != nil {
+		return err
+	}
+	rec, err := core.Record(prog, core.RecordOptions{
+		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded failure (seed %d, model %s): %s\n", rec.Seed, f.model, rec.Failure)
+	fmt.Printf("  path log %dB; run: %d instructions, %d branches, %d SAPs\n",
+		rec.LogSize(), rec.Run.Instructions, rec.Run.Branches, rec.Run.VisibleEvents)
+
+	sys, err := rec.Analyze()
+	if err != nil {
+		return err
+	}
+	stats := sys.ComputeStats()
+	fmt.Printf("constraints: %s\n", stats)
+	if f.dump {
+		fmt.Println(sys.Formula())
+	}
+
+	var sol *solver.Solution
+	switch f.solver {
+	case "seq":
+		s, st, err := solver.Solve(sys, solver.Options{MaxPreemptions: f.cs})
+		if err != nil {
+			return err
+		}
+		sol = s
+		if f.verbose {
+			fmt.Printf("  sequential solver: %+v\n", *st)
+		}
+	case "par":
+		res, err := parsolve.Solve(sys, parsolve.Options{})
+		if err != nil {
+			return err
+		}
+		if !res.Found() {
+			return fmt.Errorf("parallel solver found no schedule (generated %d)", res.Generated)
+		}
+		sol = res.Solutions[0]
+		fmt.Printf("  parallel solver: generated %d, valid %d, bound %d, %.3fs\n",
+			res.Generated, res.Valid, res.Bound, res.Elapsed.Seconds())
+	case "cnf":
+		s, st, err := cnfsolver.Solve(sys, cnfsolver.Options{})
+		if err != nil {
+			return err
+		}
+		sol = s
+		fmt.Printf("  cnf solver: %d bool vars, %d clauses, %d theory rounds\n",
+			st.BoolVars, st.Clauses, st.TheoryRounds)
+	default:
+		return fmt.Errorf("unknown solver %q", f.solver)
+	}
+	if f.simplify {
+		res, err := simplify.Simplify(sys, sol.Order, simplify.Options{})
+		if err != nil {
+			return err
+		}
+		if res.After < sol.Preemptions {
+			fmt.Printf("  simplifier: %d -> %d preemptions (%d moves)\n", res.Before, res.After, res.Moves)
+			sol = &solver.Solution{Order: res.Order, Witness: res.Witness, Preemptions: res.After}
+		}
+	}
+	fmt.Printf("schedule: %d SAPs, %d preemptive context switches\n", len(sol.Order), sol.Preemptions)
+	if f.verbose {
+		for i, ref := range sol.Order {
+			fmt.Printf("  %3d %s\n", i, sys.SAP(ref))
+		}
+	}
+
+	out, err := replay.Run(sys, sol, replay.Options{Mode: replay.ModeFor(f.model), Inputs: f.inputs})
+	if err != nil {
+		return err
+	}
+	if !out.Reproduced {
+		return fmt.Errorf("replay did not reproduce the failure: %v", out.Failure)
+	}
+	fmt.Printf("replay: bug reproduced deterministically (%s mode, %d events verified)\n",
+		replay.ModeFor(f.model), out.EventsMatched)
+	return nil
+}

@@ -1,0 +1,157 @@
+// Trace tools: the two optional machineries around the core pipeline.
+//
+//  1. §6.4 "Recording synchronizations": optionally record the global
+//     synchronization order at runtime (at the cost of a real lock per
+//     sync op — exactly why the paper leaves it off by default) and pin it
+//     into the constraint system, shrinking the schedule search.
+//
+//  2. Schedule simplification (the authors' LEAN line of work): take any
+//     valid schedule — here, the recorded execution's own order — and
+//     reduce its preemptive context switches by validated hill climbing,
+//     without ever leaving the constraint system's model space.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/constraints"
+	"repro/internal/core"
+	"repro/internal/escape"
+	"repro/internal/parsolve"
+	"repro/internal/replay"
+	"repro/internal/simplify"
+	"repro/internal/solver"
+	"repro/internal/symexec"
+	"repro/internal/vm"
+)
+
+const program = `
+int turn;
+int hits;
+mutex m;
+func worker(id, n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		int t = turn;
+		turn = t + 1;
+		unlock(m);
+		int h = hits;
+		hits = h + 1;
+	}
+}
+func main() {
+	int h1 = spawn worker(1, 2);
+	int h2 = spawn worker(2, 2);
+	join(h1);
+	join(h2);
+	int f = hits;
+	assert(f == 4, "hits updates lost");
+}
+`
+
+func main() {
+	prog, err := core.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	esc := escape.Analyze(prog)
+
+	// Record with BOTH the CLAP path log and the optional sync-order log,
+	// capturing the global event order as ground truth for the simplifier
+	// demo.
+	var rec *vm.PathRecorder
+	var syncRec *vm.SyncOrderRecorder
+	var global []vm.VisibleEvent
+	var res *vm.Result
+	for seed := int64(0); ; seed++ {
+		if seed > 5000 {
+			log.Fatal("no failing seed")
+		}
+		rec, err = vm.NewPathRecorder(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		syncRec = vm.NewSyncOrderRecorder()
+		global = nil
+		machine, err := vm.New(prog, vm.Config{
+			Sched: vm.NewRandomScheduler(seed), Shared: esc.Shared,
+			PathRecorder: rec, SyncRecorder: syncRec,
+			OnVisible: func(ev vm.VisibleEvent) {
+				if ev.Kind != vm.EvDrain {
+					global = append(global, ev)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = machine.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Failure != nil && res.Failure.Kind == vm.FailAssert {
+			fmt.Printf("recorded failure with seed %d: %v\n", seed, res.Failure)
+			break
+		}
+	}
+	fmt.Printf("CLAP path log: %dB; sync-order log (the §6.4 extra): %dB\n",
+		rec.Log.Size(), syncRec.Log.Size())
+
+	an, err := symexec.Analyze(prog, rec.Paths, rec.Log, symexec.Options{
+		Shared:  esc.Shared,
+		Failure: symexec.FailureSpec{Thread: res.Failure.Thread, Site: res.Failure.Site},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve twice: plain, and with the recorded sync order pinned.
+	plain, err := constraints.Build(an, vm.SC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pinned, err := constraints.BuildWithSyncOrder(an, vm.SC, syncRec.Log)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		sys  *constraints.System
+	}{{"plain", plain}, {"sync-order pinned", pinned}} {
+		r, err := parsolve.Solve(c.sys, parsolve.Options{Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s: %d candidates generated before a valid schedule (%d order edges)\n",
+			c.name, r.Generated, len(c.sys.HardEdges))
+	}
+
+	// Simplifier: start from the recorded execution's own schedule.
+	next := make([]int, len(plain.Threads))
+	var recordedOrder []constraints.SAPRef
+	for _, ev := range global {
+		recordedOrder = append(recordedOrder, plain.Threads[ev.Thread][next[ev.Thread]])
+		next[ev.Thread]++
+	}
+	for tid, refs := range plain.Threads {
+		for k := next[tid]; k < len(refs); k++ {
+			recordedOrder = append(recordedOrder, refs[k])
+		}
+	}
+	simp, err := simplify.Simplify(plain, recordedOrder, simplify.Options{MaxPasses: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simplifier: recorded schedule had %d preemptions, simplified to %d (%d moves)\n",
+		simp.Before, simp.After, simp.Moves)
+
+	out, err := replay.Run(plain, &solver.Solution{
+		Order: simp.Order, Witness: simp.Witness, Preemptions: simp.After,
+	}, replay.Options{Mode: replay.OrderEnforced})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simplified schedule replays the failure: %v\n", out.Reproduced)
+}

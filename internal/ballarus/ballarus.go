@@ -1,0 +1,365 @@
+// Package ballarus implements Ball–Larus path profiling over the IR's
+// control-flow graphs.
+//
+// CLAP's only runtime recording is the thread-local execution path, and the
+// paper collects it with "an extension of the classical Ball-Larus
+// algorithm": the whole path is a sequence of segments, each a BL path; a
+// new segment starts when an intra-procedural path is re-entered (a back
+// edge) and function entries/exits demarcate segments of different
+// activations.
+//
+// This package computes, per function:
+//
+//   - the BL path numbering of the acyclic CFG (back edges replaced by the
+//     standard surrogate ENTRY→target and source→EXIT edges),
+//   - the runtime actions the VM recorder applies per CFG edge (increment;
+//     or, on a back edge, emit-and-reset),
+//   - a decoder that maps a recorded path id back to the exact basic-block
+//     sequence, including prefix decoding for the partial segment that is
+//     in flight when the failure fires.
+package ballarus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// exitNode is the virtual EXIT node id used in the BL DAG; it equals
+// len(fn.Blocks).
+type nodeID int32
+
+// dagEdge is one edge of the acyclic Ball–Larus DAG.
+type dagEdge struct {
+	from, to nodeID
+	val      uint64
+	// surrogate marks edges introduced for back-edge removal. An edge
+	// from ENTRY is a segment re-entry point; an edge to EXIT is a segment
+	// cut at a back-edge source.
+	surrogate bool
+}
+
+// BackEdgeAction tells the recorder what to do when a back edge is taken:
+// emit the current path sum plus EmitAdd as a completed segment, then reset
+// the path sum to ResetTo.
+type BackEdgeAction struct {
+	EmitAdd uint64
+	ResetTo uint64
+}
+
+// EdgeKey identifies an original CFG edge.
+type EdgeKey struct {
+	From, To ir.BlockID
+}
+
+// FuncPaths is the Ball–Larus numbering for one function.
+type FuncPaths struct {
+	Fn *ir.Func
+	// NumPaths is the number of distinct DAG paths (valid path ids are
+	// [0, NumPaths)).
+	NumPaths uint64
+	// Inc maps forward CFG edges to their path-sum increment.
+	Inc map[EdgeKey]uint64
+	// Back maps back edges to their emit-and-reset action.
+	Back map[EdgeKey]BackEdgeAction
+	// ReturnAdd maps a returning block to the increment of its exit edge.
+	ReturnAdd map[ir.BlockID]uint64
+
+	edges map[nodeID][]dagEdge // DAG adjacency in decode order
+	exit  nodeID
+
+	// acts is the recording fast path: acts[from] lists the outgoing CFG
+	// edges' runtime actions, avoiding map lookups on every executed edge
+	// (this is the only per-instruction cost CLAP recording adds, so it is
+	// kept allocation- and hash-free).
+	acts [][]edgeAct
+}
+
+// edgeAct is the runtime action of one CFG edge.
+type edgeAct struct {
+	to      ir.BlockID
+	inc     uint64
+	back    bool
+	emitAdd uint64
+	resetTo uint64
+}
+
+// Compute numbers the paths of fn. It never fails for well-formed IR, but
+// reports an error if the path count overflows uint64 (not reachable with
+// realistic functions).
+func Compute(fn *ir.Func) (*FuncPaths, error) {
+	fp := &FuncPaths{
+		Fn:        fn,
+		Inc:       map[EdgeKey]uint64{},
+		Back:      map[EdgeKey]BackEdgeAction{},
+		ReturnAdd: map[ir.BlockID]uint64{},
+		edges:     map[nodeID][]dagEdge{},
+		exit:      nodeID(len(fn.Blocks)),
+	}
+	back := fn.BackEdges()
+	entry := nodeID(fn.Entry.ID)
+
+	// Build the DAG. Each block's successor list keeps terminator order so
+	// decoding is deterministic; back-edge successors are replaced in place
+	// by surrogate edges to EXIT, and surrogate re-entry edges from ENTRY
+	// are appended sorted by target.
+	reentry := map[ir.BlockID]bool{}
+	for _, b := range fn.Blocks {
+		from := nodeID(b.ID)
+		if _, ok := b.Term.(*ir.Return); ok {
+			fp.edges[from] = append(fp.edges[from], dagEdge{from: from, to: fp.exit})
+			continue
+		}
+		for _, s := range b.Succs() {
+			if back[[2]ir.BlockID{b.ID, s.ID}] {
+				fp.edges[from] = append(fp.edges[from], dagEdge{from: from, to: fp.exit, surrogate: true})
+				reentry[s.ID] = true
+			} else {
+				fp.edges[from] = append(fp.edges[from], dagEdge{from: from, to: nodeID(s.ID)})
+			}
+		}
+	}
+	var targets []ir.BlockID
+	for t := range reentry {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, t := range targets {
+		fp.edges[entry] = append(fp.edges[entry], dagEdge{from: entry, to: nodeID(t), surrogate: true})
+	}
+
+	// numPaths by reverse topological order (DFS postorder of the DAG).
+	numPaths := make(map[nodeID]uint64, len(fn.Blocks)+1)
+	numPaths[fp.exit] = 1
+	visited := map[nodeID]bool{fp.exit: true}
+	var dfs func(n nodeID) error
+	dfs = func(n nodeID) error {
+		visited[n] = true
+		var total uint64
+		es := fp.edges[n]
+		for i := range es {
+			e := &es[i]
+			if !visited[e.to] {
+				if err := dfs(e.to); err != nil {
+					return err
+				}
+			}
+			e.val = total
+			prev := total
+			total += numPaths[e.to]
+			if total < prev {
+				return fmt.Errorf("ballarus: path count overflow in %s", fn.Name)
+			}
+		}
+		if len(es) == 0 {
+			// A block with no DAG successors can only be EXIT, handled above.
+			total = 1
+		}
+		numPaths[n] = total
+		return nil
+	}
+	if err := dfs(entry); err != nil {
+		return nil, err
+	}
+	fp.NumPaths = numPaths[entry]
+
+	// Derive runtime actions from DAG edge values.
+	surrogateToExit := map[nodeID]uint64{}
+	surrogateFromEntry := map[nodeID]uint64{}
+	for _, es := range fp.edges {
+		for _, e := range es {
+			if e.surrogate && e.to == fp.exit {
+				surrogateToExit[e.from] = e.val
+			}
+			if e.surrogate && e.from == entry {
+				surrogateFromEntry[e.to] = e.val
+			}
+		}
+	}
+	fp.acts = make([][]edgeAct, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		from := nodeID(b.ID)
+		if _, ok := b.Term.(*ir.Return); ok {
+			for _, e := range fp.edges[from] {
+				if e.to == fp.exit && !e.surrogate {
+					fp.ReturnAdd[b.ID] = e.val
+				}
+			}
+			continue
+		}
+		for _, s := range b.Succs() {
+			key := EdgeKey{From: b.ID, To: s.ID}
+			if back[[2]ir.BlockID{b.ID, s.ID}] {
+				act := BackEdgeAction{
+					EmitAdd: surrogateToExit[from],
+					ResetTo: surrogateFromEntry[nodeID(s.ID)],
+				}
+				fp.Back[key] = act
+				fp.acts[b.ID] = append(fp.acts[b.ID], edgeAct{
+					to: s.ID, back: true, emitAdd: act.EmitAdd, resetTo: act.ResetTo,
+				})
+			} else {
+				for _, e := range fp.edges[from] {
+					if e.to == nodeID(s.ID) && !e.surrogate {
+						fp.Inc[key] = e.val
+						fp.acts[b.ID] = append(fp.acts[b.ID], edgeAct{to: s.ID, inc: e.val})
+					}
+				}
+			}
+		}
+	}
+	return fp, nil
+}
+
+// Segment is a decoded BL segment: the block sequence it covers, and
+// whether the segment ended by returning from the function (as opposed to
+// being cut by a back edge, in which case the next segment of the same
+// activation continues at the loop head).
+type Segment struct {
+	Blocks  []ir.BlockID
+	Returns bool
+}
+
+// Decode maps a recorded path id back to its segment. Ids must be in
+// [0, NumPaths).
+func (fp *FuncPaths) Decode(id uint64) (Segment, error) {
+	if id >= fp.NumPaths {
+		return Segment{}, fmt.Errorf("ballarus: path id %d out of range [0,%d) in %s", id, fp.NumPaths, fp.Fn.Name)
+	}
+	return fp.walk(id)
+}
+
+// DecodePartial decodes the in-flight path sum of a segment that was cut
+// short (the thread hit the failure before completing the segment). The
+// returned block sequence has the actually-executed blocks as a prefix; it
+// may extend past them along zero-valued edges, which is harmless because
+// the consumer stops at the failing instruction.
+func (fp *FuncPaths) DecodePartial(sum uint64) (Segment, error) {
+	if fp.NumPaths > 0 && sum >= fp.NumPaths {
+		return Segment{}, fmt.Errorf("ballarus: partial sum %d out of range in %s", sum, fp.Fn.Name)
+	}
+	return fp.walk(sum)
+}
+
+// walk runs the standard BL decode: starting at ENTRY with the remaining
+// sum, at each node take the edge with the largest value not exceeding the
+// remainder.
+func (fp *FuncPaths) walk(id uint64) (Segment, error) {
+	entry := nodeID(fp.Fn.Entry.ID)
+	var seg Segment
+	n := entry
+	remaining := id
+	first := true
+	for n != fp.exit {
+		es := fp.edges[n]
+		if len(es) == 0 {
+			return Segment{}, fmt.Errorf("ballarus: stuck at node %d decoding %d in %s", n, id, fp.Fn.Name)
+		}
+		// Largest val <= remaining; edges store vals as increasing prefix
+		// sums in list order, so scan from the back.
+		choice := -1
+		for i := len(es) - 1; i >= 0; i-- {
+			if es[i].val <= remaining {
+				choice = i
+				break
+			}
+		}
+		if choice < 0 {
+			return Segment{}, fmt.Errorf("ballarus: no edge from node %d with val <= %d in %s", n, remaining, fp.Fn.Name)
+		}
+		e := es[choice]
+		remaining -= e.val
+		if first {
+			// A surrogate first edge means this segment re-enters at a loop
+			// head; the real block sequence starts at the target. A real
+			// first edge means the segment starts at the entry block itself.
+			if e.surrogate && e.from == entry {
+				seg.Blocks = append(seg.Blocks, ir.BlockID(e.to))
+				n = e.to
+				first = false
+				continue
+			}
+			seg.Blocks = append(seg.Blocks, ir.BlockID(entry))
+			first = false
+			// fall through to record the edge target below
+		}
+		if e.to == fp.exit {
+			seg.Returns = !e.surrogate
+			if remaining != 0 {
+				return Segment{}, fmt.Errorf("ballarus: leftover %d decoding %d in %s", remaining, id, fp.Fn.Name)
+			}
+			return seg, nil
+		}
+		seg.Blocks = append(seg.Blocks, ir.BlockID(e.to))
+		n = e.to
+	}
+	return seg, nil
+}
+
+// ProgramPaths computes the numbering for every function of a program,
+// indexed by ir.FuncID.
+func ProgramPaths(prog *ir.Program) ([]*FuncPaths, error) {
+	out := make([]*FuncPaths, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		fp, err := Compute(fn)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fp
+	}
+	return out, nil
+}
+
+// Tracker is the per-activation runtime state of the BL recorder: the
+// current path sum and the number of blocks entered in the current segment
+// (the latter lets the decoder truncate a partial segment exactly).
+// The VM keeps one Tracker per stack frame.
+type Tracker struct {
+	fp     *FuncPaths
+	sum    uint64
+	blocks int
+}
+
+// NewTracker starts a fresh activation of fp's function, positioned at the
+// entry block.
+func NewTracker(fp *FuncPaths) *Tracker { return &Tracker{fp: fp, blocks: 1} }
+
+// TakeEdge records traversal of the CFG edge from→to. When the edge is a
+// back edge it returns the completed segment's path id and emit=true; the
+// tracker resets for the re-entered segment. The lookup scans the block's
+// tiny outgoing-edge slice (at most two entries) — no hashing.
+func (t *Tracker) TakeEdge(from, to ir.BlockID) (pathID uint64, emit bool) {
+	for _, a := range t.fp.acts[from] {
+		if a.to != to {
+			continue
+		}
+		if a.back {
+			id := t.sum + a.emitAdd
+			t.sum = a.resetTo
+			t.blocks = 1
+			return id, true
+		}
+		t.sum += a.inc
+		t.blocks++
+		return 0, false
+	}
+	// Unknown edge (cannot happen for well-formed IR): count the block and
+	// keep the sum unchanged.
+	t.blocks++
+	return 0, false
+}
+
+// Return records the function returning from block b and yields the final
+// segment's path id.
+func (t *Tracker) Return(b ir.BlockID) uint64 {
+	return t.sum + t.fp.ReturnAdd[b]
+}
+
+// PartialSum returns the in-flight path sum, used when the execution is cut
+// short by the failure.
+func (t *Tracker) PartialSum() uint64 { return t.sum }
+
+// PartialBlocks returns the number of blocks entered in the in-flight
+// segment; DecodePartial results should be truncated to this length.
+func (t *Tracker) PartialBlocks() int { return t.blocks }

@@ -1,0 +1,360 @@
+package ballarus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mainPaths(t *testing.T, src string) *FuncPaths {
+	t.Helper()
+	p := mustCompile(t, src)
+	fp, err := Compute(p.Funcs[p.MainID])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestStraightLineSinglePath(t *testing.T) {
+	fp := mainPaths(t, `
+int x;
+func main() {
+	x = 1;
+	x = 2;
+}
+`)
+	if fp.NumPaths != 1 {
+		t.Fatalf("straight-line function must have 1 path, got %d", fp.NumPaths)
+	}
+	seg, err := fp.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Returns || len(seg.Blocks) != 1 {
+		t.Fatalf("segment = %+v, want single returning block", seg)
+	}
+}
+
+func TestIfElseTwoPaths(t *testing.T) {
+	fp := mainPaths(t, `
+int x;
+func main() {
+	if (x > 0) { x = 1; } else { x = 2; }
+}
+`)
+	if fp.NumPaths != 2 {
+		t.Fatalf("if/else must have 2 paths, got %d", fp.NumPaths)
+	}
+	seen := map[string]bool{}
+	for id := uint64(0); id < 2; id++ {
+		seg, err := fp.Decode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seg.Returns {
+			t.Errorf("path %d must return", id)
+		}
+		seen[fmt.Sprint(seg.Blocks)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("the two paths must decode to distinct block sequences, got %v", seen)
+	}
+}
+
+func TestDiamondChainPathCount(t *testing.T) {
+	// Three sequential if/else diamonds: 2^3 = 8 paths.
+	fp := mainPaths(t, `
+int x;
+func main() {
+	if (x > 0) { x = 1; } else { x = 2; }
+	if (x > 1) { x = 3; } else { x = 4; }
+	if (x > 2) { x = 5; } else { x = 6; }
+}
+`)
+	if fp.NumPaths != 8 {
+		t.Fatalf("3 diamonds must have 8 paths, got %d", fp.NumPaths)
+	}
+	// All ids decode uniquely.
+	seen := map[string]bool{}
+	for id := uint64(0); id < fp.NumPaths; id++ {
+		seg, err := fp.Decode(id)
+		if err != nil {
+			t.Fatalf("decode %d: %v", id, err)
+		}
+		key := fmt.Sprint(seg.Blocks)
+		if seen[key] {
+			t.Fatalf("duplicate decode for id %d: %v", id, seg.Blocks)
+		}
+		seen[key] = true
+	}
+}
+
+func TestLoopSegments(t *testing.T) {
+	fp := mainPaths(t, `
+int x;
+func main() {
+	int i = 0;
+	while (i < 3) {
+		i = i + 1;
+	}
+	x = i;
+}
+`)
+	// Segments: entry→head→body (cut by back edge), head→body (re-entry,
+	// cut), and head→end→return (re-entry, returns). NumPaths counts all.
+	if fp.NumPaths < 3 {
+		t.Fatalf("loop function must have >= 3 segment paths, got %d", fp.NumPaths)
+	}
+	if len(fp.Back) != 1 {
+		t.Fatalf("one back edge expected, got %d", len(fp.Back))
+	}
+}
+
+func TestDecodeRejectsOutOfRange(t *testing.T) {
+	fp := mainPaths(t, `
+int x;
+func main() { x = 1; }
+`)
+	if _, err := fp.Decode(fp.NumPaths); err == nil {
+		t.Fatal("decode past NumPaths must fail")
+	}
+}
+
+// walkResult is the ground truth of a random CFG walk.
+type walkResult struct {
+	blocks   []ir.BlockID // every block entered, in order
+	segments []uint64     // emitted complete segment ids
+	partial  bool         // walk cut before returning
+	finalSum uint64       // partial sum if cut, else final path id
+}
+
+// randomWalk follows fn's CFG from the entry, choosing branch arms with r,
+// for at most maxSteps blocks, recording Tracker emissions.
+func randomWalk(fn *ir.Func, fp *FuncPaths, r *rand.Rand, maxSteps int) walkResult {
+	var res walkResult
+	tr := NewTracker(fp)
+	cur := fn.Entry
+	res.blocks = append(res.blocks, cur.ID)
+	for step := 0; ; step++ {
+		switch term := cur.Term.(type) {
+		case *ir.Return:
+			res.segments = append(res.segments, tr.Return(cur.ID))
+			res.finalSum = res.segments[len(res.segments)-1]
+			return res
+		case *ir.Jump, *ir.Branch:
+			var next *ir.Block
+			if j, ok := term.(*ir.Jump); ok {
+				next = j.Target
+			} else {
+				b := term.(*ir.Branch)
+				if r.Intn(2) == 0 {
+					next = b.Then
+				} else {
+					next = b.Else
+				}
+			}
+			if step >= maxSteps {
+				res.partial = true
+				res.finalSum = tr.PartialSum()
+				return res
+			}
+			if id, emit := tr.TakeEdge(cur.ID, next.ID); emit {
+				res.segments = append(res.segments, id)
+			}
+			cur = next
+			res.blocks = append(res.blocks, cur.ID)
+		}
+	}
+}
+
+// reconstruct decodes the emitted segments (plus the partial tail) and
+// concatenates their block sequences.
+func reconstruct(t *testing.T, fp *FuncPaths, res walkResult) []ir.BlockID {
+	t.Helper()
+	var blocks []ir.BlockID
+	for _, id := range res.segments {
+		seg, err := fp.Decode(id)
+		if err != nil {
+			t.Fatalf("decode %d: %v", id, err)
+		}
+		blocks = append(blocks, seg.Blocks...)
+	}
+	if res.partial {
+		seg, err := fp.DecodePartial(res.finalSum)
+		if err != nil {
+			t.Fatalf("decode partial %d: %v", res.finalSum, err)
+		}
+		blocks = append(blocks, seg.Blocks...)
+	}
+	return blocks
+}
+
+// randProgram generates a random structured program: nested ifs and loops
+// with bounded depth. The data semantics are irrelevant; only the CFG shape
+// matters for path profiling.
+func randProgram(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("int x;\nfunc main() {\n")
+	var gen func(depth int)
+	gen = func(depth int) {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			switch k := r.Intn(6); {
+			case k <= 2 || depth >= 3:
+				fmt.Fprintf(&sb, "x = x + %d;\n", r.Intn(10))
+			case k == 3:
+				sb.WriteString("if (x > 1) {\n")
+				gen(depth + 1)
+				sb.WriteString("} else {\n")
+				gen(depth + 1)
+				sb.WriteString("}\n")
+			case k == 4:
+				sb.WriteString("if (x > 2) {\n")
+				gen(depth + 1)
+				sb.WriteString("}\n")
+			default:
+				sb.WriteString("while (x < 5) {\n")
+				gen(depth + 1)
+				sb.WriteString("x = x + 1;\n}\n")
+			}
+		}
+	}
+	gen(0)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// TestPropertyDecodeRoundTrip is the core Ball–Larus correctness property:
+// for random structured CFGs and random walks, decoding the emitted
+// segment ids reconstructs exactly the executed block sequence; for walks
+// cut mid-segment, the reconstruction has the executed sequence as a
+// prefix.
+func TestPropertyDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		src := randProgram(r)
+		prog, err := ir.CompileSource(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		fn := prog.Funcs[prog.MainID]
+		fp, err := Compute(fn)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		maxSteps := 1 + r.Intn(60)
+		res := randomWalk(fn, fp, r, maxSteps)
+		got := reconstruct(t, fp, res)
+		if res.partial {
+			if len(got) < len(res.blocks) {
+				t.Fatalf("trial %d: partial decode shorter than walk: got %v, walked %v\n%s",
+					trial, got, res.blocks, fn.Dump())
+			}
+			got = got[:len(res.blocks)]
+		}
+		if fmt.Sprint(got) != fmt.Sprint(res.blocks) {
+			t.Fatalf("trial %d: decode mismatch\n got: %v\nwant: %v\nsegments=%v partial=%v\n%s\nsource:\n%s",
+				trial, got, res.blocks, res.segments, res.partial, fn.Dump(), src)
+		}
+	}
+}
+
+// TestPropertyPathIDsDense checks that for random loop-free programs every
+// id in [0, NumPaths) decodes and distinct ids give distinct paths.
+func TestPropertyPathIDsDense(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		var sb strings.Builder
+		sb.WriteString("int x;\nfunc main() {\n")
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "if (x > %d) { x = %d; } else { x = %d; }\n", i, i, i+1)
+			} else {
+				fmt.Fprintf(&sb, "if (x < %d) { x = %d; }\n", i, i)
+			}
+		}
+		sb.WriteString("}\n")
+		prog, err := ir.CompileSource(sb.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := Compute(prog.Funcs[prog.MainID])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp.NumPaths > 1<<16 {
+			continue
+		}
+		seen := map[string]bool{}
+		for id := uint64(0); id < fp.NumPaths; id++ {
+			seg, err := fp.Decode(id)
+			if err != nil {
+				t.Fatalf("trial %d id %d: %v", trial, id, err)
+			}
+			if !seg.Returns {
+				t.Fatalf("trial %d: loop-free path %d must return", trial, id)
+			}
+			key := fmt.Sprint(seg.Blocks)
+			if seen[key] {
+				t.Fatalf("trial %d: ids not unique at %d", trial, id)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestProgramPaths(t *testing.T) {
+	prog := mustCompile(t, `
+int x;
+func helper(a) { x = a; }
+func main() { helper(3); }
+`)
+	fps, err := ProgramPaths(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != 2 {
+		t.Fatalf("per-function paths = %d, want 2", len(fps))
+	}
+	for i, fp := range fps {
+		if fp.Fn != prog.Funcs[i] {
+			t.Fatal("ProgramPaths order must match prog.Funcs")
+		}
+	}
+}
+
+func TestLoopAtFunctionStart(t *testing.T) {
+	// The loop head is the first "real" work; entry still precedes it, so
+	// back-edge targets are never the entry block.
+	fp := mainPaths(t, `
+int x;
+func main() {
+	while (x < 10) {
+		x = x + 1;
+	}
+}
+`)
+	r := rand.New(rand.NewSource(3))
+	res := randomWalk(fp.Fn, fp, r, 40)
+	got := reconstruct(t, fp, res)
+	if res.partial {
+		got = got[:len(res.blocks)]
+	}
+	if fmt.Sprint(got) != fmt.Sprint(res.blocks) {
+		t.Fatalf("decode mismatch: got %v want %v", got, res.blocks)
+	}
+}

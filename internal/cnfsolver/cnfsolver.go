@@ -1,0 +1,427 @@
+// Package cnfsolver is the SMT-style backend for CLAP's constraint
+// systems: it encodes the order and mapping structure into CNF, runs the
+// CDCL engine (internal/sat), and discharges the value-level constraints
+// (Fpath, Fbug, symbolic addresses) by concrete evaluation in a lazy
+// DPLL(T) loop with blocking clauses.
+//
+// The encoding is the paper's "one order variable per SAP" model made
+// boolean: a variable x_{a<b} per unordered SAP pair plus the cubic
+// transitivity axioms — which is exactly why the paper's constraint counts
+// grow as N³ in the number of shared accesses (§4.1). It is therefore the
+// faithful-but-heavyweight reference solver: quadratic variables, cubic
+// clauses, used on small and medium systems and as an independent
+// cross-check of the dedicated decision procedure in internal/solver.
+package cnfsolver
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraints"
+	"repro/internal/sat"
+	"repro/internal/solver"
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+)
+
+// Options tunes the CNF backend.
+type Options struct {
+	// MaxSAPs refuses systems whose cubic encoding would be too large
+	// (default 400 SAPs ≈ 10M transitivity clauses).
+	MaxSAPs int
+	// MaxTheoryRounds bounds the lazy-refinement loop (default 200).
+	MaxTheoryRounds int
+}
+
+func (o *Options) fill() {
+	if o.MaxSAPs == 0 {
+		o.MaxSAPs = 400
+	}
+	if o.MaxTheoryRounds == 0 {
+		o.MaxTheoryRounds = 200
+	}
+}
+
+// Stats reports encoding size and solving effort.
+type Stats struct {
+	BoolVars     int
+	Clauses      int64
+	TheoryRounds int
+	SATConflicts int64
+}
+
+// Solve computes a bug-reproducing schedule with the CNF backend.
+func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, error) {
+	opts.fill()
+	n := len(sys.SAPs)
+	if n > opts.MaxSAPs {
+		return nil, nil, fmt.Errorf("cnfsolver: %d SAPs exceeds the cubic-encoding limit %d", n, opts.MaxSAPs)
+	}
+	e := &encoder{sys: sys, n: n, s: sat.New(0)}
+	e.encode()
+	st := &Stats{BoolVars: e.s.NumVars(), Clauses: e.clauses}
+
+	for round := 0; round < opts.MaxTheoryRounds; round++ {
+		st.TheoryRounds = round + 1
+		if e.s.Solve() != sat.Sat {
+			st.SATConflicts = e.s.Conflicts
+			return nil, st, &Unsat{Rounds: round + 1}
+		}
+		order := e.extractOrder()
+		w, err := sys.ValidateSchedule(order)
+		if err == nil {
+			st.SATConflicts = e.s.Conflicts
+			return &solver.Solution{Order: order, Witness: w, Preemptions: w.Preemptions}, st, nil
+		}
+		// Theory rejection: derive the smallest sound conflict clause.
+		// A violated path/bug condition depends only on the mappings in
+		// its transitive support (when addresses are concrete), so blocking
+		// that support kills every model sharing it; otherwise fall back to
+		// coarser blocking.
+		e.block(err)
+	}
+	st.SATConflicts = e.s.Conflicts
+	return nil, st, fmt.Errorf("cnfsolver: theory refinement did not converge in %d rounds", opts.MaxTheoryRounds)
+}
+
+// Unsat reports an unsatisfiable system.
+type Unsat struct{ Rounds int }
+
+// Error implements error.
+func (u *Unsat) Error() string {
+	return fmt.Sprintf("cnfsolver: unsatisfiable (after %d theory rounds)", u.Rounds)
+}
+
+type encoder struct {
+	sys     *constraints.System
+	n       int
+	s       *sat.Solver
+	pairVar map[[2]int]int // (i<j) -> SAT var meaning "SAP i before SAP j"
+	mapVars []int          // read→write / init choice variables
+	// choiceLit[readIdx][k] is the literal for the k-th choice of the
+	// read (k=0: initial value, k=1..: candidate writes).
+	choiceLit [][]sat.Lit
+	clauses   int64
+	// symbolicAddrs reports whether any SAP has an unresolved address; if
+	// not, read values are functions of the mapping alone and theory
+	// failures can block just the mapping projection.
+	symbolicAddrs bool
+}
+
+// lit returns the literal for "a before b".
+func (e *encoder) lit(a, b int) sat.Lit {
+	if a == b {
+		panic("cnfsolver: reflexive order literal")
+	}
+	neg := false
+	if a > b {
+		a, b = b, a
+		neg = true
+	}
+	v, ok := e.pairVar[[2]int{a, b}]
+	if !ok {
+		v = e.s.NewVar()
+		e.pairVar[[2]int{a, b}] = v
+	}
+	return sat.MkLit(v, neg)
+}
+
+func (e *encoder) add(lits ...sat.Lit) {
+	e.clauses++
+	e.s.AddClause(lits...)
+}
+
+func (e *encoder) encode() {
+	e.pairVar = map[[2]int]int{}
+	for _, sap := range e.sys.SAPs {
+		if sap.Kind.IsMemory() && sap.Addr == symexec.NoAddr {
+			e.symbolicAddrs = true
+		}
+	}
+	// Transitivity: before(a,b) ∧ before(b,c) → before(a,c), all triples.
+	for a := 0; a < e.n; a++ {
+		for b := 0; b < e.n; b++ {
+			if b == a {
+				continue
+			}
+			for c := b + 1; c < e.n; c++ {
+				if c == a {
+					continue
+				}
+				e.add(e.lit(a, b).Not(), e.lit(b, c).Not(), e.lit(a, c))
+				e.add(e.lit(c, b).Not(), e.lit(b, a).Not(), e.lit(c, a))
+			}
+		}
+	}
+	// Hard edges (Fmo, fork/join) are unit clauses.
+	for _, edge := range e.sys.HardEdges {
+		e.add(e.lit(int(edge[0]), int(edge[1])))
+	}
+	// Frw: read→write mapping choice variables.
+	for _, ri := range e.sys.Reads {
+		r := int(ri.Read)
+		choice := make([]sat.Lit, 0, len(ri.Cands)+1)
+		initVar := e.s.NewVar()
+		e.mapVars = append(e.mapVars, initVar)
+		choice = append(choice, sat.MkLit(initVar, false))
+		// init choice: every definitely-same-address write is after r.
+		for _, w := range ri.Cands {
+			if e.definitelySame(ri.Read, w) {
+				e.add(sat.MkLit(initVar, true), e.lit(r, int(w)))
+			}
+		}
+		for _, w := range ri.Cands {
+			mv := e.s.NewVar()
+			e.mapVars = append(e.mapVars, mv)
+			choice = append(choice, sat.MkLit(mv, false))
+			// m → w before r.
+			e.add(sat.MkLit(mv, true), e.lit(int(w), r))
+			// m → every same-address rival is before w or after r.
+			for _, w2 := range ri.Cands {
+				if w2 == w || !e.definitelySame(ri.Read, w2) {
+					continue
+				}
+				e.add(sat.MkLit(mv, true), e.lit(int(w2), int(w)), e.lit(r, int(w2)))
+			}
+		}
+		e.add(choice...) // at least one choice
+		e.choiceLit = append(e.choiceLit, choice)
+	}
+	e.learnValueLemmas()
+	// Fso locking: cross-thread regions do not overlap.
+	for _, regions := range e.sys.Regions {
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				if a.Thread == b.Thread {
+					continue
+				}
+				switch {
+				case a.HasUnlock && b.HasUnlock:
+					e.add(e.lit(int(a.Unlock), int(b.Lock)), e.lit(int(b.Unlock), int(a.Lock)))
+				case a.HasUnlock:
+					e.add(e.lit(int(a.Unlock), int(b.Lock)))
+				case b.HasUnlock:
+					e.add(e.lit(int(b.Unlock), int(a.Lock)))
+				default:
+					// Two never-released regions cannot both exist.
+					e.s.AddClause()
+				}
+			}
+		}
+	}
+	// Fso wait/signal: each completed wait picks a waking signal inside
+	// (begin, end); plain signals wake at most one wait.
+	wakeVars := map[constraints.SAPRef][]sat.Lit{}
+	for _, wi := range e.sys.Waits {
+		choice := make([]sat.Lit, 0, len(wi.Cands))
+		for _, s := range wi.Cands {
+			kv := e.s.NewVar()
+			choice = append(choice, sat.MkLit(kv, false))
+			e.add(sat.MkLit(kv, true), e.lit(int(wi.Begin), int(s)))
+			e.add(sat.MkLit(kv, true), e.lit(int(s), int(wi.End)))
+			if e.sys.SAP(s).Kind == symexec.SAPSignal {
+				wakeVars[s] = append(wakeVars[s], sat.MkLit(kv, false))
+			}
+		}
+		e.add(choice...)
+	}
+	for _, vars := range wakeVars {
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				e.add(vars[i].Not(), vars[j].Not())
+			}
+		}
+	}
+}
+
+// learnValueLemmas statically discharges the easy value constraints: for
+// every Fpath/Fbug conjunct whose symbols all come from reads whose
+// candidate values are constants, enumerate the candidate combinations and
+// forbid the violating ones. This is theory-lemma learning done upfront —
+// without it, value-heavy systems (the mutual-exclusion algorithms, where
+// flags take constant values) would need one lazy refinement round per bad
+// mapping.
+func (e *encoder) learnValueLemmas() {
+	// Read index and constant candidate values per symbol.
+	readIdx := map[symbolic.SymID]int{}
+	for i, ri := range e.sys.Reads {
+		readIdx[e.sys.SAP(ri.Read).Sym.ID] = i
+	}
+	constVals := func(ri int) ([]int64, bool) {
+		info := e.sys.Reads[ri]
+		vals := []int64{info.Init}
+		for _, w := range info.Cands {
+			c, ok := e.sys.SAP(w).Val.(*symbolic.IntConst)
+			if !ok {
+				return nil, false
+			}
+			vals = append(vals, c.V)
+		}
+		return vals, true
+	}
+	conjs := append(append([]symbolic.Expr{}, e.sys.Path...), e.sys.Bug)
+	for _, c := range conjs {
+		ids := symbolic.Syms(c, nil, nil)
+		if len(ids) == 0 || len(ids) > 3 {
+			continue
+		}
+		type dim struct {
+			ri   int
+			id   symbolic.SymID
+			vals []int64
+		}
+		var dims []dim
+		combos := 1
+		ok := true
+		for _, id := range ids {
+			ri, found := readIdx[id]
+			if !found {
+				ok = false
+				break
+			}
+			vals, constOK := constVals(ri)
+			if !constOK {
+				ok = false
+				break
+			}
+			dims = append(dims, dim{ri: ri, id: id, vals: vals})
+			combos *= len(vals)
+		}
+		if !ok || combos > 256 {
+			continue
+		}
+		env := symbolic.MapEnv{}
+		idx := make([]int, len(dims))
+		for k := 0; k < combos; k++ {
+			rem := k
+			for d := range dims {
+				idx[d] = rem % len(dims[d].vals)
+				rem /= len(dims[d].vals)
+				env[dims[d].id] = dims[d].vals[idx[d]]
+			}
+			holds, err := symbolic.EvalBool(c, env)
+			if err == nil && !holds {
+				// Forbid this combination of choices.
+				lits := make([]sat.Lit, len(dims))
+				for d := range dims {
+					lits[d] = e.choiceLit[dims[d].ri][idx[d]].Not()
+				}
+				e.add(lits...)
+			}
+		}
+	}
+}
+
+func (e *encoder) definitelySame(a, b constraints.SAPRef) bool {
+	x, y := e.sys.SAP(a), e.sys.SAP(b)
+	return x.Var == y.Var && x.Addr != symexec.NoAddr && y.Addr != symexec.NoAddr && x.Addr == y.Addr
+}
+
+// extractOrder reads the total order off the pair variables by counting
+// predecessors (a valid model's transitive closure makes the counts a
+// permutation).
+func (e *encoder) extractOrder() []constraints.SAPRef {
+	before := make([]int, e.n)
+	for a := 0; a < e.n; a++ {
+		for b := a + 1; b < e.n; b++ {
+			v := e.pairVar[[2]int{a, b}]
+			if e.s.Value(v) {
+				before[b]++
+			} else {
+				before[a]++
+			}
+		}
+	}
+	order := make([]constraints.SAPRef, e.n)
+	idx := make([]int, e.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return before[idx[i]] < before[idx[j]] })
+	for pos, i := range idx {
+		order[pos] = constraints.SAPRef(i)
+	}
+	return order
+}
+
+// block forbids the rejected model. Three levels, most precise first:
+//
+//  1. A violated value condition with concrete addresses depends only on
+//     the mappings in its transitive support — block just those reads'
+//     current choices (a proper theory conflict clause).
+//  2. Otherwise, with concrete addresses, block the full mapping
+//     projection.
+//  3. With symbolic addresses, values can depend on the order too: block
+//     the full pair assignment (complete but slowest).
+func (e *encoder) block(verr error) {
+	if !e.symbolicAddrs {
+		if ve, ok := verr.(*constraints.ValidationError); ok && ve.FailedExpr != nil {
+			if lits := e.supportClause(ve.FailedExpr); lits != nil {
+				e.add(lits...)
+				return
+			}
+		}
+		lits := make([]sat.Lit, 0, len(e.mapVars))
+		for _, v := range e.mapVars {
+			lits = append(lits, sat.MkLit(v, e.s.Value(v)))
+		}
+		e.add(lits...)
+		return
+	}
+	lits := make([]sat.Lit, 0, len(e.pairVar))
+	for _, v := range e.pairVar {
+		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
+	}
+	e.add(lits...)
+}
+
+// supportClause negates the current choices of every read in the
+// expression's transitive value support.
+func (e *encoder) supportClause(expr symbolic.Expr) []sat.Lit {
+	readIdx := map[symbolic.SymID]int{}
+	for i, ri := range e.sys.Reads {
+		readIdx[e.sys.SAP(ri.Read).Sym.ID] = i
+	}
+	// currentChoice returns the selected choice index of read ri in the
+	// SAT model, or -1 if none is set (should not happen for a model).
+	currentChoice := func(ri int) int {
+		for k, lit := range e.choiceLit[ri] {
+			if e.s.Value(lit.Var()) != lit.Neg() {
+				return k
+			}
+		}
+		return -1
+	}
+	seen := map[int]bool{}
+	var lits []sat.Lit
+	var visit func(expr symbolic.Expr) bool
+	visit = func(expr symbolic.Expr) bool {
+		for _, id := range symbolic.Syms(expr, nil, nil) {
+			ri, ok := readIdx[id]
+			if !ok {
+				return false
+			}
+			if seen[ri] {
+				continue
+			}
+			seen[ri] = true
+			k := currentChoice(ri)
+			if k < 0 {
+				return false
+			}
+			lits = append(lits, e.choiceLit[ri][k].Not())
+			if k > 0 {
+				// The mapped write's value has its own dependencies.
+				if !visit(e.sys.SAP(e.sys.Reads[ri].Cands[k-1]).Val) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !visit(expr) {
+		return nil
+	}
+	return lits
+}

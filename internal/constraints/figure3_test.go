@@ -1,0 +1,143 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symexec"
+	"repro/internal/vm"
+)
+
+// TestFigure3ConstraintModeling mirrors Figure 3 of the paper on the
+// Figure 2 example program: the generated constraint families must have
+// the structure the figure tabulates — path constraints over the read
+// symbols, one read-write clause group per read with the right candidate
+// sets, and memory-order edges that differ between SC and PSO exactly on
+// same-thread accesses to different variables.
+func TestFigure3ConstraintModeling(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+
+	scSys := buildSystem(t, r, vm.SC)
+	psoSys := buildSystem(t, r, vm.PSO)
+
+	// (a) Path constraints: the failing run entered the r2 > 0 branch, so
+	// Fpath contains a conjunct over t1's y read; Fbug is the negated
+	// assert over t1's last x read.
+	foundBranchCond := false
+	for _, c := range scSys.Path {
+		if strings.Contains(c.String(), "R_y@t1") {
+			foundBranchCond = true
+		}
+	}
+	if !foundBranchCond {
+		t.Errorf("Fpath misses the branch condition over t1's y read: %v", scSys.Path)
+	}
+	if !strings.Contains(scSys.Bug.String(), "R_x@t1") {
+		t.Errorf("Fbug = %s does not constrain t1's x read", scSys.Bug)
+	}
+
+	// (b) Read-write constraints: each x read's candidates are exactly the
+	// x writes (3: two by main, one by t1); y reads map to the single y
+	// write.
+	for _, ri := range scSys.Reads {
+		read := scSys.SAP(ri.Read)
+		name := scSys.An.Prog.Globals[read.Var].Name
+		switch name {
+		case "x":
+			if len(ri.Cands) != 3 {
+				t.Errorf("x read %s has %d candidate writes, want 3", read, len(ri.Cands))
+			}
+		case "y":
+			if len(ri.Cands) != 1 {
+				t.Errorf("y read %s has %d candidate writes, want 1", read, len(ri.Cands))
+			}
+		}
+		if ri.Init != 0 {
+			t.Errorf("initial value of %s = %d, want 0", name, ri.Init)
+		}
+	}
+
+	// (c) Memory order: SC keeps full per-thread program order, so every
+	// consecutive same-thread SAP pair is an edge. PSO drops same-thread
+	// W→W edges on different variables: main's write to x and write to y
+	// are ordered under SC but not under PSO.
+	edgeSet := func(sys *System) map[[2]SAPRef]bool {
+		m := map[[2]SAPRef]bool{}
+		for _, e := range sys.HardEdges {
+			m[e] = true
+		}
+		return m
+	}
+	scEdges, psoEdges := edgeSet(scSys), edgeSet(psoSys)
+
+	var wx, wy SAPRef = -1, -1
+	for i, s := range scSys.SAPs {
+		if s.Thread != 0 || s.Kind != symexec.SAPWrite {
+			continue
+		}
+		switch scSys.An.Prog.Globals[s.Var].Name {
+		case "x":
+			wx = SAPRef(i) // the last x write by main wins; any works
+		case "y":
+			wy = SAPRef(i)
+		}
+	}
+	if wx == -1 || wy == -1 {
+		t.Fatal("main's writes not found")
+	}
+	reach := func(edges map[[2]SAPRef]bool, a, b SAPRef) bool {
+		adj := map[SAPRef][]SAPRef{}
+		for e := range edges {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+		seen := map[SAPRef]bool{}
+		stack := []SAPRef{a}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == b {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	if !reach(scEdges, wx, wy) && !reach(scEdges, wy, wx) {
+		t.Error("SC must order main's x and y writes")
+	}
+	if reach(psoEdges, wx, wy) || reach(psoEdges, wy, wx) {
+		t.Error("PSO must not order main's x and y writes (different addresses)")
+	}
+
+	// Every PSO order requirement is also an SC requirement on this
+	// program: the SC feasible set is contained in the PSO feasible set.
+	for e := range psoEdges {
+		if !reach(scEdges, e[0], e[1]) {
+			t.Errorf("PSO edge %v->%v not implied by SC program order", scSys.SAPs[e[0]], scSys.SAPs[e[1]])
+		}
+	}
+}
+
+// TestModelFeasibilityNesting checks SC ⊆ TSO ⊆ PSO on valid schedules:
+// every schedule valid under a stronger model is valid under the weaker
+// ones (the models only remove order requirements).
+func TestModelFeasibilityNesting(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	scSys := buildSystem(t, r, vm.SC)
+	tsoSys := buildSystem(t, r, vm.TSO)
+	psoSys := buildSystem(t, r, vm.PSO)
+	order := recordedOrder(scSys, r.global)
+	if _, err := scSys.ValidateSchedule(order); err != nil {
+		t.Fatalf("recorded order invalid under SC: %v", err)
+	}
+	if _, err := tsoSys.ValidateSchedule(order); err != nil {
+		t.Fatalf("SC-valid schedule rejected under TSO: %v", err)
+	}
+	if _, err := psoSys.ValidateSchedule(order); err != nil {
+		t.Fatalf("SC-valid schedule rejected under PSO: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestFormulaDumpShape: the human-readable constraint dump (the CLI's
+// -dump-constraints) must contain all five families in Figure 3's shape.
+func TestFormulaDumpShape(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	dump := sys.Formula()
+	for _, want := range []string{
+		"; Fpath",
+		"; Fbug",
+		"; Fmo / fork-join edges",
+		"; Frw",
+		"(assert",
+		"rw ",
+		"O[",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("formula dump missing %q", want)
+		}
+	}
+	// Every read appears in the Frw section.
+	for _, ri := range sys.Reads {
+		if !strings.Contains(dump, sys.SAP(ri.Read).String()) {
+			t.Errorf("read %s missing from dump", sys.SAP(ri.Read))
+		}
+	}
+}
+
+// TestStatsMatchPaperFormulas: spot-check the §4.1 size accounting against
+// hand computation on the figure-2 system.
+func TestStatsMatchPaperFormulas(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	st := sys.ComputeStats()
+
+	// Path clauses: |Fpath| + 1 for the bug predicate.
+	if st.PathClauses != len(sys.Path)+1 {
+		t.Errorf("PathClauses = %d, want %d", st.PathClauses, len(sys.Path)+1)
+	}
+	// Memory-order clauses: the hard edge count.
+	if st.MOClauses != len(sys.HardEdges) {
+		t.Errorf("MOClauses = %d, want %d", st.MOClauses, len(sys.HardEdges))
+	}
+	// Read-write: per read with nw candidates, nw*(2+2(nw-1)) + (nw+1).
+	want := 0
+	for _, ri := range sys.Reads {
+		nw := len(ri.Cands)
+		if nw > 0 {
+			want += nw*(2+2*(nw-1)) + nw + 1
+		} else {
+			want++
+		}
+	}
+	if st.RWClauses != want {
+		t.Errorf("RWClauses = %d, want %d", st.RWClauses, want)
+	}
+	// No locks or condvars in figure 2.
+	if st.LockClauses != 0 || st.SignalClauses != 0 {
+		t.Errorf("unexpected sync clauses: %+v", st)
+	}
+	// Variables = order vars + value vars + signal binaries.
+	if st.Variables != st.SAPs+st.ValueVars+st.SignalVars {
+		t.Errorf("variable accounting inconsistent: %+v", st)
+	}
+}

@@ -1,0 +1,121 @@
+package constraints
+
+import (
+	"fmt"
+
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+)
+
+// Stats reports the size of the constraint system using the paper's §4.1
+// accounting, feeding Table 1's #Constraints and #Variables columns.
+type Stats struct {
+	// SAPs is the number of shared access points (order variables).
+	SAPs int
+	// ValueVars is the number of symbolic read values.
+	ValueVars int
+	// SignalVars is the number of binary signal-mapping variables
+	// (one per (signal candidate, wait) pair).
+	SignalVars int
+	// Variables is the total unknown count.
+	Variables int
+
+	// PathClauses counts Fpath conjuncts (one per recorded symbolic branch
+	// plus bounds and passed assertions) plus the bug predicate.
+	PathClauses int
+	// RWClauses counts Frw clauses: per read, one clause per candidate
+	// write (each with its no-intervening-write disjunction) plus the
+	// initial-value clause.
+	RWClauses int
+	// MOClauses counts the hard order edges of Fmo and the fork/join part
+	// of Fso.
+	MOClauses int
+	// LockClauses counts the locking constraints: the paper's 2|S|²+2|S|
+	// per lock object.
+	LockClauses int
+	// SignalClauses counts wait/signal constraints: 2|SG||WT|+|SG| per
+	// condition variable.
+	SignalClauses int
+	// Clauses is the grand total.
+	Clauses int
+}
+
+// ComputeStats sizes the system.
+func (sys *System) ComputeStats() Stats {
+	st := Stats{
+		SAPs:        len(sys.SAPs),
+		ValueVars:   sys.An.NumSyms,
+		PathClauses: len(sys.Path) + 1, // + Fbug
+		MOClauses:   len(sys.HardEdges),
+	}
+	for _, ri := range sys.Reads {
+		nw := len(ri.Cands)
+		// One clause per candidate write: Vr = val(w) ∧ Ow < Or ∧
+		// ⋀_{w'≠w}(Ow' < Ow ∨ Ow' > Or) — 2 + 2(nw-1) atoms — plus the
+		// initial-value clause with nw atoms.
+		if nw > 0 {
+			st.RWClauses += nw*(2+2*(nw-1)) + (nw + 1)
+		} else {
+			st.RWClauses++
+		}
+	}
+	for _, regions := range sys.Regions {
+		s := len(regions)
+		st.LockClauses += 2*s*s + 2*s
+	}
+	// Wait/signal: group waits per condition variable.
+	waitsPerCond := map[int]int{}
+	sigsPerCond := map[int]int{}
+	for _, wi := range sys.Waits {
+		c := int(sys.SAPs[wi.End].Cond)
+		waitsPerCond[c]++
+		if sigsPerCond[c] == 0 {
+			sigsPerCond[c] = len(wi.Cands)
+		}
+		st.SignalVars += len(wi.Cands)
+	}
+	for c, wt := range waitsPerCond {
+		sg := sigsPerCond[c]
+		st.SignalClauses += 2*sg*wt + sg
+	}
+	st.Variables = st.SAPs + st.ValueVars + st.SignalVars
+	st.Clauses = st.PathClauses + st.RWClauses + st.MOClauses + st.LockClauses + st.SignalClauses
+	return st
+}
+
+// String renders the stats like a Table 1 fragment.
+func (s Stats) String() string {
+	return fmt.Sprintf("#SAPs=%d #Constraints=%d #Variables=%d", s.SAPs, s.Clauses, s.Variables)
+}
+
+// Formula renders the full constraint system in a human-readable SMT-like
+// form, used by the CLI's -dump-constraints flag and by documentation
+// examples (it mirrors Figure 3 of the paper).
+func (sys *System) Formula() string {
+	out := "; Fpath\n"
+	for _, c := range sys.Path {
+		out += "(assert " + c.String() + ")\n"
+	}
+	out += "; Fbug\n(assert " + sys.Bug.String() + ")\n"
+	out += "; Fmo / fork-join edges\n"
+	for _, e := range sys.HardEdges {
+		out += fmt.Sprintf("(assert (< O[%s] O[%s]))\n", sys.SAPs[e[0]], sys.SAPs[e[1]])
+	}
+	out += "; Frw\n"
+	for _, ri := range sys.Reads {
+		r := sys.SAPs[ri.Read]
+		out += fmt.Sprintf("(assert (rw %s init=%d cands=%d))\n", r, ri.Init, len(ri.Cands))
+	}
+	for m, regions := range sys.Regions {
+		out += fmt.Sprintf("; lock m%d: %d regions\n", m, len(regions))
+	}
+	for _, wi := range sys.Waits {
+		out += fmt.Sprintf("; wait %s: %d candidate signals\n", sys.SAPs[wi.End], len(wi.Cands))
+	}
+	return out
+}
+
+// ReadBySym returns the read SAP owning a symbol.
+func (sys *System) ReadBySym(id symbolic.SymID) *symexec.SAP {
+	return sys.An.ReadOf[id]
+}

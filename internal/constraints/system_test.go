@@ -1,0 +1,474 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/escape"
+	"repro/internal/ir"
+	"repro/internal/symexec"
+	"repro/internal/vm"
+)
+
+// recorded bundles a recorded failing run with its global event order.
+type recorded struct {
+	prog   *ir.Program
+	rec    *vm.PathRecorder
+	res    *vm.Result
+	global []vm.VisibleEvent
+	shared []bool
+}
+
+func record(t *testing.T, src string, seed int64, model vm.MemModel) *recorded {
+	t.Helper()
+	prog, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := escape.Analyze(prog)
+	rec, err := vm.NewPathRecorder(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &recorded{prog: prog, rec: rec, shared: esc.Shared}
+	machine, err := vm.New(prog, vm.Config{
+		Model:        model,
+		Sched:        vm.NewRandomScheduler(seed),
+		Shared:       esc.Shared,
+		PathRecorder: rec,
+		OnVisible: func(ev vm.VisibleEvent) {
+			if ev.Kind != vm.EvDrain {
+				r.global = append(r.global, ev)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.res = res
+	return r
+}
+
+func findFailing(t *testing.T, src string, model vm.MemModel, maxSeed int64) *recorded {
+	t.Helper()
+	for seed := int64(0); seed < maxSeed; seed++ {
+		r := record(t, src, seed, model)
+		if r.res.Failure != nil && r.res.Failure.Kind == vm.FailAssert {
+			return r
+		}
+	}
+	t.Fatalf("no failing seed in %d tries", maxSeed)
+	return nil
+}
+
+func buildSystem(t *testing.T, r *recorded, model vm.MemModel) *System {
+	t.Helper()
+	an, err := symexec.Analyze(r.prog, r.rec.Paths, r.rec.Log, symexec.Options{
+		Shared:  r.shared,
+		Failure: symexec.FailureSpec{Thread: r.res.Failure.Thread, Site: r.res.Failure.Site},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(an, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// recordedOrder maps the global event stream to a SAP schedule, appending
+// SAPs that exist in the analysis but never executed as events (the Start
+// pseudo-SAPs of never-run threads) at the end.
+func recordedOrder(sys *System, global []vm.VisibleEvent) []SAPRef {
+	next := make([]int, len(sys.Threads))
+	var order []SAPRef
+	for _, ev := range global {
+		refs := sys.Threads[ev.Thread]
+		order = append(order, refs[next[ev.Thread]])
+		next[ev.Thread]++
+	}
+	for tid, refs := range sys.Threads {
+		for k := next[tid]; k < len(refs); k++ {
+			order = append(order, refs[k])
+		}
+	}
+	return order
+}
+
+const figure2SC = `
+int x;
+int y;
+func t1() {
+	int r1 = x;
+	x = r1 + 1;
+	int r2 = y;
+	if (r2 > 0) {
+		int r3 = x;
+		assert(r3 > 0, "assert1");
+	}
+}
+func main() {
+	int h;
+	h = spawn t1();
+	x = 2;
+	x = x - 3;
+	y = 1;
+	join(h);
+}
+`
+
+func TestRecordedScheduleValidatesUnderSC(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	order := recordedOrder(sys, r.global)
+	w, err := sys.ValidateSchedule(order)
+	if err != nil {
+		t.Fatalf("the recorded schedule itself must validate: %v", err)
+	}
+	// The witness read values must match what the VM actually read.
+	next := make([]int, len(sys.Threads))
+	for _, ev := range r.global {
+		refs := sys.Threads[ev.Thread]
+		s := sys.SAPs[refs[next[ev.Thread]]]
+		next[ev.Thread]++
+		if s.Kind == symexec.SAPRead {
+			if got := w.Env[s.Sym.ID]; got != ev.Value {
+				t.Fatalf("witness value for %s = %d, VM read %d", s, got, ev.Value)
+			}
+		}
+	}
+	if w.Switches == 0 {
+		t.Error("a failing interleaving needs at least one context switch")
+	}
+}
+
+func TestPerturbedScheduleRejected(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	order := recordedOrder(sys, r.global)
+
+	// Reversing the whole schedule must violate something.
+	rev := make([]SAPRef, len(order))
+	for i, x := range order {
+		rev[len(order)-1-i] = x
+	}
+	if _, err := sys.ValidateSchedule(rev); err == nil {
+		t.Fatal("reversed schedule must be rejected")
+	}
+
+	// Wrong length and duplicates are rejected.
+	if _, err := sys.ValidateSchedule(order[:len(order)-1]); err == nil {
+		t.Fatal("short schedule must be rejected")
+	}
+	dup := append([]SAPRef(nil), order...)
+	dup[0] = dup[1]
+	if _, err := sys.ValidateSchedule(dup); err == nil {
+		t.Fatal("duplicate entry must be rejected")
+	}
+}
+
+const psoReorderSrc = `
+int x;
+int y;
+func t2() {
+	int r1 = y;
+	if (r1 == 1) {
+		int r2 = x;
+		assert(r2 == 1, "write reorder observed");
+	}
+}
+func main() {
+	int h;
+	h = spawn t2();
+	x = 1;
+	y = 1;
+	join(h);
+}
+`
+
+// TestPSOScheduleValidDifferentModels hand-builds the reordered schedule
+// of Figure 2 (right): W(y) before W(x) in memory order. It must validate
+// under the PSO encoding and be rejected under SC and TSO (which keep
+// same-thread W→W order).
+func TestPSOScheduleValidDifferentModels(t *testing.T) {
+	r := findFailing(t, psoReorderSrc, vm.PSO, 3000)
+	for _, tc := range []struct {
+		model vm.MemModel
+		want  bool
+	}{
+		{vm.PSO, true},
+		{vm.TSO, false},
+		{vm.SC, false},
+	} {
+		sys := buildSystem(t, r, tc.model)
+		order := buildReorderedOrder(t, sys)
+		_, err := sys.ValidateSchedule(order)
+		if tc.want && err != nil {
+			t.Errorf("%v: schedule should validate, got %v", tc.model, err)
+		}
+		if !tc.want && err == nil {
+			t.Errorf("%v: write-reordered schedule must be rejected", tc.model)
+		}
+	}
+}
+
+// buildReorderedOrder constructs: main start, fork, W(y); t2 start, R(y),
+// R(x); main W(x), join...; i.e. W(y) visible before W(x).
+func buildReorderedOrder(t *testing.T, sys *System) []SAPRef {
+	t.Helper()
+	main := sys.Threads[0]
+	t2 := sys.Threads[1]
+	// Identify main's writes by variable.
+	var wx, wy, fork, join SAPRef = -1, -1, -1, -1
+	var mainStart, mainExit SAPRef = -1, -1
+	for _, ref := range main {
+		s := sys.SAPs[ref]
+		switch {
+		case s.Kind == symexec.SAPWrite && sys.An.Prog.Globals[s.Var].Name == "x":
+			wx = ref
+		case s.Kind == symexec.SAPWrite && sys.An.Prog.Globals[s.Var].Name == "y":
+			wy = ref
+		case s.Kind == symexec.SAPFork:
+			fork = ref
+		case s.Kind == symexec.SAPJoin:
+			join = ref
+		case s.Kind == symexec.SAPStart:
+			mainStart = ref
+		case s.Kind == symexec.SAPExit:
+			mainExit = ref
+		}
+	}
+	for _, ref := range []SAPRef{wx, wy, fork, mainStart} {
+		if ref < 0 {
+			t.Fatal("main SAPs not found")
+		}
+	}
+	order := []SAPRef{mainStart, fork, wy}
+	order = append(order, t2...) // start, R(y), R(x) [, assert has no SAP]
+	order = append(order, wx)
+	if join >= 0 {
+		order = append(order, join)
+	}
+	if mainExit >= 0 {
+		order = append(order, mainExit)
+	}
+	if len(order) != len(sys.SAPs) {
+		t.Fatalf("constructed schedule covers %d of %d SAPs", len(order), len(sys.SAPs))
+	}
+	return order
+}
+
+func TestLockRegionsEnforced(t *testing.T) {
+	src := `
+int c;
+mutex m;
+func worker() {
+	lock(m);
+	int t = c;
+	c = t + 1;
+	unlock(m);
+}
+func main() {
+	int h;
+	h = spawn worker();
+	lock(m);
+	int t = c;
+	c = t + 5;
+	unlock(m);
+	join(h);
+	assert(c != 6, "both ran");
+}
+`
+	r := findFailing(t, src, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	order := recordedOrder(sys, r.global)
+	if _, err := sys.ValidateSchedule(order); err != nil {
+		t.Fatalf("recorded schedule must validate: %v", err)
+	}
+	// Interleave the two critical sections: find the two lock SAPs and the
+	// matching unlocks, then move thread B's lock right after thread A's.
+	var mu ir.SyncID
+	for m := range sys.Regions {
+		mu = m
+	}
+	regions := sys.Regions[mu]
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(regions))
+	}
+	pos := map[SAPRef]int{}
+	for i, ref := range order {
+		pos[ref] = i
+	}
+	a, b := regions[0], regions[1]
+	if pos[a.Lock] > pos[b.Lock] {
+		a, b = b, a
+	}
+	// Move b.Lock to immediately after a.Lock (inside a's region).
+	bad := make([]SAPRef, 0, len(order))
+	for _, ref := range order {
+		if ref == b.Lock {
+			continue
+		}
+		bad = append(bad, ref)
+		if ref == a.Lock {
+			bad = append(bad, b.Lock)
+		}
+	}
+	if _, err := sys.ValidateSchedule(bad); err == nil {
+		t.Fatal("overlapping lock regions must be rejected")
+	} else if !strings.Contains(err.Error(), "mutex") {
+		t.Fatalf("expected a mutex violation, got: %v", err)
+	}
+}
+
+func TestWaitNeedsSignal(t *testing.T) {
+	src := `
+int stage;
+mutex m;
+cond c;
+func waiter() {
+	lock(m);
+	while (stage == 0) {
+		wait(c, m);
+	}
+	unlock(m);
+	assert(stage == 2, "stage jumped");
+}
+func main() {
+	int h;
+	h = spawn waiter();
+	yield();
+	lock(m);
+	stage = 1;
+	signal(c);
+	unlock(m);
+	join(h);
+}
+`
+	var r *recorded
+	for seed := int64(0); seed < 800; seed++ {
+		cand := record(t, src, seed, vm.SC)
+		if cand.res.Failure != nil && cand.res.Failure.Kind == vm.FailAssert {
+			r = cand
+			break
+		}
+	}
+	if r == nil {
+		t.Skip("no failing interleaving found")
+	}
+	sys := buildSystem(t, r, vm.SC)
+	if len(sys.Waits) == 0 {
+		t.Fatal("wait constraints missing")
+	}
+	order := recordedOrder(sys, r.global)
+	if _, err := sys.ValidateSchedule(order); err != nil {
+		t.Fatalf("recorded schedule must validate: %v", err)
+	}
+	// Move the signal after the wait-end: the wake has no eligible signal.
+	wi := sys.Waits[0]
+	sig := wi.Cands[0]
+	pos := map[SAPRef]int{}
+	for i, ref := range order {
+		pos[ref] = i
+	}
+	if pos[sig] > pos[wi.End] {
+		t.Skip("recorded order already has signal after end (different wait matched)")
+	}
+	bad := make([]SAPRef, 0, len(order))
+	for _, ref := range order {
+		if ref == sig {
+			continue
+		}
+		bad = append(bad, ref)
+		if ref == wi.End {
+			bad = append(bad, sig)
+		}
+	}
+	if _, err := sys.ValidateSchedule(bad); err == nil {
+		t.Fatal("wait-end before its only signal must be rejected")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	r := findFailing(t, figure2SC, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	st := sys.ComputeStats()
+	if st.SAPs != len(sys.SAPs) {
+		t.Error("SAPs miscounted")
+	}
+	if st.ValueVars == 0 || st.Variables < st.SAPs+st.ValueVars {
+		t.Errorf("variables = %+v", st)
+	}
+	if st.RWClauses == 0 || st.MOClauses == 0 || st.PathClauses < 2 {
+		t.Errorf("clauses = %+v", st)
+	}
+	if st.Clauses != st.PathClauses+st.RWClauses+st.MOClauses+st.LockClauses+st.SignalClauses {
+		t.Error("clause total inconsistent")
+	}
+	if st.String() == "" {
+		t.Error("stats must render")
+	}
+	if sys.Formula() == "" {
+		t.Error("formula must render")
+	}
+}
+
+func TestReadCandidatesRespectAddresses(t *testing.T) {
+	src := `
+int a[4];
+int b;
+func child() {
+	a[0] = 1;
+	a[1] = 2;
+	b = 3;
+}
+func main() {
+	int h;
+	h = spawn child();
+	int v = a[0];
+	int u = b;
+	join(h);
+	assert(v + u == 99, "always fails");
+}
+`
+	r := findFailing(t, src, vm.SC, 50)
+	sys := buildSystem(t, r, vm.SC)
+	for _, ri := range sys.Reads {
+		rs := sys.SAPs[ri.Read]
+		name := sys.An.Prog.Globals[rs.Var].Name
+		switch {
+		case name == "a" && rs.Addr == sys.Layout.Base[rs.Var]:
+			// a[0]: only the a[0] write is a candidate.
+			if len(ri.Cands) != 1 {
+				t.Errorf("a[0] read has %d candidates, want 1", len(ri.Cands))
+			}
+		case name == "b":
+			if len(ri.Cands) != 1 {
+				t.Errorf("b read has %d candidates, want 1", len(ri.Cands))
+			}
+		}
+	}
+}
+
+func TestCountSwitchesSequentialIsZero(t *testing.T) {
+	src := `
+int x;
+func main() {
+	x = 1;
+	int v = x;
+	assert(v == 0, "always fails");
+}
+`
+	r := findFailing(t, src, vm.SC, 5)
+	sys := buildSystem(t, r, vm.SC)
+	order := recordedOrder(sys, r.global)
+	sw, pre := sys.CountSwitches(order)
+	if sw != 0 || pre != 0 {
+		t.Errorf("single-thread schedule: switches=%d preemptions=%d, want 0,0", sw, pre)
+	}
+}

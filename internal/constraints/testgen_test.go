@@ -1,0 +1,80 @@
+package constraints
+
+// newTestGen is a minimal candidate-schedule enumerator for tests in this
+// package (the real generator lives in internal/schedule, which imports
+// constraints and therefore cannot be used from in-package tests). It
+// enumerates linear extensions of the hard edges with at most c preemptive
+// switches.
+func newTestGen(sys *System) func(c int, f func([]SAPRef)) {
+	return func(c int, f func([]SAPRef)) {
+		n := len(sys.SAPs)
+		preds := map[SAPRef][]SAPRef{}
+		for _, e := range sys.HardEdges {
+			preds[e[1]] = append(preds[e[1]], e[0])
+		}
+		scheduled := make([]bool, n)
+		order := make([]SAPRef, 0, n)
+		emitted := 0
+		readyOf := func(t int) []SAPRef {
+			var out []SAPRef
+			for _, r := range sys.Threads[t] {
+				if scheduled[r] {
+					continue
+				}
+				ok := true
+				for _, p := range preds[r] {
+					if !scheduled[p] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+		var walk func(cur, used int, justSwitched bool)
+		walk = func(cur, used int, justSwitched bool) {
+			if emitted > 50_000 {
+				return
+			}
+			if len(order) == n {
+				emitted++
+				cp := make([]SAPRef, n)
+				copy(cp, order)
+				f(cp)
+				return
+			}
+			ready := readyOf(cur)
+			for _, r := range ready {
+				scheduled[r] = true
+				order = append(order, r)
+				walk(cur, used, false)
+				order = order[:len(order)-1]
+				scheduled[r] = false
+			}
+			if justSwitched {
+				return
+			}
+			for t := range sys.Threads {
+				if t == cur || len(readyOf(t)) == 0 {
+					continue
+				}
+				cost := 0
+				if len(ready) > 0 {
+					cost = 1
+				}
+				if used+cost > c {
+					continue
+				}
+				walk(t, used+cost, true)
+			}
+		}
+		for t := range sys.Threads {
+			if len(readyOf(t)) > 0 {
+				walk(t, 0, true)
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package constraints
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// Witness is a validated model of the constraint system: the schedule
+// together with the concrete value of every read and the write (or initial
+// value) it maps to.
+type Witness struct {
+	// Order is the validated schedule.
+	Order []SAPRef
+	// Env binds every read symbol to its concrete value.
+	Env symbolic.MapEnv
+	// MappedWrite maps each read SAPRef to the write SAPRef it reads from,
+	// or -1 when it reads the initial value.
+	MappedWrite map[SAPRef]SAPRef
+	// Switches is the number of context switches in the schedule (counting
+	// every change of running thread).
+	Switches int
+	// Preemptions is the number of preemptive switches: switches not
+	// forced by a must-interleave operation (§4.2).
+	Preemptions int
+}
+
+// ValidationError explains why a candidate schedule is not a model.
+type ValidationError struct {
+	Reason string
+	At     int // schedule position, -1 when global
+	// FailedExpr is set when a path condition or the bug predicate
+	// evaluated to false: the violated expression. Solvers use it to
+	// derive conflict clauses over just the involved reads.
+	FailedExpr symbolic.Expr
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.At >= 0 {
+		return fmt.Sprintf("constraints: invalid schedule at position %d: %s", e.At, e.Reason)
+	}
+	return "constraints: invalid schedule: " + e.Reason
+}
+
+func vErr(at int, format string, args ...any) *ValidationError {
+	return &ValidationError{At: at, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ValidateSchedule checks a candidate total order of all SAPs against every
+// constraint family and, when valid, returns the witness with concrete read
+// values. The check is a single forward pass: O(n) simulation of memory,
+// locks and condition variables, plus evaluation of Fpath and Fbug.
+func (sys *System) ValidateSchedule(order []SAPRef) (*Witness, error) {
+	n := len(sys.SAPs)
+	if len(order) != n {
+		return nil, vErr(-1, "schedule has %d entries, system has %d SAPs", len(order), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, r := range order {
+		if r < 0 || int(r) >= n {
+			return nil, vErr(i, "SAP ref %d out of range", r)
+		}
+		if pos[r] != -1 {
+			return nil, vErr(i, "SAP %s appears twice", sys.SAPs[r])
+		}
+		pos[r] = i
+	}
+
+	// Hard order edges.
+	for _, e := range sys.HardEdges {
+		if pos[e[0]] >= pos[e[1]] {
+			return nil, vErr(pos[e[1]], "order edge violated: %s must precede %s", sys.SAPs[e[0]], sys.SAPs[e[1]])
+		}
+	}
+
+	w := &Witness{
+		Order:       append([]SAPRef(nil), order...),
+		Env:         symbolic.MapEnv{},
+		MappedWrite: map[SAPRef]SAPRef{},
+	}
+
+	// Forward simulation: memory, locks, condition variables.
+	mem := sys.Layout.InitImage(sys.An.Prog)
+	lastWriter := make([]SAPRef, sys.Layout.Size)
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	type lockState struct {
+		held  bool
+		owner trace.ThreadID
+	}
+	locks := map[ir.SyncID]*lockState{}
+	lock := func(m ir.SyncID) *lockState {
+		if s, ok := locks[m]; ok {
+			return s
+		}
+		s := &lockState{}
+		locks[m] = s
+		return s
+	}
+	// Signals available per condition variable: unconsumed signal
+	// positions, and broadcast positions (never consumed).
+	signalsAt := map[ir.SyncID][]int{}
+	broadcastsAt := map[ir.SyncID][]int{}
+	waitBeganAt := map[SAPRef]int{}
+
+	addrOf := func(s *symexec.SAP, at int) (int, error) {
+		if s.Addr != symexec.NoAddr {
+			return s.Addr, nil
+		}
+		idx, err := symbolic.EvalInt(s.AddrIndex, w.Env)
+		if err != nil {
+			return 0, vErr(at, "address of %s: %v", s, err)
+		}
+		a, ok := sys.Layout.Addr(sys.An.Prog, s.Var, idx)
+		if !ok {
+			return 0, vErr(at, "address of %s out of bounds (index %d)", s, idx)
+		}
+		return a, nil
+	}
+
+	for i, r := range order {
+		s := sys.SAPs[r]
+		switch s.Kind {
+		case symexec.SAPRead:
+			a, err := addrOf(s, i)
+			if err != nil {
+				return nil, err
+			}
+			w.Env[s.Sym.ID] = mem[a]
+			w.MappedWrite[r] = lastWriter[a]
+		case symexec.SAPWrite:
+			a, err := addrOf(s, i)
+			if err != nil {
+				return nil, err
+			}
+			v, err := symbolic.EvalInt(s.Val, w.Env)
+			if err != nil {
+				return nil, vErr(i, "value of %s: %v", s, err)
+			}
+			mem[a] = v
+			lastWriter[a] = r
+		case symexec.SAPLock, symexec.SAPWaitEnd:
+			st := lock(s.Mutex)
+			if st.held {
+				return nil, vErr(i, "%s acquires mutex m%d held by t%d", s, s.Mutex, st.owner)
+			}
+			st.held = true
+			st.owner = s.Thread
+			if s.Kind == symexec.SAPWaitEnd {
+				// A wake needs an eligible signal: one that happened after
+				// this wait began. Signals are consumed; broadcasts serve
+				// any number of waits pending at broadcast time.
+				began, ok := findBegin(sys, waitBeganAt, r)
+				if !ok {
+					return nil, vErr(i, "%s has no recorded begin", s)
+				}
+				if !consumeSignal(signalsAt, broadcastsAt, s.Cond, began) {
+					return nil, vErr(i, "%s has no eligible signal", s)
+				}
+			}
+		case symexec.SAPUnlock, symexec.SAPWaitBegin:
+			st := lock(s.Mutex)
+			if !st.held || st.owner != s.Thread {
+				return nil, vErr(i, "%s releases mutex m%d not held by it", s, s.Mutex)
+			}
+			st.held = false
+			if s.Kind == symexec.SAPWaitBegin {
+				waitBeganAt[r] = i
+			}
+		case symexec.SAPSignal:
+			signalsAt[s.Cond] = append(signalsAt[s.Cond], i)
+		case symexec.SAPBroadcast:
+			broadcastsAt[s.Cond] = append(broadcastsAt[s.Cond], i)
+		}
+	}
+
+	// Fpath and Fbug under the simulated values.
+	for _, c := range sys.Path {
+		ok, err := symbolic.EvalBool(c, w.Env)
+		if err != nil {
+			return nil, vErr(-1, "path condition %s: %v", c, err)
+		}
+		if !ok {
+			e := vErr(-1, "path condition %s is false", c)
+			e.FailedExpr = c
+			return nil, e
+		}
+	}
+	ok, err := symbolic.EvalBool(sys.Bug, w.Env)
+	if err != nil {
+		return nil, vErr(-1, "bug predicate %s: %v", sys.Bug, err)
+	}
+	if !ok {
+		e := vErr(-1, "bug predicate %s is false (failure would not manifest)", sys.Bug)
+		e.FailedExpr = sys.Bug
+		return nil, e
+	}
+
+	w.Switches, w.Preemptions = sys.CountSwitches(order)
+	return w, nil
+}
+
+// findBegin locates the begin position of a wait-end's matching begin.
+func findBegin(sys *System, beganAt map[SAPRef]int, end SAPRef) (int, bool) {
+	s := sys.SAPs[end]
+	// The matching begin is the same thread's most recent WaitBegin on the
+	// same condition before this end in program order.
+	refs := sys.Threads[s.Thread]
+	for k := len(refs) - 1; k >= 0; k-- {
+		if refs[k] == end {
+			for j := k - 1; j >= 0; j-- {
+				b := sys.SAPs[refs[j]]
+				if b.Kind == symexec.SAPWaitBegin && b.Cond == s.Cond {
+					at, ok := beganAt[refs[j]]
+					return at, ok
+				}
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// consumeSignal tries to satisfy a wake that began at position began:
+// first a broadcast after began, then the earliest unconsumed signal after
+// began (greedy earliest-eligible matching is optimal for interval
+// scheduling, so no completion is missed).
+func consumeSignal(signalsAt, broadcastsAt map[ir.SyncID][]int, c ir.SyncID, began int) bool {
+	for _, b := range broadcastsAt[c] {
+		if b > began {
+			return true
+		}
+	}
+	ss := signalsAt[c]
+	for k, sp := range ss {
+		if sp > began {
+			signalsAt[c] = append(ss[:k:k], ss[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// CountSwitches returns the total number of thread changes in the schedule
+// and how many of them are preemptive. A switch away from thread T is
+// preemptive when T could have continued: its next SAP's hard order
+// predecessors (Fmo plus fork/join edges) were all already scheduled at
+// the switch point. Switches where T was finished or blocked (a join whose
+// child had not exited, a wait-end whose turn had not come, …) are the
+// paper's non-preemptive, must-interleave switches (§4.2).
+func (sys *System) CountSwitches(order []SAPRef) (switches, preemptions int) {
+	// preds[r] = hard-edge predecessors of r.
+	preds := map[SAPRef][]SAPRef{}
+	for _, e := range sys.HardEdges {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	scheduled := make([]bool, len(sys.SAPs))
+	next := make([]int, len(sys.Threads))
+	// Replay-level blocking state: a thread whose next operation is a lock
+	// acquisition on a held mutex (or a wake without an eligible signal)
+	// cannot continue either — switching away from it is forced.
+	lockHeld := map[ir.SyncID]bool{}
+	signalsSeen := map[ir.SyncID]int{}
+	broadcastsSeen := map[ir.SyncID]int{}
+	signalsConsumed := map[ir.SyncID]int{}
+	ready := func(t trace.ThreadID) bool {
+		refs := sys.Threads[t]
+		for k := next[t]; k < len(refs); k++ {
+			r := refs[k]
+			if scheduled[r] {
+				continue
+			}
+			ok := true
+			for _, p := range preds[r] {
+				if !scheduled[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			s := sys.SAPs[r]
+			switch s.Kind {
+			case symexec.SAPLock:
+				if lockHeld[s.Mutex] {
+					continue
+				}
+			case symexec.SAPWaitEnd:
+				if lockHeld[s.Mutex] {
+					continue
+				}
+				// Approximate eligibility: an unconsumed signal or any
+				// broadcast must exist.
+				if signalsConsumed[s.Cond] >= signalsSeen[s.Cond] && broadcastsSeen[s.Cond] == 0 {
+					continue
+				}
+			}
+			return true
+		}
+		return false
+	}
+	prev := trace.ThreadID(-1)
+	for _, r := range order {
+		s := sys.SAPs[r]
+		if prev >= 0 && s.Thread != prev {
+			switches++
+			if ready(prev) {
+				preemptions++
+			}
+		}
+		scheduled[r] = true
+		switch s.Kind {
+		case symexec.SAPLock:
+			lockHeld[s.Mutex] = true
+		case symexec.SAPUnlock, symexec.SAPWaitBegin:
+			lockHeld[s.Mutex] = false
+		case symexec.SAPWaitEnd:
+			lockHeld[s.Mutex] = true
+			signalsConsumed[s.Cond]++
+		case symexec.SAPSignal:
+			signalsSeen[s.Cond]++
+		case symexec.SAPBroadcast:
+			broadcastsSeen[s.Cond]++
+		}
+		for next[s.Thread] < len(sys.Threads[s.Thread]) && scheduled[sys.Threads[s.Thread][next[s.Thread]]] {
+			next[s.Thread]++
+		}
+		prev = s.Thread
+	}
+	return switches, preemptions
+}

@@ -1,0 +1,316 @@
+// Package core wires CLAP's phases into the end-to-end pipeline of
+// Figure 1 of the paper:
+//
+//	record (thread-local paths) → decode → symbolic execution →
+//	constraint encoding → solving (sequential or parallel) → replay.
+//
+// It is the library's primary entry point: give it a mini-language program
+// and it produces a recording of a failing execution, a constraint system,
+// a bug-reproducing schedule with (heuristically) minimal preemptions, and
+// a verified deterministic replay. The top-level clap package re-exports
+// this API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ballarus"
+	"repro/internal/constraints"
+	"repro/internal/escape"
+	"repro/internal/ir"
+	"repro/internal/parsolve"
+	"repro/internal/replay"
+	"repro/internal/solver"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// RecordOptions configures the record phase.
+type RecordOptions struct {
+	// Model is the simulated memory model of the production run.
+	Model vm.MemModel
+	// Inputs are the deterministic program inputs.
+	Inputs []int64
+	// Seed seeds the bug-hunting scheduler; when SeedLimit > 0, seeds
+	// Seed..Seed+SeedLimit-1 are tried until an assertion fails (the
+	// paper's "ran it many times until the bug occurred").
+	Seed      int64
+	SeedLimit int64
+	// Chaos and DrainBias tune the random scheduler (see vm.RandomScheduler).
+	Chaos     int
+	DrainBias int
+	// MaxActions bounds each attempt.
+	MaxActions int
+}
+
+// Recording is a recorded failing execution: the CLAP log plus everything
+// needed for the offline phases.
+type Recording struct {
+	Prog    *ir.Program
+	Model   vm.MemModel
+	Inputs  []int64
+	Sharing *escape.Result
+	Paths   []*ballarus.FuncPaths
+	Log     *trace.PathLog
+	Failure *vm.Failure
+	Run     *vm.Result
+	// Seed is the scheduler seed that triggered the failure.
+	Seed int64
+}
+
+// Compile parses, checks and lowers a mini-language source program.
+func Compile(src string) (*ir.Program, error) { return ir.CompileSource(src) }
+
+// Record runs the program under seeded random schedules until an assertion
+// fails, recording only thread-local paths (no shared-memory dependencies,
+// no values, no synchronization added — CLAP's phase 1).
+//
+// When Chaos is unset, seeds are swept with a ladder of scheduler chaos
+// levels, collecting a few failing candidates per level, and the recording
+// with the fewest shared access points wins. Small failing traces are what
+// production failures look like, and they give the offline solver the
+// easiest constraint systems: gentle scheduling minimizes preemptions for
+// data-race bugs, while aggressive scheduling ends spin loops early for
+// the mutual-exclusion bugs — sampling both and keeping the smallest
+// handles either shape. (The paper's record phase similarly retries with
+// inserted timing delays until a good failing run appears.)
+func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
+	if opts.SeedLimit <= 0 {
+		opts.SeedLimit = 1
+	}
+	ladder := []int{opts.Chaos}
+	if opts.Chaos == 0 {
+		ladder = []int{5, 15, 40, 70}
+	}
+	const perLevel = 3
+	var best *Recording
+	// The static analyses are per-program: hoist them out of the seed loop.
+	sharing := escape.Analyze(prog)
+	paths, err := ballarus.ProgramPaths(prog)
+	if err != nil {
+		return nil, err
+	}
+	for _, chaos := range ladder {
+		attempt := opts
+		attempt.Chaos = chaos
+		found := 0
+		for s := opts.Seed; s < opts.Seed+opts.SeedLimit && found < perLevel; s++ {
+			rec, err := recordSeed(prog, s, attempt, sharing, paths)
+			if err != nil {
+				if errors.Is(err, vm.ErrActionBudget) {
+					continue // a livelocked seed is just an uninteresting run
+				}
+				return nil, err
+			}
+			if rec.Failure == nil || rec.Failure.Kind != vm.FailAssert {
+				continue
+			}
+			found++
+			if best == nil || rec.Run.VisibleEvents < best.Run.VisibleEvents {
+				best = rec
+			}
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	return nil, fmt.Errorf("core: no assertion failure in %d seeds starting at %d", opts.SeedLimit, opts.Seed)
+}
+
+// RecordSeed runs exactly one recording attempt with the given seed.
+func RecordSeed(prog *ir.Program, seed int64, opts RecordOptions) (*Recording, error) {
+	sharing := escape.Analyze(prog)
+	paths, err := ballarus.ProgramPaths(prog)
+	if err != nil {
+		return nil, err
+	}
+	return recordSeed(prog, seed, opts, sharing, paths)
+}
+
+// recordSeed is RecordSeed with the per-program analyses precomputed.
+func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escape.Result, paths []*ballarus.FuncPaths) (*Recording, error) {
+	pathRec := &vm.PathRecorder{Paths: paths, Log: &trace.PathLog{}}
+	sched := vm.NewRandomScheduler(seed)
+	if opts.Chaos > 0 {
+		sched.Chaos = opts.Chaos
+	}
+	if opts.DrainBias > 0 {
+		sched.DrainBias = opts.DrainBias
+	}
+	machine, err := vm.New(prog, vm.Config{
+		Model:        opts.Model,
+		Inputs:       opts.Inputs,
+		MaxActions:   opts.MaxActions,
+		Sched:        sched,
+		Shared:       sharing.Shared,
+		PathRecorder: pathRec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{
+		Prog:    prog,
+		Model:   opts.Model,
+		Inputs:  opts.Inputs,
+		Sharing: sharing,
+		Paths:   pathRec.Paths,
+		Log:     pathRec.Log,
+		Failure: res.Failure,
+		Run:     res,
+		Seed:    seed,
+	}, nil
+}
+
+// LogSize returns the encoded size of the CLAP path log in bytes.
+func (r *Recording) LogSize() int { return r.Log.Size() }
+
+// Analyze runs symbolic execution along the recorded paths and encodes the
+// constraint system F = Fpath ∧ Fbug ∧ Fso ∧ Frw ∧ Fmo.
+func (r *Recording) Analyze() (*constraints.System, error) {
+	if r.Failure == nil || r.Failure.Kind != vm.FailAssert {
+		return nil, fmt.Errorf("core: recording holds no assertion failure to reproduce")
+	}
+	an, err := symexec.Analyze(r.Prog, r.Paths, r.Log, symexec.Options{
+		Shared: r.Sharing.Shared,
+		Inputs: r.Inputs,
+		Failure: symexec.FailureSpec{
+			Thread: r.Failure.Thread,
+			Site:   r.Failure.Site,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return constraints.Build(an, r.Model)
+}
+
+// SolverKind selects the solving strategy.
+type SolverKind uint8
+
+// Solver kinds.
+const (
+	// Sequential is the decision-procedure solver with minimal-preemption
+	// iteration (internal/solver).
+	Sequential SolverKind = iota
+	// Parallel is the generate-and-validate worker pool (internal/parsolve).
+	Parallel
+)
+
+// ReproduceOptions configures the offline phases.
+type ReproduceOptions struct {
+	Solver SolverKind
+	// Sequential solver tuning.
+	SeqOptions solver.Options
+	// Parallel solver tuning.
+	ParOptions parsolve.Options
+	// SkipReplay computes the schedule without the final replay run.
+	SkipReplay bool
+}
+
+// Reproduction is the end-to-end result for one recorded failure.
+type Reproduction struct {
+	Recording *Recording
+	System    *constraints.System
+	Stats     constraints.Stats
+	Solution  *solver.Solution
+	// Parallel holds the parallel-solver statistics when that solver ran.
+	Parallel *parsolve.Result
+	// SeqStats holds the sequential-solver statistics when that solver ran.
+	SeqStats *solver.Stats
+	// Outcome is the replay verdict (nil when SkipReplay).
+	Outcome *replay.Outcome
+
+	// Phase timings, Table 1's time columns.
+	SymbolicTime time.Duration
+	SolveTime    time.Duration
+	ReplayTime   time.Duration
+}
+
+// Reproduce runs the offline pipeline on a recording.
+func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
+	rep := &Reproduction{Recording: rec}
+	t0 := time.Now()
+	sys, err := rec.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	rep.SymbolicTime = time.Since(t0)
+	rep.System = sys
+	rep.Stats = sys.ComputeStats()
+
+	t1 := time.Now()
+	switch opts.Solver {
+	case Sequential:
+		seqOpts := opts.SeqOptions
+		if seqOpts.MaxPreemptions == 0 {
+			// Default to minimal-preemption mode; an exact zero bound is
+			// available through the solver package directly.
+			seqOpts.MaxPreemptions = -1
+		}
+		sol, stats, err := solver.Solve(sys, seqOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Solution = sol
+		rep.SeqStats = stats
+	case Parallel:
+		res, err := parsolve.Solve(sys, opts.ParOptions)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Found() {
+			return nil, fmt.Errorf("core: parallel solver found no schedule (generated %d, capped=%v, timedOut=%v)",
+				res.Generated, res.Capped, res.TimedOut)
+		}
+		rep.Parallel = res
+		// Prefer the fewest-preemption solution found.
+		best := res.Solutions[0]
+		for _, s := range res.Solutions[1:] {
+			if s.Preemptions < best.Preemptions {
+				best = s
+			}
+		}
+		rep.Solution = best
+	default:
+		return nil, fmt.Errorf("core: unknown solver kind %d", opts.Solver)
+	}
+	rep.SolveTime = time.Since(t1)
+
+	if !opts.SkipReplay {
+		t2 := time.Now()
+		out, err := replay.Run(sys, rep.Solution, replay.Options{
+			Mode:   replay.ModeFor(rec.Model),
+			Inputs: rec.Inputs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.ReplayTime = time.Since(t2)
+		rep.Outcome = out
+		if !out.Reproduced {
+			return rep, fmt.Errorf("core: replay did not reproduce the failure (got %v)", out.Failure)
+		}
+	}
+	return rep, nil
+}
+
+// ReproduceSource is the one-call convenience API: compile, record, solve,
+// replay.
+func ReproduceSource(src string, recOpts RecordOptions, opts ReproduceOptions) (*Reproduction, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := Record(prog, recOpts)
+	if err != nil {
+		return nil, err
+	}
+	return Reproduce(rec, opts)
+}

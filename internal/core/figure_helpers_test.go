@@ -1,0 +1,22 @@
+package core
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/schedule"
+)
+
+// newSchedGen adapts internal/schedule for the figure tests.
+func newSchedGen(sys *constraints.System) func(c int, f func([]constraints.SAPRef)) {
+	return func(c int, f func([]constraints.SAPRef)) {
+		gen := schedule.NewGenerator(sys, schedule.Options{
+			RespectHardEdges: true,
+			MaxSchedules:     500_000,
+		})
+		gen.Generate(c, func(order []constraints.SAPRef, pre int) bool {
+			cp := make([]constraints.SAPRef, len(order))
+			copy(cp, order)
+			f(cp)
+			return true
+		})
+	}
+}

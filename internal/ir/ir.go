@@ -1,0 +1,454 @@
+// Package ir defines the register-based intermediate representation the
+// mini language is compiled to, playing the role of LLVM bitcode in the
+// paper's toolchain.
+//
+// Each function is a control-flow graph of basic blocks. Every block ends
+// in exactly one terminator (Jump, Branch or Return). Logical && and || are
+// lowered to control flow, so every branch in the IR corresponds to one
+// recorded Ball–Larus branch decision and one path-condition conjunct.
+//
+// Loads and stores of global scalars and arrays are explicit instructions;
+// they are the candidate shared access points (SAPs). Thread-local
+// variables live in virtual registers and never appear as memory
+// operations, which is what makes CLAP's thread-local logging cheap.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+	"repro/internal/symbolic"
+)
+
+// Reg is a virtual register index within a function frame.
+type Reg int32
+
+// NoReg marks an absent register operand (e.g. a discarded call result).
+const NoReg Reg = -1
+
+// GlobalID indexes Program.Globals.
+type GlobalID int32
+
+// SyncID indexes Program.Mutexes or Program.Conds depending on context.
+type SyncID int32
+
+// FuncID indexes Program.Funcs.
+type FuncID int32
+
+// BlockID numbers blocks within a function, entry first.
+type BlockID int32
+
+// GlobalVar is a global integer scalar (Size == 0) or array (Size > 0).
+type GlobalVar struct {
+	Name string
+	Size int
+	Init int64
+}
+
+// IsArray reports whether the global is an array.
+func (g GlobalVar) IsArray() bool { return g.Size > 0 }
+
+// Program is a lowered compilation unit.
+type Program struct {
+	Globals []GlobalVar
+	Mutexes []string
+	Conds   []string
+	Funcs   []*Func
+	// MainID is the index of func main.
+	MainID FuncID
+}
+
+// GlobalByName returns the id of the named global, or -1.
+func (p *Program) GlobalByName(name string) GlobalID {
+	for i, g := range p.Globals {
+		if g.Name == name {
+			return GlobalID(i)
+		}
+	}
+	return -1
+}
+
+// FuncByName returns the id of the named function, or -1.
+func (p *Program) FuncByName(name string) FuncID {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return FuncID(i)
+		}
+	}
+	return -1
+}
+
+// Func is one lowered function.
+type Func struct {
+	ID        FuncID
+	Name      string
+	NumParams int
+	// NumRegs is the frame size; registers [0,NumParams) hold arguments.
+	NumRegs int
+	Blocks  []*Block
+	// Entry is Blocks[0].
+	Entry *Block
+}
+
+// Block is a basic block: a straight-line instruction list plus one
+// terminator.
+type Block struct {
+	ID     BlockID
+	Instrs []Instr
+	Term   Terminator
+}
+
+// Succs returns the successor blocks in terminator order.
+func (b *Block) Succs() []*Block {
+	switch t := b.Term.(type) {
+	case *Jump:
+		return []*Block{t.Target}
+	case *Branch:
+		return []*Block{t.Then, t.Else}
+	case *Return:
+		return nil
+	}
+	return nil
+}
+
+// BuiltinKind enumerates the runtime builtins.
+type BuiltinKind uint8
+
+// Builtin kinds.
+const (
+	BuiltinLock BuiltinKind = iota
+	BuiltinUnlock
+	BuiltinWait
+	BuiltinSignal
+	BuiltinBroadcast
+	BuiltinJoin
+	BuiltinYield
+	BuiltinFence
+	BuiltinPrint
+	BuiltinInput
+)
+
+var builtinNames = map[BuiltinKind]string{
+	BuiltinLock: "lock", BuiltinUnlock: "unlock", BuiltinWait: "wait",
+	BuiltinSignal: "signal", BuiltinBroadcast: "broadcast",
+	BuiltinJoin: "join", BuiltinYield: "yield", BuiltinFence: "fence",
+	BuiltinPrint: "print", BuiltinInput: "input",
+}
+
+// String returns the builtin's source-level name.
+func (b BuiltinKind) String() string { return builtinNames[b] }
+
+// IsSync reports whether the builtin is a synchronization operation that
+// participates in Fso (the paper's synchronization order constraints).
+func (b BuiltinKind) IsSync() bool {
+	switch b {
+	case BuiltinLock, BuiltinUnlock, BuiltinWait, BuiltinSignal,
+		BuiltinBroadcast, BuiltinJoin, BuiltinYield, BuiltinFence:
+		return true
+	}
+	return false
+}
+
+// Instr is a non-terminator instruction.
+type Instr interface {
+	instr()
+	// String renders the instruction for dumps and tests.
+	String() string
+}
+
+// Terminator ends a basic block.
+type Terminator interface {
+	term()
+	// String renders the terminator.
+	String() string
+}
+
+// Const loads an integer constant into Dst.
+type Const struct {
+	Dst Reg
+	V   int64
+}
+
+// ConstBool loads a boolean constant into Dst.
+type ConstBool struct {
+	Dst Reg
+	V   bool
+}
+
+// Mov copies Src to Dst.
+type Mov struct {
+	Dst, Src Reg
+}
+
+// UnOp applies a unary operator. Op is OpNeg or OpNot.
+type UnOp struct {
+	Dst, X Reg
+	Op     symbolic.Op
+}
+
+// BinOp applies a non-logical binary operator (logical ones are lowered to
+// control flow).
+type BinOp struct {
+	Dst, X, Y Reg
+	Op        symbolic.Op
+}
+
+// LoadG loads a global scalar. This is a read-SAP candidate.
+type LoadG struct {
+	Dst    Reg
+	Global GlobalID
+	Pos    minic.Pos
+}
+
+// StoreG stores to a global scalar. This is a write-SAP candidate.
+type StoreG struct {
+	Global GlobalID
+	Src    Reg
+	Pos    minic.Pos
+}
+
+// LoadA loads an element of a global array. Read-SAP candidate.
+type LoadA struct {
+	Dst, Idx Reg
+	Array    GlobalID
+	Pos      minic.Pos
+}
+
+// StoreA stores to an element of a global array. Write-SAP candidate.
+type StoreA struct {
+	Array    GlobalID
+	Idx, Src Reg
+	Pos      minic.Pos
+}
+
+// Call invokes a user function. Dst may be NoReg when the result is unused.
+type Call struct {
+	Dst  Reg
+	Func FuncID
+	Args []Reg
+}
+
+// Spawn starts a new thread running Func and stores the handle in Dst.
+type Spawn struct {
+	Dst  Reg
+	Func FuncID
+	Args []Reg
+	Pos  minic.Pos
+}
+
+// SyncOp is a synchronization builtin: lock/unlock (Obj is a mutex id),
+// wait (Obj is the cond id, Obj2 the mutex id), signal/broadcast (cond id),
+// join (Arg holds the thread handle), yield and fence (no operands).
+type SyncOp struct {
+	Kind BuiltinKind
+	Obj  SyncID
+	Obj2 SyncID
+	Arg  Reg
+	Pos  minic.Pos
+}
+
+// Print writes the register's value to the VM's output.
+type Print struct {
+	Src Reg
+}
+
+// Input loads the K-th deterministic program input into Dst (paper §5:
+// program input is deterministic and replayed as-is).
+type Input struct {
+	Dst Reg
+	K   Reg
+}
+
+// Assert checks Cond; a false value is the concurrency failure CLAP
+// reproduces. Site uniquely identifies the assertion in the program.
+type Assert struct {
+	Cond Reg
+	Msg  string
+	Site int
+	Pos  minic.Pos
+}
+
+func (*Const) instr()     {}
+func (*ConstBool) instr() {}
+func (*Mov) instr()       {}
+func (*UnOp) instr()      {}
+func (*BinOp) instr()     {}
+func (*LoadG) instr()     {}
+func (*StoreG) instr()    {}
+func (*LoadA) instr()     {}
+func (*StoreA) instr()    {}
+func (*Call) instr()      {}
+func (*Spawn) instr()     {}
+func (*SyncOp) instr()    {}
+func (*Print) instr()     {}
+func (*Input) instr()     {}
+func (*Assert) instr()    {}
+
+// Jump transfers control unconditionally.
+type Jump struct {
+	Target *Block
+}
+
+// Branch transfers control on a boolean register.
+type Branch struct {
+	Cond       Reg
+	Then, Else *Block
+	Pos        minic.Pos
+}
+
+// Return leaves the function. Src is NoReg for a bare return.
+type Return struct {
+	Src Reg
+}
+
+func (*Jump) term()   {}
+func (*Branch) term() {}
+func (*Return) term() {}
+
+// String implementations (kept dense; used by dumps and golden tests).
+
+func (i *Const) String() string     { return fmt.Sprintf("r%d = const %d", i.Dst, i.V) }
+func (i *ConstBool) String() string { return fmt.Sprintf("r%d = const %t", i.Dst, i.V) }
+func (i *Mov) String() string       { return fmt.Sprintf("r%d = r%d", i.Dst, i.Src) }
+func (i *UnOp) String() string      { return fmt.Sprintf("r%d = %s r%d", i.Dst, i.Op, i.X) }
+func (i *BinOp) String() string {
+	return fmt.Sprintf("r%d = r%d %s r%d", i.Dst, i.X, i.Op, i.Y)
+}
+func (i *LoadG) String() string  { return fmt.Sprintf("r%d = loadg g%d", i.Dst, i.Global) }
+func (i *StoreG) String() string { return fmt.Sprintf("storeg g%d = r%d", i.Global, i.Src) }
+func (i *LoadA) String() string {
+	return fmt.Sprintf("r%d = loada g%d[r%d]", i.Dst, i.Array, i.Idx)
+}
+func (i *StoreA) String() string {
+	return fmt.Sprintf("storea g%d[r%d] = r%d", i.Array, i.Idx, i.Src)
+}
+func (i *Call) String() string {
+	return fmt.Sprintf("r%d = call f%d%s", i.Dst, i.Func, regList(i.Args))
+}
+func (i *Spawn) String() string {
+	return fmt.Sprintf("r%d = spawn f%d%s", i.Dst, i.Func, regList(i.Args))
+}
+func (i *SyncOp) String() string {
+	switch i.Kind {
+	case BuiltinWait:
+		return fmt.Sprintf("wait c%d m%d", i.Obj, i.Obj2)
+	case BuiltinJoin:
+		return fmt.Sprintf("join r%d", i.Arg)
+	case BuiltinYield, BuiltinFence:
+		return i.Kind.String()
+	case BuiltinSignal, BuiltinBroadcast:
+		return fmt.Sprintf("%s c%d", i.Kind, i.Obj)
+	default:
+		return fmt.Sprintf("%s m%d", i.Kind, i.Obj)
+	}
+}
+func (i *Print) String() string  { return fmt.Sprintf("print r%d", i.Src) }
+func (i *Input) String() string  { return fmt.Sprintf("r%d = input r%d", i.Dst, i.K) }
+func (i *Assert) String() string { return fmt.Sprintf("assert r%d %q", i.Cond, i.Msg) }
+
+func (t *Jump) String() string { return fmt.Sprintf("jump b%d", t.Target.ID) }
+func (t *Branch) String() string {
+	return fmt.Sprintf("branch r%d b%d b%d", t.Cond, t.Then.ID, t.Else.ID)
+}
+func (t *Return) String() string {
+	if t.Src == NoReg {
+		return "return"
+	}
+	return fmt.Sprintf("return r%d", t.Src)
+}
+
+func regList(rs []Reg) string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	for i, r := range rs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d", r)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Dump renders the whole function for debugging and golden tests.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d regs=%d)\n", f.Name, f.NumParams, f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+		fmt.Fprintf(&sb, "  %s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// Dump renders the whole program.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	for i, g := range p.Globals {
+		if g.IsArray() {
+			fmt.Fprintf(&sb, "g%d: int %s[%d] = %d\n", i, g.Name, g.Size, g.Init)
+		} else {
+			fmt.Fprintf(&sb, "g%d: int %s = %d\n", i, g.Name, g.Init)
+		}
+	}
+	for i, m := range p.Mutexes {
+		fmt.Fprintf(&sb, "m%d: mutex %s\n", i, m)
+	}
+	for i, c := range p.Conds {
+		fmt.Fprintf(&sb, "c%d: cond %s\n", i, c)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.Dump())
+	}
+	return sb.String()
+}
+
+// BackEdges returns the back edges of f's CFG discovered by DFS: edges
+// (from, to) where to is an ancestor of from on the DFS stack. Ball–Larus
+// instrumentation places loop re-entry points on these edges.
+func (f *Func) BackEdges() map[[2]BlockID]bool {
+	back := map[[2]BlockID]bool{}
+	state := make([]int, len(f.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		state[b.ID] = 1
+		for _, s := range b.Succs() {
+			switch state[s.ID] {
+			case 0:
+				dfs(s)
+			case 1:
+				back[[2]BlockID{b.ID, s.ID}] = true
+			}
+		}
+		state[b.ID] = 2
+	}
+	dfs(f.Entry)
+	return back
+}
+
+// ReversePostorder returns f's blocks in reverse postorder from the entry,
+// the canonical order for forward dataflow and for Ball–Larus numbering of
+// the acyclic (back-edge-removed) CFG.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make([]bool, len(f.Blocks))
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs() {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

@@ -1,0 +1,63 @@
+package ir
+
+// Layout assigns flat memory addresses to a program's globals: scalars get
+// one cell, arrays get Size consecutive cells. The VM, the symbolic
+// executor and the constraint encoder all use the same layout so that SAP
+// addresses agree across phases.
+type Layout struct {
+	// Base maps GlobalID to its first cell address.
+	Base []int
+	// VarOf maps a cell address back to its owning global.
+	VarOf []GlobalID
+	// Size is the total number of cells.
+	Size int
+}
+
+// NewLayout computes the layout of prog's globals.
+func NewLayout(prog *Program) *Layout {
+	l := &Layout{Base: make([]int, len(prog.Globals))}
+	for i, g := range prog.Globals {
+		l.Base[i] = l.Size
+		n := 1
+		if g.IsArray() {
+			n = g.Size
+		}
+		for k := 0; k < n; k++ {
+			l.VarOf = append(l.VarOf, GlobalID(i))
+		}
+		l.Size += n
+	}
+	return l
+}
+
+// InitImage returns a fresh memory image with every global at its declared
+// initial value.
+func (l *Layout) InitImage(prog *Program) []int64 {
+	mem := make([]int64, l.Size)
+	for i, g := range prog.Globals {
+		n := 1
+		if g.IsArray() {
+			n = g.Size
+		}
+		for k := 0; k < n; k++ {
+			mem[l.Base[i]+k] = g.Init
+		}
+	}
+	return mem
+}
+
+// Addr returns the flat address of global g at element idx (idx must be 0
+// for scalars); ok is false for out-of-bounds indices.
+func (l *Layout) Addr(prog *Program, g GlobalID, idx int64) (int, bool) {
+	gv := prog.Globals[g]
+	if !gv.IsArray() {
+		if idx != 0 {
+			return 0, false
+		}
+		return l.Base[g], true
+	}
+	if idx < 0 || idx >= int64(gv.Size) {
+		return 0, false
+	}
+	return l.Base[g] + int(idx), true
+}

@@ -1,0 +1,44 @@
+package ir
+
+import "testing"
+
+func TestLayout(t *testing.T) {
+	p := compile(t, `
+int a;
+int b[4] = 7;
+int c;
+func main() { a = 1; }
+`)
+	l := NewLayout(p)
+	if l.Size != 6 {
+		t.Fatalf("size = %d, want 6", l.Size)
+	}
+	if l.Base[0] != 0 || l.Base[1] != 1 || l.Base[2] != 5 {
+		t.Fatalf("bases = %v", l.Base)
+	}
+	for addr, want := range []GlobalID{0, 1, 1, 1, 1, 2} {
+		if l.VarOf[addr] != want {
+			t.Errorf("VarOf[%d] = %d, want %d", addr, l.VarOf[addr], want)
+		}
+	}
+	mem := l.InitImage(p)
+	if mem[0] != 0 || mem[1] != 7 || mem[4] != 7 || mem[5] != 0 {
+		t.Errorf("init image = %v", mem)
+	}
+
+	if a, ok := l.Addr(p, 1, 2); !ok || a != 3 {
+		t.Errorf("Addr(b,2) = %d,%v", a, ok)
+	}
+	if _, ok := l.Addr(p, 1, 4); ok {
+		t.Error("out-of-bounds array address accepted")
+	}
+	if _, ok := l.Addr(p, 1, -1); ok {
+		t.Error("negative index accepted")
+	}
+	if a, ok := l.Addr(p, 0, 0); !ok || a != 0 {
+		t.Errorf("Addr(a,0) = %d,%v", a, ok)
+	}
+	if _, ok := l.Addr(p, 0, 1); ok {
+		t.Error("scalar with nonzero index accepted")
+	}
+}

@@ -1,0 +1,544 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+	"repro/internal/symbolic"
+)
+
+// Lower compiles a checked AST program to IR.
+func Lower(ast *minic.Program) (*Program, error) {
+	p := &Program{}
+	for _, g := range ast.Globals {
+		p.Globals = append(p.Globals, GlobalVar{Name: g.Name, Size: g.Size, Init: g.Init})
+	}
+	for _, m := range ast.Mutexes {
+		p.Mutexes = append(p.Mutexes, m.Name)
+	}
+	for _, c := range ast.Conds {
+		p.Conds = append(p.Conds, c.Name)
+	}
+	// Declare all functions first so calls and spawns resolve by id.
+	for i, f := range ast.Funcs {
+		p.Funcs = append(p.Funcs, &Func{
+			ID:        FuncID(i),
+			Name:      f.Name,
+			NumParams: len(f.Params),
+		})
+	}
+	p.MainID = p.FuncByName("main")
+	lw := &lowerer{prog: p, ast: ast}
+	for i, f := range ast.Funcs {
+		if err := lw.lowerFunc(p.Funcs[i], f); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// CompileSource parses, checks and lowers mini-language source in one step.
+func CompileSource(src string) (*Program, error) {
+	ast, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(ast)
+}
+
+type lowerer struct {
+	prog       *Program
+	ast        *minic.Program
+	fn         *Func
+	cur        *Block
+	nextReg    Reg
+	scopes     []map[string]Reg
+	assertSite int
+}
+
+func (lw *lowerer) errf(pos minic.Pos, format string, args ...any) error {
+	return &minic.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{ID: BlockID(len(lw.fn.Blocks))}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+func (lw *lowerer) fresh() Reg {
+	r := lw.nextReg
+	lw.nextReg++
+	return r
+}
+
+func (lw *lowerer) emit(in Instr) {
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+}
+
+// setTerm terminates the current block and switches to next (which may be
+// nil when control cannot continue).
+func (lw *lowerer) setTerm(t Terminator, next *Block) {
+	lw.cur.Term = t
+	lw.cur = next
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]Reg{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) declare(name string) Reg {
+	r := lw.fresh()
+	lw.scopes[len(lw.scopes)-1][name] = r
+	return r
+}
+
+// lookupLocal resolves name to a register, innermost scope first.
+func (lw *lowerer) lookupLocal(name string) (Reg, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if r, ok := lw.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (lw *lowerer) lowerFunc(fn *Func, decl *minic.FuncDecl) error {
+	lw.fn = fn
+	lw.nextReg = 0
+	lw.scopes = nil
+	lw.pushScope()
+	entry := lw.newBlock()
+	fn.Entry = entry
+	lw.cur = entry
+	for _, p := range decl.Params {
+		lw.declare(p) // registers 0..NumParams-1 in order
+	}
+	if err := lw.lowerBlock(decl.Body); err != nil {
+		return err
+	}
+	// Fall off the end: implicit return 0.
+	if lw.cur != nil {
+		lw.setTerm(&Return{Src: NoReg}, nil)
+	}
+	lw.popScope()
+	fn.NumRegs = int(lw.nextReg)
+	lw.prune(fn)
+	return nil
+}
+
+// prune removes unreachable blocks, gives every remaining block a
+// terminator, and renumbers block ids densely.
+func (lw *lowerer) prune(fn *Func) {
+	reach := map[*Block]bool{}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		if b.Term == nil {
+			b.Term = &Return{Src: NoReg}
+		}
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(fn.Entry)
+	var kept []*Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			b.ID = BlockID(len(kept))
+			kept = append(kept, b)
+		}
+	}
+	fn.Blocks = kept
+}
+
+func (lw *lowerer) lowerBlock(b *minic.BlockStmt) error {
+	lw.pushScope()
+	defer lw.popScope()
+	for _, s := range b.Stmts {
+		if lw.cur == nil {
+			// Code after return in the same block: unreachable; stop.
+			return nil
+		}
+		if err := lw.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return lw.lowerBlock(st)
+	case *minic.VarDeclStmt:
+		var val Reg
+		if st.Init != nil {
+			v, err := lw.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			val = v
+		} else {
+			val = lw.fresh()
+			lw.emit(&Const{Dst: val, V: 0})
+		}
+		dst := lw.declare(st.Name)
+		lw.emit(&Mov{Dst: dst, Src: val})
+		return nil
+	case *minic.AssignStmt:
+		return lw.lowerAssign(st)
+	case *minic.IfStmt:
+		return lw.lowerIf(st)
+	case *minic.WhileStmt:
+		return lw.lowerWhile(st)
+	case *minic.ForStmt:
+		return lw.lowerFor(st)
+	case *minic.ReturnStmt:
+		src := NoReg
+		if st.Value != nil {
+			v, err := lw.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+			src = v
+		}
+		lw.setTerm(&Return{Src: src}, nil)
+		return nil
+	case *minic.AssertStmt:
+		cond, err := lw.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		lw.assertSite++
+		lw.emit(&Assert{Cond: cond, Msg: st.Msg, Site: lw.assertSite, Pos: st.Pos})
+		return nil
+	case *minic.ExprStmt:
+		_, err := lw.lowerExpr(st.X)
+		return err
+	}
+	return lw.errf(s.StmtPos(), "unknown statement")
+}
+
+func (lw *lowerer) lowerAssign(a *minic.AssignStmt) error {
+	val, err := lw.lowerExpr(a.Value)
+	if err != nil {
+		return err
+	}
+	if a.Index != nil {
+		idx, err := lw.lowerExpr(a.Index)
+		if err != nil {
+			return err
+		}
+		gid := lw.prog.GlobalByName(a.Target)
+		lw.emit(&StoreA{Array: gid, Idx: idx, Src: val, Pos: a.Pos})
+		return nil
+	}
+	if r, ok := lw.lookupLocal(a.Target); ok {
+		lw.emit(&Mov{Dst: r, Src: val})
+		return nil
+	}
+	gid := lw.prog.GlobalByName(a.Target)
+	lw.emit(&StoreG{Global: gid, Src: val, Pos: a.Pos})
+	return nil
+}
+
+func (lw *lowerer) lowerIf(st *minic.IfStmt) error {
+	cond, err := lw.lowerExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.newBlock()
+	var elseB *Block
+	end := lw.newBlock()
+	if st.Else != nil {
+		elseB = lw.newBlock()
+		lw.setTerm(&Branch{Cond: cond, Then: thenB, Else: elseB, Pos: st.Pos}, thenB)
+	} else {
+		lw.setTerm(&Branch{Cond: cond, Then: thenB, Else: end, Pos: st.Pos}, thenB)
+	}
+	if err := lw.lowerBlock(st.Then); err != nil {
+		return err
+	}
+	if lw.cur != nil {
+		lw.setTerm(&Jump{Target: end}, nil)
+	}
+	if st.Else != nil {
+		lw.cur = elseB
+		if err := lw.lowerStmt(st.Else); err != nil {
+			return err
+		}
+		if lw.cur != nil {
+			lw.setTerm(&Jump{Target: end}, nil)
+		}
+	}
+	lw.cur = end
+	return nil
+}
+
+func (lw *lowerer) lowerWhile(st *minic.WhileStmt) error {
+	head := lw.newBlock()
+	lw.setTerm(&Jump{Target: head}, head)
+	cond, err := lw.lowerExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	body := lw.newBlock()
+	end := lw.newBlock()
+	lw.setTerm(&Branch{Cond: cond, Then: body, Else: end, Pos: st.Pos}, body)
+	if err := lw.lowerBlock(st.Body); err != nil {
+		return err
+	}
+	if lw.cur != nil {
+		lw.setTerm(&Jump{Target: head}, nil)
+	}
+	lw.cur = end
+	return nil
+}
+
+func (lw *lowerer) lowerFor(st *minic.ForStmt) error {
+	if st.Init != nil {
+		if err := lw.lowerAssign(st.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.newBlock()
+	lw.setTerm(&Jump{Target: head}, head)
+	var cond Reg
+	if st.Cond != nil {
+		c, err := lw.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		cond = c
+	} else {
+		cond = lw.fresh()
+		lw.emit(&ConstBool{Dst: cond, V: true})
+	}
+	body := lw.newBlock()
+	end := lw.newBlock()
+	lw.setTerm(&Branch{Cond: cond, Then: body, Else: end, Pos: st.Pos}, body)
+	if err := lw.lowerBlock(st.Body); err != nil {
+		return err
+	}
+	if lw.cur != nil {
+		if st.Post != nil {
+			if err := lw.lowerAssign(st.Post); err != nil {
+				return err
+			}
+		}
+		lw.setTerm(&Jump{Target: head}, nil)
+	}
+	lw.cur = end
+	return nil
+}
+
+var binOps = map[minic.TokKind]symbolic.Op{
+	minic.TokPlus: symbolic.OpAdd, minic.TokMinus: symbolic.OpSub,
+	minic.TokStar: symbolic.OpMul, minic.TokSlash: symbolic.OpDiv,
+	minic.TokPercent: symbolic.OpRem, minic.TokAmp: symbolic.OpAnd,
+	minic.TokPipe: symbolic.OpOr, minic.TokCaret: symbolic.OpXor,
+	minic.TokShl: symbolic.OpShl, minic.TokShr: symbolic.OpShr,
+	minic.TokEq: symbolic.OpEq, minic.TokNe: symbolic.OpNe,
+	minic.TokLt: symbolic.OpLt, minic.TokLe: symbolic.OpLe,
+	minic.TokGt: symbolic.OpGt, minic.TokGe: symbolic.OpGe,
+}
+
+func (lw *lowerer) lowerExpr(e minic.Expr) (Reg, error) {
+	switch x := e.(type) {
+	case *minic.NumberLit:
+		r := lw.fresh()
+		lw.emit(&Const{Dst: r, V: x.Value})
+		return r, nil
+	case *minic.BoolLit:
+		r := lw.fresh()
+		lw.emit(&ConstBool{Dst: r, V: x.Value})
+		return r, nil
+	case *minic.Ident:
+		if r, ok := lw.lookupLocal(x.Name); ok {
+			return r, nil
+		}
+		gid := lw.prog.GlobalByName(x.Name)
+		r := lw.fresh()
+		lw.emit(&LoadG{Dst: r, Global: gid, Pos: x.Pos})
+		return r, nil
+	case *minic.IndexExpr:
+		idx, err := lw.lowerExpr(x.Index)
+		if err != nil {
+			return 0, err
+		}
+		gid := lw.prog.GlobalByName(x.Name)
+		r := lw.fresh()
+		lw.emit(&LoadA{Dst: r, Idx: idx, Array: gid, Pos: x.Pos})
+		return r, nil
+	case *minic.UnaryExpr:
+		v, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		r := lw.fresh()
+		op := symbolic.OpNeg
+		if x.Op == minic.TokBang {
+			op = symbolic.OpNot
+		}
+		lw.emit(&UnOp{Dst: r, X: v, Op: op})
+		return r, nil
+	case *minic.BinaryExpr:
+		if x.Op == minic.TokAndAnd || x.Op == minic.TokOrOr {
+			return lw.lowerShortCircuit(x)
+		}
+		a, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := lw.lowerExpr(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return 0, lw.errf(x.Pos, "unsupported operator %s", x.Op)
+		}
+		r := lw.fresh()
+		lw.emit(&BinOp{Dst: r, X: a, Y: b, Op: op})
+		return r, nil
+	case *minic.SpawnExpr:
+		args, err := lw.lowerArgs(x.Args)
+		if err != nil {
+			return 0, err
+		}
+		r := lw.fresh()
+		lw.emit(&Spawn{Dst: r, Func: lw.prog.FuncByName(x.Func), Args: args, Pos: x.Pos})
+		return r, nil
+	case *minic.CallExpr:
+		return lw.lowerCall(x)
+	}
+	return 0, lw.errf(e.ExprPos(), "unknown expression")
+}
+
+// lowerShortCircuit lowers && and || into control flow so that the value of
+// the right operand is only computed when needed. The result register is
+// written on both paths before the join block.
+func (lw *lowerer) lowerShortCircuit(x *minic.BinaryExpr) (Reg, error) {
+	res := lw.fresh()
+	a, err := lw.lowerExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	rhs := lw.newBlock()
+	short := lw.newBlock()
+	end := lw.newBlock()
+	if x.Op == minic.TokAndAnd {
+		lw.setTerm(&Branch{Cond: a, Then: rhs, Else: short, Pos: x.Pos}, short)
+		lw.emit(&ConstBool{Dst: res, V: false})
+	} else {
+		lw.setTerm(&Branch{Cond: a, Then: short, Else: rhs, Pos: x.Pos}, short)
+		lw.emit(&ConstBool{Dst: res, V: true})
+	}
+	lw.setTerm(&Jump{Target: end}, rhs)
+	b, err := lw.lowerExpr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	lw.emit(&Mov{Dst: res, Src: b})
+	lw.setTerm(&Jump{Target: end}, end)
+	return res, nil
+}
+
+func (lw *lowerer) lowerArgs(exprs []minic.Expr) ([]Reg, error) {
+	var args []Reg
+	for _, a := range exprs {
+		r, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return args, nil
+}
+
+func (lw *lowerer) lowerCall(x *minic.CallExpr) (Reg, error) {
+	if minic.IsBuiltin(x.Name) {
+		return lw.lowerBuiltin(x)
+	}
+	args, err := lw.lowerArgs(x.Args)
+	if err != nil {
+		return 0, err
+	}
+	r := lw.fresh()
+	lw.emit(&Call{Dst: r, Func: lw.prog.FuncByName(x.Name), Args: args})
+	return r, nil
+}
+
+func (lw *lowerer) syncID(e minic.Expr, table []string) SyncID {
+	name := e.(*minic.Ident).Name
+	for i, n := range table {
+		if n == name {
+			return SyncID(i)
+		}
+	}
+	return -1
+}
+
+func (lw *lowerer) lowerBuiltin(x *minic.CallExpr) (Reg, error) {
+	zero := func() Reg {
+		r := lw.fresh()
+		lw.emit(&Const{Dst: r, V: 0})
+		return r
+	}
+	switch x.Name {
+	case "lock", "unlock":
+		kind := BuiltinLock
+		if x.Name == "unlock" {
+			kind = BuiltinUnlock
+		}
+		lw.emit(&SyncOp{Kind: kind, Obj: lw.syncID(x.Args[0], lw.prog.Mutexes), Pos: x.Pos})
+		return zero(), nil
+	case "wait":
+		lw.emit(&SyncOp{
+			Kind: BuiltinWait,
+			Obj:  lw.syncID(x.Args[0], lw.prog.Conds),
+			Obj2: lw.syncID(x.Args[1], lw.prog.Mutexes),
+			Pos:  x.Pos,
+		})
+		return zero(), nil
+	case "signal", "broadcast":
+		kind := BuiltinSignal
+		if x.Name == "broadcast" {
+			kind = BuiltinBroadcast
+		}
+		lw.emit(&SyncOp{Kind: kind, Obj: lw.syncID(x.Args[0], lw.prog.Conds), Pos: x.Pos})
+		return zero(), nil
+	case "join":
+		h, err := lw.lowerExpr(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		lw.emit(&SyncOp{Kind: BuiltinJoin, Arg: h, Pos: x.Pos})
+		return zero(), nil
+	case "yield":
+		lw.emit(&SyncOp{Kind: BuiltinYield, Pos: x.Pos})
+		return zero(), nil
+	case "fence":
+		lw.emit(&SyncOp{Kind: BuiltinFence, Pos: x.Pos})
+		return zero(), nil
+	case "print":
+		v, err := lw.lowerExpr(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		lw.emit(&Print{Src: v})
+		return zero(), nil
+	case "input":
+		k, err := lw.lowerExpr(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		r := lw.fresh()
+		lw.emit(&Input{Dst: r, K: k})
+		return r, nil
+	}
+	return 0, lw.errf(x.Pos, "unknown builtin %s", x.Name)
+}

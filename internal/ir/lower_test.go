@@ -1,0 +1,326 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLowerSimple(t *testing.T) {
+	p := compile(t, `
+int x = 3;
+func main() {
+	int t;
+	t = x + 1;
+	x = t;
+}
+`)
+	if p.MainID < 0 {
+		t.Fatal("main not found")
+	}
+	mainFn := p.Funcs[p.MainID]
+	dump := mainFn.Dump()
+	for _, want := range []string{"loadg g0", "storeg g0"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if len(mainFn.Blocks) != 1 {
+		t.Errorf("straight-line main should be 1 block, got %d", len(mainFn.Blocks))
+	}
+}
+
+func TestLowerGlobalsAndSync(t *testing.T) {
+	p := compile(t, `
+int x;
+int a[4] = 9;
+mutex m;
+cond c;
+func main() {
+	lock(m);
+	a[0] = x;
+	x = a[1];
+	signal(c);
+	unlock(m);
+}
+`)
+	if len(p.Globals) != 2 || !p.Globals[1].IsArray() || p.Globals[1].Init != 9 {
+		t.Fatalf("globals wrong: %+v", p.Globals)
+	}
+	if p.GlobalByName("a") != 1 || p.GlobalByName("zz") != -1 {
+		t.Error("GlobalByName broken")
+	}
+	if p.FuncByName("main") != p.MainID || p.FuncByName("zz") != -1 {
+		t.Error("FuncByName broken")
+	}
+	dump := p.Dump()
+	for _, want := range []string{"lock m0", "unlock m0", "signal c0", "loada", "storea"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestLowerIfElse(t *testing.T) {
+	p := compile(t, `
+int x;
+func main() {
+	if (x > 0) {
+		x = 1;
+	} else {
+		x = 2;
+	}
+	x = 3;
+}
+`)
+	fn := p.Funcs[p.MainID]
+	// entry (branch), then, else, end
+	if len(fn.Blocks) != 4 {
+		t.Fatalf("if/else should lower to 4 blocks, got %d:\n%s", len(fn.Blocks), fn.Dump())
+	}
+	br, ok := fn.Entry.Term.(*Branch)
+	if !ok {
+		t.Fatalf("entry must end in branch, got %s", fn.Entry.Term)
+	}
+	if br.Then == br.Else {
+		t.Error("branch targets must differ")
+	}
+}
+
+func TestLowerWhileHasBackEdge(t *testing.T) {
+	p := compile(t, `
+int n = 5;
+func main() {
+	int i = 0;
+	while (i < 10) {
+		i = i + 1;
+	}
+	n = i;
+}
+`)
+	fn := p.Funcs[p.MainID]
+	back := fn.BackEdges()
+	if len(back) != 1 {
+		t.Fatalf("while loop must have exactly 1 back edge, got %d\n%s", len(back), fn.Dump())
+	}
+}
+
+func TestLowerForLoop(t *testing.T) {
+	p := compile(t, `
+int s;
+func main() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		s = s + i;
+	}
+}
+`)
+	fn := p.Funcs[p.MainID]
+	if len(fn.BackEdges()) != 1 {
+		t.Fatalf("for loop must have 1 back edge:\n%s", fn.Dump())
+	}
+}
+
+func TestLowerNestedLoops(t *testing.T) {
+	p := compile(t, `
+int s;
+func main() {
+	int i;
+	int j;
+	for (i = 0; i < 3; i = i + 1) {
+		for (j = 0; j < 3; j = j + 1) {
+			s = s + 1;
+		}
+	}
+}
+`)
+	fn := p.Funcs[p.MainID]
+	if got := len(fn.BackEdges()); got != 2 {
+		t.Fatalf("nested loops must have 2 back edges, got %d", got)
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	p := compile(t, `
+int x;
+int y;
+func main() {
+	if (x > 0 && y > 0) {
+		x = 1;
+	}
+	if (x < 0 || y < 0) {
+		x = 2;
+	}
+}
+`)
+	fn := p.Funcs[p.MainID]
+	// Each short-circuit op introduces branches; both loads of y must be in
+	// blocks only reached conditionally. Count branches: 2 per if-condition
+	// (the && / || branch plus the if branch itself).
+	branches := 0
+	for _, b := range fn.Blocks {
+		if _, ok := b.Term.(*Branch); ok {
+			branches++
+		}
+	}
+	if branches < 4 {
+		t.Errorf("short-circuit lowering should produce >= 4 branches, got %d\n%s", branches, fn.Dump())
+	}
+}
+
+func TestLowerSpawnJoinCall(t *testing.T) {
+	p := compile(t, `
+int x;
+func worker(v) {
+	x = v;
+	return v + 1;
+}
+func main() {
+	int h;
+	h = spawn worker(7);
+	join(h);
+	int r;
+	r = worker(1);
+}
+`)
+	dump := p.Funcs[p.MainID].Dump()
+	for _, want := range []string{"spawn f0", "join r", "call f0"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	w := p.Funcs[p.FuncByName("worker")]
+	if w.NumParams != 1 {
+		t.Errorf("worker params = %d, want 1", w.NumParams)
+	}
+}
+
+func TestLowerReturnPrunesUnreachable(t *testing.T) {
+	p := compile(t, `
+int x;
+func main() {
+	return;
+	x = 1;
+}
+`)
+	fn := p.Funcs[p.MainID]
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(*StoreG); ok {
+				t.Fatal("unreachable store must be pruned")
+			}
+		}
+	}
+	for i, b := range fn.Blocks {
+		if b.Term == nil {
+			t.Fatalf("block %d has no terminator", i)
+		}
+		if int(b.ID) != i {
+			t.Fatalf("block ids must be dense after pruning")
+		}
+	}
+}
+
+func TestLowerAssertPrintInput(t *testing.T) {
+	p := compile(t, `
+int x;
+func main() {
+	int v;
+	v = input(0);
+	print(v);
+	assert(v >= 0, "neg input");
+}
+`)
+	dump := p.Funcs[p.MainID].Dump()
+	for _, want := range []string{"input", "print", `assert`} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	p := compile(t, `
+int x;
+func main() {
+	if (x > 0) { x = 1; } else { x = 2; }
+	while (x < 5) { x = x + 1; }
+}
+`)
+	fn := p.Funcs[p.MainID]
+	rpo := fn.ReversePostorder()
+	if rpo[0] != fn.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	if len(rpo) != len(fn.Blocks) {
+		t.Fatalf("RPO covers %d blocks, want %d", len(rpo), len(fn.Blocks))
+	}
+	// In RPO every block appears exactly once.
+	seen := map[BlockID]bool{}
+	for _, b := range rpo {
+		if seen[b.ID] {
+			t.Fatalf("block b%d appears twice in RPO", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestTerminatorStrings(t *testing.T) {
+	b1 := &Block{ID: 1}
+	b2 := &Block{ID: 2}
+	if (&Jump{Target: b1}).String() != "jump b1" {
+		t.Error("jump renders wrong")
+	}
+	if (&Branch{Cond: 3, Then: b1, Else: b2}).String() != "branch r3 b1 b2" {
+		t.Error("branch renders wrong")
+	}
+	if (&Return{Src: NoReg}).String() != "return" {
+		t.Error("bare return renders wrong")
+	}
+	if (&Return{Src: 2}).String() != "return r2" {
+		t.Error("return renders wrong")
+	}
+}
+
+func TestBuiltinKindProperties(t *testing.T) {
+	if !BuiltinLock.IsSync() || !BuiltinYield.IsSync() || !BuiltinFence.IsSync() {
+		t.Error("sync builtins misclassified")
+	}
+	if BuiltinPrint.IsSync() || BuiltinInput.IsSync() {
+		t.Error("print/input are not sync ops")
+	}
+	if BuiltinWait.String() != "wait" {
+		t.Error("builtin name wrong")
+	}
+}
+
+func TestParamsAreFirstRegisters(t *testing.T) {
+	p := compile(t, `
+int x;
+func f(a, b) {
+	x = a + b;
+}
+func main() { f(1, 2); }
+`)
+	fn := p.Funcs[p.FuncByName("f")]
+	// The body's BinOp must read registers 0 and 1.
+	var found bool
+	for _, in := range fn.Entry.Instrs {
+		if bo, ok := in.(*BinOp); ok {
+			if bo.X == 0 && bo.Y == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("params must be lowered into r0, r1:\n%s", fn.Dump())
+	}
+}

@@ -1,0 +1,200 @@
+// Package leap implements the LEAP baseline (Huang, Liu, Zhang — FSE 2010)
+// that Table 2 of the CLAP paper compares against: deterministic
+// record/replay via per-shared-variable access vectors.
+//
+// LEAP's insight is that recording, for every shared variable, the global
+// order of thread accesses to it (the "access vector") suffices to replay
+// the execution deterministically — no values needed. Its cost is exactly
+// what CLAP eliminates: every shared access acquires a per-variable lock to
+// append to the vector, which both slows the program and inserts memory
+// barriers that can mask relaxed-memory bugs (the paper's Heisenberg
+// argument).
+//
+// The recording half lives in the VM (vm.LeapRecorder, so that Table 2 can
+// time it in-place); this package provides the replay half: a scheduler
+// that enforces the recorded access vectors, plus the driver that proves
+// the baseline actually round-trips failures.
+package leap
+
+import (
+	"fmt"
+
+	"repro/internal/escape"
+	"repro/internal/ir"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Recording is a LEAP-recorded execution.
+type Recording struct {
+	Prog    *ir.Program
+	Shared  []bool
+	Log     *trace.AccessVectorLog
+	Failure *vm.Failure
+	Run     *vm.Result
+	Inputs  []int64
+	Model   vm.MemModel
+}
+
+// Record runs the program once under the given seed with LEAP recording.
+// Unlike CLAP, LEAP must synchronize every shared access at runtime.
+func Record(prog *ir.Program, seed int64, model vm.MemModel, inputs []int64) (*Recording, error) {
+	sharing := escape.Analyze(prog)
+	rec := vm.NewLeapRecorder(prog)
+	machine, err := vm.New(prog, vm.Config{
+		Model:        model,
+		Inputs:       inputs,
+		Sched:        vm.NewRandomScheduler(seed),
+		Shared:       sharing.Shared,
+		LeapRecorder: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{
+		Prog:    prog,
+		Shared:  sharing.Shared,
+		Log:     rec.Log,
+		Failure: res.Failure,
+		Run:     res,
+		Inputs:  inputs,
+		Model:   model,
+	}, nil
+}
+
+// Outcome reports a LEAP replay.
+type Outcome struct {
+	// Reproduced is true when the replay ended with the same failure kind
+	// and site as the recording (or a clean finish matching a clean
+	// recording).
+	Reproduced bool
+	Failure    *vm.Failure
+	// AccessesReplayed counts enforced accesses.
+	AccessesReplayed int
+}
+
+// Replay re-executes the program, forcing every shared variable's accesses
+// to happen in the recorded order.
+//
+// LEAP replays SC executions; like the original system it cannot replay
+// TSO/PSO-only failures (its own instrumentation locks would have
+// prevented them — the paper's §1 criticism), so Replay always runs under
+// SC semantics.
+func Replay(rec *Recording) (*Outcome, error) {
+	r := &replayer{
+		prog: rec.Prog,
+		log:  rec.Log,
+		next: make([]int, len(rec.Log.Vectors)),
+	}
+	machine, err := vm.New(rec.Prog, vm.Config{
+		Model:      vm.SC,
+		Inputs:     rec.Inputs,
+		Sched:      r,
+		Shared:     rec.Shared,
+		OnVisible:  r.onVisible,
+		GateAccess: r.gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Failure: res.Failure, AccessesReplayed: r.replayed}
+	switch {
+	case rec.Failure == nil && res.Failure == nil:
+		out.Reproduced = true
+	case rec.Failure != nil && res.Failure != nil &&
+		rec.Failure.Kind == res.Failure.Kind && rec.Failure.Site == res.Failure.Site:
+		out.Reproduced = true
+	}
+	return out, nil
+}
+
+// replayer enforces the recorded access vectors the way LEAP itself does:
+// each shared access *waits* (the VM's access gate) until the accessing
+// thread reaches the head of the variable's remaining vector. Scheduling
+// is a plain rotation — determinism comes entirely from the gates.
+type replayer struct {
+	prog     *ir.Program
+	log      *trace.AccessVectorLog
+	next     []int // per-variable position in the access vector
+	rr       vm.ThreadID
+	replayed int
+	err      error
+}
+
+// gate implements LEAP's per-variable wait: the access may proceed only
+// when its thread is the vector head.
+func (r *replayer) gate(t vm.ThreadID, g ir.GlobalID, isWrite bool) bool {
+	vi := int(g)
+	if vi >= len(r.log.Vectors) || r.next[vi] >= len(r.log.Vectors[vi]) {
+		if r.err == nil {
+			r.err = fmt.Errorf("leap: unrecorded access to variable %d by thread %d", vi, t)
+		}
+		return true // let it through so the run terminates; err reported
+	}
+	return r.log.Vectors[vi][r.next[vi]] == t
+}
+
+// Pick implements vm.Scheduler: rotate through enabled actions; gated
+// accesses simply waste the turn, so rotation always reaches the thread
+// whose access is due.
+func (r *replayer) Pick(v *vm.VM, actions []vm.Action) int {
+	best := 0
+	for i, a := range actions {
+		if a.Kind == vm.ActRun && a.Thread >= r.rr {
+			best = i
+			break
+		}
+	}
+	r.rr = actions[best].Thread + 1
+	if int(r.rr) >= len(v.Threads()) {
+		r.rr = 0
+	}
+	return best
+}
+
+// onVisible advances the vectors as accesses execute — data accesses by
+// their variable, synchronization accesses by their object's
+// pseudo-variable.
+func (r *replayer) onVisible(ev vm.VisibleEvent) {
+	if r.err != nil {
+		return
+	}
+	var vi int
+	switch ev.Kind {
+	case vm.EvRead, vm.EvWrite:
+		vi = int(ev.Var)
+	case vm.EvLock, vm.EvUnlock:
+		vi = int(vm.MutexPseudoVar(r.prog, int(ev.Obj)))
+	case vm.EvWaitBegin, vm.EvWaitEnd:
+		vi = int(vm.MutexPseudoVar(r.prog, int(ev.Obj2)))
+	case vm.EvSignal, vm.EvBroadcast:
+		vi = int(vm.CondPseudoVar(r.prog, int(ev.Obj)))
+	default:
+		return
+	}
+	r.advance(vi, ev)
+}
+
+func (r *replayer) advance(vi int, ev vm.VisibleEvent) {
+	if vi >= len(r.log.Vectors) || r.next[vi] >= len(r.log.Vectors[vi]) {
+		r.err = fmt.Errorf("leap: unrecorded access %s", ev)
+		return
+	}
+	if want := r.log.Vectors[vi][r.next[vi]]; want != ev.Thread {
+		r.err = fmt.Errorf("leap: access order violated on variable %d: thread %d ran before thread %d", vi, ev.Thread, want)
+		return
+	}
+	r.next[vi]++
+	r.replayed++
+}

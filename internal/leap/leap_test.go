@@ -1,0 +1,165 @@
+package leap
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+const racyCounter = `
+int c;
+int d;
+func worker(n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		int t = c;
+		c = t + 1;
+		int u = d;
+		d = u + 2;
+	}
+}
+func main() {
+	int h1 = spawn worker(4);
+	int h2 = spawn worker(4);
+	join(h1);
+	join(h2);
+	int fc = c;
+	int fd = d;
+	assert(fc == 8 && fd == 16, "updates lost");
+}
+`
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestLeapRoundTripFailures: LEAP must replay recorded failing executions
+// to the same assertion failure — the baseline's core guarantee.
+func TestLeapRoundTripFailures(t *testing.T) {
+	prog := compile(t, racyCounter)
+	reproduced, failures := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		rec, err := Record(prog, seed, vm.SC, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Failure == nil || rec.Failure.Kind != vm.FailAssert {
+			continue
+		}
+		failures++
+		out, err := Replay(rec)
+		if err != nil {
+			t.Fatalf("seed %d: replay error: %v", seed, err)
+		}
+		if !out.Reproduced {
+			t.Fatalf("seed %d: LEAP replay diverged: %v", seed, out.Failure)
+		}
+		if out.AccessesReplayed != rec.Log.AccessCount() {
+			t.Fatalf("seed %d: replayed %d of %d accesses", seed, out.AccessesReplayed, rec.Log.AccessCount())
+		}
+		reproduced++
+	}
+	if failures == 0 {
+		t.Fatal("no failing seeds; cannot exercise replay")
+	}
+	if reproduced != failures {
+		t.Fatalf("reproduced %d of %d failures", reproduced, failures)
+	}
+}
+
+// TestLeapRoundTripCleanRuns: clean executions replay to clean executions
+// with identical final state.
+func TestLeapRoundTripCleanRuns(t *testing.T) {
+	src := `
+int c;
+mutex m;
+func worker(n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		int t = c;
+		c = t + 1;
+		unlock(m);
+	}
+}
+func main() {
+	int h1 = spawn worker(3);
+	int h2 = spawn worker(3);
+	join(h1);
+	join(h2);
+}
+`
+	prog := compile(t, src)
+	for seed := int64(0); seed < 10; seed++ {
+		rec, err := Record(prog, seed, vm.SC, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Failure != nil {
+			t.Fatalf("seed %d: locked counter must not fail: %v", seed, rec.Failure)
+		}
+		out, err := Replay(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Reproduced {
+			t.Fatalf("seed %d: clean run did not replay cleanly: %v", seed, out.Failure)
+		}
+	}
+}
+
+// TestLeapReplayDeterministic: replaying the same recording twice gives the
+// same outcome.
+func TestLeapReplayDeterministic(t *testing.T) {
+	prog := compile(t, racyCounter)
+	var rec *Recording
+	for seed := int64(0); seed < 60; seed++ {
+		r, err := Record(prog, seed, vm.SC, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Failure != nil && r.Failure.Kind == vm.FailAssert {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		t.Skip("no failing seed")
+	}
+	first, err := Replay(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Replay(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Reproduced != first.Reproduced || again.AccessesReplayed != first.AccessesReplayed {
+			t.Fatal("LEAP replay not deterministic")
+		}
+	}
+}
+
+// TestLeapLogSizesGrowWithAccesses: the access vector grows linearly with
+// the access count — the space cost Table 2 charges LEAP for.
+func TestLeapLogSizesGrowWithAccesses(t *testing.T) {
+	prog := compile(t, racyCounter)
+	rec, err := Record(prog, 1, vm.SC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Log.AccessCount() < 16 {
+		t.Fatalf("access count = %d, expected >= 16", rec.Log.AccessCount())
+	}
+	if rec.Log.Size() < rec.Log.AccessCount() {
+		t.Fatalf("log of %d accesses encodes to %d bytes; must be at least one byte each",
+			rec.Log.AccessCount(), rec.Log.Size())
+	}
+}

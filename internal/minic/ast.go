@@ -1,0 +1,325 @@
+package minic
+
+import "fmt"
+
+// Program is a parsed mini-language compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Mutexes []*SyncDecl
+	Conds   []*SyncDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl declares a global integer scalar or array. Globals are the
+// candidate shared memory locations; internal/escape decides which are
+// actually thread-shared.
+type GlobalDecl struct {
+	Name string
+	// Size is 0 for a scalar, otherwise the array length.
+	Size int
+	// Init is the initial value (scalars) or the value every element starts
+	// with (arrays). The language only allows constant initializers.
+	Init int64
+	Pos  Pos
+}
+
+// SyncDecl declares a mutex or condition variable.
+type SyncDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// FuncDecl is a function definition. All parameters and return values are
+// 64-bit integers.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	// StmtPos returns the statement's source position.
+	StmtPos() Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// ExprPos returns the expression's source position.
+	ExprPos() Pos
+}
+
+// Statements.
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDeclStmt declares a thread-local integer variable, optionally
+// initialized.
+type VarDeclStmt struct {
+	Name string
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt assigns to a local, a global scalar, or a global array element.
+type AssignStmt struct {
+	// Target is the assigned name.
+	Target string
+	// Index is non-nil for array element assignment.
+	Index Expr
+	Value Expr
+	Pos   Pos
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Pos  Pos
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ForStmt is the C-style three-clause loop. Init and Post are optional
+// assignments, Cond is an optional expression (defaults to true).
+type ForStmt struct {
+	Init *AssignStmt // may be nil
+	Cond Expr        // may be nil
+	Post *AssignStmt // may be nil
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // may be nil (returns 0)
+	Pos   Pos
+}
+
+// AssertStmt checks a predicate at runtime; a violation is the bug CLAP
+// reproduces (the paper's Fbug predicate is extracted from the failing
+// assertion).
+type AssertStmt struct {
+	Cond Expr
+	Msg  string
+	Pos  Pos
+}
+
+// ExprStmt evaluates an expression for effect (calls, sync operations).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()   {}
+func (*VarDeclStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()  {}
+func (*AssertStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()    {}
+
+// StmtPos implementations.
+
+// StmtPos returns the block's opening brace position.
+func (s *BlockStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the declaration position.
+func (s *VarDeclStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the assignment position.
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the if keyword position.
+func (s *IfStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the while keyword position.
+func (s *WhileStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the for keyword position.
+func (s *ForStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the return keyword position.
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the assert keyword position.
+func (s *AssertStmt) StmtPos() Pos { return s.Pos }
+
+// StmtPos returns the expression position.
+func (s *ExprStmt) StmtPos() Pos { return s.Pos }
+
+// Expressions.
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// BoolLit is true or false (usable in conditions).
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// Ident references a local variable, parameter, or global scalar.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// UnaryExpr applies - or !.
+type UnaryExpr struct {
+	Op  TokKind // TokMinus or TokBang
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   TokKind
+	X, Y Expr
+	Pos  Pos
+}
+
+// CallExpr calls a user function or a builtin. Builtins are the concurrency
+// primitives (lock, unlock, wait, signal, broadcast, join, yield, fence) and
+// utility functions (print, input). Spawn has its own node.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// SpawnExpr starts a new thread running the named function with the given
+// arguments; it evaluates to the thread handle.
+type SpawnExpr struct {
+	Func string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*NumberLit) exprNode()  {}
+func (*BoolLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*SpawnExpr) exprNode()  {}
+
+// ExprPos implementations.
+
+// ExprPos returns the literal position.
+func (e *NumberLit) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the literal position.
+func (e *BoolLit) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the identifier position.
+func (e *Ident) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the array name position.
+func (e *IndexExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the operator position.
+func (e *UnaryExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the operator position.
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the callee position.
+func (e *CallExpr) ExprPos() Pos { return e.Pos }
+
+// ExprPos returns the spawn keyword position.
+func (e *SpawnExpr) ExprPos() Pos { return e.Pos }
+
+// Builtins is the set of builtin function names with their arities.
+// join takes a thread handle; wait takes (cond, mutex) following PThreads.
+var Builtins = map[string]int{
+	"lock":      1,
+	"unlock":    1,
+	"wait":      2,
+	"signal":    1,
+	"broadcast": 1,
+	"join":      1,
+	"yield":     0,
+	"fence":     0,
+	"print":     1,
+	"input":     1, // input(k): the k-th deterministic program input
+}
+
+// IsBuiltin reports whether name is a builtin.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}
+
+// String renders the expression in source form (diagnostics only).
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *BoolLit:
+		return fmt.Sprintf("%t", x.Value)
+	case *Ident:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, exprString(x.Index))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", x.Op, exprString(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.X), x.Op, exprString(x.Y))
+	case *CallExpr:
+		s := x.Name + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	case *SpawnExpr:
+		s := "spawn " + x.Func + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	}
+	return "?"
+}

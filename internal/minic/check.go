@@ -1,0 +1,297 @@
+package minic
+
+import "fmt"
+
+// Check performs the static well-formedness checks the later pipeline
+// stages rely on: unique declarations, resolved names, correct builtin
+// arities, arrays indexed and scalars not, sync primitives applied to
+// declared mutexes/conds, and a main function with no parameters.
+func Check(p *Program) error {
+	c := &checker{
+		prog:    p,
+		globals: map[string]*GlobalDecl{},
+		mutexes: map[string]bool{},
+		conds:   map[string]bool{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range p.Globals {
+		if c.defined(g.Name) {
+			return &Error{Pos: g.Pos, Msg: fmt.Sprintf("duplicate declaration of %q", g.Name)}
+		}
+		c.globals[g.Name] = g
+	}
+	for _, m := range p.Mutexes {
+		if c.defined(m.Name) {
+			return &Error{Pos: m.Pos, Msg: fmt.Sprintf("duplicate declaration of %q", m.Name)}
+		}
+		c.mutexes[m.Name] = true
+	}
+	for _, cd := range p.Conds {
+		if c.defined(cd.Name) {
+			return &Error{Pos: cd.Pos, Msg: fmt.Sprintf("duplicate declaration of %q", cd.Name)}
+		}
+		c.conds[cd.Name] = true
+	}
+	for _, f := range p.Funcs {
+		if c.defined(f.Name) || IsBuiltin(f.Name) {
+			return &Error{Pos: f.Pos, Msg: fmt.Sprintf("duplicate declaration of %q", f.Name)}
+		}
+		c.funcs[f.Name] = f
+	}
+	mainFn, ok := c.funcs["main"]
+	if !ok {
+		return &Error{Msg: "program has no main function"}
+	}
+	if len(mainFn.Params) != 0 {
+		return &Error{Pos: mainFn.Pos, Msg: "main must take no parameters"}
+	}
+	for _, f := range p.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]*GlobalDecl
+	mutexes map[string]bool
+	conds   map[string]bool
+	funcs   map[string]*FuncDecl
+}
+
+func (c *checker) defined(name string) bool {
+	if _, ok := c.globals[name]; ok {
+		return true
+	}
+	if _, ok := c.funcs[name]; ok {
+		return true
+	}
+	return c.mutexes[name] || c.conds[name]
+}
+
+// scope tracks local variables with lexical shadowing of globals.
+type scope struct {
+	parent *scope
+	names  map[string]bool
+}
+
+func (s *scope) lookup(name string) bool {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	sc := &scope{names: map[string]bool{}}
+	for _, p := range f.Params {
+		if sc.names[p] {
+			return &Error{Pos: f.Pos, Msg: fmt.Sprintf("duplicate parameter %q in %s", p, f.Name)}
+		}
+		sc.names[p] = true
+	}
+	return c.checkBlock(f.Body, sc)
+}
+
+func (c *checker) checkBlock(b *BlockStmt, parent *scope) error {
+	sc := &scope{parent: parent, names: map[string]bool{}}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st, sc)
+	case *VarDeclStmt:
+		if st.Init != nil {
+			if err := c.checkExpr(st.Init, sc); err != nil {
+				return err
+			}
+		}
+		if sc.names[st.Name] {
+			return &Error{Pos: st.Pos, Msg: fmt.Sprintf("duplicate local %q", st.Name)}
+		}
+		if c.mutexes[st.Name] || c.conds[st.Name] {
+			return &Error{Pos: st.Pos, Msg: fmt.Sprintf("local %q shadows a sync object", st.Name)}
+		}
+		sc.names[st.Name] = true
+		return nil
+	case *AssignStmt:
+		return c.checkAssign(st, sc)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		return c.checkBlock(st.Body, sc)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := c.checkAssign(st.Init, sc); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(st.Cond, sc); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkAssign(st.Post, sc); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(st.Body, sc)
+	case *ReturnStmt:
+		if st.Value != nil {
+			return c.checkExpr(st.Value, sc)
+		}
+		return nil
+	case *AssertStmt:
+		return c.checkExpr(st.Cond, sc)
+	case *ExprStmt:
+		return c.checkExpr(st.X, sc)
+	}
+	return &Error{Msg: "unknown statement kind"}
+}
+
+func (c *checker) checkAssign(a *AssignStmt, sc *scope) error {
+	if a.Index != nil {
+		g, ok := c.globals[a.Target]
+		if !ok || g.Size == 0 {
+			return &Error{Pos: a.Pos, Msg: fmt.Sprintf("%q is not a global array", a.Target)}
+		}
+		if err := c.checkExpr(a.Index, sc); err != nil {
+			return err
+		}
+	} else {
+		if !sc.lookup(a.Target) {
+			g, ok := c.globals[a.Target]
+			if !ok {
+				return &Error{Pos: a.Pos, Msg: fmt.Sprintf("assignment to undeclared %q", a.Target)}
+			}
+			if g.Size != 0 {
+				return &Error{Pos: a.Pos, Msg: fmt.Sprintf("cannot assign to array %q without an index", a.Target)}
+			}
+		}
+	}
+	return c.checkExpr(a.Value, sc)
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) error {
+	switch x := e.(type) {
+	case *NumberLit, *BoolLit:
+		return nil
+	case *Ident:
+		if sc.lookup(x.Name) {
+			return nil
+		}
+		if g, ok := c.globals[x.Name]; ok {
+			if g.Size != 0 {
+				return &Error{Pos: x.Pos, Msg: fmt.Sprintf("array %q used without an index", x.Name)}
+			}
+			return nil
+		}
+		return &Error{Pos: x.Pos, Msg: fmt.Sprintf("undeclared identifier %q", x.Name)}
+	case *IndexExpr:
+		g, ok := c.globals[x.Name]
+		if !ok || g.Size == 0 {
+			return &Error{Pos: x.Pos, Msg: fmt.Sprintf("%q is not a global array", x.Name)}
+		}
+		return c.checkExpr(x.Index, sc)
+	case *UnaryExpr:
+		return c.checkExpr(x.X, sc)
+	case *BinaryExpr:
+		if err := c.checkExpr(x.X, sc); err != nil {
+			return err
+		}
+		return c.checkExpr(x.Y, sc)
+	case *SpawnExpr:
+		f, ok := c.funcs[x.Func]
+		if !ok {
+			return &Error{Pos: x.Pos, Msg: fmt.Sprintf("spawn of undeclared function %q", x.Func)}
+		}
+		if len(x.Args) != len(f.Params) {
+			return &Error{Pos: x.Pos, Msg: fmt.Sprintf("spawn %s: %d args, want %d", x.Func, len(x.Args), len(f.Params))}
+		}
+		for _, a := range x.Args {
+			if err := c.checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *CallExpr:
+		if arity, ok := Builtins[x.Name]; ok {
+			if len(x.Args) != arity {
+				return &Error{Pos: x.Pos, Msg: fmt.Sprintf("%s: %d args, want %d", x.Name, len(x.Args), arity)}
+			}
+			return c.checkBuiltinArgs(x, sc)
+		}
+		f, ok := c.funcs[x.Name]
+		if !ok {
+			return &Error{Pos: x.Pos, Msg: fmt.Sprintf("call of undeclared function %q", x.Name)}
+		}
+		if len(x.Args) != len(f.Params) {
+			return &Error{Pos: x.Pos, Msg: fmt.Sprintf("%s: %d args, want %d", x.Name, len(x.Args), len(f.Params))}
+		}
+		for _, a := range x.Args {
+			if err := c.checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return &Error{Msg: "unknown expression kind"}
+}
+
+// checkBuiltinArgs enforces that sync builtins name declared sync objects.
+func (c *checker) checkBuiltinArgs(x *CallExpr, sc *scope) error {
+	wantMutex := func(e Expr) error {
+		id, ok := e.(*Ident)
+		if !ok || !c.mutexes[id.Name] {
+			return &Error{Pos: e.ExprPos(), Msg: fmt.Sprintf("%s requires a declared mutex", x.Name)}
+		}
+		return nil
+	}
+	wantCond := func(e Expr) error {
+		id, ok := e.(*Ident)
+		if !ok || !c.conds[id.Name] {
+			return &Error{Pos: e.ExprPos(), Msg: fmt.Sprintf("%s requires a declared cond", x.Name)}
+		}
+		return nil
+	}
+	switch x.Name {
+	case "lock", "unlock":
+		return wantMutex(x.Args[0])
+	case "wait":
+		if err := wantCond(x.Args[0]); err != nil {
+			return err
+		}
+		return wantMutex(x.Args[1])
+	case "signal", "broadcast":
+		return wantCond(x.Args[0])
+	case "join", "print", "input":
+		return c.checkExpr(x.Args[0], sc)
+	case "yield", "fence":
+		return nil
+	}
+	return nil
+}

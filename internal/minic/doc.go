@@ -1,0 +1,54 @@
+// Package minic implements the mini concurrent C-like language that plays
+// the role of the paper's instrumented C/C++ programs.
+//
+// The language is deliberately small but covers everything CLAP's analysis
+// needs: shared global scalars and arrays, thread-local variables, the
+// full integer expression set, structured control flow, and the
+// PThreads-shaped concurrency primitives the paper instruments —
+// spawn/join, mutex lock/unlock, condition wait/signal/broadcast, and
+// yield. Programs are parsed to an AST (this package), lowered to a
+// CFG-based IR (internal/ir), and executed by the VM (internal/vm).
+//
+// Grammar (EBNF; terminals quoted):
+//
+//	program    = { decl } ;
+//	decl       = globalDecl | mutexDecl | condDecl | funcDecl ;
+//	globalDecl = "int" ident [ "[" number "]" ] [ "=" [ "-" ] number ] ";" ;
+//	mutexDecl  = "mutex" ident ";" ;
+//	condDecl   = "cond" ident ";" ;
+//	funcDecl   = "func" ident "(" [ ident { "," ident } ] ")" block ;
+//
+//	block      = "{" { stmt } "}" ;
+//	stmt       = block | varDecl | assign | ifStmt | whileStmt | forStmt
+//	           | returnStmt | assertStmt | exprStmt ;
+//	varDecl    = "int" ident [ "=" expr ] ";" ;
+//	assign     = ident [ "[" expr "]" ] "=" expr ";" ;
+//	ifStmt     = "if" "(" expr ")" block [ "else" ( block | ifStmt ) ] ;
+//	whileStmt  = "while" "(" expr ")" block ;
+//	forStmt    = "for" "(" [ simpleAssign ] ";" [ expr ] ";"
+//	             [ simpleAssign ] ")" block ;
+//	returnStmt = "return" [ expr ] ";" ;
+//	assertStmt = "assert" "(" expr [ "," string ] ")" ";" ;
+//	exprStmt   = call ";" ;
+//
+//	expr       = binary expression over the operators below, with C-like
+//	             precedence (low to high):
+//	             "||"  "&&"  "|"  "^"  "&"  "==" "!="
+//	             "<" "<=" ">" ">="  "<<" ">>"  "+" "-"  "*" "/" "%"
+//	             and unary "-" "!" ;
+//	primary    = number | "true" | "false" | ident
+//	           | ident "[" expr "]" | call | spawn | "(" expr ")" ;
+//	call       = ident "(" [ expr { "," expr } ] ")" ;
+//	spawn      = "spawn" ident "(" [ expr { "," expr } ] ")" ;
+//
+// Builtins (and arities): lock(m), unlock(m), wait(c, m), signal(c),
+// broadcast(c), join(handle), yield(), fence(), print(v), input(k).
+//
+// Semantics in brief: all values are 64-bit integers; booleans exist only
+// as the results of comparisons/logical operators and as branch/assert
+// conditions (mixing them with integers is a runtime error). Globals are
+// the only memory — locals live in registers. spawn starts a thread
+// running the named function and evaluates to its handle; join blocks
+// until that thread returns. && and || short-circuit (they lower to
+// control flow, so each contributes a recorded branch decision).
+package minic

@@ -1,0 +1,267 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes mini-language source. It supports // line comments and
+// /* */ block comments, decimal and 0x hexadecimal integer literals, and
+// double-quoted strings (used only in assert messages).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex scans the whole input and returns the token stream terminated by a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return &Error{Pos: Pos{Line: lx.line, Col: lx.col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := Pos{Line: lx.line, Col: lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{Line: lx.line, Col: lx.col}
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		if c == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+			lx.advance()
+			lx.advance()
+			if !isHexDigit(lx.peek()) {
+				return Token{}, lx.errf("malformed hexadecimal literal")
+			}
+			for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.off < len(lx.src) && isLetter(lx.peek()) {
+			return Token{}, lx.errf("malformed number literal")
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.off], Pos: pos}, nil
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, &Error{Pos: pos, Msg: "unterminated escape"}
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return Token{}, lx.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, &Error{Pos: pos, Msg: "newline in string literal"}
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+	// Operators and punctuation.
+	two := func(kind TokKind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: kind, Pos: pos}, nil
+	}
+	one := func(kind TokKind) (Token, error) {
+		lx.advance()
+		return Token{Kind: kind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ',':
+		return one(TokComma)
+	case ';':
+		return one(TokSemi)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '^':
+		return one(TokCaret)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(TokAndAnd)
+		}
+		return one(TokAmp)
+	case '|':
+		if lx.peek2() == '|' {
+			return two(TokOrOr)
+		}
+		return one(TokPipe)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokBang)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(TokLe)
+		}
+		if lx.peek2() == '<' {
+			return two(TokShl)
+		}
+		return one(TokLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(TokGe)
+		}
+		if lx.peek2() == '>' {
+			return two(TokShr)
+		}
+		return one(TokGt)
+	}
+	return Token{}, lx.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,579 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser with single-token lookahead over the
+// pre-lexed token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a complete program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, p.errf("expected %s, found %s", k, p.cur())
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokInt:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case TokMutex:
+			d, err := p.parseSyncDecl(TokMutex)
+			if err != nil {
+				return nil, err
+			}
+			prog.Mutexes = append(prog.Mutexes, d)
+		case TokCond:
+			d, err := p.parseSyncDecl(TokCond)
+			if err != nil {
+				return nil, err
+			}
+			prog.Conds = append(prog.Conds, d)
+		case TokFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected declaration, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	kw, _ := p.expect(TokInt)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Pos: kw.Pos}
+	if p.accept(TokLBracket) {
+		sz, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(sz.Text, 0, 64)
+		if err != nil || n <= 0 {
+			return nil, &Error{Pos: sz.Pos, Msg: "array size must be a positive integer"}
+		}
+		g.Size = int(n)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokAssign) {
+		neg := p.accept(TokMinus)
+		v, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(v.Text, 0, 64)
+		if err != nil {
+			return nil, &Error{Pos: v.Pos, Msg: "malformed initializer"}
+		}
+		if neg {
+			n = -n
+		}
+		g.Init = n
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseSyncDecl(kw TokKind) (*SyncDecl, error) {
+	k, _ := p.expect(kw)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &SyncDecl{Name: name.Text, Pos: k.Pos}, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, _ := p.expect(TokFunc)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Pos: kw.Pos}
+	if !p.at(TokRParen) {
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, id.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokInt:
+		return p.parseVarDecl()
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		return p.parseReturn()
+	case TokAssert:
+		return p.parseAssert()
+	case TokIdent:
+		return p.parseAssignOrCall()
+	default:
+		return nil, p.errf("expected statement, found %s", p.cur())
+	}
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	kw, _ := p.expect(TokInt)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDeclStmt{Name: name.Text, Pos: kw.Pos}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw, _ := p.expect(TokIf)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.accept(TokElse) {
+		if p.at(TokIf) {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw, _ := p.expect(TokWhile)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+}
+
+// parseSimpleAssign parses "name = expr" or "name[idx] = expr" without the
+// trailing semicolon; used in for-clauses.
+func (p *Parser) parseSimpleAssign() (*AssignStmt, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	a := &AssignStmt{Target: name.Text, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.Index = idx
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	a.Value = v
+	return a, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw, _ := p.expect(TokFor)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: kw.Pos}
+	if !p.at(TokSemi) {
+		init, err := p.parseSimpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.parseSimpleAssign()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) parseReturn() (Stmt, error) {
+	kw, _ := p.expect(TokReturn)
+	s := &ReturnStmt{Pos: kw.Pos}
+	if !p.at(TokSemi) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Value = e
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) parseAssert() (Stmt, error) {
+	kw, _ := p.expect(TokAssert)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s := &AssertStmt{Cond: cond, Pos: kw.Pos}
+	if p.accept(TokComma) {
+		msg, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		s.Msg = msg.Text
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) parseAssignOrCall() (Stmt, error) {
+	name := p.cur()
+	// Lookahead to distinguish a call statement from an assignment.
+	if p.toks[p.pos+1].Kind == TokLParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Pos: name.Pos}, nil
+	}
+	a, err := p.parseSimpleAssign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Expression parsing with precedence climbing.
+//
+// Precedence (low to high): || ; && ; | ; ^ ; & ; == != ; < <= > >= ;
+// << >> ; + - ; * / % ; unary - ! ; primary.
+
+type precLevel struct {
+	ops []TokKind
+}
+
+var precLevels = []precLevel{
+	{ops: []TokKind{TokOrOr}},
+	{ops: []TokKind{TokAndAnd}},
+	{ops: []TokKind{TokPipe}},
+	{ops: []TokKind{TokCaret}},
+	{ops: []TokKind{TokAmp}},
+	{ops: []TokKind{TokEq, TokNe}},
+	{ops: []TokKind{TokLt, TokLe, TokGt, TokGe}},
+	{ops: []TokKind{TokShl, TokShr}},
+	{ops: []TokKind{TokPlus, TokMinus}},
+	{ops: []TokKind{TokStar, TokSlash, TokPercent}},
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level].ops {
+			if p.at(op) {
+				opTok := p.next()
+				rhs, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &BinaryExpr{Op: opTok.Kind, X: lhs, Y: rhs, Pos: opTok.Pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(TokMinus) || p.at(TokBang) {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "malformed number literal"}
+		}
+		return &NumberLit{Value: v, Pos: t.Pos}, nil
+	case TokTrue:
+		t := p.next()
+		return &BoolLit{Value: true, Pos: t.Pos}, nil
+	case TokFalse:
+		t := p.next()
+		return &BoolLit{Value: false, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokSpawn:
+		kw := p.next()
+		fn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &SpawnExpr{Func: fn.Text, Args: args, Pos: kw.Pos}, nil
+	case TokIdent:
+		id := p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: id.Text, Args: args, Pos: id.Pos}, nil
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: id.Text, Index: idx, Pos: id.Pos}, nil
+		}
+		return &Ident{Name: id.Text, Pos: id.Pos}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(TokRParen) {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}

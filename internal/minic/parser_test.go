@@ -1,0 +1,285 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure2Src = `
+// Figure 2 of the paper: two threads, two shared variables.
+int x = 0;
+int y = 0;
+
+func thread1() {
+	int t1;
+	t1 = x;
+	x = t1 + 1;
+	int t2;
+	t2 = y;
+	if (t2 > 0) {
+		int t3;
+		t3 = x;
+		assert(t3 > 0, "assert1");
+	}
+}
+
+func main() {
+	int h;
+	h = spawn thread1();
+	x = 2;
+	y = 1;
+	join(h);
+}
+`
+
+func TestParseFigure2(t *testing.T) {
+	p, err := Parse(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(p.Globals))
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(p.Funcs))
+	}
+	if p.Func("main") == nil || p.Func("thread1") == nil {
+		t.Fatal("missing function")
+	}
+	if p.Func("nothere") != nil {
+		t.Fatal("Func must return nil for unknown names")
+	}
+}
+
+func TestParseAllFeatures(t *testing.T) {
+	src := `
+int g = -5;
+int buf[8];
+mutex m;
+cond full;
+
+func producer(n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		buf[i % 8] = i * 2;
+		signal(full);
+		unlock(m);
+	}
+	return i;
+}
+
+func consumer(n) {
+	int i = 0;
+	while (i < n) {
+		lock(m);
+		wait(full, m);
+		int v;
+		v = buf[i % 8];
+		unlock(m);
+		if (v >= 0 && v % 2 == 0) {
+			i = i + 1;
+		} else {
+			if (v < 0) {
+				yield();
+			} else {
+				fence();
+			}
+		}
+	}
+	broadcast(full);
+}
+
+func main() {
+	int h1;
+	int h2;
+	h1 = spawn producer(4);
+	h2 = spawn consumer(4);
+	print(g);
+	join(h1);
+	join(h2);
+	assert(g == -5);
+	int z;
+	z = input(0);
+	z = (1 << 3) >> 1 | 2 & 3 ^ 1;
+	z = -z + !0;
+}
+`
+	// !0 is a type error at runtime, not parse time; replace to stay valid.
+	src = strings.Replace(src, "z = -z + !0;", "z = -z;", 1)
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHexAndComments(t *testing.T) {
+	src := `
+int x = 0x10; /* block
+comment */
+func main() {
+	// line comment
+	x = 0xff;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Globals[0].Init != 16 {
+		t.Errorf("hex init = %d, want 16", p.Globals[0].Init)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no main", `int x;`, "no main"},
+		{"main with params", `func main(a) {}`, "main must take no parameters"},
+		{"undeclared ident", `func main() { int a; a = b; }`, "undeclared identifier"},
+		{"undeclared assign", `func main() { q = 1; }`, "undeclared"},
+		{"dup global", "int x;\nint x;\nfunc main() {}", "duplicate"},
+		{"dup local", `func main() { int a; int a; }`, "duplicate local"},
+		{"dup param", `func f(a, a) {} func main() {}`, "duplicate parameter"},
+		{"array no index", `int a[4]; func main() { int t; t = a; }`, "without an index"},
+		{"index scalar", `int s; func main() { int t; t = s[0]; }`, "not a global array"},
+		{"assign array whole", `int a[4]; func main() { a = 1; }`, "without an index"},
+		{"lock non-mutex", `int x; func main() { lock(x); }`, "requires a declared mutex"},
+		{"wait non-cond", `mutex m; func main() { wait(m, m); }`, "requires a declared cond"},
+		{"signal non-cond", `mutex m; func main() { signal(m); }`, "requires a declared cond"},
+		{"bad arity builtin", `mutex m; func main() { lock(m, m); }`, "want 1"},
+		{"call undeclared", `func main() { nope(); }`, "undeclared function"},
+		{"call bad arity", `func f(a) {} func main() { f(); }`, "0 args, want 1"},
+		{"spawn undeclared", `func main() { int h; h = spawn nope(); }`, "undeclared function"},
+		{"spawn bad arity", `func f(a) {} func main() { int h; h = spawn f(); }`, "0 args, want 1"},
+		{"zero array", `int a[0]; func main() {}`, "positive"},
+		{"unterminated string", `func main() { assert(true, "oops); }`, "unterminated"},
+		{"unterminated comment", `/* func main() {}`, "unterminated block comment"},
+		{"bad char", `func main() { @ }`, "unexpected character"},
+		{"bad number", `func main() { int a = 12abc; }`, "malformed number"},
+		{"missing semi", `func main() { int a = 1 }`, "expected ;"},
+		{"eof in block", `func main() { int a = 1;`, "unexpected EOF"},
+		{"shadow sync", `mutex m; func main() { int m; }`, "shadows a sync object"},
+		{"redeclare builtin", `func print(a) {} func main() {}`, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	src := `int x; func main() { x = 1 + 2 * 3; x = 1 < 2 == 3 < 4; }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := p.Func("main").Body.Stmts
+	a1 := body[0].(*AssignStmt)
+	b1 := a1.Value.(*BinaryExpr)
+	if b1.Op != TokPlus {
+		t.Fatalf("1+2*3 must parse with + at the root, got %s", b1.Op)
+	}
+	if inner := b1.Y.(*BinaryExpr); inner.Op != TokStar {
+		t.Fatalf("2*3 must be the right child, got %s", inner.Op)
+	}
+	a2 := body[1].(*AssignStmt)
+	b2 := a2.Value.(*BinaryExpr)
+	if b2.Op != TokEq {
+		t.Fatalf("1<2 == 3<4 must have == at root, got %s", b2.Op)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+int x;
+func main() {
+	if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := p.Func("main").Body.Stmts[0].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Fatal("else-if must parse as nested IfStmt")
+	}
+}
+
+func TestNegativeGlobalInit(t *testing.T) {
+	p, err := Parse(`int x = -7; func main() {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Globals[0].Init != -7 {
+		t.Fatalf("init = %d, want -7", p.Globals[0].Init)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	src := `int a[4]; func f(p) {} func main() { int h; h = spawn f(a[1] + -2); print(h); }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := p.Func("main").Body.Stmts[1].(*AssignStmt).Value
+	if s := exprString(spawn); !strings.Contains(s, "spawn f(") {
+		t.Errorf("exprString(spawn) = %q", s)
+	}
+	call := p.Func("main").Body.Stmts[2].(*ExprStmt).X
+	if s := exprString(call); s != "print(h)" {
+		t.Errorf("exprString(call) = %q", s)
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, err := Lex(`x == 3 "hi"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() == "" || toks[1].String() == "" || toks[3].String() == "" {
+		t.Error("tokens must render")
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "hi" {
+		t.Errorf("string token = %+v", toks[3])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\n\t\\\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\n\t\\\"" {
+		t.Errorf("escaped string = %q", toks[0].Text)
+	}
+	if _, err := Lex(`"\q"`); err == nil {
+		t.Error("unknown escape must error")
+	}
+}
+
+func TestForLoopClausesOptional(t *testing.T) {
+	src := `
+int x;
+func main() {
+	int i = 0;
+	for (;;) {
+		i = i + 1;
+		if (i > 3) { return; }
+	}
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

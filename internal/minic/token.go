@@ -1,0 +1,124 @@
+package minic
+
+import "fmt"
+
+// TokKind classifies a lexical token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// Keywords.
+	TokInt
+	TokMutex
+	TokCond
+	TokFunc
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokAssert
+	TokSpawn
+	TokTrue
+	TokFalse
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokInt: "int", TokMutex: "mutex", TokCond: "cond", TokFunc: "func",
+	TokIf: "if", TokElse: "else", TokWhile: "while", TokFor: "for",
+	TokReturn: "return", TokAssert: "assert", TokSpawn: "spawn",
+	TokTrue: "true", TokFalse: "false",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAmp: "&", TokPipe: "|",
+	TokCaret: "^", TokShl: "<<", TokShr: ">>", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!",
+}
+
+// String returns a printable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokInt, "mutex": TokMutex, "cond": TokCond, "func": TokFunc,
+	"if": TokIf, "else": TokElse, "while": TokWhile, "for": TokFor,
+	"return": TokReturn, "assert": TokAssert, "spawn": TokSpawn,
+	"true": TokTrue, "false": TokFalse,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier spelling, number literal, or string contents
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexing or parsing error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("minic: %s: %s", e.Pos, e.Msg) }

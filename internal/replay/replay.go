@@ -1,0 +1,400 @@
+// Package replay deterministically re-executes a program along a computed
+// bug-reproducing schedule, playing the role of the paper's Tinertia-based
+// application-level thread scheduler: "whenever a thread is going to
+// execute a SAP, we first check the schedule to decide whether it is the
+// correct turn for the thread to continue execution".
+//
+// Two modes:
+//
+//   - OrderEnforced (SC schedules): the replay scheduler grants each thread
+//     exactly its turns in the computed SAP order; shared memory then
+//     produces the witness's read values by construction, which the
+//     replayer verifies event by event.
+//
+//   - ValueInjected (TSO/PSO schedules): a relaxed-memory order can place
+//     a thread's writes out of program order, which no program-order
+//     executor can act out directly; instead the replayer enforces the
+//     schedule's synchronization order and injects every shared read's
+//     witness value — the same "actively controlling the value returned by
+//     shared data loads" the paper uses for its relaxed-memory bugs. The
+//     thread-local paths and the failing assertion are exactly those of
+//     the witness.
+//
+// In both modes the replay succeeds only if the recorded assertion fails
+// again at the same site in the same (logical) thread.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/constraints"
+	"repro/internal/ir"
+	"repro/internal/solver"
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Mode selects the replay strategy.
+type Mode uint8
+
+// Replay modes.
+const (
+	// OrderEnforced replays the full SAP order (sound for SC schedules).
+	OrderEnforced Mode = iota
+	// ValueInjected enforces sync order and injects read values (sound for
+	// TSO/PSO schedules, also works for SC).
+	ValueInjected
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == OrderEnforced {
+		return "order-enforced"
+	}
+	return "value-injected"
+}
+
+// ModeFor returns the appropriate mode for the memory model a schedule was
+// computed under.
+func ModeFor(model vm.MemModel) Mode {
+	if model == vm.SC {
+		return OrderEnforced
+	}
+	return ValueInjected
+}
+
+// Options tunes a replay.
+type Options struct {
+	Mode Mode
+	// Inputs are the recorded run's deterministic inputs.
+	Inputs []int64
+	// MaxActions bounds the scheduler loop.
+	MaxActions int
+}
+
+// Outcome reports a replay.
+type Outcome struct {
+	// Reproduced is true when the recorded assertion failed again.
+	Reproduced bool
+	// Failure is the replayed failure (nil if the run completed cleanly —
+	// a replay bug).
+	Failure *vm.Failure
+	// EventsMatched counts schedule events verified.
+	EventsMatched int
+}
+
+// Run replays sol's schedule.
+func Run(sys *constraints.System, sol *solver.Solution, opts Options) (*Outcome, error) {
+	r := &replayer{
+		sys:  sys,
+		sol:  sol,
+		mode: opts.Mode,
+		r2p:  map[trace.ThreadID]vm.ThreadID{0: 0},
+		p2r:  map[vm.ThreadID]trace.ThreadID{0: 0},
+	}
+	r.init()
+	conf := vm.Config{
+		Model:      vm.SC, // replay executes with plain memory; relaxation is encoded in the schedule/values
+		Inputs:     opts.Inputs,
+		MaxActions: opts.MaxActions,
+		Sched:      r,
+		Shared:     sys.An.Shared,
+		OnVisible:  r.onVisible,
+		PickWaiter: r.pickWaiter,
+	}
+	if r.mode == ValueInjected {
+		conf.ReadValue = r.readValue
+	}
+	machine, err := vm.New(sys.An.Prog, conf)
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run()
+	if r.err != nil {
+		// The replayer's own diagnosis (schedule mismatch, divergence) is
+		// more precise than the VM's scheduler-abort error.
+		return nil, r.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Failure: res.Failure, EventsMatched: r.matched}
+	if res.Failure != nil && res.Failure.Kind == vm.FailAssert {
+		// The failing thread must be the recorded bug thread (modulo the
+		// replay/recorded id mapping).
+		if rec, ok := r.p2r[res.Failure.Thread]; ok && rec == sys.An.BugThread {
+			out.Reproduced = true
+		}
+	}
+	return out, nil
+}
+
+// replayer implements vm.Scheduler and the verification hooks.
+type replayer struct {
+	sys  *constraints.System
+	sol  *solver.Solution
+	mode Mode
+
+	// order is the enforced SAP sequence: the full order (OrderEnforced)
+	// or its synchronization subsequence (ValueInjected).
+	order []constraints.SAPRef
+	idx   int
+	// posOf maps SAPRef to its position in the full order (for waiter
+	// selection).
+	posOf []int
+
+	// Thread id mappings between the recorded analysis and the replay run.
+	r2p map[trace.ThreadID]vm.ThreadID
+	p2r map[vm.ThreadID]trace.ThreadID
+	// keyToRecorded resolves (recorded parent, spawn index) to the
+	// recorded child id.
+	keyToRecorded map[vm.ThreadKey]trace.ThreadID
+	// spawnCount counts spawns per replay thread.
+	spawnCount map[vm.ThreadID]int32
+
+	// nextSeq is each recorded thread's next expected SAP (program order).
+	nextSeq []int
+
+	// bugThread is the recorded failing thread; after its last scheduled
+	// SAP the scheduler grants it one extra turn to reach the assertion.
+	lastBugSAP constraints.SAPRef
+	bugPending bool
+
+	matched int
+	err     error
+}
+
+func (r *replayer) init() {
+	full := r.sol.Order
+	r.posOf = make([]int, len(r.sys.SAPs))
+	for i, ref := range full {
+		r.posOf[ref] = i
+	}
+	if r.mode == OrderEnforced {
+		r.order = full
+	} else {
+		for _, ref := range full {
+			if r.sys.SAP(ref).Kind.IsSync() {
+				r.order = append(r.order, ref)
+			}
+		}
+	}
+	r.keyToRecorded = map[vm.ThreadKey]trace.ThreadID{}
+	for _, tt := range r.sys.An.Threads {
+		if tt.Parent >= 0 {
+			r.keyToRecorded[vm.ThreadKey{Parent: tt.Parent, Index: tt.Index}] = tt.Thread
+		}
+	}
+	r.spawnCount = map[vm.ThreadID]int32{}
+	r.nextSeq = make([]int, len(r.sys.Threads))
+	// Find the bug thread's last scheduled SAP.
+	r.lastBugSAP = -1
+	for _, ref := range full {
+		if r.sys.SAP(ref).Thread == r.sys.An.BugThread {
+			r.lastBugSAP = ref
+		}
+	}
+	if r.lastBugSAP == -1 {
+		// The bug thread has no SAP at all (a pure-local failing thread);
+		// grant it the extra run immediately.
+		r.bugPending = true
+	}
+}
+
+func (r *replayer) fail(format string, args ...any) int {
+	if r.err == nil {
+		r.err = fmt.Errorf("replay: "+format, args...)
+	}
+	return -1 // invalid index aborts the VM loop with an error
+}
+
+// Pick implements vm.Scheduler.
+func (r *replayer) Pick(v *vm.VM, actions []vm.Action) int {
+	var target vm.ThreadID
+	switch {
+	case r.bugPending:
+		pt, ok := r.r2p[r.sys.An.BugThread]
+		if !ok {
+			return r.fail("bug thread %d never spawned", r.sys.An.BugThread)
+		}
+		target = pt
+	case r.idx < len(r.order):
+		ref := r.order[r.idx]
+		s := r.sys.SAP(ref)
+		pt, ok := r.r2p[s.Thread]
+		if !ok {
+			return r.fail("schedule needs thread %d before it was spawned (at %s)", s.Thread, s)
+		}
+		target = pt
+	default:
+		// All scheduled SAPs done: drive the bug thread through its
+		// trailing local instructions to the failing assertion.
+		pt, ok := r.r2p[r.sys.An.BugThread]
+		if !ok {
+			return r.fail("schedule exhausted and bug thread %d never spawned", r.sys.An.BugThread)
+		}
+		target = pt
+	}
+	for i, a := range actions {
+		if a.Kind == vm.ActRun && a.Thread == target {
+			return i
+		}
+	}
+	return r.fail("thread %d (replay id %d) cannot run at its scheduled turn", r.p2r[target], target)
+}
+
+// onVisible verifies each executed event against the schedule and advances
+// the cursors.
+func (r *replayer) onVisible(ev vm.VisibleEvent) {
+	if r.err != nil {
+		return
+	}
+	rec, ok := r.p2r[ev.Thread]
+	if !ok {
+		r.err = fmt.Errorf("replay: event from unmapped thread %d", ev.Thread)
+		return
+	}
+	refs := r.sys.Threads[rec]
+	if r.nextSeq[rec] >= len(refs) {
+		// The bug thread may legitimately be mid extra turn; anything else
+		// running past its recorded trace is a divergence.
+		if rec != r.sys.An.BugThread {
+			r.err = fmt.Errorf("replay: thread %d ran past its recorded trace (%s)", rec, ev)
+		}
+		return
+	}
+	expect := r.sys.SAP(refs[r.nextSeq[rec]])
+	if err := r.matchEvent(expect, ev); err != nil {
+		r.err = err
+		return
+	}
+	r.nextSeq[rec]++
+	r.matched++
+
+	// Spawn events extend the thread mapping.
+	if ev.Kind == vm.EvSpawn {
+		k := vm.ThreadKey{Parent: rec, Index: r.spawnCount[ev.Thread]}
+		r.spawnCount[ev.Thread]++
+		recChild, ok := r.keyToRecorded[k]
+		if !ok {
+			r.err = fmt.Errorf("replay: spawn of unknown recorded thread (parent %d index %d)", k.Parent, k.Index)
+			return
+		}
+		r.r2p[recChild] = ev.Other
+		r.p2r[ev.Other] = recChild
+	}
+
+	// Advance the schedule cursor when this event was the scheduled one.
+	if r.idx < len(r.order) {
+		ref := r.order[r.idx]
+		if r.sys.SAP(ref) == expect {
+			r.idx++
+		}
+	}
+	if r.lastBugSAP >= 0 && refs[r.nextSeq[rec]-1] == r.lastBugSAP {
+		r.bugPending = true
+	}
+}
+
+var eventKindOf = map[symexec.SAPKind]vm.EventKind{
+	symexec.SAPStart: vm.EvStart, symexec.SAPExit: vm.EvExit,
+	symexec.SAPRead: vm.EvRead, symexec.SAPWrite: vm.EvWrite,
+	symexec.SAPLock: vm.EvLock, symexec.SAPUnlock: vm.EvUnlock,
+	symexec.SAPWaitBegin: vm.EvWaitBegin, symexec.SAPWaitEnd: vm.EvWaitEnd,
+	symexec.SAPSignal: vm.EvSignal, symexec.SAPBroadcast: vm.EvBroadcast,
+	symexec.SAPFork: vm.EvSpawn, symexec.SAPJoin: vm.EvJoin,
+	symexec.SAPYield: vm.EvYield, symexec.SAPFence: vm.EvFence,
+}
+
+// matchEvent checks that a VM event is the expected SAP.
+func (r *replayer) matchEvent(expect *symexec.SAP, ev vm.VisibleEvent) error {
+	if want := eventKindOf[expect.Kind]; want != ev.Kind {
+		return fmt.Errorf("replay: thread %d expected %s, executed %s", expect.Thread, expect, ev)
+	}
+	switch expect.Kind {
+	case symexec.SAPRead, symexec.SAPWrite:
+		wantAddr, err := r.addrOf(expect)
+		if err != nil {
+			return err
+		}
+		if wantAddr != ev.Addr {
+			return fmt.Errorf("replay: %s touched address %d, schedule says %d", ev, ev.Addr, wantAddr)
+		}
+		// Value checks: reads must see the witness value; writes must
+		// produce the witness-computed value.
+		var want int64
+		if expect.Kind == symexec.SAPRead {
+			want = r.sol.Witness.Env[expect.Sym.ID]
+		} else {
+			v, err := symbolic.EvalInt(expect.Val, r.sol.Witness.Env)
+			if err != nil {
+				return fmt.Errorf("replay: write value of %s: %v", expect, err)
+			}
+			want = v
+		}
+		if ev.Value != want {
+			return fmt.Errorf("replay: %s carried value %d, witness says %d", ev, ev.Value, want)
+		}
+	}
+	return nil
+}
+
+// addrOf resolves a SAP's flat address under the witness.
+func (r *replayer) addrOf(s *symexec.SAP) (int, error) {
+	if s.Addr != symexec.NoAddr {
+		return s.Addr, nil
+	}
+	idx, err := symbolic.EvalInt(s.AddrIndex, r.sol.Witness.Env)
+	if err != nil {
+		return 0, fmt.Errorf("replay: address of %s: %v", s, err)
+	}
+	a, ok := r.sys.Layout.Addr(r.sys.An.Prog, s.Var, idx)
+	if !ok {
+		return 0, fmt.Errorf("replay: address of %s out of bounds", s)
+	}
+	return a, nil
+}
+
+// readValue injects witness read values (ValueInjected mode).
+func (r *replayer) readValue(t vm.ThreadID, addr int) (int64, bool) {
+	rec, ok := r.p2r[t]
+	if !ok {
+		return 0, false
+	}
+	refs := r.sys.Threads[rec]
+	if r.nextSeq[rec] >= len(refs) {
+		return 0, false
+	}
+	expect := r.sys.SAP(refs[r.nextSeq[rec]])
+	if expect.Kind != symexec.SAPRead {
+		return 0, false
+	}
+	v, ok := r.sol.Witness.Env[expect.Sym.ID]
+	return v, ok
+}
+
+// pickWaiter chooses the waiter whose wake comes first in the schedule.
+func (r *replayer) pickWaiter(c ir.SyncID, waiters []vm.ThreadID) vm.ThreadID {
+	best := waiters[0]
+	bestPos := 1 << 30
+	for _, w := range waiters {
+		rec, ok := r.p2r[w]
+		if !ok {
+			continue
+		}
+		refs := r.sys.Threads[rec]
+		for k := r.nextSeq[rec]; k < len(refs); k++ {
+			s := r.sys.SAP(refs[k])
+			if s.Kind == symexec.SAPWaitEnd && s.Cond == c {
+				if p := r.posOf[refs[k]]; p < bestPos {
+					bestPos = p
+					best = w
+				}
+				break
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS serializes the clauses as added (before internal
+// simplification, excluding learnt clauses) in DIMACS CNF format, the
+// lingua franca of SAT solvers — useful for debugging an encoding against
+// a reference solver.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.originals)); err != nil {
+		return err
+	}
+	for _, c := range s.originals {
+		for _, l := range c {
+			if _, err := bw.WriteString(l.String()); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF problem into a fresh solver. Comment
+// lines (c ...) are skipped; the problem line (p cnf V C) sizes the
+// variable space.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var s *Solver
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nvars, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad variable count: %v", err)
+			}
+			s = New(nvars)
+			continue
+		}
+		if s == nil {
+			return nil, fmt.Errorf("sat: clause before problem line")
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q: %v", tok, err)
+			}
+			if v == 0 {
+				s.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			if v > s.NumVars() {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared variables", v)
+			}
+			cur = append(cur, MkLit(v-1, neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("sat: no problem line")
+	}
+	if len(cur) > 0 {
+		s.AddClause(cur...)
+	}
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := New(3)
+	s.AddClause(MkLit(0, false), MkLit(1, true))
+	s.AddClause(MkLit(1, false), MkLit(2, false))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "p cnf 3 2") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	parsed, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Solve() != s.Solve() {
+		t.Fatal("round trip changed satisfiability")
+	}
+}
+
+func TestParseDIMACSFixture(t *testing.T) {
+	src := `c a comment
+p cnf 2 3
+1 2 0
+-1 2 0
+1 -2 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status = %v, want SAT", got)
+	}
+	if !s.Value(0) || !s.Value(1) {
+		t.Fatalf("model = %v, want both true", s.Model())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",            // clause before problem line
+		"p cnf x 1\n1 0\n",   // bad var count
+		"p dnf 2 1\n1 0\n",   // wrong format tag
+		"p cnf 1 1\n2 0\n",   // literal out of range
+		"p cnf 1 1\nfoo 0\n", // bad literal
+		"",                   // empty
+	}
+	for i, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+// TestPropertyDIMACSRoundTripRandom: random CNFs survive the write/parse
+// cycle with identical verdicts.
+func TestPropertyDIMACSRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		nvars := 2 + r.Intn(6)
+		s := New(nvars)
+		for i := 0; i < 2+r.Intn(10); i++ {
+			cl := make([]Lit, 1+r.Intn(3))
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nvars), r.Intn(2) == 1)
+			}
+			if !s.AddClause(cl...) {
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Solve() != s.Solve() {
+			t.Fatalf("trial %d: verdicts differ", trial)
+		}
+	}
+}

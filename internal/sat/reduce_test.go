@@ -1,0 +1,60 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReduceDBPreservesCorrectness: with an aggressively small learnt-DB
+// cap, verdicts must still match brute force on random instances.
+func TestReduceDBPreservesCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 150; trial++ {
+		nvars := 4 + r.Intn(7)
+		nclauses := 4 + r.Intn(nvars*5)
+		var cnf [][]Lit
+		for i := 0; i < nclauses; i++ {
+			cl := make([]Lit, 1+r.Intn(3))
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nvars), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New(nvars)
+		s.MaxLearnts = 4 // force frequent reductions
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		want := bruteForce(nvars, cnf)
+		if !ok {
+			if want {
+				t.Fatalf("trial %d: trivial unsat but SAT", trial)
+			}
+			continue
+		}
+		got := s.Solve()
+		if want != (got == Sat) {
+			t.Fatalf("trial %d: got %v, brute force %v", trial, got, want)
+		}
+		if got == Sat && !checkModel(s.Model(), cnf) {
+			t.Fatalf("trial %d: bad model after DB reduction", trial)
+		}
+	}
+}
+
+// TestReduceDBOnPigeonhole: a hard UNSAT instance with a small cap still
+// terminates correctly (reduction never deletes reason clauses).
+func TestReduceDBOnPigeonhole(t *testing.T) {
+	s := pigeonhole(5)
+	s.MaxLearnts = 8
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(5) with tight DB cap = %v, want UNSAT", got)
+	}
+	if s.Learned == 0 {
+		t.Fatal("no clauses learned")
+	}
+}

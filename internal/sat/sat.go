@@ -1,0 +1,628 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, VSIDS-style activity ordering, 1UIP
+// clause learning and Luby restarts.
+//
+// It stands in for the boolean core of the STP/SMT stack the paper builds
+// on. CLAP's own queries are decided by the dedicated procedure in
+// internal/solver (the paper notes they are a simple finite-domain class);
+// the SAT engine powers the SMT-style reference backend in
+// internal/cnfsolver, which encodes the order variables, read→write
+// mappings, lock serialization and wait/signal cardinality as CNF. The
+// solver is independently exercised against brute-force enumeration on
+// random instances and on classic pigeonhole problems.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index << 1 | sign (sign 1 = negated).
+// Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as ±(v+1), DIMACS style.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// Status is a solve verdict.
+type Status int8
+
+// Verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// Solver is a CDCL SAT solver. Create with New, add clauses, call Solve.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	// originals keeps every added clause verbatim for DIMACS export
+	// (AddClause simplifies units and satisfied clauses away internally).
+	originals [][]Lit
+	// watches[l] = clauses watching literal l (they contain l.Not()? No:
+	// convention here: watches[l] lists clauses in which l is watched).
+	watches map[Lit][]*clause
+
+	assign   []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	polarity []bool // phase saving
+
+	propagated int
+	ok         bool
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+	MaxLearnts   int
+}
+
+// New creates a solver over nvars variables.
+func New(nvars int) *Solver {
+	s := &Solver{
+		watches:    map[Lit][]*clause{},
+		varInc:     1,
+		ok:         true,
+		MaxLearnts: 10000,
+	}
+	s.grow(nvars)
+	return s
+}
+
+func (s *Solver) grow(nvars int) {
+	for len(s.assign) < nvars {
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.activity = append(s.activity, 0)
+		s.polarity = append(s.polarity, false)
+	}
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	s.grow(len(s.assign) + 1)
+	return len(s.assign) - 1
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause (returns false if the formula became trivially
+// unsatisfiable). It may be called between Solve calls — the trail is
+// rewound to level 0 first — which is how the lazy-theory loop in
+// internal/cnfsolver adds blocking clauses incrementally.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.originals = append(s.originals, append([]Lit(nil), lits...))
+	s.cancelUntil(0)
+	// Normalize: sort, dedupe, drop tautologies and false literals.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() && l.Var() == prev.Var() {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		return s.propagate() == nil || func() bool { s.ok = false; return false }()
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.propagated < len(s.trail) {
+		l := s.trail[s.propagated]
+		s.propagated++
+		s.Propagations++
+		falsified := l.Not()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		var conflict *clause
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			if conflict != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Ensure the falsified literal is at position 1.
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // watch moved away from falsified
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				conflict = c
+			}
+		}
+		s.watches[falsified] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p Lit = -1
+	c := conflict
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range c.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Next literal on the trail at the current level.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		c = s.reason[p.Var()]
+		seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Backjump level: the highest level among the other literals.
+	bl := 0
+	for i := 1; i < len(learnt); i++ {
+		if int(s.level[learnt[i].Var()]) > bl {
+			bl = int(s.level[learnt[i].Var()])
+		}
+	}
+	// Move a literal of the backjump level to position 1 (watching).
+	if len(learnt) > 1 {
+		mi := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[mi].Var()] {
+				mi = i
+			}
+		}
+		learnt[1], learnt[mi] = learnt[mi], learnt[1]
+	}
+	return learnt, bl
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.order != nil {
+		s.order.update(v)
+	}
+}
+
+// reduceDB discards the less recently useful half of the learnt clauses
+// (standard CDCL housekeeping, keyed on clause activity set at learn time);
+// clauses currently acting as implication reasons and binary clauses are
+// kept. The watch lists are rebuilt for the survivors.
+func (s *Solver) reduceDB() {
+	reasons := map[*clause]bool{}
+	for _, c := range s.reason {
+		if c != nil {
+			reasons[c] = true
+		}
+	}
+	kept := make([]*clause, 0, len(s.learnts)/2+1)
+	// The learnts slice is in learn order; activity decays via varInc, so
+	// later clauses have lower activity values — keep the newer half plus
+	// protected clauses from the older half.
+	half := len(s.learnts) / 2
+	drop := map[*clause]bool{}
+	for i, c := range s.learnts {
+		if i < half && !reasons[c] && len(c.lits) > 2 {
+			drop[c] = true
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if len(drop) == 0 {
+		return
+	}
+	s.learnts = kept
+	for l, ws := range s.watches {
+		filtered := ws[:0]
+		for _, c := range ws {
+			if !drop[c] {
+				filtered = append(filtered, c)
+			}
+		}
+		s.watches[l] = filtered
+	}
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		if s.order != nil {
+			s.order.push(v)
+		}
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.propagated = len(s.trail)
+}
+
+// luby computes the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			i -= (1 << uint(k-1)) - 1
+			k = 0
+		}
+	}
+}
+
+// Solve decides satisfiability. Assumptions, if given, are enforced as
+// decision-level-1 choices; Unsat under assumptions means no model extends
+// them.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.order = newVarHeap(s)
+	for v := 0; v < len(s.assign); v++ {
+		if s.assign[v] == lUndef {
+			s.order.push(v)
+		}
+	}
+	restart := int64(1)
+	conflictsAtRestart := int64(0)
+	budget := luby(restart) * 64
+
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.Conflicts++
+			conflictsAtRestart++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			// Do not learn across assumption levels: backtracking past the
+			// assumptions would forget them; treat conflicts at or below
+			// the assumption level as Unsat-under-assumptions.
+			learnt, bl := s.analyze(conflict)
+			if bl < len(assumptions) {
+				bl = len(assumptions)
+				if s.decisionLevel() <= bl {
+					return Unsat
+				}
+			}
+			s.cancelUntil(bl)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: s.varInc}
+				s.learnts = append(s.learnts, c)
+				s.Learned++
+				s.watch(c)
+				if !s.enqueue(learnt[0], c) {
+					return Unsat
+				}
+			}
+			s.varInc /= 0.95
+			if s.MaxLearnts > 0 && len(s.learnts) > s.MaxLearnts {
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflictsAtRestart >= budget && s.decisionLevel() > len(assumptions) {
+			// Restart.
+			restart++
+			conflictsAtRestart = 0
+			budget = luby(restart) * 64
+			s.cancelUntil(len(assumptions))
+			continue
+		}
+		// Assumption decisions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already implied: open an empty level to keep indexing.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+		// Pick a branching variable.
+		v := -1
+		for s.order.size() > 0 {
+			cand := s.order.pop()
+			if s.assign[cand] == lUndef {
+				v = cand
+				break
+			}
+		}
+		if v == -1 {
+			return Sat
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.polarity[v]), nil)
+	}
+}
+
+// Value returns the model value of variable v after Sat.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// Model returns the full model after Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assign))
+	for v := range m {
+		m[v] = s.assign[v] == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap over variable activity.
+type varHeap struct {
+	s    *Solver
+	heap []int
+	pos  []int
+}
+
+func newVarHeap(s *Solver) *varHeap {
+	h := &varHeap{s: s, pos: make([]int, len(s.assign))}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return h.s.activity[h.heap[i]] > h.s.activity[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.heap) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.heap) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		return
+	}
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		h.up(h.pos[v])
+	}
+}

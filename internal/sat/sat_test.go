@@ -1,0 +1,293 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(0, false))                 // x0
+	s.AddClause(MkLit(0, true), MkLit(1, false)) // ¬x0 ∨ x1
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status = %v, want SAT", got)
+	}
+	if !s.Value(0) || !s.Value(1) {
+		t.Fatalf("model = %v, want both true", s.Model())
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(0, false))
+	if s.AddClause(MkLit(0, true)) {
+		// Adding ¬x0 after x0 is a level-0 conflict.
+		if s.Solve() != Unsat {
+			t.Fatal("want UNSAT")
+		}
+		return
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("want UNSAT")
+	}
+}
+
+func TestContradictionThreeVars(t *testing.T) {
+	// (a∨b)(a∨¬b)(¬a∨c)(¬a∨¬c) is UNSAT.
+	s := New(3)
+	a, b, c := 0, 1, 2
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(a, true), MkLit(c, false))
+	s.AddClause(MkLit(a, true), MkLit(c, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status = %v, want UNSAT", got)
+	}
+}
+
+// pigeonhole encodes n+1 pigeons in n holes (classically hard UNSAT).
+func pigeonhole(n int) *Solver {
+	// var p*n + h: pigeon p in hole h.
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonhole(n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d) = %v, want UNSAT", n, got)
+		}
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons in n holes is SAT.
+	n := 4
+	s := New(n * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p < n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("status = %v, want SAT", got)
+	}
+}
+
+// bruteForce decides a CNF by enumeration (reference implementation).
+func bruteForce(nvars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<uint(nvars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m&(1<<uint(l.Var())) != 0
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkModel verifies a model satisfies a CNF.
+func checkModel(model []bool, cnf [][]Lit) bool {
+	for _, cl := range cnf {
+		sat := false
+		for _, l := range cl {
+			val := model[l.Var()]
+			if l.Neg() {
+				val = !val
+			}
+			if val {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyRandom3SATAgainstBruteForce is the solver's main correctness
+// property: on random small instances the CDCL verdict matches exhaustive
+// enumeration, and SAT verdicts come with verified models.
+func TestPropertyRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		nvars := 3 + r.Intn(8)
+		nclauses := 2 + r.Intn(nvars*5)
+		var cnf [][]Lit
+		for i := 0; i < nclauses; i++ {
+			width := 1 + r.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nvars), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New(nvars)
+		trivUnsat := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				trivUnsat = true
+				break
+			}
+		}
+		want := bruteForce(nvars, cnf)
+		if trivUnsat {
+			if want {
+				t.Fatalf("trial %d: trivially-unsat detection wrong", trial)
+			}
+			continue
+		}
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("trial %d: got %v, brute force says SAT\ncnf=%v", trial, got, cnf)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("trial %d: got %v, brute force says UNSAT\ncnf=%v", trial, got, cnf)
+		}
+		if got == Sat && !checkModel(s.Model(), cnf) {
+			t.Fatalf("trial %d: reported model does not satisfy the formula", trial)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (a ∨ b) with assumption ¬a forces b; with ¬a ∧ ¬b it is UNSAT.
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	if s.Solve(MkLit(0, true)) != Sat {
+		t.Fatal("¬a should be satisfiable")
+	}
+	if !s.Value(1) {
+		t.Fatal("¬a forces b")
+	}
+	s2 := New(2)
+	s2.AddClause(MkLit(0, false), MkLit(1, false))
+	if s2.Solve(MkLit(0, true), MkLit(1, true)) != Unsat {
+		t.Fatal("¬a ∧ ¬b should be UNSAT under assumptions")
+	}
+}
+
+func TestPropertyAssumptionsMatchConditioning(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 150; trial++ {
+		nvars := 3 + r.Intn(6)
+		nclauses := 2 + r.Intn(nvars*4)
+		var cnf [][]Lit
+		for i := 0; i < nclauses; i++ {
+			cl := make([]Lit, 1+r.Intn(3))
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nvars), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		assume := MkLit(r.Intn(nvars), r.Intn(2) == 1)
+		s := New(nvars)
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		// Conditioned formula: add the assumption as a unit clause.
+		want := bruteForce(nvars, append(append([][]Lit{}, cnf...), []Lit{assume}))
+		if !ok {
+			if want {
+				t.Fatalf("trial %d: trivial unsat but conditioned SAT", trial)
+			}
+			continue
+		}
+		got := s.Solve(assume)
+		if want != (got == Sat) {
+			t.Fatalf("trial %d: assumption solve %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New(2)
+	if !s.AddClause(MkLit(0, false), MkLit(0, true)) {
+		t.Fatal("tautology must be accepted (and dropped)")
+	}
+	if !s.AddClause(MkLit(1, false), MkLit(1, false)) {
+		t.Fatal("duplicate literals must collapse")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+	if !s.Value(1) {
+		t.Fatal("unit after dedupe must hold")
+	}
+}
+
+func TestNewVarAndLitHelpers(t *testing.T) {
+	s := New(0)
+	a := s.NewVar()
+	b := s.NewVar()
+	if a == b || s.NumVars() != 2 {
+		t.Fatal("NewVar broken")
+	}
+	l := MkLit(3, true)
+	if l.Var() != 3 || !l.Neg() || l.Not().Neg() {
+		t.Fatal("literal helpers broken")
+	}
+	if l.String() != "-4" || l.Not().String() != "4" {
+		t.Fatalf("literal strings: %s %s", l, l.Not())
+	}
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("status strings broken")
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	s := pigeonhole(5)
+	s.Solve()
+	if s.Conflicts == 0 || s.Decisions == 0 || s.Propagations == 0 {
+		t.Errorf("stats empty: %d conflicts, %d decisions, %d props",
+			s.Conflicts, s.Decisions, s.Propagations)
+	}
+}

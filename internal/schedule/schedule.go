@@ -1,0 +1,593 @@
+// Package schedule implements CLAP's preemption-bounded candidate-schedule
+// generation (§4.3 of the paper).
+//
+// A candidate schedule is a total order of all SAPs that respects the
+// memory-order constraints Fmo (and, optionally, the other hard order
+// edges like fork<start). Candidates are then validated against the full
+// constraint system — by internal/parsolve in parallel, which is the
+// paper's parallel constraint solving algorithm.
+//
+// Generation is guided by context-switch-point (CSP) sets. A CSP is a
+// triple (t1, k, t2): thread t1 is preempted by thread t2 immediately
+// before t1's k-th SAP. Enumerating CSP sets of increasing size c and
+// generating the schedules consistent with each set explores schedules in
+// order of preemption count without duplicates — preemptive switches are
+// exactly the CSPs, and non-preemptive switches (the current thread ran
+// out of runnable SAPs) are branched exhaustively.
+//
+// For SC each thread's SAPs form a stack (program order); for TSO/PSO they
+// form the per-thread order DAG induced by the relaxed Fmo edges — the
+// role the paper's SAP-trees play — and any antichain of ready nodes may
+// be scheduled next.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/constraints"
+	"repro/internal/ir"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// CSP is one context-switch point: thread T1 is preempted by T2 right
+// before T1's K-th SAP (K indexes the thread's program-order SAP list).
+type CSP struct {
+	T1 trace.ThreadID
+	K  int
+	T2 trace.ThreadID
+}
+
+// String renders the CSP.
+func (c CSP) String() string { return fmt.Sprintf("(t%d,%d,t%d)", c.T1, c.K, c.T2) }
+
+// Options tunes generation.
+type Options struct {
+	// MaxSchedules caps how many schedules a single Generate call yields
+	// (0 means unlimited). When the cap fires the generator reports
+	// Capped=true — never silently.
+	MaxSchedules int
+	// RespectHardEdges makes generation honor every hard order edge (Fmo
+	// plus fork/start/exit/join), pruning candidates that could never
+	// validate. Disable to reproduce the paper's raw generate counts where
+	// only the per-thread memory order guides generation.
+	RespectHardEdges bool
+	// MaxCSPSets caps how many context-switch-point sets a bounded
+	// generation expands (0 = unlimited). Set enumeration grows
+	// combinatorially with the bound; hitting the cap reports Capped.
+	MaxCSPSets int
+	// MaxWalkNodes caps the total walk nodes across the generation
+	// (0 = unlimited); a hit reports Capped.
+	MaxWalkNodes int
+}
+
+// Generator produces candidate schedules for a constraint system.
+type Generator struct {
+	sys  *constraints.System
+	opts Options
+
+	// perThread is each thread's SAPs in program order.
+	perThread [][]constraints.SAPRef
+	// intraPreds[r] lists r's order predecessors within its own thread
+	// (the per-thread DAG); crossPreds[r] lists predecessors in other
+	// threads (only used with RespectHardEdges).
+	intraPreds [][]constraints.SAPRef
+	crossPreds [][]constraints.SAPRef
+}
+
+// walkState tracks the semantic gates during a generation walk: mutex
+// ownership and signal availability. Without it, a thread blocked at a
+// lock acquisition or an unsignaled wake would look "ready", switches
+// away from it would be charged as preemptions, and the preemption-bounded
+// sweep would miss valid schedules at their true bound.
+type walkState struct {
+	sys        *constraints.System
+	lockHeld   map[ir.SyncID]bool
+	signals    map[ir.SyncID]int // scheduled signals per cond
+	broadcasts map[ir.SyncID]int
+	wakes      map[ir.SyncID]int // consumed wakes per cond
+}
+
+func newWalkState(sys *constraints.System) *walkState {
+	return &walkState{
+		sys:        sys,
+		lockHeld:   map[ir.SyncID]bool{},
+		signals:    map[ir.SyncID]int{},
+		broadcasts: map[ir.SyncID]int{},
+		wakes:      map[ir.SyncID]int{},
+	}
+}
+
+// gateOK reports whether SAP r can execute under the current lock/signal
+// state (an approximation of the replay semantics; validation stays
+// exact).
+func (ws *walkState) gateOK(r constraints.SAPRef) bool {
+	s := ws.sys.SAP(r)
+	switch s.Kind {
+	case symexec.SAPLock:
+		return !ws.lockHeld[s.Mutex]
+	case symexec.SAPWaitEnd:
+		if ws.lockHeld[s.Mutex] {
+			return false
+		}
+		return ws.broadcasts[s.Cond] > 0 || ws.signals[s.Cond] > ws.wakes[s.Cond]
+	}
+	return true
+}
+
+// apply updates the state for scheduling r.
+func (ws *walkState) apply(r constraints.SAPRef) {
+	s := ws.sys.SAP(r)
+	switch s.Kind {
+	case symexec.SAPLock:
+		ws.lockHeld[s.Mutex] = true
+	case symexec.SAPUnlock, symexec.SAPWaitBegin:
+		ws.lockHeld[s.Mutex] = false
+	case symexec.SAPWaitEnd:
+		ws.lockHeld[s.Mutex] = true
+		ws.wakes[s.Cond]++
+	case symexec.SAPSignal:
+		ws.signals[s.Cond]++
+	case symexec.SAPBroadcast:
+		ws.broadcasts[s.Cond]++
+	}
+}
+
+// undo reverts apply(r).
+func (ws *walkState) undo(r constraints.SAPRef) {
+	s := ws.sys.SAP(r)
+	switch s.Kind {
+	case symexec.SAPLock:
+		ws.lockHeld[s.Mutex] = false
+	case symexec.SAPUnlock, symexec.SAPWaitBegin:
+		ws.lockHeld[s.Mutex] = true
+	case symexec.SAPWaitEnd:
+		ws.lockHeld[s.Mutex] = false
+		ws.wakes[s.Cond]--
+	case symexec.SAPSignal:
+		ws.signals[s.Cond]--
+	case symexec.SAPBroadcast:
+		ws.broadcasts[s.Cond]--
+	}
+}
+
+// Result is the outcome of one generation run.
+type Result struct {
+	Schedules [][]constraints.SAPRef
+	// Generated counts schedules yielded (== len(Schedules) unless a Sink
+	// consumed them streaming).
+	Generated int
+	// Capped reports whether MaxSchedules stopped enumeration early.
+	Capped bool
+	// CSPSets counts how many context-switch-point sets were expanded.
+	CSPSets int
+}
+
+// NewGenerator prepares generation for sys.
+func NewGenerator(sys *constraints.System, opts Options) *Generator {
+	g := &Generator{sys: sys, opts: opts}
+	n := len(sys.SAPs)
+	g.intraPreds = make([][]constraints.SAPRef, n)
+	g.crossPreds = make([][]constraints.SAPRef, n)
+	g.perThread = sys.Threads
+	for _, e := range sys.HardEdges {
+		a, b := e[0], e[1]
+		if sys.SAPs[a].Thread == sys.SAPs[b].Thread {
+			g.intraPreds[b] = append(g.intraPreds[b], a)
+		} else {
+			g.crossPreds[b] = append(g.crossPreds[b], a)
+		}
+	}
+	return g
+}
+
+// Sink consumes schedules as they are generated; returning false stops
+// enumeration (e.g. when a parallel validator already found a solution).
+type Sink func(order []constraints.SAPRef, preemptions int) bool
+
+// GenerateWithBound enumerates all schedules with exactly the CSP sets of
+// size c, streaming them into sink. It returns the generation statistics.
+func (g *Generator) GenerateWithBound(c int, sink Sink) Result {
+	res := Result{}
+	stop := false
+	emit := func(order []constraints.SAPRef, pre int) {
+		if stop {
+			return
+		}
+		res.Generated++
+		if sink != nil {
+			if !sink(order, pre) {
+				stop = true
+				return
+			}
+		} else {
+			cp := make([]constraints.SAPRef, len(order))
+			copy(cp, order)
+			res.Schedules = append(res.Schedules, cp)
+		}
+		if g.opts.MaxSchedules > 0 && res.Generated >= g.opts.MaxSchedules {
+			res.Capped = true
+			stop = true
+		}
+	}
+	nodes := 0
+	g.enumCSPSets(c, func(set []CSP) {
+		if stop {
+			return
+		}
+		if g.opts.MaxCSPSets > 0 && res.CSPSets >= g.opts.MaxCSPSets {
+			res.Capped = true
+			stop = true
+			return
+		}
+		res.CSPSets++
+		g.generateForSet(set, emit, &stop, &nodes)
+		if g.opts.MaxWalkNodes > 0 && nodes > g.opts.MaxWalkNodes {
+			res.Capped = true
+			stop = true
+		}
+	})
+	return res
+}
+
+// enumCSPSets enumerates all CSP sets of size c. The CSP space is
+// (threads × SAP positions × other threads); sets are built in
+// lexicographically increasing order to avoid duplicates.
+func (g *Generator) enumCSPSets(c int, f func(set []CSP)) {
+	var all []CSP
+	for t1, refs := range g.perThread {
+		for k := 1; k < len(refs); k++ {
+			// Preempting before the k-th SAP (k=0 is the thread's first
+			// SAP, where a "switch" is not a preemption of anything).
+			for t2 := range g.perThread {
+				if t1 == t2 {
+					continue
+				}
+				all = append(all, CSP{T1: trace.ThreadID(t1), K: k, T2: trace.ThreadID(t2)})
+			}
+		}
+	}
+	set := make([]CSP, 0, c)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(set) == c {
+			f(append([]CSP(nil), set...))
+			return
+		}
+		for i := start; i < len(all); i++ {
+			set = append(set, all[i])
+			rec(i + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+}
+
+// Generate enumerates candidate schedules whose preemption count is
+// exactly c: the stack-based walk for SC systems, the DAG-based walk for
+// TSO/PSO systems. Enumerating c = 0,1,2,… visits every candidate exactly
+// once, in order of preemption count — the paper's preemption-bounded
+// generation.
+func (g *Generator) Generate(c int, sink Sink) Result {
+	if g.relaxed() {
+		return g.GenerateRelaxed(c, sink)
+	}
+	return g.GenerateWithBound(c, sink)
+}
+
+// relaxed reports whether any thread's intra-thread order is not a total
+// chain (i.e. the system was built for TSO/PSO).
+func (g *Generator) relaxed() bool {
+	for _, refs := range g.perThread {
+		for i, r := range refs {
+			if i == 0 {
+				continue
+			}
+			chained := false
+			for _, p := range g.intraPreds[r] {
+				if p == refs[i-1] {
+					chained = true
+					break
+				}
+			}
+			if !chained {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// genState is the mutable state of one schedule-generation walk.
+type genState struct {
+	next      []int // per-thread next SAP index (program order position)
+	scheduled []bool
+	order     []constraints.SAPRef
+	pre       int
+}
+
+// generateForSet produces every schedule consistent with the CSP set.
+func (g *Generator) generateForSet(set []CSP, emit func([]constraints.SAPRef, int), stop *bool, nodes *int) {
+	total := 0
+	for _, refs := range g.perThread {
+		total += len(refs)
+	}
+	st := &genState{
+		next:      make([]int, len(g.perThread)),
+		scheduled: make([]bool, len(g.sys.SAPs)),
+		order:     make([]constraints.SAPRef, 0, total),
+	}
+	ws := newWalkState(g.sys)
+	// cspAt[t][k] = preempting thread, from the set.
+	cspAt := map[[2]int]trace.ThreadID{}
+	for _, c := range set {
+		cspAt[[2]int{int(c.T1), c.K}] = c.T2
+	}
+	used := make([]bool, len(set))
+	usedCount := 0
+	lastThread := -1 // thread of the most recently emitted SAP
+	var run func(cur int)
+	// ready reports whether thread t's next SAP can be scheduled now.
+	ready := func(t int) bool {
+		k := st.next[t]
+		if k >= len(g.perThread[t]) {
+			return false
+		}
+		r := g.perThread[t][k]
+		for _, p := range g.intraPreds[r] {
+			if !st.scheduled[p] {
+				return false
+			}
+		}
+		if g.opts.RespectHardEdges {
+			for _, p := range g.crossPreds[r] {
+				if !st.scheduled[p] {
+					return false
+				}
+			}
+		}
+		return ws.gateOK(r)
+	}
+	run = func(cur int) {
+		if *stop {
+			return
+		}
+		*nodes++
+		if g.opts.MaxWalkNodes > 0 && *nodes > g.opts.MaxWalkNodes {
+			*stop = true
+			return
+		}
+		if len(st.order) == total {
+			// Emit only when every CSP in the set actually fired, so a
+			// schedule is produced exactly once — under the set equal to
+			// its true preemption points.
+			if usedCount == len(set) {
+				emit(st.order, st.pre)
+			}
+			return
+		}
+		// Preemption check: does the set demand a switch before cur's next
+		// SAP? Every unused CSP matching (cur, next[cur]) is a separate
+		// branch (two CSPs at the same point chain in either order). A CSP
+		// is a *genuine* preemption only when the thread was actually
+		// running (it emitted the previous SAP), could continue, and the
+		// preempting thread can run — otherwise the same schedule would
+		// also arise from forced switches and be generated twice.
+		if lastThread == cur && ready(cur) && st.next[cur] < len(g.perThread[cur]) {
+			matched := false
+			for i, c := range set {
+				if !used[i] && int(c.T1) == cur && c.K == st.next[cur] {
+					matched = true
+					if !ready(int(c.T2)) {
+						continue // the set is infeasible along this branch
+					}
+					used[i] = true
+					usedCount++
+					st.pre++
+					run(int(c.T2))
+					st.pre--
+					usedCount--
+					used[i] = false
+					if *stop {
+						return
+					}
+				}
+			}
+			if matched {
+				return
+			}
+		}
+		if ready(cur) {
+			// Take the current thread's next SAP and continue.
+			r := g.perThread[cur][st.next[cur]]
+			st.next[cur]++
+			st.scheduled[r] = true
+			st.order = append(st.order, r)
+			ws.apply(r)
+			prevLast := lastThread
+			lastThread = cur
+			run(cur)
+			lastThread = prevLast
+			ws.undo(r)
+			st.order = st.order[:len(st.order)-1]
+			st.scheduled[r] = false
+			st.next[cur]--
+			return
+		}
+		// Non-preemptive switch: the current thread is done or blocked.
+		// Branch over every other ready thread.
+		any := false
+		for t := range g.perThread {
+			if t != cur && ready(t) {
+				any = true
+				run(t)
+				if *stop {
+					return
+				}
+			}
+		}
+		if !any {
+			// No thread can proceed: the walk is stuck (the CSP set or the
+			// blocked shape is infeasible); abandon this branch.
+			return
+		}
+	}
+	// The schedule starts with whichever thread has a ready first SAP —
+	// normally the main thread (thread 0 owns the first Start).
+	for t := range g.perThread {
+		if ready(t) {
+			run(t)
+			if *stop {
+				return
+			}
+		}
+	}
+}
+
+// Note on TSO/PSO: the per-thread DAG is encoded in intraPreds, built from
+// the model-specific Fmo edges of the constraint system, so the same walk
+// handles all three models — the SC "stack" is just the chain DAG. However,
+// under TSO/PSO a thread's ready set can contain several SAPs (e.g. a
+// delayed write and the next read). The walk above always takes the next
+// SAP in program order when ready; to also explore issuing *later* SAPs
+// first (a buffered write overtaken by a read), the generator relies on
+// the position permutation below.
+
+// GenerateRelaxed enumerates, for TSO/PSO systems, schedules where each
+// thread's SAPs may leave program order as far as the per-thread DAG
+// allows. It wraps GenerateWithBound by re-linearizing each thread's
+// ready set; the extra nondeterminism is explored by branching on which
+// ready intra-thread SAP to issue.
+func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
+	res := Result{}
+	stop := false
+	emit := func(order []constraints.SAPRef, pre int) {
+		if stop {
+			return
+		}
+		res.Generated++
+		if sink != nil {
+			if !sink(order, pre) {
+				stop = true
+				return
+			}
+		} else {
+			cp := make([]constraints.SAPRef, len(order))
+			copy(cp, order)
+			res.Schedules = append(res.Schedules, cp)
+		}
+		if g.opts.MaxSchedules > 0 && res.Generated >= g.opts.MaxSchedules {
+			res.Capped = true
+			stop = true
+		}
+	}
+	total := 0
+	for _, refs := range g.perThread {
+		total += len(refs)
+	}
+	scheduled := make([]bool, len(g.sys.SAPs))
+	order := make([]constraints.SAPRef, 0, total)
+	ws := newWalkState(g.sys)
+	readyOf := func(t int) []constraints.SAPRef {
+		var out []constraints.SAPRef
+		for _, r := range g.perThread[t] {
+			if scheduled[r] {
+				continue
+			}
+			ok := true
+			for _, p := range g.intraPreds[r] {
+				if !scheduled[p] {
+					ok = false
+					break
+				}
+			}
+			if ok && g.opts.RespectHardEdges {
+				for _, p := range g.crossPreds[r] {
+					if !scheduled[p] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && ws.gateOK(r) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	nodes := 0
+	var walk func(cur int, switches int, justSwitched bool)
+	walk = func(cur int, switches int, justSwitched bool) {
+		if stop {
+			return
+		}
+		nodes++
+		if g.opts.MaxWalkNodes > 0 && nodes > g.opts.MaxWalkNodes {
+			res.Capped = true
+			stop = true
+			return
+		}
+		if len(order) == total {
+			// Emit at exactly the requested preemption count so that
+			// sweeping c = 0,1,2,… yields each schedule once.
+			if switches == c {
+				emit(order, switches)
+			}
+			return
+		}
+		ready := readyOf(cur)
+		if len(ready) > 0 {
+			// Stay on the current thread: branch over its ready SAPs.
+			for _, r := range ready {
+				scheduled[r] = true
+				order = append(order, r)
+				ws.apply(r)
+				walk(cur, switches, false)
+				ws.undo(r)
+				order = order[:len(order)-1]
+				scheduled[r] = false
+				if stop {
+					return
+				}
+			}
+		}
+		// Switch (costs one preemption if the current thread still has
+		// ready work; otherwise it is forced). A switch must be followed
+		// by progress on the target before switching again, or identical
+		// schedules would be reached through different switch chains.
+		if justSwitched {
+			return
+		}
+		if switches >= c && len(ready) > 0 {
+			return
+		}
+		for t := range g.perThread {
+			if t == cur {
+				continue
+			}
+			if len(readyOf(t)) == 0 {
+				continue
+			}
+			cost := 0
+			if len(ready) > 0 {
+				cost = 1
+			}
+			if switches+cost > c {
+				continue
+			}
+			walk(t, switches+cost, true)
+			if stop {
+				return
+			}
+		}
+	}
+	for t := range g.perThread {
+		if len(readyOf(t)) > 0 {
+			walk(t, 0, true)
+			if stop {
+				break
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,129 @@
+// Package simplify post-processes a valid schedule to reduce its number
+// of preemptive context switches, in the spirit of the trace
+// simplification line of work the paper builds on (Tinertia, and the
+// authors' own LEAN/SAS'11 simplifier): a reproduction with long
+// uninterrupted per-thread runs is what makes a concurrency bug humanly
+// debuggable.
+//
+// The algorithm is semantic hill climbing over validated schedules: it
+// repeatedly tries to merge two runs of the same thread by relocating the
+// SAP block between them (before the first run or after the second),
+// accepting a move only when constraints.ValidateSchedule still succeeds
+// and the preemption count does not increase. Every intermediate schedule
+// is a genuine model of the constraint system, so the simplifier can never
+// break reproducibility.
+package simplify
+
+import (
+	"repro/internal/constraints"
+)
+
+// Result reports a simplification.
+type Result struct {
+	Order []constraints.SAPRef
+	// Witness is the validated witness of the simplified schedule.
+	Witness *constraints.Witness
+	// Before and After are the preemption counts.
+	Before, After int
+	// Moves counts accepted block moves.
+	Moves int
+}
+
+// Options tunes the hill climbing.
+type Options struct {
+	// MaxPasses bounds the number of full sweeps (default 8).
+	MaxPasses int
+}
+
+// Simplify reduces the preemptions of a valid schedule. It returns an
+// error only if the input schedule itself does not validate.
+func Simplify(sys *constraints.System, order []constraints.SAPRef, opts Options) (*Result, error) {
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 8
+	}
+	cur := append([]constraints.SAPRef(nil), order...)
+	w, err := sys.ValidateSchedule(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Before: w.Preemptions}
+	best := w
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		improved := false
+		// Identify runs: maximal same-thread stretches.
+		runs := runsOf(sys, cur)
+		for i := 0; i+2 < len(runs); i++ {
+			// Candidate: runs[i] and some later run of the same thread with
+			// exactly one foreign block between them.
+			for j := i + 2; j < len(runs) && j <= i+4; j++ {
+				if sys.SAP(cur[runs[i].start]).Thread != sys.SAP(cur[runs[j].start]).Thread {
+					continue
+				}
+				// Move the blocks between run i and run j after run j
+				// (deferring the interruption), merging the two runs.
+				cand := moveBlock(cur, runs[i].end+1, runs[j].start, runs[j].end+1)
+				if cw, err := sys.ValidateSchedule(cand); err == nil && cw.Preemptions < best.Preemptions {
+					cur, best = cand, cw
+					res.Moves++
+					improved = true
+					break
+				}
+				// Or move them before run i (advancing the interruption).
+				cand = moveBlockBefore(cur, runs[i].start, runs[i].end+1, runs[j].start)
+				if cw, err := sys.ValidateSchedule(cand); err == nil && cw.Preemptions < best.Preemptions {
+					cur, best = cand, cw
+					res.Moves++
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Order = cur
+	res.Witness = best
+	res.After = best.Preemptions
+	return res, nil
+}
+
+// run is a maximal same-thread stretch [start, end].
+type run struct{ start, end int }
+
+func runsOf(sys *constraints.System, order []constraints.SAPRef) []run {
+	var runs []run
+	for i := 0; i < len(order); {
+		j := i
+		for j+1 < len(order) && sys.SAP(order[j+1]).Thread == sys.SAP(order[i]).Thread {
+			j++
+		}
+		runs = append(runs, run{start: i, end: j})
+		i = j + 1
+	}
+	return runs
+}
+
+// moveBlock builds a copy of order with [from, to) relocated to start at
+// position insertAt (insertAt > to: the block shifts right).
+func moveBlock(order []constraints.SAPRef, from, to, insertAt int) []constraints.SAPRef {
+	out := make([]constraints.SAPRef, 0, len(order))
+	out = append(out, order[:from]...)
+	out = append(out, order[to:insertAt]...)
+	out = append(out, order[from:to]...)
+	out = append(out, order[insertAt:]...)
+	return out
+}
+
+// moveBlockBefore relocates [from, to) to position before; before < from.
+func moveBlockBefore(order []constraints.SAPRef, before, from, to int) []constraints.SAPRef {
+	out := make([]constraints.SAPRef, 0, len(order))
+	out = append(out, order[:before]...)
+	out = append(out, order[from:to]...)
+	out = append(out, order[before:from]...)
+	out = append(out, order[to:]...)
+	return out
+}

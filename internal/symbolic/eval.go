@@ -1,0 +1,227 @@
+package symbolic
+
+import "fmt"
+
+// Env supplies concrete values for symbolic variables during evaluation.
+// The solver builds an Env incrementally as it maps reads to writes.
+type Env interface {
+	// Value returns the concrete value bound to the symbol, or ok=false when
+	// the symbol is unbound.
+	Value(id SymID) (int64, bool)
+}
+
+// MapEnv is the map-backed Env used by the solver and by tests.
+type MapEnv map[SymID]int64
+
+// Value implements Env.
+func (m MapEnv) Value(id SymID) (int64, bool) {
+	v, ok := m[id]
+	return v, ok
+}
+
+// EvalError reports a failed evaluation: an unbound symbol, a type mismatch
+// or an arithmetic trap.
+type EvalError struct {
+	Expr Expr
+	Msg  string
+}
+
+// Error implements error.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("symbolic: cannot evaluate %s: %s", e.Expr, e.Msg)
+}
+
+// Value is the result of a concrete evaluation: either an integer or a bool.
+type Value struct {
+	Bool   bool
+	B      bool // boolean payload, valid when Bool
+	I      int64
+	IsBool bool
+}
+
+// EvalInt evaluates e to a concrete integer under env.
+func EvalInt(e Expr, env Env) (int64, error) {
+	v, err := eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	if v.IsBool {
+		return 0, &EvalError{Expr: e, Msg: "expected integer, got boolean"}
+	}
+	return v.I, nil
+}
+
+// EvalBool evaluates e to a concrete boolean under env.
+func EvalBool(e Expr, env Env) (bool, error) {
+	v, err := eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	if !v.IsBool {
+		return false, &EvalError{Expr: e, Msg: "expected boolean, got integer"}
+	}
+	return v.B, nil
+}
+
+func eval(e Expr, env Env) (Value, error) {
+	switch x := e.(type) {
+	case *IntConst:
+		return Value{I: x.V}, nil
+	case *BoolConst:
+		return Value{IsBool: true, B: x.V}, nil
+	case *Sym:
+		v, ok := env.Value(x.ID)
+		if !ok {
+			return Value{}, &EvalError{Expr: e, Msg: fmt.Sprintf("unbound symbol %s", x)}
+		}
+		return Value{I: v}, nil
+	case *Unary:
+		v, err := eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case OpNeg:
+			if v.IsBool {
+				return Value{}, &EvalError{Expr: e, Msg: "negating a boolean"}
+			}
+			return Value{I: -v.I}, nil
+		case OpNot:
+			if !v.IsBool {
+				return Value{}, &EvalError{Expr: e, Msg: "logical not of an integer"}
+			}
+			return Value{IsBool: true, B: !v.B}, nil
+		}
+		return Value{}, &EvalError{Expr: e, Msg: "unknown unary operator"}
+	case *Binary:
+		// Short-circuit logical operators so that guards protect their
+		// right operands, mirroring the language semantics.
+		if x.Op == OpLAnd || x.Op == OpLOr {
+			l, err := eval(x.X, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if !l.IsBool {
+				return Value{}, &EvalError{Expr: e, Msg: "logical operator on integer"}
+			}
+			if x.Op == OpLAnd && !l.B {
+				return Value{IsBool: true, B: false}, nil
+			}
+			if x.Op == OpLOr && l.B {
+				return Value{IsBool: true, B: true}, nil
+			}
+			r, err := eval(x.Y, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if !r.IsBool {
+				return Value{}, &EvalError{Expr: e, Msg: "logical operator on integer"}
+			}
+			return Value{IsBool: true, B: r.B}, nil
+		}
+		l, err := eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := eval(x.Y, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsBool || r.IsBool {
+			// Only equality makes sense on booleans.
+			if (x.Op == OpEq || x.Op == OpNe) && l.IsBool && r.IsBool {
+				eq := l.B == r.B
+				if x.Op == OpNe {
+					eq = !eq
+				}
+				return Value{IsBool: true, B: eq}, nil
+			}
+			return Value{}, &EvalError{Expr: e, Msg: "integer operator on boolean"}
+		}
+		if (x.Op == OpDiv || x.Op == OpRem) && r.I == 0 {
+			return Value{}, &EvalError{Expr: e, Msg: "division by zero"}
+		}
+		folded, ok := foldInt(x.Op, l.I, r.I)
+		if !ok {
+			return Value{}, &EvalError{Expr: e, Msg: "operator does not fold"}
+		}
+		switch f := folded.(type) {
+		case *IntConst:
+			return Value{I: f.V}, nil
+		case *BoolConst:
+			return Value{IsBool: true, B: f.V}, nil
+		}
+		return Value{}, &EvalError{Expr: e, Msg: "unexpected fold result"}
+	case *ITE:
+		c, err := EvalBool(x.Cond, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if c {
+			return eval(x.Then, env)
+		}
+		return eval(x.Else, env)
+	case *Select:
+		idx, err := EvalInt(x.Index, env)
+		if err != nil {
+			return Value{}, err
+		}
+		// Later entries shadow earlier ones: scan newest-first.
+		for k := len(x.Entries) - 1; k >= 0; k-- {
+			ei, err := EvalInt(x.Entries[k].Index, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if ei == idx {
+				return eval(x.Entries[k].Value, env)
+			}
+		}
+		return eval(x.Default, env)
+	}
+	return Value{}, &EvalError{Expr: e, Msg: "unknown expression kind"}
+}
+
+// Substitute returns e with every bound symbol replaced by its concrete
+// value from env; unbound symbols are left in place. The result is folded by
+// the constructors, so a fully bound expression substitutes to a constant.
+func Substitute(e Expr, env Env) Expr {
+	switch x := e.(type) {
+	case *IntConst, *BoolConst:
+		return e
+	case *Sym:
+		if v, ok := env.Value(x.ID); ok {
+			return Int(v)
+		}
+		return e
+	case *Unary:
+		return NewUnary(x.Op, Substitute(x.X, env))
+	case *Binary:
+		return NewBinary(x.Op, Substitute(x.X, env), Substitute(x.Y, env))
+	case *ITE:
+		return NewITE(Substitute(x.Cond, env), Substitute(x.Then, env), Substitute(x.Else, env))
+	case *Select:
+		entries := make([]SelectEntry, len(x.Entries))
+		for i, en := range x.Entries {
+			entries[i] = SelectEntry{Index: Substitute(en.Index, env), Value: Substitute(en.Value, env)}
+		}
+		return NewSelect(entries, Substitute(x.Index, env), Substitute(x.Default, env))
+	}
+	return e
+}
+
+// Namer hands out fresh symbolic variable IDs. The zero value is ready to
+// use. Namer is not safe for concurrent use; symbolic execution of the
+// per-thread paths is sequential by construction.
+type Namer struct {
+	next SymID
+}
+
+// Fresh returns a new symbol labeled name.
+func (n *Namer) Fresh(name string) *Sym {
+	s := NewSym(n.next, name)
+	n.next++
+	return s
+}
+
+// Count returns the number of symbols handed out so far.
+func (n *Namer) Count() int { return int(n.next) }

@@ -1,0 +1,158 @@
+package symbolic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndIsBoolAllNodes(t *testing.T) {
+	sym := NewSym(1, "r")
+	nodes := []struct {
+		e      Expr
+		kind   Kind
+		isBool bool
+	}{
+		{Int(1), KindIntConst, false},
+		{Bool(true), KindBoolConst, true},
+		{sym, KindSym, false},
+		{&Unary{Op: OpNeg, X: sym}, KindUnary, false},
+		{&Unary{Op: OpNot, X: Bool(true)}, KindUnary, true},
+		{&Binary{Op: OpAdd, X: sym, Y: sym}, KindBinary, false},
+		{&Binary{Op: OpLt, X: sym, Y: sym}, KindBinary, true},
+		{&ITE{Cond: Bool(true), Then: Int(1), Else: Int(2)}, KindITE, false},
+		{&ITE{Cond: Bool(true), Then: Bool(true), Else: Bool(false)}, KindITE, true},
+		{&Select{Entries: nil, Index: sym, Default: Int(0)}, KindSelect, false},
+		{&Select{Entries: nil, Index: sym, Default: Bool(false)}, KindSelect, true},
+	}
+	for i, n := range nodes {
+		if n.e.Kind() != n.kind {
+			t.Errorf("node %d: kind = %v, want %v", i, n.e.Kind(), n.kind)
+		}
+		if n.e.IsBool() != n.isBool {
+			t.Errorf("node %d: isBool = %v, want %v", i, n.e.IsBool(), n.isBool)
+		}
+		if n.e.String() == "" {
+			t.Errorf("node %d: empty string rendering", i)
+		}
+	}
+}
+
+func TestEvalErrorMessage(t *testing.T) {
+	_, err := EvalInt(NewSym(9, "lost"), MapEnv{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "lost") {
+		t.Errorf("error %q does not mention the symbol", err)
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	sym := NewSym(1, "r")
+	env := MapEnv{1: 5}
+	cases := []Expr{
+		&Unary{Op: OpNeg, X: Bool(true)},            // negate bool
+		&Unary{Op: OpNot, X: Int(1)},                // not int
+		&Binary{Op: OpAdd, X: Bool(true), Y: sym},   // add bool
+		&Binary{Op: OpLAnd, X: Int(1), Y: Int(2)},   // and ints
+		&Binary{Op: OpLAnd, X: Bool(true), Y: sym},  // and bool+int
+		&Binary{Op: OpLOr, X: Bool(false), Y: sym},  // or bool+int
+		&Binary{Op: OpRem, X: sym, Y: Int(0)},       // rem zero
+		&ITE{Cond: Int(1), Then: Int(1), Else: sym}, // int condition
+	}
+	for i, e := range cases {
+		if _, err := eval(e, env); err == nil {
+			t.Errorf("case %d (%s): expected evaluation error", i, e)
+		}
+	}
+	// Bool equality works.
+	eq := &Binary{Op: OpEq, X: Bool(true), Y: Bool(true)}
+	v, err := EvalBool(eq, env)
+	if err != nil || !v {
+		t.Errorf("bool equality: %v %v", v, err)
+	}
+	ne := &Binary{Op: OpNe, X: Bool(true), Y: Bool(false)}
+	v, err = EvalBool(ne, env)
+	if err != nil || !v {
+		t.Errorf("bool inequality: %v %v", v, err)
+	}
+	// EvalInt on a bool expression and EvalBool on an int expression.
+	if _, err := EvalInt(Bool(true), env); err == nil {
+		t.Error("EvalInt of bool must fail")
+	}
+	if _, err := EvalBool(Int(1), env); err == nil {
+		t.Error("EvalBool of int must fail")
+	}
+}
+
+func TestSubstituteAllNodeKinds(t *testing.T) {
+	sym := NewSym(1, "r")
+	env := MapEnv{1: 7}
+	// ITE substitution.
+	ite := &ITE{Cond: &Binary{Op: OpGt, X: sym, Y: Int(0)}, Then: sym, Else: Int(0)}
+	got := Substitute(ite, env)
+	if !Equal(got, Int(7)) {
+		t.Errorf("ite substitution = %s, want 7", got)
+	}
+	// Select substitution resolves fully bound selects.
+	sel := &Select{
+		Entries: []SelectEntry{{Index: sym, Value: Int(10)}},
+		Index:   Int(7),
+		Default: Int(0),
+	}
+	got = Substitute(sel, env)
+	if !Equal(got, Int(10)) {
+		t.Errorf("select substitution = %s, want 10", got)
+	}
+	// Constants substitute to themselves.
+	if !Equal(Substitute(Int(3), env), Int(3)) || !Equal(Substitute(Bool(true), env), Bool(true)) {
+		t.Error("constant substitution broken")
+	}
+	// Unary substitution.
+	if !Equal(Substitute(&Unary{Op: OpNeg, X: sym}, env), Int(-7)) {
+		t.Error("unary substitution broken")
+	}
+}
+
+func TestSelectEvalErrorPaths(t *testing.T) {
+	sym := NewSym(1, "j")
+	sel := &Select{
+		Entries: []SelectEntry{{Index: sym, Value: Int(1)}},
+		Index:   Int(0),
+		Default: Int(9),
+	}
+	// Unbound entry index.
+	if _, err := EvalInt(sel, MapEnv{}); err == nil {
+		t.Error("unbound select entry index must error")
+	}
+	// Unbound select index.
+	sel2 := &Select{Entries: nil, Index: sym, Default: Int(9)}
+	if _, err := EvalInt(sel2, MapEnv{}); err == nil {
+		t.Error("unbound select index must error")
+	}
+}
+
+func TestNewSelectSymbolicEntriesKept(t *testing.T) {
+	sym := NewSym(1, "j")
+	entries := []SelectEntry{{Index: sym, Value: Int(5)}}
+	e := NewSelect(entries, Int(3), Int(0))
+	if _, ok := e.(*Select); !ok {
+		t.Fatalf("symbolic-entry select must stay unresolved, got %s", e)
+	}
+	// Mutating the caller's slice must not affect the select.
+	entries[0].Value = Int(99)
+	v, err := EvalInt(e, MapEnv{1: 3})
+	if err != nil || v != 5 {
+		t.Fatalf("select not defensive-copied: %d %v", v, err)
+	}
+}
+
+func TestSymsNilDst(t *testing.T) {
+	if got := Syms(Int(1), nil, nil); len(got) != 0 {
+		t.Errorf("constant has syms %v", got)
+	}
+	ite := &ITE{Cond: &Binary{Op: OpGt, X: NewSym(2, "a"), Y: Int(0)}, Then: NewSym(3, "b"), Else: NewSym(2, "a")}
+	if got := Syms(ite, nil, nil); len(got) != 2 {
+		t.Errorf("ite syms = %v, want 2 distinct", got)
+	}
+}

@@ -1,0 +1,581 @@
+// Package symbolic implements the symbolic expression language used by
+// CLAP's offline analysis.
+//
+// During path-directed symbolic execution (internal/symexec) every load from
+// a shared memory location returns a fresh symbolic variable — a Sym — and
+// all values derived from such loads become expression trees over those
+// symbols. Path conditions (Fpath), the bug predicate (Fbug) and the values
+// written by shared stores are all Exprs. The constraint solver later binds
+// every Sym to the concrete value produced by the store the corresponding
+// read is mapped to, and evaluates the expressions concretely.
+//
+// Expressions are immutable once built; it is safe to share subtrees between
+// threads and between constraint systems.
+package symbolic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the dynamic type of an expression node.
+type Kind uint8
+
+// Expression node kinds.
+const (
+	KindIntConst Kind = iota
+	KindBoolConst
+	KindSym
+	KindUnary
+	KindBinary
+	KindITE
+	KindSelect
+)
+
+// Op enumerates the unary and binary operators of the expression language.
+// The set mirrors the operator set of the mini language (internal/minic) so
+// that symbolic execution can translate IR operations one to one.
+type Op uint8
+
+// Operators. Arithmetic and bitwise operators produce integers; comparison
+// and logical operators produce booleans.
+const (
+	OpInvalid Op = iota
+
+	// Integer → integer.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg // unary minus
+
+	// Integer × integer → bool.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Bool → bool.
+	OpLAnd
+	OpLOr
+	OpNot
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpNeg: "-", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpLAnd: "&&", OpLOr: "||", OpNot: "!",
+}
+
+// String returns the source-level spelling of the operator.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsComparison reports whether the operator compares two integers into a bool.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator works on booleans.
+func (o Op) IsLogical() bool {
+	switch o {
+	case OpLAnd, OpLOr, OpNot:
+		return true
+	}
+	return false
+}
+
+// SymID names a symbolic variable. Fresh IDs are handed out by a Namer; each
+// shared read in the analyzed execution gets its own SymID, so a SymID also
+// identifies the read-SAP whose value the symbol stands for.
+type SymID int32
+
+// Expr is a node in a symbolic expression tree. Implementations are
+// IntConst, BoolConst, Sym, Unary, Binary, ITE and Select.
+type Expr interface {
+	// Kind reports the node's dynamic kind.
+	Kind() Kind
+	// IsBool reports whether the expression evaluates to a boolean.
+	IsBool() bool
+	// String renders the expression in mini-language syntax.
+	String() string
+}
+
+// IntConst is a constant 64-bit integer.
+type IntConst struct{ V int64 }
+
+// BoolConst is a constant boolean.
+type BoolConst struct{ V bool }
+
+// Sym is a symbolic variable standing for the unknown value returned by a
+// shared read. Name is a diagnostic label such as "R_x@t1#3".
+type Sym struct {
+	ID   SymID
+	Name string
+}
+
+// Unary applies a unary operator (OpNeg, OpNot) to X.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+// Binary applies a binary operator to X and Y.
+type Binary struct {
+	Op   Op
+	X, Y Expr
+}
+
+// ITE is if-then-else: it evaluates to Then when Cond is true, otherwise
+// to Else. Then and Else must agree on boolean-ness.
+type ITE struct {
+	Cond, Then, Else Expr
+}
+
+// Select models a read from a write history with a possibly symbolic index:
+// it evaluates to the value of the latest entry whose index equals Index,
+// or to Default when no entry matches. It implements the paper's delayed
+// symbolic-address resolution (§5 "Symbolic Address Resolution"): the entry
+// list is the ordered list of writes to a base object.
+type Select struct {
+	// Entries are in program order, oldest first.
+	Entries []SelectEntry
+	// Index is the (possibly symbolic) index being read.
+	Index Expr
+	// Default is the value read when no entry's index matches.
+	Default Expr
+}
+
+// SelectEntry is one remembered write to a symbolic location.
+type SelectEntry struct {
+	Index Expr // the (possibly symbolic) index written
+	Value Expr // the (possibly symbolic) value written
+}
+
+// Kind implementations.
+
+// Kind reports KindIntConst.
+func (*IntConst) Kind() Kind { return KindIntConst }
+
+// Kind reports KindBoolConst.
+func (*BoolConst) Kind() Kind { return KindBoolConst }
+
+// Kind reports KindSym.
+func (*Sym) Kind() Kind { return KindSym }
+
+// Kind reports KindUnary.
+func (*Unary) Kind() Kind { return KindUnary }
+
+// Kind reports KindBinary.
+func (*Binary) Kind() Kind { return KindBinary }
+
+// Kind reports KindITE.
+func (*ITE) Kind() Kind { return KindITE }
+
+// Kind reports KindSelect.
+func (*Select) Kind() Kind { return KindSelect }
+
+// IsBool implementations.
+
+// IsBool reports false: integer constant.
+func (*IntConst) IsBool() bool { return false }
+
+// IsBool reports true: boolean constant.
+func (*BoolConst) IsBool() bool { return true }
+
+// IsBool reports false: read symbols always stand for integer values.
+func (*Sym) IsBool() bool { return false }
+
+// IsBool reports whether the operator produces a boolean.
+func (u *Unary) IsBool() bool { return u.Op == OpNot }
+
+// IsBool reports whether the operator produces a boolean.
+func (b *Binary) IsBool() bool { return b.Op.IsComparison() || b.Op.IsLogical() }
+
+// IsBool reports the boolean-ness of the branches.
+func (i *ITE) IsBool() bool { return i.Then.IsBool() }
+
+// IsBool reports the boolean-ness of the default value.
+func (s *Select) IsBool() bool { return s.Default.IsBool() }
+
+// String implementations.
+
+// String renders the constant.
+func (c *IntConst) String() string { return fmt.Sprintf("%d", c.V) }
+
+// String renders the constant.
+func (c *BoolConst) String() string {
+	if c.V {
+		return "true"
+	}
+	return "false"
+}
+
+// String renders the symbol's diagnostic name.
+func (s *Sym) String() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("sym%d", s.ID)
+}
+
+// String renders the application in prefix-free infix form.
+func (u *Unary) String() string { return fmt.Sprintf("%s(%s)", u.Op, u.X) }
+
+// String renders the application in parenthesized infix form.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.X, b.Op, b.Y)
+}
+
+// String renders the conditional.
+func (i *ITE) String() string {
+	return fmt.Sprintf("ite(%s, %s, %s)", i.Cond, i.Then, i.Else)
+}
+
+// String renders the write-history read.
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("select(")
+	sb.WriteString(s.Index.String())
+	sb.WriteString("; ")
+	for k, e := range s.Entries {
+		if k > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "[%s]=%s", e.Index, e.Value)
+	}
+	sb.WriteString("; default ")
+	sb.WriteString(s.Default.String())
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Convenience constructors. They fold constants eagerly so that purely
+// concrete computation never allocates expression trees deeper than a leaf.
+
+// Int returns an integer constant expression.
+func Int(v int64) Expr { return &IntConst{V: v} }
+
+// Bool returns a boolean constant expression.
+func Bool(v bool) Expr { return &BoolConst{V: v} }
+
+// True and False are the shared boolean constants.
+var (
+	True  Expr = &BoolConst{V: true}
+	False Expr = &BoolConst{V: false}
+)
+
+// NewSym returns a fresh symbolic variable with the given id and label.
+func NewSym(id SymID, name string) *Sym { return &Sym{ID: id, Name: name} }
+
+// NewUnary builds op(x), folding constants.
+func NewUnary(op Op, x Expr) Expr {
+	switch op {
+	case OpNeg:
+		if c, ok := x.(*IntConst); ok {
+			return Int(-c.V)
+		}
+	case OpNot:
+		if c, ok := x.(*BoolConst); ok {
+			return Bool(!c.V)
+		}
+		// ¬¬e ⇒ e
+		if u, ok := x.(*Unary); ok && u.Op == OpNot {
+			return u.X
+		}
+	}
+	return &Unary{Op: op, X: x}
+}
+
+// NewBinary builds (x op y), folding constants and applying a few cheap
+// algebraic identities. Division and remainder by constant zero are left
+// unfolded; Eval reports the error at evaluation time, matching the VM's
+// runtime trap behaviour.
+func NewBinary(op Op, x, y Expr) Expr {
+	xc, xok := x.(*IntConst)
+	yc, yok := y.(*IntConst)
+	if xok && yok {
+		if v, ok := foldInt(op, xc.V, yc.V); ok {
+			return v
+		}
+	}
+	xb, xbok := x.(*BoolConst)
+	yb, ybok := y.(*BoolConst)
+	switch op {
+	case OpLAnd:
+		if xbok {
+			if !xb.V {
+				return False
+			}
+			return y
+		}
+		if ybok {
+			if !yb.V {
+				return False
+			}
+			return x
+		}
+	case OpLOr:
+		if xbok {
+			if xb.V {
+				return True
+			}
+			return y
+		}
+		if ybok {
+			if yb.V {
+				return True
+			}
+			return x
+		}
+	case OpAdd:
+		if xok && xc.V == 0 {
+			return y
+		}
+		if yok && yc.V == 0 {
+			return x
+		}
+	case OpSub:
+		if yok && yc.V == 0 {
+			return x
+		}
+	case OpMul:
+		if xok && xc.V == 1 {
+			return y
+		}
+		if yok && yc.V == 1 {
+			return x
+		}
+		if (xok && xc.V == 0) || (yok && yc.V == 0) {
+			return Int(0)
+		}
+	}
+	return &Binary{Op: op, X: x, Y: y}
+}
+
+// foldInt folds a binary operator over two integer constants. It reports
+// ok=false when the operation traps (division by zero) or when the operator
+// does not apply to integers.
+func foldInt(op Op, a, b int64) (Expr, bool) {
+	switch op {
+	case OpAdd:
+		return Int(a + b), true
+	case OpSub:
+		return Int(a - b), true
+	case OpMul:
+		return Int(a * b), true
+	case OpDiv:
+		if b == 0 {
+			return nil, false
+		}
+		return Int(a / b), true
+	case OpRem:
+		if b == 0 {
+			return nil, false
+		}
+		return Int(a % b), true
+	case OpAnd:
+		return Int(a & b), true
+	case OpOr:
+		return Int(a | b), true
+	case OpXor:
+		return Int(a ^ b), true
+	case OpShl:
+		return Int(a << uint64(b&63)), true
+	case OpShr:
+		return Int(a >> uint64(b&63)), true
+	case OpEq:
+		return Bool(a == b), true
+	case OpNe:
+		return Bool(a != b), true
+	case OpLt:
+		return Bool(a < b), true
+	case OpLe:
+		return Bool(a <= b), true
+	case OpGt:
+		return Bool(a > b), true
+	case OpGe:
+		return Bool(a >= b), true
+	}
+	return nil, false
+}
+
+// NewITE builds ite(cond, then, else), folding a constant condition and
+// collapsing identical branches.
+func NewITE(cond, then, els Expr) Expr {
+	if c, ok := cond.(*BoolConst); ok {
+		if c.V {
+			return then
+		}
+		return els
+	}
+	if Equal(then, els) {
+		return then
+	}
+	return &ITE{Cond: cond, Then: then, Else: els}
+}
+
+// NewSelect builds a write-history read. When the index and all entry
+// indices are concrete the select resolves immediately.
+func NewSelect(entries []SelectEntry, index, def Expr) Expr {
+	if ic, ok := index.(*IntConst); ok {
+		allConcrete := true
+		for _, e := range entries {
+			if _, ok := e.Index.(*IntConst); !ok {
+				allConcrete = false
+				break
+			}
+		}
+		if allConcrete {
+			res := def
+			for _, e := range entries {
+				if e.Index.(*IntConst).V == ic.V {
+					res = e.Value
+				}
+			}
+			return res
+		}
+	}
+	es := make([]SelectEntry, len(entries))
+	copy(es, entries)
+	return &Select{Entries: es, Index: index, Default: def}
+}
+
+// Not negates a boolean expression.
+func Not(x Expr) Expr { return NewUnary(OpNot, x) }
+
+// And conjoins boolean expressions, skipping constants.
+func And(xs ...Expr) Expr {
+	res := True
+	for _, x := range xs {
+		res = NewBinary(OpLAnd, res, x)
+	}
+	return res
+}
+
+// Or disjoins boolean expressions, skipping constants.
+func Or(xs ...Expr) Expr {
+	res := False
+	for _, x := range xs {
+		res = NewBinary(OpLOr, res, x)
+	}
+	return res
+}
+
+// Eq builds x == y.
+func Eq(x, y Expr) Expr { return NewBinary(OpEq, x, y) }
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case *IntConst:
+		return x.V == b.(*IntConst).V
+	case *BoolConst:
+		return x.V == b.(*BoolConst).V
+	case *Sym:
+		return x.ID == b.(*Sym).ID
+	case *Unary:
+		y := b.(*Unary)
+		return x.Op == y.Op && Equal(x.X, y.X)
+	case *Binary:
+		y := b.(*Binary)
+		return x.Op == y.Op && Equal(x.X, y.X) && Equal(x.Y, y.Y)
+	case *ITE:
+		y := b.(*ITE)
+		return Equal(x.Cond, y.Cond) && Equal(x.Then, y.Then) && Equal(x.Else, y.Else)
+	case *Select:
+		y := b.(*Select)
+		if len(x.Entries) != len(y.Entries) || !Equal(x.Index, y.Index) || !Equal(x.Default, y.Default) {
+			return false
+		}
+		for i := range x.Entries {
+			if !Equal(x.Entries[i].Index, y.Entries[i].Index) || !Equal(x.Entries[i].Value, y.Entries[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Syms appends to dst the distinct SymIDs appearing in e, in first-seen
+// order, and returns the extended slice. seen tracks already-reported IDs
+// and may be nil on the first call.
+func Syms(e Expr, seen map[SymID]bool, dst []SymID) []SymID {
+	if seen == nil {
+		seen = make(map[SymID]bool)
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Sym:
+			if !seen[x.ID] {
+				seen[x.ID] = true
+				dst = append(dst, x.ID)
+			}
+		case *Unary:
+			walk(x.X)
+		case *Binary:
+			walk(x.X)
+			walk(x.Y)
+		case *ITE:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *Select:
+			walk(x.Index)
+			walk(x.Default)
+			for _, en := range x.Entries {
+				walk(en.Index)
+				walk(en.Value)
+			}
+		}
+	}
+	walk(e)
+	return dst
+}
+
+// Size returns the number of nodes in the expression tree. It is used by
+// constraint statistics (Table 1's #Constraints column counts clause nodes).
+func Size(e Expr) int {
+	switch x := e.(type) {
+	case *IntConst, *BoolConst, *Sym:
+		return 1
+	case *Unary:
+		return 1 + Size(x.X)
+	case *Binary:
+		return 1 + Size(x.X) + Size(x.Y)
+	case *ITE:
+		return 1 + Size(x.Cond) + Size(x.Then) + Size(x.Else)
+	case *Select:
+		n := 1 + Size(x.Index) + Size(x.Default)
+		for _, en := range x.Entries {
+			n += Size(en.Index) + Size(en.Value)
+		}
+		return n
+	}
+	return 1
+}

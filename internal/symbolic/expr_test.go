@@ -1,0 +1,365 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Expr
+		want Expr
+	}{
+		{"add", NewBinary(OpAdd, Int(2), Int(3)), Int(5)},
+		{"sub", NewBinary(OpSub, Int(2), Int(3)), Int(-1)},
+		{"mul", NewBinary(OpMul, Int(4), Int(3)), Int(12)},
+		{"div", NewBinary(OpDiv, Int(7), Int(2)), Int(3)},
+		{"rem", NewBinary(OpRem, Int(7), Int(2)), Int(1)},
+		{"and", NewBinary(OpAnd, Int(6), Int(3)), Int(2)},
+		{"or", NewBinary(OpOr, Int(6), Int(3)), Int(7)},
+		{"xor", NewBinary(OpXor, Int(6), Int(3)), Int(5)},
+		{"shl", NewBinary(OpShl, Int(1), Int(4)), Int(16)},
+		{"shr", NewBinary(OpShr, Int(16), Int(4)), Int(1)},
+		{"eq", NewBinary(OpEq, Int(3), Int(3)), Bool(true)},
+		{"ne", NewBinary(OpNe, Int(3), Int(3)), Bool(false)},
+		{"lt", NewBinary(OpLt, Int(2), Int(3)), Bool(true)},
+		{"le", NewBinary(OpLe, Int(3), Int(3)), Bool(true)},
+		{"gt", NewBinary(OpGt, Int(2), Int(3)), Bool(false)},
+		{"ge", NewBinary(OpGe, Int(2), Int(3)), Bool(false)},
+		{"neg", NewUnary(OpNeg, Int(5)), Int(-5)},
+		{"not", NewUnary(OpNot, Bool(true)), Bool(false)},
+		{"land", NewBinary(OpLAnd, Bool(true), Bool(false)), Bool(false)},
+		{"lor", NewBinary(OpLOr, Bool(true), Bool(false)), Bool(true)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !Equal(c.got, c.want) {
+				t.Errorf("got %s, want %s", c.got, c.want)
+			}
+		})
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	s := NewSym(1, "r")
+	if !Equal(NewBinary(OpAdd, Int(0), s), s) {
+		t.Error("0 + r should fold to r")
+	}
+	if !Equal(NewBinary(OpAdd, s, Int(0)), s) {
+		t.Error("r + 0 should fold to r")
+	}
+	if !Equal(NewBinary(OpMul, Int(1), s), s) {
+		t.Error("1 * r should fold to r")
+	}
+	if !Equal(NewBinary(OpMul, s, Int(0)), Int(0)) {
+		t.Error("r * 0 should fold to 0")
+	}
+	if !Equal(NewBinary(OpSub, s, Int(0)), s) {
+		t.Error("r - 0 should fold to r")
+	}
+	p := NewBinary(OpGt, s, Int(0))
+	if !Equal(NewBinary(OpLAnd, True, p), p) {
+		t.Error("true && p should fold to p")
+	}
+	if !Equal(NewBinary(OpLAnd, False, p), False) {
+		t.Error("false && p should fold to false")
+	}
+	if !Equal(NewBinary(OpLOr, False, p), p) {
+		t.Error("false || p should fold to p")
+	}
+	if !Equal(NewBinary(OpLOr, True, p), True) {
+		t.Error("true || p should fold to true")
+	}
+	if !Equal(Not(Not(p)), p) {
+		t.Error("double negation should fold")
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	e := NewBinary(OpDiv, Int(1), Int(0))
+	if _, ok := e.(*Binary); !ok {
+		t.Fatalf("1/0 must stay unfolded, got %s", e)
+	}
+	if _, err := EvalInt(e, MapEnv{}); err == nil {
+		t.Fatal("evaluating 1/0 must error")
+	}
+}
+
+func TestEvalWithEnv(t *testing.T) {
+	r1 := NewSym(1, "Rx")
+	r2 := NewSym(2, "Ry")
+	// (Rx + 2) * Ry > 10
+	e := NewBinary(OpGt, NewBinary(OpMul, NewBinary(OpAdd, r1, Int(2)), r2), Int(10))
+	got, err := EvalBool(e, MapEnv{1: 3, 2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("(3+2)*3 > 10 should be true")
+	}
+	got, err = EvalBool(e, MapEnv{1: 0, 2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("(0+2)*3 > 10 should be false")
+	}
+}
+
+func TestEvalUnboundSymbol(t *testing.T) {
+	e := NewBinary(OpAdd, NewSym(7, "r"), Int(1))
+	if _, err := EvalInt(e, MapEnv{}); err == nil {
+		t.Fatal("expected unbound-symbol error")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// (false && <type error>) must evaluate to false without touching the RHS.
+	bad := NewBinary(OpLAnd, Int(1), Int(2)) // ill-typed on purpose
+	e := &Binary{Op: OpLAnd, X: False, Y: bad}
+	got, err := EvalBool(e, MapEnv{})
+	if err != nil {
+		t.Fatalf("short-circuit and: %v", err)
+	}
+	if got {
+		t.Error("false && _ must be false")
+	}
+	e2 := &Binary{Op: OpLOr, X: True, Y: bad}
+	got, err = EvalBool(e2, MapEnv{})
+	if err != nil {
+		t.Fatalf("short-circuit or: %v", err)
+	}
+	if !got {
+		t.Error("true || _ must be true")
+	}
+}
+
+func TestITE(t *testing.T) {
+	s := NewSym(1, "r")
+	e := NewITE(NewBinary(OpGt, s, Int(0)), Int(100), Int(200))
+	v, err := EvalInt(e, MapEnv{1: 5})
+	if err != nil || v != 100 {
+		t.Fatalf("got %d, %v; want 100", v, err)
+	}
+	v, err = EvalInt(e, MapEnv{1: -5})
+	if err != nil || v != 200 {
+		t.Fatalf("got %d, %v; want 200", v, err)
+	}
+	// Constant condition folds.
+	if !Equal(NewITE(True, Int(1), Int(2)), Int(1)) {
+		t.Error("ite(true,..) should fold")
+	}
+	// Identical branches fold.
+	if !Equal(NewITE(NewBinary(OpGt, s, Int(0)), Int(1), Int(1)), Int(1)) {
+		t.Error("ite with equal branches should fold")
+	}
+}
+
+func TestSelectConcreteResolution(t *testing.T) {
+	entries := []SelectEntry{
+		{Index: Int(1), Value: Int(10)},
+		{Index: Int(2), Value: Int(20)},
+		{Index: Int(1), Value: Int(11)}, // shadows the first write to index 1
+	}
+	if got := NewSelect(entries, Int(1), Int(0)); !Equal(got, Int(11)) {
+		t.Errorf("select[1] = %s, want 11 (latest write wins)", got)
+	}
+	if got := NewSelect(entries, Int(2), Int(0)); !Equal(got, Int(20)) {
+		t.Errorf("select[2] = %s, want 20", got)
+	}
+	if got := NewSelect(entries, Int(9), Int(0)); !Equal(got, Int(0)) {
+		t.Errorf("select[9] = %s, want default 0", got)
+	}
+}
+
+func TestSelectSymbolicResolution(t *testing.T) {
+	j := NewSym(1, "j")
+	entries := []SelectEntry{
+		{Index: Int(1), Value: Int(10)},
+		{Index: j, Value: Int(99)},
+	}
+	sel := NewSelect(entries, Int(1), Int(0))
+	// With j = 1 the later symbolic write shadows; with j = 2 it does not.
+	v, err := EvalInt(sel, MapEnv{1: 1})
+	if err != nil || v != 99 {
+		t.Fatalf("j=1: got %d, %v; want 99", v, err)
+	}
+	v, err = EvalInt(sel, MapEnv{1: 2})
+	if err != nil || v != 10 {
+		t.Fatalf("j=2: got %d, %v; want 10", v, err)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	r1 := NewSym(1, "a")
+	r2 := NewSym(2, "b")
+	e := NewBinary(OpAdd, r1, r2)
+	half := Substitute(e, MapEnv{1: 4})
+	if got := Syms(half, nil, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after partial substitution, syms = %v; want [2]", got)
+	}
+	full := Substitute(half, MapEnv{2: 5})
+	if !Equal(full, Int(9)) {
+		t.Fatalf("full substitution = %s; want 9", full)
+	}
+}
+
+func TestSymsOrderAndUniqueness(t *testing.T) {
+	a, b, c := NewSym(3, "a"), NewSym(1, "b"), NewSym(2, "c")
+	e := NewBinary(OpAdd, NewBinary(OpMul, a, b), NewBinary(OpSub, b, c))
+	got := Syms(e, nil, nil)
+	want := []SymID{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("syms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("syms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNamer(t *testing.T) {
+	var n Namer
+	a := n.Fresh("a")
+	b := n.Fresh("b")
+	if a.ID == b.ID {
+		t.Fatal("Namer must hand out distinct ids")
+	}
+	if n.Count() != 2 {
+		t.Fatalf("count = %d, want 2", n.Count())
+	}
+}
+
+// randExpr builds a random well-typed integer expression over the given
+// symbol ids with bounded depth.
+func randExpr(r *rand.Rand, ids []SymID, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		if len(ids) > 0 && r.Intn(2) == 0 {
+			return NewSym(ids[r.Intn(len(ids))], "s")
+		}
+		return Int(int64(r.Intn(21) - 10))
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+	op := ops[r.Intn(len(ops))]
+	return &Binary{Op: op, X: randExpr(r, ids, depth-1), Y: randExpr(r, ids, depth-1)}
+}
+
+// TestPropertyFoldedEqualsUnfolded checks that the folding constructors
+// never change the value of an expression: rebuilding a raw tree through
+// NewBinary/NewUnary evaluates to the same result.
+func TestPropertyFoldedEqualsUnfolded(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rebuild := func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Binary:
+			return NewBinary(x.Op, rebuildExpr(x.X), rebuildExpr(x.Y))
+		}
+		return e
+	}
+	_ = rebuild
+	f := func(seed int64, v1, v2, v3 int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ids := []SymID{1, 2, 3}
+		env := MapEnv{1: v1 % 100, 2: v2 % 100, 3: v3 % 100}
+		raw := randExpr(rr, ids, 4)
+		folded := rebuildExpr(raw)
+		a, errA := EvalInt(raw, env)
+		b, errB := EvalInt(folded, env)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rebuildExpr reconstructs an expression through the folding constructors.
+func rebuildExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Unary:
+		return NewUnary(x.Op, rebuildExpr(x.X))
+	case *Binary:
+		return NewBinary(x.Op, rebuildExpr(x.X), rebuildExpr(x.Y))
+	case *ITE:
+		return NewITE(rebuildExpr(x.Cond), rebuildExpr(x.Then), rebuildExpr(x.Else))
+	default:
+		return e
+	}
+}
+
+// TestPropertySubstituteMatchesEval checks that substituting a full
+// environment yields the constant Eval would produce.
+func TestPropertySubstituteMatchesEval(t *testing.T) {
+	f := func(seed int64, v1, v2 int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		env := MapEnv{1: v1 % 1000, 2: v2 % 1000}
+		e := randExpr(rr, []SymID{1, 2}, 4)
+		want, err := EvalInt(e, env)
+		if err != nil {
+			return true // trap cases are fine
+		}
+		sub := Substitute(e, env)
+		c, ok := sub.(*IntConst)
+		return ok && c.V == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := NewBinary(OpAdd, NewSym(1, "x"), Int(2))
+	b := NewBinary(OpAdd, NewSym(1, "y"), Int(2)) // name differs, id same
+	if !Equal(a, b) {
+		t.Error("equality must ignore symbol names")
+	}
+	c := NewBinary(OpAdd, NewSym(2, "x"), Int(2))
+	if Equal(a, c) {
+		t.Error("different symbol ids must not compare equal")
+	}
+	if Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil never equals a node")
+	}
+}
+
+func TestSize(t *testing.T) {
+	e := NewBinary(OpGt, &Binary{Op: OpAdd, X: NewSym(1, "r"), Y: Int(2)}, Int(10))
+	if got := Size(e); got != 5 {
+		t.Errorf("size = %d, want 5", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "+" || OpLAnd.String() != "&&" {
+		t.Error("operator spellings wrong")
+	}
+	if !OpEq.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison misclassifies")
+	}
+	if !OpNot.IsLogical() || OpEq.IsLogical() {
+		t.Error("IsLogical misclassifies")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewBinary(OpLt, NewSym(1, "Rx"), Int(3))
+	if got := e.String(); got != "(Rx < 3)" {
+		t.Errorf("String() = %q", got)
+	}
+	sel := &Select{
+		Entries: []SelectEntry{{Index: Int(0), Value: Int(1)}},
+		Index:   NewSym(2, "j"),
+		Default: Int(0),
+	}
+	if got := sel.String(); got == "" {
+		t.Error("select must render")
+	}
+}

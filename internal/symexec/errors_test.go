@@ -1,0 +1,134 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ballarus"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// compileFP compiles a program and its Ball–Larus numbering.
+func compileFP(t *testing.T, src string) (*ir.Program, []*ballarus.FuncPaths) {
+	t.Helper()
+	prog, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ballarus.ProgramPaths(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, paths
+}
+
+const tinySrc = `
+int x;
+func main() {
+	x = 1;
+	int v = x;
+	assert(v == 0, "bug");
+}
+`
+
+func TestAnalyzeRejectsCorruptLogs(t *testing.T) {
+	prog, paths := compileFP(t, tinySrc)
+	cases := []struct {
+		name   string
+		events []trace.Event
+		cuts   []uint64
+		want   string
+	}{
+		{"empty log", nil, nil, "empty path log"},
+		{"path outside activation", []trace.Event{{Kind: trace.EvPath, Arg: 0}}, nil, "outside activation"},
+		{"unbalanced exit", []trace.Event{{Kind: trace.EvExit}}, nil, "unbalanced exit"},
+		{"bad function id", []trace.Event{{Kind: trace.EvEnter, Arg: 99}}, nil, "bad function id"},
+		{"unclosed activation", []trace.Event{{Kind: trace.EvEnter, Arg: 0}}, nil, "unclosed"},
+		{"partial without cut", []trace.Event{
+			{Kind: trace.EvEnter, Arg: 0},
+			{Kind: trace.EvPartial, Arg: 0, Arg2: 1},
+		}, nil, "without a cut"},
+		{"out of range path", []trace.Event{
+			{Kind: trace.EvEnter, Arg: 0},
+			{Kind: trace.EvPath, Arg: 999999},
+		}, nil, "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			log := &trace.PathLog{}
+			log.SetThreadMeta(0, -1, 0)
+			for _, e := range c.events {
+				log.Append(0, e)
+			}
+			for _, cut := range c.cuts {
+				log.AppendCut(0, cut)
+			}
+			_, err := Analyze(prog, paths, log, Options{Failure: FailureSpec{Thread: 0, Site: 1}})
+			if err == nil {
+				t.Fatalf("corrupt log accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAnalyzeRejectsWrongFailureSite(t *testing.T) {
+	prog, paths := compileFP(t, tinySrc)
+	mainFn := prog.Funcs[prog.MainID]
+	fp := paths[prog.MainID]
+	// Build a legitimate complete log for main.
+	log := &trace.PathLog{}
+	log.SetThreadMeta(0, -1, 0)
+	log.Append(0, trace.Event{Kind: trace.EvEnter, Arg: uint64(prog.MainID)})
+	// Find the full path id by simulating the single path.
+	trk := ballarus.NewTracker(fp)
+	cur := mainFn.Entry
+	for {
+		if ret, ok := cur.Term.(*ir.Return); ok {
+			_ = ret
+			log.Append(0, trace.Event{Kind: trace.EvPath, Arg: trk.Return(cur.ID)})
+			break
+		}
+		j := cur.Term.(*ir.Jump)
+		trk.TakeEdge(cur.ID, j.Target.ID)
+		cur = j.Target
+	}
+	log.Append(0, trace.Event{Kind: trace.EvExit})
+	// Site 42 does not exist.
+	if _, err := Analyze(prog, paths, log, Options{Failure: FailureSpec{Thread: 0, Site: 42}}); err == nil {
+		t.Fatal("wrong failure site accepted")
+	}
+}
+
+func TestAnalyzeMissingSpawnArgs(t *testing.T) {
+	prog, paths := compileFP(t, `
+int x;
+func child() { x = 1; }
+func main() {
+	int h = spawn child();
+	join(h);
+	int v = x;
+	assert(v == 0, "bug");
+}
+`)
+	// A thread claiming parent 0 index 5 was never spawned by the log.
+	log := &trace.PathLog{}
+	log.SetThreadMeta(0, -1, 0)
+	log.Append(0, trace.Event{Kind: trace.EvEnter, Arg: uint64(prog.MainID)})
+	log.Append(0, trace.Event{Kind: trace.EvPartial, Arg: 0, Arg2: 1})
+	log.AppendCut(0, 0)
+	log.SetThreadMeta(1, 0, 5)
+	log.Append(1, trace.Event{Kind: trace.EvEnter, Arg: uint64(prog.FuncByName("child"))})
+	log.Append(1, trace.Event{Kind: trace.EvPartial, Arg: 0, Arg2: 1})
+	log.AppendCut(1, 0)
+	_, err := Analyze(prog, paths, log, Options{Failure: FailureSpec{Thread: 0, Site: 1}})
+	if err == nil {
+		t.Fatal("unspawned thread accepted")
+	}
+	if !strings.Contains(err.Error(), "spawn") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,535 @@
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/ballarus"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+	"repro/internal/trace"
+)
+
+// Options parameterizes the analysis.
+type Options struct {
+	// Shared marks thread-shared globals (nil treats all globals as
+	// shared, matching the VM's convention).
+	Shared []bool
+	// Inputs are the deterministic program inputs of the recorded run.
+	Inputs []int64
+	// Failure identifies the failing assertion; it is required.
+	Failure FailureSpec
+}
+
+// Analyze symbolically re-executes the recorded run.
+func Analyze(prog *ir.Program, paths []*ballarus.FuncPaths, log *trace.PathLog, opts Options) (*Analysis, error) {
+	shared := opts.Shared
+	if shared == nil {
+		shared = make([]bool, len(prog.Globals))
+		for i := range shared {
+			shared[i] = true
+		}
+	}
+	g := &globalCtx{
+		prog:      prog,
+		paths:     paths,
+		layout:    ir.NewLayout(prog),
+		shared:    shared,
+		inputs:    opts.Inputs,
+		namer:     &symbolic.Namer{},
+		spawnArgs: map[trace.ThreadID][]symbolic.Expr{},
+		keyToTid:  map[threadKey]trace.ThreadID{},
+		readOf:    map[symbolic.SymID]*SAP{},
+	}
+	an := &Analysis{
+		Prog:      prog,
+		BugThread: opts.Failure.Thread,
+		ReadOf:    g.readOf,
+		Shared:    shared,
+	}
+	trees := make([]*threadTree, len(log.Threads))
+	for i := range log.Threads {
+		tree, err := buildTree(paths, &log.Threads[i])
+		if err != nil {
+			return nil, err
+		}
+		trees[i] = tree
+		if tree.parent >= 0 {
+			g.keyToTid[threadKey{parent: tree.parent, index: tree.index}] = tree.thread
+		}
+	}
+	// Thread ids are assigned in spawn order, so every parent precedes its
+	// children and spawn arguments are available when needed.
+	for i, tree := range trees {
+		tid := trace.ThreadID(i)
+		var args []symbolic.Expr
+		if tree.parent >= 0 {
+			var ok bool
+			args, ok = g.spawnArgs[tid]
+			if !ok {
+				return nil, fmt.Errorf("symexec: thread %d has no recorded spawn arguments", tid)
+			}
+		}
+		ex := &texec{g: g, tid: tid, nonShared: newLocalState(prog, g.layout)}
+		tt := &ThreadTrace{Thread: tid, Parent: tree.parent, Index: tree.index}
+		ex.tt = tt
+		ex.emit(&SAP{Kind: SAPStart})
+		if _, err := ex.runActivation(tree.root, args); err != nil {
+			return nil, err
+		}
+		if tree.exited() {
+			ex.emit(&SAP{Kind: SAPExit})
+			tt.Exited = true
+		}
+		// Resolve assertion records: the failing thread's last assertion is
+		// the bug; every other assertion held on the recorded path.
+		for k, ar := range ex.asserts {
+			failing := tid == opts.Failure.Thread && k == len(ex.asserts)-1
+			if failing {
+				if ar.site != opts.Failure.Site {
+					return nil, fmt.Errorf("symexec: thread %d last assertion is site %d, failure reports site %d", tid, ar.site, opts.Failure.Site)
+				}
+				an.Bug = symbolic.Not(ar.cond)
+			} else {
+				if _, isConst := ar.cond.(*symbolic.BoolConst); !isConst {
+					tt.PathCond = append(tt.PathCond, ar.cond)
+				}
+			}
+		}
+		an.Threads = append(an.Threads, tt)
+	}
+	if an.Bug == nil {
+		return nil, fmt.Errorf("symexec: failing thread %d recorded no assertion at site %d", opts.Failure.Thread, opts.Failure.Site)
+	}
+	an.NumSyms = g.namer.Count()
+	return an, nil
+}
+
+type threadKey struct {
+	parent trace.ThreadID
+	index  int32
+}
+
+type globalCtx struct {
+	prog      *ir.Program
+	paths     []*ballarus.FuncPaths
+	layout    *ir.Layout
+	shared    []bool
+	inputs    []int64
+	namer     *symbolic.Namer
+	spawnArgs map[trace.ThreadID][]symbolic.Expr
+	keyToTid  map[threadKey]trace.ThreadID
+	readOf    map[symbolic.SymID]*SAP
+}
+
+// assertRec is an executed assertion occurrence.
+type assertRec struct {
+	site int
+	cond symbolic.Expr
+}
+
+// texec is the per-thread symbolic executor.
+type texec struct {
+	g         *globalCtx
+	tid       trace.ThreadID
+	tt        *ThreadTrace
+	asserts   []assertRec
+	nonShared *localState
+	children  int32
+	aborted   bool
+}
+
+// emit appends a SAP, filling in its identity.
+func (e *texec) emit(s *SAP) *SAP {
+	s.Thread = e.tid
+	s.Seq = len(e.tt.SAPs)
+	e.tt.SAPs = append(e.tt.SAPs, s)
+	return s
+}
+
+// cond adds a path-condition conjunct (constants are dropped; a false
+// constant is an internal inconsistency).
+func (e *texec) cond(c symbolic.Expr) error {
+	if bc, ok := c.(*symbolic.BoolConst); ok {
+		if !bc.V {
+			return fmt.Errorf("symexec: thread %d produced an unsatisfiable concrete path condition", e.tid)
+		}
+		return nil
+	}
+	e.tt.PathCond = append(e.tt.PathCond, c)
+	return nil
+}
+
+func (e *texec) errf(format string, args ...any) error {
+	return fmt.Errorf("symexec: thread %d: %s", e.tid, fmt.Sprintf(format, args...))
+}
+
+// runActivation executes one activation along its decoded blocks.
+func (e *texec) runActivation(act *activation, args []symbolic.Expr) (symbolic.Expr, error) {
+	fn := e.g.prog.Funcs[act.fn]
+	regs := make([]symbolic.Expr, fn.NumRegs)
+	copy(regs, args)
+	if len(act.blocks) == 0 {
+		// A created-but-never-run thread: nothing executed.
+		e.aborted = true
+		return symbolic.Int(0), nil
+	}
+	if act.blocks[0] != fn.Entry.ID {
+		return nil, e.errf("activation of %s starts at b%d, not entry", fn.Name, act.blocks[0])
+	}
+	callIdx := 0
+	pos := 0
+	for {
+		block := fn.Blocks[act.blocks[pos]]
+		last := pos == len(act.blocks)-1
+		budget := len(block.Instrs)
+		halfWait := false
+		if act.partial && last {
+			budget = int(act.cut / 2)
+			halfWait = act.cut%2 == 1
+			if budget > len(block.Instrs) {
+				return nil, e.errf("cut %d exceeds block size %d in %s", act.cut, len(block.Instrs), fn.Name)
+			}
+		}
+		for ip := 0; ip < budget; ip++ {
+			if err := e.execInstr(fn, regs, block.Instrs[ip], act, &callIdx); err != nil {
+				return nil, err
+			}
+			if e.aborted {
+				return symbolic.Int(0), nil
+			}
+		}
+		if act.partial && last {
+			if halfWait {
+				// The pending instruction's release half executed.
+				w, ok := block.Instrs[budget].(*ir.SyncOp)
+				if !ok || w.Kind != ir.BuiltinWait {
+					return nil, e.errf("half-executed cut does not point at a wait in %s", fn.Name)
+				}
+				e.emit(&SAP{Kind: SAPWaitBegin, Cond: w.Obj, Mutex: w.Obj2})
+			}
+			e.aborted = true
+			return symbolic.Int(0), nil
+		}
+		// Terminator.
+		switch term := block.Term.(type) {
+		case *ir.Return:
+			if !last || !act.returns {
+				return nil, e.errf("return in %s at non-final decoded block", fn.Name)
+			}
+			if term.Src == ir.NoReg {
+				return symbolic.Int(0), nil
+			}
+			return regs[term.Src], nil
+		case *ir.Jump:
+			if last {
+				return nil, e.errf("decoded path for %s ends at a jump", fn.Name)
+			}
+			next := act.blocks[pos+1]
+			if next != term.Target.ID {
+				return nil, e.errf("jump target mismatch in %s: decoded b%d, ir b%d", fn.Name, next, term.Target.ID)
+			}
+			pos++
+		case *ir.Branch:
+			if last {
+				return nil, e.errf("decoded path for %s ends at a branch", fn.Name)
+			}
+			next := act.blocks[pos+1]
+			c := regs[term.Cond]
+			switch next {
+			case term.Then.ID:
+				if err := e.condTaken(c, true); err != nil {
+					return nil, err
+				}
+			case term.Else.ID:
+				if err := e.condTaken(c, false); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, e.errf("branch in %s cannot reach decoded b%d", fn.Name, next)
+			}
+			pos++
+		default:
+			return nil, e.errf("unknown terminator in %s", fn.Name)
+		}
+	}
+}
+
+// condTaken records the path condition of a branch decision.
+func (e *texec) condTaken(c symbolic.Expr, takenThen bool) error {
+	if bc, ok := c.(*symbolic.BoolConst); ok {
+		if bc.V != takenThen {
+			return e.errf("concrete branch condition %v contradicts recorded path", bc.V)
+		}
+		return nil
+	}
+	if takenThen {
+		return e.cond(c)
+	}
+	return e.cond(symbolic.Not(c))
+}
+
+// execInstr symbolically executes one instruction.
+func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *activation, callIdx *int) error {
+	switch x := in.(type) {
+	case *ir.Const:
+		regs[x.Dst] = symbolic.Int(x.V)
+	case *ir.ConstBool:
+		regs[x.Dst] = symbolic.Bool(x.V)
+	case *ir.Mov:
+		regs[x.Dst] = regs[x.Src]
+	case *ir.UnOp:
+		regs[x.Dst] = symbolic.NewUnary(x.Op, regs[x.X])
+	case *ir.BinOp:
+		regs[x.Dst] = symbolic.NewBinary(x.Op, regs[x.X], regs[x.Y])
+	case *ir.LoadG:
+		if e.g.shared[x.Global] {
+			sym := e.fresh(x.Global)
+			s := e.emit(&SAP{Kind: SAPRead, Var: x.Global, Addr: e.g.layout.Base[x.Global], Sym: sym})
+			e.g.readOf[sym.ID] = s
+			regs[x.Dst] = sym
+		} else {
+			regs[x.Dst] = e.nonShared.readScalar(x.Global)
+		}
+	case *ir.StoreG:
+		if e.g.shared[x.Global] {
+			e.emit(&SAP{Kind: SAPWrite, Var: x.Global, Addr: e.g.layout.Base[x.Global], Val: regs[x.Src]})
+		} else {
+			e.nonShared.writeScalar(x.Global, regs[x.Src])
+		}
+	case *ir.LoadA:
+		idx := regs[x.Idx]
+		if e.g.shared[x.Array] {
+			sym := e.fresh(x.Array)
+			s := &SAP{Kind: SAPRead, Var: x.Array, Sym: sym}
+			if err := e.fillAddr(s, x.Array, idx); err != nil {
+				return err
+			}
+			e.emit(s)
+			e.g.readOf[sym.ID] = s
+			regs[x.Dst] = sym
+		} else {
+			v, err := e.nonShared.readArray(x.Array, idx)
+			if err != nil {
+				return e.errf("%v", err)
+			}
+			regs[x.Dst] = v
+		}
+	case *ir.StoreA:
+		idx := regs[x.Idx]
+		if e.g.shared[x.Array] {
+			s := &SAP{Kind: SAPWrite, Var: x.Array, Val: regs[x.Src]}
+			if err := e.fillAddr(s, x.Array, idx); err != nil {
+				return err
+			}
+			e.emit(s)
+		} else {
+			if err := e.nonShared.writeArray(x.Array, idx, regs[x.Src]); err != nil {
+				return e.errf("%v", err)
+			}
+		}
+	case *ir.Call:
+		if *callIdx >= len(act.children) {
+			return e.errf("call in %s has no recorded activation", fn.Name)
+		}
+		child := act.children[*callIdx]
+		*callIdx++
+		if child.fn != x.Func {
+			return e.errf("recorded activation f%d does not match call of f%d", child.fn, x.Func)
+		}
+		args := make([]symbolic.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = regs[a]
+		}
+		v, err := e.runActivation(child, args)
+		if err != nil {
+			return err
+		}
+		if !e.aborted && x.Dst != ir.NoReg {
+			regs[x.Dst] = v
+		}
+	case *ir.Spawn:
+		key := threadKey{parent: e.tid, index: e.children}
+		e.children++
+		child, ok := e.g.keyToTid[key]
+		if !ok {
+			return e.errf("spawned thread (parent %d, index %d) missing from log", key.parent, key.index)
+		}
+		args := make([]symbolic.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = regs[a]
+		}
+		e.g.spawnArgs[child] = args
+		e.emit(&SAP{Kind: SAPFork, Other: child})
+		regs[x.Dst] = symbolic.Int(int64(child))
+	case *ir.SyncOp:
+		if err := e.execSync(x, regs); err != nil {
+			return err
+		}
+	case *ir.Print:
+		// Output is not part of the constraint system.
+	case *ir.Input:
+		k := regs[x.K]
+		kc, ok := k.(*symbolic.IntConst)
+		if !ok {
+			return e.errf("input() with symbolic index is unsupported")
+		}
+		var v int64
+		if kc.V >= 0 && kc.V < int64(len(e.g.inputs)) {
+			v = e.g.inputs[kc.V]
+		}
+		regs[x.Dst] = symbolic.Int(v)
+	case *ir.Assert:
+		c := regs[x.Cond]
+		if !c.IsBool() {
+			return e.errf("assert condition is not boolean")
+		}
+		e.asserts = append(e.asserts, assertRec{site: x.Site, cond: c})
+	default:
+		return e.errf("unknown instruction %T", in)
+	}
+	return nil
+}
+
+// fillAddr resolves an array access address: concrete indices produce a
+// flat address (with a bounds check against the recorded execution);
+// symbolic indices keep the expression and add the bounds conditions the
+// original execution must have satisfied.
+func (e *texec) fillAddr(s *SAP, arr ir.GlobalID, idx symbolic.Expr) error {
+	if ic, ok := idx.(*symbolic.IntConst); ok {
+		addr, ok := e.g.layout.Addr(e.g.prog, arr, ic.V)
+		if !ok {
+			return e.errf("recorded path indexes %s out of bounds at %d", e.g.prog.Globals[arr].Name, ic.V)
+		}
+		s.Addr = addr
+		return nil
+	}
+	s.Addr = NoAddr
+	s.AddrIndex = idx
+	size := int64(e.g.prog.Globals[arr].Size)
+	if err := e.cond(symbolic.NewBinary(symbolic.OpGe, idx, symbolic.Int(0))); err != nil {
+		return err
+	}
+	return e.cond(symbolic.NewBinary(symbolic.OpLt, idx, symbolic.Int(size)))
+}
+
+func (e *texec) execSync(x *ir.SyncOp, regs []symbolic.Expr) error {
+	switch x.Kind {
+	case ir.BuiltinLock:
+		e.emit(&SAP{Kind: SAPLock, Mutex: x.Obj})
+	case ir.BuiltinUnlock:
+		e.emit(&SAP{Kind: SAPUnlock, Mutex: x.Obj})
+	case ir.BuiltinWait:
+		// A fully executed wait is its release half followed by its wake
+		// half; everything between them (the signal, other threads'
+		// critical sections) is other threads' SAPs.
+		e.emit(&SAP{Kind: SAPWaitBegin, Cond: x.Obj, Mutex: x.Obj2})
+		e.emit(&SAP{Kind: SAPWaitEnd, Cond: x.Obj, Mutex: x.Obj2})
+	case ir.BuiltinSignal:
+		e.emit(&SAP{Kind: SAPSignal, Cond: x.Obj})
+	case ir.BuiltinBroadcast:
+		e.emit(&SAP{Kind: SAPBroadcast, Cond: x.Obj})
+	case ir.BuiltinJoin:
+		h, ok := regs[x.Arg].(*symbolic.IntConst)
+		if !ok {
+			return e.errf("join with symbolic thread handle is unsupported")
+		}
+		e.emit(&SAP{Kind: SAPJoin, Other: trace.ThreadID(h.V)})
+	case ir.BuiltinYield:
+		e.emit(&SAP{Kind: SAPYield})
+	case ir.BuiltinFence:
+		e.emit(&SAP{Kind: SAPFence})
+	default:
+		return e.errf("unknown sync op %v", x.Kind)
+	}
+	return nil
+}
+
+// fresh mints the symbolic value a shared read returns, labeled like the
+// paper's R^i_v variables.
+func (e *texec) fresh(g ir.GlobalID) *symbolic.Sym {
+	name := fmt.Sprintf("R_%s@t%d#%d", e.g.prog.Globals[g].Name, e.tid, len(e.tt.SAPs))
+	return e.g.namer.Fresh(name)
+}
+
+// localState tracks non-shared globals per thread: exact for concrete
+// writes, ordered write lists (the paper's delayed symbolic-address
+// resolution) when indices are symbolic.
+type localState struct {
+	prog    *ir.Program
+	scalars map[ir.GlobalID]symbolic.Expr
+	arrays  map[ir.GlobalID]*arrayState
+}
+
+type arrayState struct {
+	size        int64
+	def         symbolic.Expr
+	writes      []symbolic.SelectEntry
+	allConcrete bool
+}
+
+func newLocalState(prog *ir.Program, layout *ir.Layout) *localState {
+	return &localState{
+		prog:    prog,
+		scalars: map[ir.GlobalID]symbolic.Expr{},
+		arrays:  map[ir.GlobalID]*arrayState{},
+	}
+}
+
+func (ls *localState) readScalar(g ir.GlobalID) symbolic.Expr {
+	if v, ok := ls.scalars[g]; ok {
+		return v
+	}
+	return symbolic.Int(ls.prog.Globals[g].Init)
+}
+
+func (ls *localState) writeScalar(g ir.GlobalID, v symbolic.Expr) {
+	ls.scalars[g] = v
+}
+
+func (ls *localState) array(g ir.GlobalID) *arrayState {
+	if a, ok := ls.arrays[g]; ok {
+		return a
+	}
+	gv := ls.prog.Globals[g]
+	a := &arrayState{
+		size:        int64(gv.Size),
+		def:         symbolic.Int(gv.Init),
+		allConcrete: true,
+	}
+	ls.arrays[g] = a
+	return a
+}
+
+func (ls *localState) readArray(g ir.GlobalID, idx symbolic.Expr) (symbolic.Expr, error) {
+	a := ls.array(g)
+	if ic, ok := idx.(*symbolic.IntConst); ok {
+		if ic.V < 0 || ic.V >= a.size {
+			return nil, fmt.Errorf("index %d out of bounds for %s", ic.V, ls.prog.Globals[g].Name)
+		}
+	}
+	return symbolic.NewSelect(a.writes, idx, a.def), nil
+}
+
+func (ls *localState) writeArray(g ir.GlobalID, idx, val symbolic.Expr) error {
+	a := ls.array(g)
+	ic, concrete := idx.(*symbolic.IntConst)
+	if concrete && (ic.V < 0 || ic.V >= a.size) {
+		return fmt.Errorf("index %d out of bounds for %s", ic.V, ls.prog.Globals[g].Name)
+	}
+	if concrete && a.allConcrete {
+		// Compact: replace any previous write to the same concrete index.
+		for i, w := range a.writes {
+			if prev, ok := w.Index.(*symbolic.IntConst); ok && prev.V == ic.V {
+				a.writes[i].Value = val
+				return nil
+			}
+		}
+		a.writes = append(a.writes, symbolic.SelectEntry{Index: idx, Value: val})
+		return nil
+	}
+	if !concrete {
+		a.allConcrete = false
+	}
+	a.writes = append(a.writes, symbolic.SelectEntry{Index: idx, Value: val})
+	return nil
+}

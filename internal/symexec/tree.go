@@ -1,0 +1,130 @@
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/ballarus"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// activation is one function activation reconstructed from the path log:
+// the decoded block sequence plus the nested calls in order.
+type activation struct {
+	fn ir.FuncID
+	// blocks is the concatenation of the activation's decoded segments.
+	blocks []ir.BlockID
+	// returns reports whether the final segment ended in a return.
+	returns bool
+	// partial marks an activation cut short by the failure; cut encodes
+	// 2*ip (+1 when the pending wait's release half executed) within the
+	// final block.
+	partial bool
+	cut     uint64
+	// children are the nested activations in call order.
+	children []*activation
+}
+
+// threadTree is a thread's reconstructed activation forest (a single root:
+// the thread's entry function).
+type threadTree struct {
+	thread trace.ThreadID
+	parent trace.ThreadID
+	index  int32
+	root   *activation
+}
+
+// buildTree reconstructs the activation tree of one thread log by replaying
+// the enter/path/exit event nesting.
+func buildTree(paths []*ballarus.FuncPaths, tl *trace.ThreadLog) (*threadTree, error) {
+	if len(tl.Events) == 0 {
+		return nil, fmt.Errorf("symexec: thread %d has an empty path log", tl.Thread)
+	}
+	var stack []*activation
+	var root *activation
+	cutIdx := 0
+	push := func(fn ir.FuncID) {
+		act := &activation{fn: fn}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			top.children = append(top.children, act)
+		} else {
+			root = act
+		}
+		stack = append(stack, act)
+	}
+	for i, e := range tl.Events {
+		switch e.Kind {
+		case trace.EvEnter:
+			if int(e.Arg) >= len(paths) {
+				return nil, fmt.Errorf("symexec: thread %d event %d: bad function id %d", tl.Thread, i, e.Arg)
+			}
+			if len(stack) == 0 && root != nil {
+				return nil, fmt.Errorf("symexec: thread %d event %d: second root activation", tl.Thread, i)
+			}
+			push(ir.FuncID(e.Arg))
+		case trace.EvPath:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("symexec: thread %d event %d: path outside activation", tl.Thread, i)
+			}
+			top := stack[len(stack)-1]
+			seg, err := paths[top.fn].Decode(e.Arg)
+			if err != nil {
+				return nil, fmt.Errorf("symexec: thread %d event %d: %w", tl.Thread, i, err)
+			}
+			top.blocks = append(top.blocks, seg.Blocks...)
+			top.returns = seg.Returns
+		case trace.EvPartial:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("symexec: thread %d event %d: partial outside activation", tl.Thread, i)
+			}
+			top := stack[len(stack)-1]
+			seg, err := paths[top.fn].DecodePartial(e.Arg)
+			if err != nil {
+				return nil, fmt.Errorf("symexec: thread %d event %d: %w", tl.Thread, i, err)
+			}
+			blocks := seg.Blocks
+			if int(e.Arg2) < len(blocks) {
+				blocks = blocks[:e.Arg2]
+			}
+			top.blocks = append(top.blocks, blocks...)
+			top.partial = true
+			top.returns = false
+			if cutIdx >= len(tl.Cuts) {
+				return nil, fmt.Errorf("symexec: thread %d event %d: partial without a cut record", tl.Thread, i)
+			}
+			top.cut = tl.Cuts[cutIdx]
+			cutIdx++
+			stack = stack[:len(stack)-1]
+		case trace.EvExit:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("symexec: thread %d event %d: unbalanced exit", tl.Thread, i)
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			return nil, fmt.Errorf("symexec: thread %d event %d: unexpected kind %v", tl.Thread, i, e.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("symexec: thread %d: %d unclosed activations", tl.Thread, len(stack))
+	}
+	if root == nil {
+		return nil, fmt.Errorf("symexec: thread %d has no root activation", tl.Thread)
+	}
+	return &threadTree{thread: tl.Thread, parent: tl.Parent, index: tl.Index, root: root}, nil
+}
+
+// exited reports whether the tree's thread ran to completion.
+func (t *threadTree) exited() bool { return !anyPartial(t.root) && t.root.returns }
+
+func anyPartial(a *activation) bool {
+	if a.partial {
+		return true
+	}
+	for _, c := range a.children {
+		if anyPartial(c) {
+			return true
+		}
+	}
+	return false
+}

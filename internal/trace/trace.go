@@ -1,0 +1,414 @@
+// Package trace defines the on-disk log formats produced at record time.
+//
+// CLAP's runtime log is one event stream per thread holding only
+// thread-local control flow: function entries and exits plus Ball–Larus
+// path ids. The LEAP baseline's log is one access vector (a thread-id
+// sequence) per shared variable. Both are serialized with unsigned varints
+// so that log sizes are directly comparable, reproducing Table 2's space
+// columns.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ThreadID identifies a VM thread. The main thread is 0; children are
+// numbered in spawn order, which is deterministic per schedule (the paper
+// identifies threads by their parent-children spawn order).
+type ThreadID int32
+
+// EventKind tags a CLAP path-log event.
+type EventKind uint8
+
+// Path-log event kinds.
+const (
+	// EvEnter marks a function call; payload is the function id.
+	EvEnter EventKind = iota + 1
+	// EvPath is a completed Ball–Larus segment; payload is the path id.
+	EvPath
+	// EvPartial is the in-flight path sum of a segment cut short by the
+	// failure; payload is the partial sum.
+	EvPartial
+	// EvExit marks a function return; no payload.
+	EvExit
+
+	// evPathRun is a wire-only kind: a run of identical EvPath events
+	// (payload: path id, repeat count). Loop iterations emit the same
+	// Ball–Larus path id over and over, so run-length encoding shrinks the
+	// log dramatically — the same reason whole-program-path logging
+	// compresses so well in practice. Decoded logs never contain it.
+	evPathRun
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnter:
+		return "enter"
+	case EvPath:
+		return "path"
+	case EvPartial:
+		return "partial"
+	case EvExit:
+		return "exit"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one path-log record.
+type Event struct {
+	Kind EventKind
+	// Arg is the function id for EvEnter and the path id / partial sum for
+	// EvPath / EvPartial.
+	Arg uint64
+	// Arg2 is only used by EvPartial: the number of basic blocks actually
+	// executed in the cut-short segment. Partial Ball–Larus sums decode to
+	// a path that may extend past the executed prefix along zero-valued
+	// edges; the block count lets the decoder truncate exactly. It is
+	// written only when the failure fires, so it adds no recording cost.
+	Arg2 uint64
+}
+
+// ThreadLog is the complete CLAP record of one thread.
+type ThreadLog struct {
+	Thread ThreadID
+	// Parent is the spawning thread and Index the child's ordinal among the
+	// parent's spawns; together they form the paper's deterministic
+	// parent-children thread identification. The main thread has Parent -1.
+	Parent ThreadID
+	Index  int32
+	Events []Event
+	// Cuts holds one entry per EvPartial event, in event order: the cut
+	// position of the closed activation, encoded as 2*ip + half, where ip
+	// is the number of fully executed instructions in the activation's
+	// final block and half marks a wait operation whose mutex-release half
+	// executed before the failure.
+	Cuts []uint64
+}
+
+// PathLog is a whole-execution CLAP record: one log per thread, ordered by
+// thread id.
+type PathLog struct {
+	Threads []ThreadLog
+}
+
+// Append adds an event to the given thread's log, growing the per-thread
+// table as needed. New thread slots default to Parent -1 (unknown) until
+// SetThreadMeta fills them in.
+func (l *PathLog) Append(t ThreadID, e Event) {
+	l.grow(t)
+	tl := &l.Threads[t]
+	tl.Events = append(tl.Events, e)
+}
+
+// SetThreadMeta records the spawn parentage of thread t.
+func (l *PathLog) SetThreadMeta(t, parent ThreadID, index int32) {
+	l.grow(t)
+	l.Threads[t].Parent = parent
+	l.Threads[t].Index = index
+}
+
+// AppendCut records the cut position for the most recently appended
+// EvPartial event of thread t.
+func (l *PathLog) AppendCut(t ThreadID, cut uint64) {
+	l.grow(t)
+	l.Threads[t].Cuts = append(l.Threads[t].Cuts, cut)
+}
+
+func (l *PathLog) grow(t ThreadID) {
+	for ThreadID(len(l.Threads)) <= t {
+		l.Threads = append(l.Threads, ThreadLog{Thread: ThreadID(len(l.Threads)), Parent: -1})
+	}
+}
+
+// EventCount returns the total number of events across threads.
+func (l *PathLog) EventCount() int {
+	n := 0
+	for _, t := range l.Threads {
+		n += len(t.Events)
+	}
+	return n
+}
+
+// Encode serializes the log. Layout: varint thread count, then per thread a
+// varint event count followed by the events (kind byte + varint payload for
+// kinds that carry one).
+func (l *PathLog) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.Threads)))
+	for _, t := range l.Threads {
+		buf = binary.AppendUvarint(buf, uint64(t.Parent+1))
+		buf = binary.AppendUvarint(buf, uint64(t.Index))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Cuts)))
+		for _, c := range t.Cuts {
+			buf = binary.AppendUvarint(buf, c)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(t.Events)))
+		for i := 0; i < len(t.Events); {
+			e := t.Events[i]
+			if e.Kind == EvPath {
+				// Run-length encode repeated path ids.
+				j := i + 1
+				for j < len(t.Events) && t.Events[j].Kind == EvPath && t.Events[j].Arg == e.Arg {
+					j++
+				}
+				if j-i >= 2 {
+					buf = append(buf, byte(evPathRun))
+					buf = binary.AppendUvarint(buf, e.Arg)
+					buf = binary.AppendUvarint(buf, uint64(j-i))
+					i = j
+					continue
+				}
+			}
+			buf = append(buf, byte(e.Kind))
+			switch e.Kind {
+			case EvEnter, EvPath:
+				buf = binary.AppendUvarint(buf, e.Arg)
+			case EvPartial:
+				buf = binary.AppendUvarint(buf, e.Arg)
+				buf = binary.AppendUvarint(buf, e.Arg2)
+			}
+			i++
+		}
+	}
+	return buf
+}
+
+// DecodePathLog parses a serialized path log.
+func DecodePathLog(buf []byte) (*PathLog, error) {
+	r := reader{buf: buf}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: thread count: %w", err)
+	}
+	log := &PathLog{}
+	for ti := uint64(0); ti < n; ti++ {
+		parent, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d parent: %w", ti, err)
+		}
+		index, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d index: %w", ti, err)
+		}
+		ncuts, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d cut count: %w", ti, err)
+		}
+		var cuts []uint64
+		for i := uint64(0); i < ncuts; i++ {
+			c, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d cut %d: %w", ti, i, err)
+			}
+			cuts = append(cuts, c)
+		}
+		cnt, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d event count: %w", ti, err)
+		}
+		tl := ThreadLog{Thread: ThreadID(ti), Parent: ThreadID(parent) - 1, Index: int32(index), Cuts: cuts}
+		for uint64(len(tl.Events)) < cnt {
+			i := len(tl.Events)
+			kb, err := r.byte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d: %w", ti, i, err)
+			}
+			e := Event{Kind: EventKind(kb)}
+			switch e.Kind {
+			case EvEnter, EvPath:
+				arg, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d payload: %w", ti, i, err)
+				}
+				e.Arg = arg
+			case EvPartial:
+				arg, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d payload: %w", ti, i, err)
+				}
+				e.Arg = arg
+				arg2, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d payload2: %w", ti, i, err)
+				}
+				e.Arg2 = arg2
+			case evPathRun:
+				arg, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d run id: %w", ti, i, err)
+				}
+				count, err := r.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d run count: %w", ti, i, err)
+				}
+				if count < 2 || uint64(len(tl.Events))+count > cnt {
+					return nil, fmt.Errorf("trace: thread %d event %d: bad run count %d", ti, i, count)
+				}
+				for k := uint64(0); k < count; k++ {
+					tl.Events = append(tl.Events, Event{Kind: EvPath, Arg: arg})
+				}
+				continue
+			case EvExit:
+			default:
+				return nil, fmt.Errorf("trace: thread %d event %d: unknown kind %d", ti, i, kb)
+			}
+			tl.Events = append(tl.Events, e)
+		}
+		log.Threads = append(log.Threads, tl)
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("trace: %d trailing bytes", r.remaining())
+	}
+	return log, nil
+}
+
+// Size returns the encoded byte size, the number Table 2 reports for CLAP.
+func (l *PathLog) Size() int { return len(l.Encode()) }
+
+// AccessVectorLog is the LEAP baseline's record: for every shared variable,
+// the global sequence of thread ids that accessed it. (LEAP's key insight
+// is that per-variable access vectors suffice for deterministic replay; its
+// cost is the synchronized logging of every shared access.)
+type AccessVectorLog struct {
+	// Vectors is indexed by shared-variable id.
+	Vectors [][]ThreadID
+}
+
+// Append records an access by thread t to shared variable v.
+func (l *AccessVectorLog) Append(v int, t ThreadID) {
+	for len(l.Vectors) <= v {
+		l.Vectors = append(l.Vectors, nil)
+	}
+	l.Vectors[v] = append(l.Vectors[v], t)
+}
+
+// AccessCount returns the total number of recorded accesses.
+func (l *AccessVectorLog) AccessCount() int {
+	n := 0
+	for _, v := range l.Vectors {
+		n += len(v)
+	}
+	return n
+}
+
+// Encode serializes the access vectors: varint variable count, then per
+// variable a varint length and the thread ids as varints.
+func (l *AccessVectorLog) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.Vectors)))
+	for _, vec := range l.Vectors {
+		buf = binary.AppendUvarint(buf, uint64(len(vec)))
+		for _, t := range vec {
+			buf = binary.AppendUvarint(buf, uint64(t))
+		}
+	}
+	return buf
+}
+
+// DecodeAccessVectorLog parses a serialized access-vector log.
+func DecodeAccessVectorLog(buf []byte) (*AccessVectorLog, error) {
+	r := reader{buf: buf}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: vector count: %w", err)
+	}
+	log := &AccessVectorLog{}
+	for vi := uint64(0); vi < n; vi++ {
+		cnt, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: vector %d length: %w", vi, err)
+		}
+		var vec []ThreadID
+		for i := uint64(0); i < cnt; i++ {
+			tid, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: vector %d entry %d: %w", vi, i, err)
+			}
+			vec = append(vec, ThreadID(tid))
+		}
+		log.Vectors = append(log.Vectors, vec)
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("trace: %d trailing bytes", r.remaining())
+	}
+	return log, nil
+}
+
+// Size returns the encoded byte size, the number Table 2 reports for LEAP.
+func (l *AccessVectorLog) Size() int { return len(l.Encode()) }
+
+// SyncOrderLog is the optional §6.4 extension record: the global order of
+// synchronization operations. Entry k names the thread whose next sync
+// operation (in its program order) was the k-th to execute. The paper
+// discusses recording this to shrink the constraint system, at the price
+// of extra runtime synchronization; it is off by default for exactly the
+// reasons the paper gives.
+type SyncOrderLog struct {
+	Seq []ThreadID
+}
+
+// Append records one sync operation by thread t.
+func (l *SyncOrderLog) Append(t ThreadID) { l.Seq = append(l.Seq, t) }
+
+// Encode serializes the order as varints.
+func (l *SyncOrderLog) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.Seq)))
+	for _, t := range l.Seq {
+		buf = binary.AppendUvarint(buf, uint64(t))
+	}
+	return buf
+}
+
+// DecodeSyncOrderLog parses a serialized sync order.
+func DecodeSyncOrderLog(buf []byte) (*SyncOrderLog, error) {
+	r := reader{buf: buf}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: sync order length: %w", err)
+	}
+	log := &SyncOrderLog{}
+	for i := uint64(0); i < n; i++ {
+		t, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: sync order entry %d: %w", i, err)
+		}
+		log.Seq = append(log.Seq, ThreadID(t))
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("trace: %d trailing bytes", r.remaining())
+	}
+	return log, nil
+}
+
+// Size returns the encoded byte size.
+func (l *SyncOrderLog) Size() int { return len(l.Encode()) }
+
+// reader is a minimal cursor over an encoded buffer.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("unexpected EOF at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) done() bool     { return r.off == len(r.buf) }
+func (r *reader) remaining() int { return len(r.buf) - r.off }

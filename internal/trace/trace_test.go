@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathLogRoundTrip(t *testing.T) {
+	log := &PathLog{}
+	log.Append(0, Event{Kind: EvEnter, Arg: 0})
+	log.Append(0, Event{Kind: EvPath, Arg: 5})
+	log.Append(1, Event{Kind: EvEnter, Arg: 2})
+	log.Append(1, Event{Kind: EvPath, Arg: 12345678901})
+	log.Append(1, Event{Kind: EvExit})
+	log.Append(0, Event{Kind: EvPartial, Arg: 7, Arg2: 3})
+	log.SetThreadMeta(1, 0, 0)
+	buf := log.Encode()
+	got, err := DecodePathLog(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, log) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, log)
+	}
+	if log.Size() != len(buf) {
+		t.Error("Size must equal encoded length")
+	}
+	if log.EventCount() != 6 {
+		t.Errorf("EventCount = %d, want 6", log.EventCount())
+	}
+}
+
+func TestPathLogAppendGrowsSparsely(t *testing.T) {
+	log := &PathLog{}
+	log.Append(3, Event{Kind: EvExit})
+	if len(log.Threads) != 4 {
+		t.Fatalf("threads = %d, want 4", len(log.Threads))
+	}
+	for i, tl := range log.Threads {
+		if tl.Thread != ThreadID(i) {
+			t.Fatalf("thread %d has id %d", i, tl.Thread)
+		}
+	}
+}
+
+func TestDecodePathLogErrors(t *testing.T) {
+	if _, err := DecodePathLog([]byte{0x01}); err == nil {
+		t.Error("truncated log must fail")
+	}
+	// Unknown event kind (layout: nthreads, parent, index, ncuts, count, kind).
+	log := &PathLog{}
+	log.Append(0, Event{Kind: EvExit})
+	buf := log.Encode()
+	buf[5] = 0xEE
+	if _, err := DecodePathLog(buf); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	// Trailing garbage.
+	buf2 := append((&PathLog{}).Encode(), 0x00)
+	if _, err := DecodePathLog(buf2); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+func TestAccessVectorRoundTrip(t *testing.T) {
+	log := &AccessVectorLog{}
+	log.Append(0, 1)
+	log.Append(0, 2)
+	log.Append(2, 0)
+	buf := log.Encode()
+	got, err := DecodeAccessVectorLog(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, log) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, log)
+	}
+	if log.AccessCount() != 3 {
+		t.Errorf("AccessCount = %d, want 3", log.AccessCount())
+	}
+	if log.Size() != len(buf) {
+		t.Error("Size must equal encoded length")
+	}
+	if len(got.Vectors[1]) != 0 {
+		t.Error("untouched vector must stay empty")
+	}
+}
+
+func TestDecodeAccessVectorErrors(t *testing.T) {
+	if _, err := DecodeAccessVectorLog([]byte{0x02, 0x01}); err == nil {
+		t.Error("truncated vectors must fail")
+	}
+	buf := append((&AccessVectorLog{}).Encode(), 0x07)
+	if _, err := DecodeAccessVectorLog(buf); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+// TestPropertyPathLogRoundTrip fuzzes random logs through the codec.
+func TestPropertyPathLogRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		log := &PathLog{}
+		threads := r.Intn(5)
+		for ti := 0; ti < threads; ti++ {
+			n := r.Intn(30)
+			for i := 0; i < n; i++ {
+				switch r.Intn(4) {
+				case 0:
+					log.Append(ThreadID(ti), Event{Kind: EvEnter, Arg: uint64(r.Intn(100))})
+				case 1:
+					log.Append(ThreadID(ti), Event{Kind: EvPath, Arg: r.Uint64() >> uint(r.Intn(64))})
+				case 2:
+					log.Append(ThreadID(ti), Event{Kind: EvPartial, Arg: r.Uint64() >> uint(r.Intn(64)), Arg2: uint64(r.Intn(100))})
+				default:
+					log.Append(ThreadID(ti), Event{Kind: EvExit})
+				}
+			}
+		}
+		got, err := DecodePathLog(log.Encode())
+		return err == nil && reflect.DeepEqual(got, log)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAccessVectorRoundTrip fuzzes random access-vector logs.
+func TestPropertyAccessVectorRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		log := &AccessVectorLog{}
+		vars := r.Intn(6)
+		for v := 0; v < vars; v++ {
+			n := r.Intn(40)
+			for i := 0; i < n; i++ {
+				log.Append(v, ThreadID(r.Intn(8)))
+			}
+		}
+		got, err := DecodeAccessVectorLog(log.Encode())
+		return err == nil && reflect.DeepEqual(got, log)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvEnter: "enter", EvPath: "path", EvPartial: "partial", EvExit: "exit",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kinds must render")
+	}
+}

@@ -1,0 +1,111 @@
+package vm
+
+import (
+	"testing"
+)
+
+// TestDrainEventsObservable: under TSO, scheduler-driven drains surface as
+// EvDrain events carrying the drained value, and they are not counted as
+// SAPs.
+func TestDrainEventsObservable(t *testing.T) {
+	prog := compile(t, `
+int x;
+int y;
+func main() {
+	x = 1;
+	y = 2;
+	int v = x;
+	print(v);
+}
+`)
+	var drains []VisibleEvent
+	var saps int64
+	v, err := New(prog, Config{
+		Model: TSO,
+		// DrainBias 100: always drain when possible.
+		Sched: &RandomSchedulerForcedDrains{},
+		OnVisible: func(ev VisibleEvent) {
+			if ev.Kind == EvDrain {
+				drains = append(drains, ev)
+			} else {
+				saps++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil {
+		t.Fatal(res.Failure)
+	}
+	if len(drains) == 0 {
+		t.Fatal("no drain events observed under TSO")
+	}
+	if res.VisibleEvents != saps {
+		t.Errorf("SAP count %d != non-drain events %d (drains must not count)", res.VisibleEvents, saps)
+	}
+	// The first drain must carry x's value 1 (FIFO).
+	if drains[0].Value != 1 || drains[0].Addr != 0 {
+		t.Errorf("first drain = %+v, want x=1@0", drains[0])
+	}
+	if res.FinalMem[0] != 1 || res.FinalMem[1] != 2 {
+		t.Errorf("final mem = %v", res.FinalMem[:2])
+	}
+}
+
+// RandomSchedulerForcedDrains prefers drain actions whenever available.
+type RandomSchedulerForcedDrains struct{}
+
+// Pick implements Scheduler.
+func (s *RandomSchedulerForcedDrains) Pick(v *VM, actions []Action) int {
+	for i, a := range actions {
+		if a.Kind == ActDrain {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestStoreForwardingUnderTSO: a thread always sees its own buffered store
+// even before it drains.
+func TestStoreForwardingUnderTSO(t *testing.T) {
+	prog := compile(t, `
+int x;
+func main() {
+	x = 41;
+	int v = x;
+	x = v + 1;
+	int w = x;
+	print(w);
+}
+`)
+	// Never drain until forced (scheduler avoids drain actions).
+	v, err := New(prog, Config{
+		Model: TSO,
+		Sched: FuncScheduler(func(v *VM, actions []Action) int {
+			for i, a := range actions {
+				if a.Kind == ActRun {
+					return i
+				}
+			}
+			return 0
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("output = %v, want [42] (store forwarding broken)", res.Output)
+	}
+	if res.FinalMem[0] != 42 {
+		t.Fatalf("final x = %d, want 42 (exit drain broken)", res.FinalMem[0])
+	}
+}

@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ActionKind classifies schedulable actions.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	// ActRun advances one thread through its next visible event.
+	ActRun ActionKind = iota
+	// ActDrain makes one buffered store visible to memory (TSO/PSO only).
+	ActDrain
+)
+
+// Action is one schedulable step. For ActDrain, Addr selects which
+// address's buffer to drain (TSO drains are only enabled for the buffer
+// head's address, preserving FIFO order).
+type Action struct {
+	Kind   ActionKind
+	Thread ThreadID
+	Addr   int
+}
+
+// String renders the action.
+func (a Action) String() string {
+	if a.Kind == ActRun {
+		return fmt.Sprintf("run(t%d)", a.Thread)
+	}
+	return fmt.Sprintf("drain(t%d,@%d)", a.Thread, a.Addr)
+}
+
+// EventKind classifies visible events. Reads, writes and the sync events
+// are the paper's SAPs; Start/Exit are the per-thread pseudo-operations
+// fork and join map to; Drain is the memory-visibility event of a buffered
+// store under TSO/PSO.
+type EventKind uint8
+
+// Visible event kinds.
+const (
+	EvStart EventKind = iota
+	EvExit
+	EvRead
+	EvWrite
+	EvLock
+	EvUnlock
+	EvWaitBegin // releases the mutex and starts waiting (unlock half of wait)
+	EvWaitEnd   // woken by a signal and mutex reacquired (lock half of wait)
+	EvSignal
+	EvBroadcast
+	EvJoin
+	EvYield
+	EvFence
+	EvSpawn
+	EvDrain
+)
+
+var eventNames = map[EventKind]string{
+	EvStart: "start", EvExit: "exit", EvRead: "read", EvWrite: "write",
+	EvLock: "lock", EvUnlock: "unlock", EvWaitBegin: "wait-begin",
+	EvWaitEnd: "wait-end", EvSignal: "signal", EvBroadcast: "broadcast",
+	EvJoin: "join", EvYield: "yield", EvFence: "fence", EvSpawn: "spawn",
+	EvDrain: "drain",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// IsSAP reports whether the event is a shared access point in the paper's
+// sense (participates in the computed schedule).
+func (k EventKind) IsSAP() bool { return k != EvDrain }
+
+// VisibleEvent describes one executed visible event, delivered to the
+// Config.OnVisible observer.
+type VisibleEvent struct {
+	Kind   EventKind
+	Thread ThreadID
+	// Addr and Var identify the memory location for reads/writes/drains.
+	Addr int
+	Var  ir.GlobalID
+	// Value is the value read, written or drained.
+	Value int64
+	// Obj is the mutex id (lock/unlock), or the cond id (wait-begin,
+	// wait-end, signal, broadcast). For the wait pair Obj2 carries the
+	// mutex id released/reacquired by the wait.
+	Obj  ir.SyncID
+	Obj2 ir.SyncID
+	// Other is the counterpart thread for spawn and join.
+	Other ThreadID
+}
+
+// String renders the event.
+func (e VisibleEvent) String() string {
+	switch e.Kind {
+	case EvRead, EvWrite, EvDrain:
+		return fmt.Sprintf("t%d:%s@%d=%d", e.Thread, e.Kind, e.Addr, e.Value)
+	case EvSpawn, EvJoin:
+		return fmt.Sprintf("t%d:%s(t%d)", e.Thread, e.Kind, e.Other)
+	case EvLock, EvUnlock, EvWaitBegin, EvWaitEnd, EvSignal, EvBroadcast:
+		return fmt.Sprintf("t%d:%s(%d)", e.Thread, e.Kind, e.Obj)
+	}
+	return fmt.Sprintf("t%d:%s", e.Thread, e.Kind)
+}

@@ -1,0 +1,626 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// perform executes one scheduled action. Errors of type *Failure stop the
+// run as a recorded failure; other errors are internal.
+func (v *VM) perform(a Action) error {
+	t := v.threads[a.Thread]
+	if a.Kind == ActDrain {
+		val, ok := t.buf.drain(a.Addr, v.mem)
+		if !ok {
+			return fmt.Errorf("vm: drain action for t%d@%d with no pending store", a.Thread, a.Addr)
+		}
+		v.observe(VisibleEvent{
+			Kind: EvDrain, Thread: t.ID, Addr: a.Addr,
+			Var: v.addrVar[a.Addr], Value: val,
+		})
+		return nil
+	}
+	return v.runThread(t)
+}
+
+// observe delivers an event to the OnVisible observer and counts SAPs.
+func (v *VM) observe(ev VisibleEvent) {
+	if ev.Kind.IsSAP() {
+		v.visible++
+		v.threads[ev.Thread].visibleCount++
+		if v.conf.SyncRecorder != nil && ev.Kind != EvRead && ev.Kind != EvWrite {
+			v.conf.SyncRecorder.record(ev.Thread)
+		}
+	}
+	if v.conf.OnVisible != nil {
+		v.conf.OnVisible(ev)
+	}
+}
+
+// runtimeFail builds a runtime-error failure for thread t.
+func (v *VM) runtimeFail(t *Thread, format string, args ...any) *Failure {
+	return &Failure{
+		Kind: FailRuntime, Thread: t.ID,
+		Msg:          fmt.Sprintf(format, args...),
+		VisibleIndex: t.visibleCount,
+	}
+}
+
+// runThread advances t through at most one visible event.
+func (v *VM) runThread(t *Thread) error {
+	switch t.state {
+	case stCreated:
+		t.state = stRunnable
+		v.observe(VisibleEvent{Kind: EvStart, Thread: t.ID})
+		return nil
+	case stExiting:
+		return v.finishThread(t)
+	case stBlockedLock:
+		m := t.waitMutex
+		if v.mutexes[m].held {
+			return nil // lost the race to another waiter; stay blocked
+		}
+		if v.gated(t, MutexPseudoVar(v.prog, m), true) {
+			return nil
+		}
+		v.acquire(t, m)
+		v.leapAccess(t, MutexPseudoVar(v.prog, m))
+		t.state = stRunnable
+		v.topFrame(t).ip++
+		v.observe(VisibleEvent{Kind: EvLock, Thread: t.ID, Obj: ir.SyncID(m)})
+		return nil
+	case stSignaled:
+		m := t.waitMutex
+		if v.mutexes[m].held {
+			return nil
+		}
+		if v.gated(t, MutexPseudoVar(v.prog, m), true) {
+			return nil
+		}
+		v.acquire(t, m)
+		v.leapAccess(t, MutexPseudoVar(v.prog, m))
+		t.state = stRunnable
+		v.topFrame(t).ip++
+		v.observe(VisibleEvent{Kind: EvWaitEnd, Thread: t.ID, Obj: ir.SyncID(t.waitCond), Obj2: ir.SyncID(m)})
+		return nil
+	case stBlockedJoin:
+		child := v.threads[t.waitChild]
+		if child.state != stFinished {
+			return nil
+		}
+		t.state = stRunnable
+		v.topFrame(t).ip++
+		v.observe(VisibleEvent{Kind: EvJoin, Thread: t.ID, Other: child.ID})
+		return nil
+	case stRunnable:
+		return v.runUntilVisible(t)
+	case stFinished, stBlockedCond:
+		return fmt.Errorf("vm: run action on thread %d in state %d", t.ID, t.state)
+	}
+	return fmt.Errorf("vm: unknown thread state %d", t.state)
+}
+
+func (v *VM) topFrame(t *Thread) *frame { return t.frames[len(t.frames)-1] }
+
+// finishThread emits the Exit event and marks t finished.
+func (v *VM) finishThread(t *Thread) error {
+	t.state = stFinished
+	// Drain the store buffer: a finished thread's stores are visible.
+	if t.buf != nil {
+		t.buf.drainAll(v.mem)
+	}
+	v.observe(VisibleEvent{Kind: EvExit, Thread: t.ID})
+	// Joiners become schedulable via canRun; nothing to do here.
+	return nil
+}
+
+// acquire takes mutex m for t, draining the store buffer first: lock
+// operations are memory barriers, which is exactly why the paper's relaxed
+// bugs only appear in lock-free code.
+func (v *VM) acquire(t *Thread, m int) {
+	if t.buf != nil {
+		t.buf.drainAll(v.mem)
+	}
+	v.mutexes[m].held = true
+	v.mutexes[m].owner = t.ID
+}
+
+func (v *VM) release(t *Thread, m int) {
+	if t.buf != nil {
+		t.buf.drainAll(v.mem)
+	}
+	v.mutexes[m].held = false
+}
+
+// runUntilVisible executes local instructions until one visible event has
+// been performed, the thread blocks, or it exits.
+func (v *VM) runUntilVisible(t *Thread) error {
+	for {
+		fr := v.topFrame(t)
+		if fr.ip >= len(fr.block.Instrs) {
+			visible, err := v.execTerminator(t, fr)
+			if err != nil {
+				return err
+			}
+			if visible {
+				return nil
+			}
+			continue
+		}
+		in := fr.block.Instrs[fr.ip]
+		visible, err := v.execInstr(t, fr, in)
+		if err != nil {
+			return err
+		}
+		if visible {
+			return nil
+		}
+	}
+}
+
+// execTerminator runs fr's block terminator. It reports visible=true only
+// when a Return ends the whole thread.
+func (v *VM) execTerminator(t *Thread, fr *frame) (bool, error) {
+	v.instructions++
+	switch term := fr.block.Term.(type) {
+	case *ir.Jump:
+		v.takeEdge(t, fr, fr.block.ID, term.Target.ID)
+		fr.block = term.Target
+		fr.ip = 0
+		return false, nil
+	case *ir.Branch:
+		v.branches++
+		c := fr.regs[term.Cond]
+		if !c.IsBool {
+			return false, v.runtimeFail(t, "branch on non-boolean value %s", c)
+		}
+		target := term.Else
+		if c.B {
+			target = term.Then
+		}
+		v.takeEdge(t, fr, fr.block.ID, target.ID)
+		fr.block = target
+		fr.ip = 0
+		return false, nil
+	case *ir.Return:
+		ret := IntVal(0)
+		if term.Src != ir.NoReg {
+			ret = fr.regs[term.Src]
+		}
+		if v.conf.PathRecorder != nil {
+			v.conf.PathRecorder.returned(t.ID, fr, fr.block.ID)
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) == 0 {
+			// Root return: the Exit event is this action's visible event.
+			return true, v.finishThread(t)
+		}
+		caller := v.topFrame(t)
+		if fr.retReg != ir.NoReg {
+			caller.regs[fr.retReg] = ret
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("vm: unknown terminator %T", fr.block.Term)
+}
+
+// takeEdge feeds the Ball–Larus recorder.
+func (v *VM) takeEdge(t *Thread, fr *frame, from, to ir.BlockID) {
+	if v.conf.PathRecorder != nil {
+		v.conf.PathRecorder.edge(t.ID, fr, from, to)
+	}
+}
+
+// leapAccess feeds the LEAP baseline recorder.
+func (v *VM) leapAccess(t *Thread, g ir.GlobalID) {
+	if v.conf.LeapRecorder != nil {
+		v.conf.LeapRecorder.access(int(g), t.ID)
+	}
+}
+
+// MutexPseudoVar and CondPseudoVar give synchronization objects identities
+// in the LEAP access-vector space: LEAP records and enforces the order of
+// accesses to sync objects exactly like data accesses (otherwise lock
+// acquisition races make its replay diverge).
+func MutexPseudoVar(prog *ir.Program, m int) ir.GlobalID {
+	return ir.GlobalID(len(prog.Globals) + m)
+}
+
+// CondPseudoVar returns the pseudo-variable of a condition variable.
+func CondPseudoVar(prog *ir.Program, c int) ir.GlobalID {
+	return ir.GlobalID(len(prog.Globals) + len(prog.Mutexes) + c)
+}
+
+// isShared reports whether accesses to global g are visible events.
+func (v *VM) isShared(g ir.GlobalID) bool {
+	return v.conf.Shared == nil || v.conf.Shared[g]
+}
+
+// gated reports whether the access must wait (GateAccess said no). The
+// instruction is left unexecuted: ip stays put, the run action ends, and
+// the access retries on the thread's next turn.
+func (v *VM) gated(t *Thread, g ir.GlobalID, isWrite bool) bool {
+	return v.conf.GateAccess != nil && !v.conf.GateAccess(t.ID, g, isWrite)
+}
+
+// loadShared performs a shared read at addr for t, honoring the replay
+// value-injection hook and the thread's own store buffer.
+func (v *VM) loadShared(t *Thread, addr int) int64 {
+	if v.conf.ReadValue != nil {
+		if val, ok := v.conf.ReadValue(t.ID, addr); ok {
+			return val
+		}
+	}
+	if t.buf != nil {
+		if val, ok := t.buf.lookup(addr); ok {
+			return val
+		}
+	}
+	return v.mem[addr]
+}
+
+// storeShared performs a shared write.
+func (v *VM) storeShared(t *Thread, addr int, val int64) {
+	if t.buf != nil {
+		t.buf.push(addr, val)
+		return
+	}
+	v.mem[addr] = val
+}
+
+// execInstr executes one instruction, reporting whether it was a visible
+// event (in which case the run action ends). Blocking sync operations do
+// not advance ip; the retry paths in runThread complete them.
+func (v *VM) execInstr(t *Thread, fr *frame, in ir.Instr) (bool, error) {
+	v.instructions++
+	switch x := in.(type) {
+	case *ir.Const:
+		fr.regs[x.Dst] = IntVal(x.V)
+	case *ir.ConstBool:
+		fr.regs[x.Dst] = BoolVal(x.V)
+	case *ir.Mov:
+		fr.regs[x.Dst] = fr.regs[x.Src]
+	case *ir.UnOp:
+		val, err := v.evalUnOp(t, x.Op, fr.regs[x.X])
+		if err != nil {
+			return false, err
+		}
+		fr.regs[x.Dst] = val
+	case *ir.BinOp:
+		val, err := v.evalBinOp(t, x.Op, fr.regs[x.X], fr.regs[x.Y])
+		if err != nil {
+			return false, err
+		}
+		fr.regs[x.Dst] = val
+	case *ir.LoadG:
+		addr := v.base[x.Global]
+		if !v.isShared(x.Global) {
+			fr.regs[x.Dst] = IntVal(v.mem[addr])
+			break
+		}
+		if v.gated(t, x.Global, false) {
+			return true, nil
+		}
+		val := v.loadShared(t, addr)
+		fr.regs[x.Dst] = IntVal(val)
+		fr.ip++
+		v.leapAccess(t, x.Global)
+		v.observe(VisibleEvent{Kind: EvRead, Thread: t.ID, Addr: addr, Var: x.Global, Value: val})
+		return true, nil
+	case *ir.StoreG:
+		src := fr.regs[x.Src]
+		if src.IsBool {
+			return false, v.runtimeFail(t, "storing boolean to global %s", v.prog.Globals[x.Global].Name)
+		}
+		addr := v.base[x.Global]
+		if !v.isShared(x.Global) {
+			v.mem[addr] = src.I
+			break
+		}
+		if v.gated(t, x.Global, true) {
+			return true, nil
+		}
+		v.storeShared(t, addr, src.I)
+		fr.ip++
+		v.leapAccess(t, x.Global)
+		v.observe(VisibleEvent{Kind: EvWrite, Thread: t.ID, Addr: addr, Var: x.Global, Value: src.I})
+		return true, nil
+	case *ir.LoadA:
+		idx := fr.regs[x.Idx]
+		if idx.IsBool {
+			return false, v.runtimeFail(t, "boolean array index")
+		}
+		addr, err := v.Addr(x.Array, idx.I)
+		if err != nil {
+			return false, v.runtimeFail(t, "%v", err)
+		}
+		if !v.isShared(x.Array) {
+			fr.regs[x.Dst] = IntVal(v.mem[addr])
+			break
+		}
+		if v.gated(t, x.Array, false) {
+			return true, nil
+		}
+		val := v.loadShared(t, addr)
+		fr.regs[x.Dst] = IntVal(val)
+		fr.ip++
+		v.leapAccess(t, x.Array)
+		v.observe(VisibleEvent{Kind: EvRead, Thread: t.ID, Addr: addr, Var: x.Array, Value: val})
+		return true, nil
+	case *ir.StoreA:
+		idx := fr.regs[x.Idx]
+		src := fr.regs[x.Src]
+		if idx.IsBool || src.IsBool {
+			return false, v.runtimeFail(t, "boolean in array store")
+		}
+		addr, err := v.Addr(x.Array, idx.I)
+		if err != nil {
+			return false, v.runtimeFail(t, "%v", err)
+		}
+		if !v.isShared(x.Array) {
+			v.mem[addr] = src.I
+			break
+		}
+		if v.gated(t, x.Array, true) {
+			return true, nil
+		}
+		v.storeShared(t, addr, src.I)
+		fr.ip++
+		v.leapAccess(t, x.Array)
+		v.observe(VisibleEvent{Kind: EvWrite, Thread: t.ID, Addr: addr, Var: x.Array, Value: src.I})
+		return true, nil
+	case *ir.Call:
+		fr.ip++
+		callee := v.prog.Funcs[x.Func]
+		nf := &frame{
+			fn:     callee,
+			regs:   make([]Value, callee.NumRegs),
+			block:  callee.Entry,
+			retReg: x.Dst,
+		}
+		for i, a := range x.Args {
+			nf.regs[i] = fr.regs[a]
+		}
+		t.frames = append(t.frames, nf)
+		if v.conf.PathRecorder != nil {
+			v.conf.PathRecorder.enter(t.ID, nf)
+		}
+		return false, nil
+	case *ir.Spawn:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = fr.regs[a]
+		}
+		key := ThreadKey{Parent: t.ID, Index: t.children}
+		t.children++
+		child := v.newThread(key, x.Func, args)
+		fr.regs[x.Dst] = IntVal(int64(child.ID))
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvSpawn, Thread: t.ID, Other: child.ID})
+		return true, nil
+	case *ir.SyncOp:
+		return v.execSync(t, fr, x)
+	case *ir.Print:
+		val := fr.regs[x.Src]
+		v.output = append(v.output, val.I)
+	case *ir.Input:
+		k := fr.regs[x.K]
+		var val int64
+		if !k.IsBool && k.I >= 0 && k.I < int64(len(v.conf.Inputs)) {
+			val = v.conf.Inputs[k.I]
+		}
+		fr.regs[x.Dst] = IntVal(val)
+	case *ir.Assert:
+		c := fr.regs[x.Cond]
+		if !c.IsBool {
+			return false, v.runtimeFail(t, "assert on non-boolean value %s", c)
+		}
+		if !c.B {
+			// The concurrency failure. ip is advanced so the frame records
+			// the assert as executed.
+			fr.ip++
+			return false, &Failure{
+				Kind: FailAssert, Thread: t.ID, Site: x.Site,
+				Msg:          fmt.Sprintf("assertion %q violated", x.Msg),
+				VisibleIndex: t.visibleCount,
+			}
+		}
+	default:
+		return false, fmt.Errorf("vm: unknown instruction %T", in)
+	}
+	// Only purely local instructions reach here (visible ones return above);
+	// advance and continue within the same action.
+	fr.ip++
+	return false, nil
+}
+
+// execSync executes a synchronization builtin.
+func (v *VM) execSync(t *Thread, fr *frame, x *ir.SyncOp) (bool, error) {
+	switch x.Kind {
+	case ir.BuiltinLock:
+		m := int(x.Obj)
+		if v.mutexes[m].held {
+			if v.mutexes[m].owner == t.ID {
+				return false, v.runtimeFail(t, "recursive lock of mutex %s", v.prog.Mutexes[m])
+			}
+			t.state = stBlockedLock
+			t.waitMutex = m
+			return true, nil // action ends without an event; retried later
+		}
+		if v.gated(t, MutexPseudoVar(v.prog, m), true) {
+			return true, nil
+		}
+		v.acquire(t, m)
+		v.leapAccess(t, MutexPseudoVar(v.prog, m))
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvLock, Thread: t.ID, Obj: x.Obj})
+		return true, nil
+	case ir.BuiltinUnlock:
+		m := int(x.Obj)
+		if !v.mutexes[m].held || v.mutexes[m].owner != t.ID {
+			return false, v.runtimeFail(t, "unlock of mutex %s not held by t%d", v.prog.Mutexes[m], t.ID)
+		}
+		if v.gated(t, MutexPseudoVar(v.prog, m), true) {
+			return true, nil
+		}
+		v.release(t, m)
+		v.leapAccess(t, MutexPseudoVar(v.prog, m))
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvUnlock, Thread: t.ID, Obj: x.Obj})
+		return true, nil
+	case ir.BuiltinWait:
+		c, m := int(x.Obj), int(x.Obj2)
+		if !v.mutexes[m].held || v.mutexes[m].owner != t.ID {
+			return false, v.runtimeFail(t, "wait on %s without holding mutex %s", v.prog.Conds[c], v.prog.Mutexes[m])
+		}
+		if v.gated(t, MutexPseudoVar(v.prog, m), true) {
+			return true, nil
+		}
+		v.release(t, m)
+		v.leapAccess(t, MutexPseudoVar(v.prog, m))
+		t.state = stBlockedCond
+		t.waitCond = c
+		t.waitMutex = m
+		// ip stays at the wait; the WaitEnd retry path advances it.
+		v.observe(VisibleEvent{Kind: EvWaitBegin, Thread: t.ID, Obj: x.Obj, Obj2: x.Obj2})
+		return true, nil
+	case ir.BuiltinSignal:
+		c := int(x.Obj)
+		if v.gated(t, CondPseudoVar(v.prog, c), true) {
+			return true, nil
+		}
+		v.leapAccess(t, CondPseudoVar(v.prog, c))
+		var waiters []ThreadID
+		for _, w := range v.threads {
+			if w.state == stBlockedCond && w.waitCond == c {
+				waiters = append(waiters, w.ID)
+			}
+		}
+		if len(waiters) > 0 {
+			chosen := waiters[0]
+			if v.conf.PickWaiter != nil {
+				if p := v.conf.PickWaiter(x.Obj, waiters); p >= 0 && int(p) < len(v.threads) {
+					chosen = p
+				}
+			}
+			v.threads[chosen].state = stSignaled
+		}
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvSignal, Thread: t.ID, Obj: x.Obj})
+		return true, nil
+	case ir.BuiltinBroadcast:
+		c := int(x.Obj)
+		if v.gated(t, CondPseudoVar(v.prog, c), true) {
+			return true, nil
+		}
+		v.leapAccess(t, CondPseudoVar(v.prog, c))
+		for _, w := range v.threads {
+			if w.state == stBlockedCond && w.waitCond == c {
+				w.state = stSignaled
+			}
+		}
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvBroadcast, Thread: t.ID, Obj: x.Obj})
+		return true, nil
+	case ir.BuiltinJoin:
+		h := fr.regs[x.Arg]
+		if h.IsBool || h.I < 0 || h.I >= int64(len(v.threads)) {
+			return false, v.runtimeFail(t, "join of invalid thread handle %s", h)
+		}
+		child := v.threads[h.I]
+		if child.state != stFinished {
+			t.state = stBlockedJoin
+			t.waitChild = child.ID
+			return true, nil
+		}
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvJoin, Thread: t.ID, Other: child.ID})
+		return true, nil
+	case ir.BuiltinYield:
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvYield, Thread: t.ID})
+		return true, nil
+	case ir.BuiltinFence:
+		if t.buf != nil {
+			t.buf.drainAll(v.mem)
+		}
+		fr.ip++
+		v.observe(VisibleEvent{Kind: EvFence, Thread: t.ID})
+		return true, nil
+	}
+	return false, fmt.Errorf("vm: unknown sync op %v", x.Kind)
+}
+
+// evalUnOp applies a unary operator to a runtime value.
+func (v *VM) evalUnOp(t *Thread, op symbolic.Op, x Value) (Value, error) {
+	switch op {
+	case symbolic.OpNeg:
+		if x.IsBool {
+			return Value{}, v.runtimeFail(t, "negating a boolean")
+		}
+		return IntVal(-x.I), nil
+	case symbolic.OpNot:
+		if !x.IsBool {
+			return Value{}, v.runtimeFail(t, "logical not of an integer")
+		}
+		return BoolVal(!x.B), nil
+	}
+	return Value{}, fmt.Errorf("vm: unknown unary op %s", op)
+}
+
+// evalBinOp applies a binary operator to runtime values.
+func (v *VM) evalBinOp(t *Thread, op symbolic.Op, a, b Value) (Value, error) {
+	if a.IsBool || b.IsBool {
+		if (op == symbolic.OpEq || op == symbolic.OpNe) && a.IsBool && b.IsBool {
+			eq := a.B == b.B
+			if op == symbolic.OpNe {
+				eq = !eq
+			}
+			return BoolVal(eq), nil
+		}
+		return Value{}, v.runtimeFail(t, "integer operator %s on boolean", op)
+	}
+	switch op {
+	case symbolic.OpAdd:
+		return IntVal(a.I + b.I), nil
+	case symbolic.OpSub:
+		return IntVal(a.I - b.I), nil
+	case symbolic.OpMul:
+		return IntVal(a.I * b.I), nil
+	case symbolic.OpDiv:
+		if b.I == 0 {
+			return Value{}, v.runtimeFail(t, "division by zero")
+		}
+		return IntVal(a.I / b.I), nil
+	case symbolic.OpRem:
+		if b.I == 0 {
+			return Value{}, v.runtimeFail(t, "remainder by zero")
+		}
+		return IntVal(a.I % b.I), nil
+	case symbolic.OpAnd:
+		return IntVal(a.I & b.I), nil
+	case symbolic.OpOr:
+		return IntVal(a.I | b.I), nil
+	case symbolic.OpXor:
+		return IntVal(a.I ^ b.I), nil
+	case symbolic.OpShl:
+		return IntVal(a.I << uint64(b.I&63)), nil
+	case symbolic.OpShr:
+		return IntVal(a.I >> uint64(b.I&63)), nil
+	case symbolic.OpEq:
+		return BoolVal(a.I == b.I), nil
+	case symbolic.OpNe:
+		return BoolVal(a.I != b.I), nil
+	case symbolic.OpLt:
+		return BoolVal(a.I < b.I), nil
+	case symbolic.OpLe:
+		return BoolVal(a.I <= b.I), nil
+	case symbolic.OpGt:
+		return BoolVal(a.I > b.I), nil
+	case symbolic.OpGe:
+		return BoolVal(a.I >= b.I), nil
+	}
+	return Value{}, fmt.Errorf("vm: unknown binary op %s", op)
+}

@@ -1,0 +1,146 @@
+package vm
+
+import (
+	"sync"
+
+	"repro/internal/ballarus"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// pathTracker aliases the Ball–Larus tracker so frames can embed one
+// without importing ballarus at every use site.
+type pathTracker = *ballarus.Tracker
+
+// PathRecorder implements CLAP's runtime recording: per-thread Ball–Larus
+// path logs with no synchronization whatsoever. All appends touch only the
+// recorded thread's own log, mirroring the paper's "logging purely local
+// execution of each thread".
+type PathRecorder struct {
+	// Paths is the per-function BL numbering, shared with the decoder.
+	Paths []*ballarus.FuncPaths
+	// Log accumulates the per-thread event streams.
+	Log *trace.PathLog
+}
+
+// NewPathRecorder prepares CLAP recording for prog.
+func NewPathRecorder(prog *ir.Program) (*PathRecorder, error) {
+	paths, err := ballarus.ProgramPaths(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &PathRecorder{Paths: paths, Log: &trace.PathLog{}}, nil
+}
+
+// threadStarted registers the thread's identity and its root activation.
+func (r *PathRecorder) threadStarted(t ThreadID, key ThreadKey) {
+	r.Log.SetThreadMeta(t, key.Parent, key.Index)
+}
+
+// enter begins an activation: appends the enter event and arms the frame's
+// tracker.
+func (r *PathRecorder) enter(t ThreadID, fr *frame) {
+	fr.trk = ballarus.NewTracker(r.Paths[fr.fn.ID])
+	r.Log.Append(t, trace.Event{Kind: trace.EvEnter, Arg: uint64(fr.fn.ID)})
+}
+
+// edge records a CFG edge traversal; back edges emit the completed segment.
+func (r *PathRecorder) edge(t ThreadID, fr *frame, from, to ir.BlockID) {
+	if fr.trk == nil {
+		return
+	}
+	if id, emit := fr.trk.TakeEdge(from, to); emit {
+		r.Log.Append(t, trace.Event{Kind: trace.EvPath, Arg: id})
+	}
+}
+
+// returned closes an activation normally.
+func (r *PathRecorder) returned(t ThreadID, fr *frame, from ir.BlockID) {
+	if fr.trk == nil {
+		return
+	}
+	r.Log.Append(t, trace.Event{Kind: trace.EvPath, Arg: fr.trk.Return(from)})
+	r.Log.Append(t, trace.Event{Kind: trace.EvExit})
+}
+
+// dumpPartial flushes the in-flight segments of every live thread when the
+// failure fires. Frames are closed innermost-first so the event stream
+// stays properly nested. Each partial event carries the in-flight path
+// sum, the number of blocks executed in the segment, and a cut position:
+// 2*ip + half, where ip is the count of fully executed instructions in the
+// final block and half marks a wait whose release half (WaitBegin) has
+// executed.
+func (r *PathRecorder) dumpPartial(v *VM) {
+	for _, t := range v.threads {
+		if t.state == stFinished {
+			continue
+		}
+		for i := len(t.frames) - 1; i >= 0; i-- {
+			fr := t.frames[i]
+			if fr.trk == nil {
+				continue
+			}
+			cut := uint64(fr.ip) * 2
+			if i == len(t.frames)-1 && (t.state == stBlockedCond || t.state == stSignaled) {
+				cut++
+			}
+			r.Log.Append(t.ID, trace.Event{
+				Kind: trace.EvPartial,
+				Arg:  fr.trk.PartialSum(),
+				Arg2: uint64(fr.trk.PartialBlocks()),
+			})
+			r.Log.AppendCut(t.ID, cut)
+		}
+	}
+}
+
+// SyncOrderRecorder implements the paper's §6.4 extension: record the
+// global order of synchronization operations at runtime. The paper leaves
+// it off by default because "it would need extra synchronization
+// operations, which could limit our ability to capture non-sequential
+// bugs" — accordingly the recorder takes a real mutex per append, and the
+// ablation benchmarks measure both the runtime cost and the constraint
+// shrinkage it buys.
+type SyncOrderRecorder struct {
+	Log *trace.SyncOrderLog
+	mu  sync.Mutex
+}
+
+// NewSyncOrderRecorder prepares sync-order recording.
+func NewSyncOrderRecorder() *SyncOrderRecorder {
+	return &SyncOrderRecorder{Log: &trace.SyncOrderLog{}}
+}
+
+func (r *SyncOrderRecorder) record(t ThreadID) {
+	r.mu.Lock()
+	r.Log.Append(t)
+	r.mu.Unlock()
+}
+
+// LeapRecorder implements the LEAP baseline: every shared access appends
+// the accessing thread to the variable's access vector under a per-variable
+// mutex. The mutex is what LEAP's soundness requires (the access vector
+// must reflect the true global access order) and what makes LEAP slow and
+// fence-happy — the cost Table 2 quantifies.
+type LeapRecorder struct {
+	Log *trace.AccessVectorLog
+	mus []sync.Mutex
+}
+
+// NewLeapRecorder prepares LEAP recording for prog. The vector space
+// covers the globals plus one pseudo-variable per mutex and condition
+// variable (LEAP orders sync-object accesses too; see MutexPseudoVar).
+func NewLeapRecorder(prog *ir.Program) *LeapRecorder {
+	n := len(prog.Globals) + len(prog.Mutexes) + len(prog.Conds)
+	return &LeapRecorder{
+		Log: &trace.AccessVectorLog{},
+		mus: make([]sync.Mutex, n),
+	}
+}
+
+// access records one shared access.
+func (r *LeapRecorder) access(v int, t ThreadID) {
+	r.mus[v].Lock()
+	r.Log.Append(v, t)
+	r.mus[v].Unlock()
+}

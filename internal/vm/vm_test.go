@@ -1,0 +1,710 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, conf Config) *Result {
+	t.Helper()
+	prog := compile(t, src)
+	if conf.Sched == nil {
+		conf.Sched = &RoundRobinScheduler{}
+	}
+	v, err := New(prog, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSequentialOutput(t *testing.T) {
+	res := run(t, `
+int x;
+func main() {
+	int a = 6;
+	int b = 7;
+	x = a * b;
+	print(x);
+	print(x / 2);
+	print(x % 5);
+	print(-a);
+}
+`, Config{})
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	want := []int64{42, 21, 2, -6}
+	if fmt.Sprint(res.Output) != fmt.Sprint(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	if res.FinalMem[0] != 42 {
+		t.Fatalf("x = %d, want 42", res.FinalMem[0])
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+int out;
+func main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		if (i % 2 == 0) {
+			s = s + i;
+		} else {
+			s = s + 10 * i;
+		}
+	}
+	int j = 0;
+	while (j < 3) {
+		s = s + 1;
+		j = j + 1;
+	}
+	out = s;
+}
+`, Config{})
+	// even: 0+2+4 = 6, odd: 10+30 = 40, loop: +3 => 49
+	if res.FinalMem[0] != 49 {
+		t.Fatalf("out = %d, want 49", res.FinalMem[0])
+	}
+}
+
+func TestFunctionCallsAndRecursionDepth(t *testing.T) {
+	res := run(t, `
+int out;
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() {
+	out = fib(10);
+}
+`, Config{})
+	if res.FinalMem[0] != 55 {
+		t.Fatalf("fib(10) = %d, want 55", res.FinalMem[0])
+	}
+}
+
+func TestArrays(t *testing.T) {
+	res := run(t, `
+int a[5];
+int out;
+func main() {
+	int i;
+	for (i = 0; i < 5; i = i + 1) {
+		a[i] = i * i;
+	}
+	out = a[0] + a[1] + a[2] + a[3] + a[4];
+}
+`, Config{})
+	if res.FinalMem[5] != 30 {
+		t.Fatalf("sum of squares = %d, want 30", res.FinalMem[5])
+	}
+}
+
+func TestGlobalArrayInit(t *testing.T) {
+	res := run(t, `
+int a[3] = 7;
+int out;
+func main() { out = a[0] + a[1] + a[2]; }
+`, Config{})
+	if res.FinalMem[3] != 21 {
+		t.Fatalf("out = %d, want 21", res.FinalMem[3])
+	}
+}
+
+func TestSpawnJoin(t *testing.T) {
+	res := run(t, `
+int x;
+func child(v) {
+	x = v;
+}
+func main() {
+	int h;
+	h = spawn child(99);
+	join(h);
+	print(x);
+}
+`, Config{})
+	if res.Failure != nil {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 99 {
+		t.Fatalf("output = %v, want [99]", res.Output)
+	}
+	if res.Threads != 2 {
+		t.Fatalf("threads = %d, want 2", res.Threads)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	// Two threads increment a counter 100 times each under a lock; no
+	// update may be lost regardless of the schedule.
+	src := `
+int c;
+mutex m;
+func worker() {
+	int i;
+	for (i = 0; i < 100; i = i + 1) {
+		lock(m);
+		int t = c;
+		c = t + 1;
+		unlock(m);
+	}
+}
+func main() {
+	int h1;
+	int h2;
+	h1 = spawn worker();
+	h2 = spawn worker();
+	join(h1);
+	join(h2);
+}
+`
+	for seed := int64(0); seed < 10; seed++ {
+		res := run(t, src, Config{Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: failure %v", seed, res.Failure)
+		}
+		if res.FinalMem[0] != 200 {
+			t.Fatalf("seed %d: counter = %d, want 200 (mutual exclusion broken)", seed, res.FinalMem[0])
+		}
+	}
+}
+
+func TestRaceWithoutLockLosesUpdates(t *testing.T) {
+	// The same counter without a lock must lose updates under at least one
+	// seed — this is the VM exposing real races.
+	src := `
+int c;
+func worker() {
+	int i;
+	for (i = 0; i < 50; i = i + 1) {
+		int t = c;
+		c = t + 1;
+	}
+}
+func main() {
+	int h1;
+	int h2;
+	h1 = spawn worker();
+	h2 = spawn worker();
+	join(h1);
+	join(h2);
+}
+`
+	lost := false
+	for seed := int64(0); seed < 30 && !lost; seed++ {
+		res := run(t, src, Config{Sched: NewRandomScheduler(seed)})
+		if res.FinalMem[0] < 100 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("racy counter never lost an update in 30 seeds; scheduler not interleaving")
+	}
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	src := `
+int ready;
+int data;
+mutex m;
+cond c;
+func consumer() {
+	lock(m);
+	while (ready == 0) {
+		wait(c, m);
+	}
+	data = data + 1;
+	unlock(m);
+}
+func producer() {
+	lock(m);
+	ready = 1;
+	data = 10;
+	signal(c);
+	unlock(m);
+}
+func main() {
+	int h1;
+	int h2;
+	h1 = spawn consumer();
+	h2 = spawn producer();
+	join(h1);
+	join(h2);
+}
+`
+	for seed := int64(0); seed < 20; seed++ {
+		res := run(t, src, Config{Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		if res.FinalMem[1] != 11 {
+			t.Fatalf("seed %d: data = %d, want 11", seed, res.FinalMem[1])
+		}
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	src := `
+int gate;
+int done;
+mutex m;
+cond c;
+func waiter() {
+	lock(m);
+	while (gate == 0) {
+		wait(c, m);
+	}
+	done = done + 1;
+	unlock(m);
+}
+func main() {
+	int h1;
+	int h2;
+	int h3;
+	h1 = spawn waiter();
+	h2 = spawn waiter();
+	h3 = spawn waiter();
+	yield();
+	lock(m);
+	gate = 1;
+	broadcast(c);
+	unlock(m);
+	join(h1);
+	join(h2);
+	join(h3);
+}
+`
+	for seed := int64(0); seed < 20; seed++ {
+		res := run(t, src, Config{Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+		if res.FinalMem[1] != 3 {
+			t.Fatalf("seed %d: done = %d, want 3", seed, res.FinalMem[1])
+		}
+	}
+}
+
+func TestAssertFailureCaptured(t *testing.T) {
+	res := run(t, `
+int x;
+func main() {
+	x = 1;
+	assert(x == 2, "x must be 2");
+}
+`, Config{})
+	if res.Failure == nil || res.Failure.Kind != FailAssert {
+		t.Fatalf("failure = %v, want assertion violation", res.Failure)
+	}
+	if !strings.Contains(res.Failure.Msg, "x must be 2") {
+		t.Errorf("failure msg = %q", res.Failure.Msg)
+	}
+	if res.Failure.Thread != 0 {
+		t.Errorf("failing thread = %d, want 0", res.Failure.Thread)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	res := run(t, `
+mutex a;
+mutex b;
+func t1() {
+	lock(a);
+	yield();
+	lock(b);
+	unlock(b);
+	unlock(a);
+}
+func main() {
+	int h;
+	lock(b);
+	h = spawn t1();
+	yield();
+	yield();
+	lock(a);
+	unlock(a);
+	unlock(b);
+	join(h);
+}
+`, Config{Sched: &RoundRobinScheduler{}})
+	if res.Failure == nil || res.Failure.Kind != FailDeadlock {
+		t.Fatalf("failure = %v, want deadlock", res.Failure)
+	}
+	if !strings.Contains(res.Failure.Msg, "waits for mutex") {
+		t.Errorf("deadlock msg = %q", res.Failure.Msg)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"div by zero", `int x; func main() { int z = 0; x = 1 / z; }`, "division by zero"},
+		{"rem by zero", `int x; func main() { int z = 0; x = 1 % z; }`, "remainder by zero"},
+		{"array oob", `int a[3]; func main() { int i = 5; a[i] = 1; }`, "out of range"},
+		{"array neg", `int a[3]; func main() { int i = -1; int v = a[i]; print(v); }`, "out of range"},
+		{"unlock not held", `mutex m; func main() { unlock(m); }`, "not held"},
+		{"recursive lock", `mutex m; func main() { lock(m); lock(m); }`, "recursive lock"},
+		{"wait without mutex", `mutex m; cond c; func main() { wait(c, m); }`, "without holding"},
+		{"join bad handle", `func main() { int h = 42; join(h); }`, "invalid thread handle"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, c.src, Config{})
+			if res.Failure == nil || res.Failure.Kind != FailRuntime {
+				t.Fatalf("failure = %v, want runtime error", res.Failure)
+			}
+			if !strings.Contains(res.Failure.Msg, c.want) {
+				t.Errorf("msg %q does not contain %q", res.Failure.Msg, c.want)
+			}
+		})
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	res := run(t, `
+int x;
+func main() {
+	x = input(0) + input(1);
+	int k = 5;
+	x = x + input(k);
+}
+`, Config{Inputs: []int64{10, 20}})
+	// input(5) is out of range and reads 0.
+	if res.FinalMem[0] != 30 {
+		t.Fatalf("x = %d, want 30", res.FinalMem[0])
+	}
+}
+
+// dekkerSrc is the classic two-thread mutual exclusion that is correct
+// under SC but broken by store buffering.
+const dekkerSrc = `
+int flag0;
+int flag1;
+int incrit;
+int bad;
+func t0() {
+	flag0 = 1;
+	if (flag1 == 0) {
+		incrit = incrit + 1;
+		if (incrit != 1) { bad = 1; }
+		incrit = incrit - 1;
+	}
+}
+func t1() {
+	flag1 = 1;
+	if (flag0 == 0) {
+		incrit = incrit + 1;
+		if (incrit != 1) { bad = 1; }
+		incrit = incrit - 1;
+	}
+}
+func main() {
+	int h0;
+	int h1;
+	h0 = spawn t0();
+	h1 = spawn t1();
+	join(h0);
+	join(h1);
+	assert(bad == 0, "mutual exclusion violated");
+}
+`
+
+func TestDekkerSafeUnderSC(t *testing.T) {
+	// Under SC, at most one thread can see the other's flag as 0... not
+	// true for this simplified Dekker: under SC both threads can pass if
+	// both read before either write is visible — impossible under SC since
+	// each writes before reading. Verify no seed breaks it.
+	for seed := int64(0); seed < 200; seed++ {
+		res := run(t, dekkerSrc, Config{Model: SC, Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("SC seed %d: %v (SC must preserve mutual exclusion)", seed, res.Failure)
+		}
+	}
+}
+
+func TestDekkerBrokenUnderTSO(t *testing.T) {
+	broken := false
+	for seed := int64(0); seed < 500 && !broken; seed++ {
+		res := run(t, dekkerSrc, Config{Model: TSO, Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil && res.Failure.Kind == FailAssert {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("TSO store buffering never broke Dekker in 500 seeds")
+	}
+}
+
+// psoReorderSrc is Figure 2 (right) of the paper: assert2 can only fail
+// when the two writes (lines 4-5) reach memory out of order, which PSO
+// allows and TSO/SC forbid.
+const psoReorderSrc = `
+int x;
+int y;
+func t2() {
+	int r1 = y;
+	if (r1 == 1) {
+		int r2 = x;
+		assert(r2 == 1, "write reorder observed");
+	}
+}
+func main() {
+	int h;
+	h = spawn t2();
+	x = 1;
+	y = 1;
+	join(h);
+}
+`
+
+func TestWriteOrderPreservedUnderTSO(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		res := run(t, psoReorderSrc, Config{Model: TSO, Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("TSO seed %d: %v (TSO preserves W->W order)", seed, res.Failure)
+		}
+	}
+}
+
+func TestWriteReorderUnderPSO(t *testing.T) {
+	broken := false
+	for seed := int64(0); seed < 500 && !broken; seed++ {
+		res := run(t, psoReorderSrc, Config{Model: PSO, Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil && res.Failure.Kind == FailAssert {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("PSO never reordered the writes in 500 seeds")
+	}
+}
+
+func TestLockActsAsFence(t *testing.T) {
+	// With the writes under a lock, even PSO cannot reorder them — the
+	// paper's point about extra synchronization masking relaxed bugs.
+	src := `
+int x;
+int y;
+mutex m;
+func t2() {
+	int r1 = y;
+	if (r1 == 1) {
+		int r2 = x;
+		assert(r2 == 1, "reorder despite lock");
+	}
+}
+func main() {
+	int h;
+	h = spawn t2();
+	lock(m);
+	x = 1;
+	unlock(m);
+	lock(m);
+	y = 1;
+	unlock(m);
+	join(h);
+}
+`
+	for seed := int64(0); seed < 300; seed++ {
+		res := run(t, src, Config{Model: PSO, Sched: NewRandomScheduler(seed)})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %v", seed, res.Failure)
+		}
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	src := `
+int c;
+func worker(n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		int t = c;
+		c = t + 1;
+	}
+}
+func main() {
+	int h1;
+	int h2;
+	h1 = spawn worker(20);
+	h2 = spawn worker(20);
+	join(h1);
+	join(h2);
+	print(c);
+}
+`
+	first := run(t, src, Config{Sched: NewRandomScheduler(7)})
+	for i := 0; i < 3; i++ {
+		again := run(t, src, Config{Sched: NewRandomScheduler(7)})
+		if fmt.Sprint(again.Output) != fmt.Sprint(first.Output) ||
+			again.Instructions != first.Instructions {
+			t.Fatal("same seed must give identical executions")
+		}
+	}
+}
+
+func TestVisibleEventStream(t *testing.T) {
+	var events []VisibleEvent
+	prog := compile(t, `
+int x;
+func child() { x = 5; }
+func main() {
+	int h;
+	h = spawn child();
+	join(h);
+	int v = x;
+	print(v);
+}
+`)
+	v, err := New(prog, Config{
+		Sched:     &RoundRobinScheduler{},
+		OnVisible: func(ev VisibleEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"t0:start", "t0:spawn(t1)", "t1:start", "t1:write@0=5", "t1:exit", "t0:join(t1)", "t0:read@0=5", "t0:exit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("event stream missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCountsArePopulated(t *testing.T) {
+	res := run(t, `
+int x;
+func main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) {
+		x = x + 1;
+	}
+}
+`, Config{})
+	if res.Branches < 10 {
+		t.Errorf("branches = %d, want >= 10", res.Branches)
+	}
+	if res.Instructions <= res.Branches {
+		t.Errorf("instructions = %d must exceed branches = %d", res.Instructions, res.Branches)
+	}
+	if res.VisibleEvents < 20 {
+		t.Errorf("visible events = %d, want >= 20 (10 reads + 10 writes)", res.VisibleEvents)
+	}
+}
+
+func TestSchedulerRequired(t *testing.T) {
+	prog := compile(t, `func main() {}`)
+	if _, err := New(prog, Config{}); err == nil {
+		t.Fatal("New must reject a config without scheduler")
+	}
+}
+
+func TestYieldAndFence(t *testing.T) {
+	res := run(t, `
+int x;
+func main() {
+	x = 1;
+	yield();
+	fence();
+	x = 2;
+}
+`, Config{Model: PSO})
+	if res.Failure != nil {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+	if res.FinalMem[0] != 2 {
+		t.Fatalf("x = %d, want 2", res.FinalMem[0])
+	}
+}
+
+func TestValueInjection(t *testing.T) {
+	prog := compile(t, `
+int x;
+func main() {
+	int v = x;
+	print(v);
+}
+`)
+	v, err := New(prog, Config{
+		Sched: &RoundRobinScheduler{},
+		ReadValue: func(tid ThreadID, addr int) (int64, bool) {
+			return 77, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 77 {
+		t.Fatalf("output = %v, want [77] (injected)", res.Output)
+	}
+}
+
+func TestThreadKeysStableAcrossSchedules(t *testing.T) {
+	src := `
+int x;
+func child(v) { x = v; }
+func main() {
+	int a;
+	int b;
+	a = spawn child(1);
+	b = spawn child(2);
+	join(a);
+	join(b);
+}
+`
+	keysOf := func(seed int64) string {
+		prog := compile(t, src)
+		v, err := New(prog, Config{Sched: NewRandomScheduler(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var s string
+		for _, th := range v.Threads() {
+			s += fmt.Sprintf("(%d<-%d#%d)", th.ID, th.Key.Parent, th.Key.Index)
+		}
+		return s
+	}
+	k0 := keysOf(1)
+	for seed := int64(2); seed < 6; seed++ {
+		if keysOf(seed) != k0 {
+			t.Fatalf("thread keys differ across schedules: %s vs %s", k0, keysOf(seed))
+		}
+	}
+}
