@@ -1,0 +1,26 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
+	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
+
+.PHONY: ci vet build test fuzz-smoke
+
+ci: vet build test fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A short fuzz pass per decoder target: the crash-tolerance claims hold on
+# arbitrary bytes, not just the corpus.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/trace/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done

@@ -37,6 +37,11 @@ const (
 	Sequential = core.Sequential
 	// Parallel is the generate-and-validate worker pool (paper §4.3).
 	Parallel = core.Parallel
+	// CNF is the SAT encoding with a CDCL core.
+	CNF = core.CNF
+	// Portfolio tries Sequential under a budget, then Parallel, then CNF,
+	// recording the per-attempt trail in Reproduction.Attempts.
+	Portfolio = core.Portfolio
 )
 
 // Re-exported pipeline types.
@@ -57,6 +62,13 @@ type (
 	Reproduction = core.Reproduction
 	// SolverKind selects the solving strategy.
 	SolverKind = core.SolverKind
+	// SolverAttempt is one solver stage's outcome in the attempt trail.
+	SolverAttempt = core.SolverAttempt
+	// NoFailureError reports a bug hunt that found no assertion failure,
+	// with the per-chaos-level breakdown of what was tried.
+	NoFailureError = core.NoFailureError
+	// LevelStats is one chaos level's share of a bug hunt.
+	LevelStats = core.LevelStats
 )
 
 // Compile parses, checks and lowers mini-language source.

@@ -6,6 +6,7 @@
 //	clap record <prog.mc> [flags]      hunt a failing schedule, dump the path log
 //	clap reproduce <prog.mc> [flags]   record, solve, and replay the failure
 //	clap bench <name>                  reproduce one built-in benchmark
+//	clap decodelog <log> [flags]       inspect a recorded path log file
 //
 // Flags (after the subcommand):
 //
@@ -13,8 +14,15 @@
 //	-seed N             first scheduler seed (default 0)
 //	-seeds N            how many seeds to try when hunting (default 2000)
 //	-input a,b,c        deterministic program inputs
-//	-solver seq|par|cnf solving strategy (default seq)
+//	-solver seq|par|cnf|portfolio
+//	                    solving strategy (default seq); portfolio tries
+//	                    seq, then par, then cnf, printing the attempt trail
 //	-cs N               preemption bound (-1 = minimal, default)
+//	-timeout D          bound each phase's wall time (e.g. 30s, 2m);
+//	                    interrupted phases report partial diagnostics
+//	-o FILE             record: also write the crash-tolerant framed log
+//	-salvage            decodelog: recover the longest valid prefix from a
+//	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
 //	-dump-constraints   print the constraint system before solving
 //	-v                  verbose
@@ -25,6 +33,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cnfsolver"
@@ -33,6 +42,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/simplify"
 	"repro/internal/solver"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -50,6 +60,9 @@ type flags struct {
 	inputs   []int64
 	solver   string
 	cs       int
+	timeout  time.Duration
+	out      string
+	salvage  bool
 	dump     bool
 	simplify bool
 	verbose  bool
@@ -127,6 +140,26 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 			if err != nil {
 				return nil, f, err
 			}
+		case "-timeout":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.timeout, err = time.ParseDuration(v)
+			if err != nil {
+				return nil, f, err
+			}
+			if f.timeout <= 0 {
+				return nil, f, fmt.Errorf("-timeout must be positive, got %v", f.timeout)
+			}
+		case "-o":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.out = v
+		case "-salvage":
+			f.salvage = true
 		case "-dump-constraints":
 			f.dump = true
 		case "-simplify":
@@ -142,7 +175,7 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: clap run|record|reproduce|bench ... (see -h in source docs)")
+		return fmt.Errorf("usage: clap run|record|reproduce|bench|decodelog ... (see the package docs for flags)")
 	}
 	cmd := args[0]
 	rest, f, err := parseFlags(args[1:])
@@ -158,6 +191,8 @@ func run(args []string) error {
 		return cmdReproduce(rest, f)
 	case "bench":
 		return cmdBench(rest, f)
+	case "decodelog":
+		return cmdDecodeLog(rest, f)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -211,6 +246,7 @@ func cmdRecord(rest []string, f flags) error {
 	}
 	rec, err := core.Record(prog, core.RecordOptions{
 		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+		Deadline: f.timeout,
 	})
 	if err != nil {
 		return err
@@ -222,6 +258,47 @@ func cmdRecord(rest []string, f flags) error {
 		for _, tl := range rec.Log.Threads {
 			fmt.Printf("  thread %d (parent %d, index %d): %d events\n",
 				tl.Thread, tl.Parent, tl.Index, len(tl.Events))
+		}
+	}
+	if f.out != "" {
+		framed := rec.Log.EncodeFramed(trace.FramedOptions{})
+		if err := os.WriteFile(f.out, framed, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("framed log written to %s (%dB)\n", f.out, len(framed))
+	}
+	return nil
+}
+
+// cmdDecodeLog inspects a path-log file: strictly by default, leniently
+// with -salvage (recovering the longest valid prefix of a damaged log).
+func cmdDecodeLog(rest []string, f flags) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: clap decodelog <log file> [-salvage] [-v]")
+	}
+	buf, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+	var log *trace.PathLog
+	if f.salvage {
+		var rep *trace.SalvageReport
+		log, rep = trace.DecodePathLogSalvage(buf)
+		fmt.Println("salvage:", rep)
+	} else if trace.IsFramed(buf) {
+		if log, err = trace.DecodeFramedPathLog(buf); err != nil {
+			return fmt.Errorf("%w (retry with -salvage to recover a prefix)", err)
+		}
+	} else {
+		if log, err = trace.DecodePathLog(buf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("path log: %d threads, %d events\n", len(log.Threads), log.EventCount())
+	if f.verbose {
+		for _, tl := range log.Threads {
+			fmt.Printf("  thread %d (parent %d, index %d): %d events, %d cuts\n",
+				tl.Thread, tl.Parent, tl.Index, len(tl.Events), len(tl.Cuts))
 		}
 	}
 	return nil
@@ -264,6 +341,7 @@ func reproduceSource(src string, f flags) error {
 	}
 	rec, err := core.Record(prog, core.RecordOptions{
 		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+		Deadline: f.timeout,
 	})
 	if err != nil {
 		return err
@@ -285,7 +363,7 @@ func reproduceSource(src string, f flags) error {
 	var sol *solver.Solution
 	switch f.solver {
 	case "seq":
-		s, st, err := solver.Solve(sys, solver.Options{MaxPreemptions: f.cs})
+		s, st, err := solver.Solve(sys, solver.Options{MaxPreemptions: f.cs, Deadline: f.timeout})
 		if err != nil {
 			return err
 		}
@@ -294,24 +372,37 @@ func reproduceSource(src string, f flags) error {
 			fmt.Printf("  sequential solver: %+v\n", *st)
 		}
 	case "par":
-		res, err := parsolve.Solve(sys, parsolve.Options{})
+		res, err := parsolve.Solve(sys, parsolve.Options{Deadline: f.timeout})
 		if err != nil {
 			return err
 		}
 		if !res.Found() {
-			return fmt.Errorf("parallel solver found no schedule (generated %d)", res.Generated)
+			return fmt.Errorf("parallel solver found no schedule (generated %d, timedOut=%v)",
+				res.Generated, res.TimedOut)
 		}
 		sol = res.Solutions[0]
 		fmt.Printf("  parallel solver: generated %d, valid %d, bound %d, %.3fs\n",
 			res.Generated, res.Valid, res.Bound, res.Elapsed.Seconds())
 	case "cnf":
-		s, st, err := cnfsolver.Solve(sys, cnfsolver.Options{})
+		s, st, err := cnfsolver.Solve(sys, cnfsolver.Options{Deadline: f.timeout})
 		if err != nil {
 			return err
 		}
 		sol = s
 		fmt.Printf("  cnf solver: %d bool vars, %d clauses, %d theory rounds\n",
 			st.BoolVars, st.Clauses, st.TheoryRounds)
+	case "portfolio":
+		s, attempts, err := core.RunPortfolio(sys, core.ReproduceOptions{
+			SeqOptions: solver.Options{MaxPreemptions: f.cs},
+			Deadline:   f.timeout,
+		})
+		for _, a := range attempts {
+			fmt.Printf("  portfolio: %s\n", a)
+		}
+		if err != nil {
+			return err
+		}
+		sol = s
 	default:
 		return fmt.Errorf("unknown solver %q", f.solver)
 	}
@@ -332,7 +423,9 @@ func reproduceSource(src string, f flags) error {
 		}
 	}
 
-	out, err := replay.Run(sys, sol, replay.Options{Mode: replay.ModeFor(f.model), Inputs: f.inputs})
+	out, err := replay.Run(sys, sol, replay.Options{
+		Mode: replay.ModeFor(f.model), Inputs: f.inputs, Deadline: f.timeout,
+	})
 	if err != nil {
 		return err
 	}

@@ -252,6 +252,12 @@ func (fp *FuncPaths) walk(id uint64) (Segment, error) {
 	remaining := id
 	first := true
 	for n != fp.exit {
+		// A DAG path visits each node at most once; anything longer means
+		// the edge tables are inconsistent, and erroring out here keeps a
+		// corrupt numbering from looping or growing the segment unboundedly.
+		if len(seg.Blocks) > len(fp.Fn.Blocks) {
+			return Segment{}, fmt.Errorf("ballarus: decode of %d exceeds %d blocks in %s", id, len(fp.Fn.Blocks), fp.Fn.Name)
+		}
 		es := fp.edges[n]
 		if len(es) == 0 {
 			return Segment{}, fmt.Errorf("ballarus: stuck at node %d decoding %d in %s", n, id, fp.Fn.Name)

@@ -65,10 +65,7 @@ func TestEachBenchmarkReproduces(t *testing.T) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			t.Parallel()
-			p, err := Prepare(b)
-			if err != nil {
-				t.Fatal(err)
-			}
+			p := preparedFor(t, b)
 			rep, err := core.Reproduce(p.Recording, core.ReproduceOptions{
 				Solver:     core.Sequential,
 				SeqOptions: solver.Options{MaxPreemptions: b.MaxPreemptions},
@@ -113,10 +110,7 @@ func TestFormatters(t *testing.T) {
 
 func TestWorstCaseLog10(t *testing.T) {
 	b, _ := ByName("sim_race")
-	p, err := Prepare(b)
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := preparedFor(t, b)
 	lg := worstCaseLog10(p.System)
 	if lg <= 1 {
 		t.Errorf("worst-case schedules log10 = %f, expected > 1", lg)

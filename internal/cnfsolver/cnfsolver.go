@@ -14,8 +14,10 @@
 package cnfsolver
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/constraints"
 	"repro/internal/sat"
@@ -31,6 +33,11 @@ type Options struct {
 	MaxSAPs int
 	// MaxTheoryRounds bounds the lazy-refinement loop (default 200).
 	MaxTheoryRounds int
+	// Ctx cancels the solve (nil = never); polled each theory round and,
+	// via the SAT engine's stop hook, inside each SAT call.
+	Ctx context.Context
+	// Deadline bounds the solve's wall time (0 = none). Composes with Ctx.
+	Deadline time.Duration
 }
 
 func (o *Options) fill() {
@@ -58,12 +65,38 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 		return nil, nil, fmt.Errorf("cnfsolver: %d SAPs exceeds the cubic-encoding limit %d", n, opts.MaxSAPs)
 	}
 	e := &encoder{sys: sys, n: n, s: sat.New(0)}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	interrupted := func() bool {
+		if opts.Ctx != nil {
+			select {
+			case <-opts.Ctx.Done():
+				return true
+			default:
+			}
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+	// The stop hook keeps a single CDCL call from outliving the budget; a
+	// stopped call returns Unknown, which surfaces below as *Interrupted.
+	e.s.Stop = interrupted
 	e.encode()
 	st := &Stats{BoolVars: e.s.NumVars(), Clauses: e.clauses}
 
 	for round := 0; round < opts.MaxTheoryRounds; round++ {
 		st.TheoryRounds = round + 1
-		if e.s.Solve() != sat.Sat {
+		if interrupted() {
+			st.SATConflicts = e.s.Conflicts
+			return nil, st, &solver.Interrupted{Reason: "cnf theory loop cut short", Bound: -1}
+		}
+		switch e.s.Solve() {
+		case sat.Sat:
+		case sat.Unknown:
+			st.SATConflicts = e.s.Conflicts
+			return nil, st, &solver.Interrupted{Reason: "sat search cut short", Bound: -1}
+		default:
 			st.SATConflicts = e.s.Conflicts
 			return nil, st, &Unsat{Rounds: round + 1}
 		}

@@ -1,8 +1,9 @@
-package cnfsolver
+package cnfsolver_test
 
 import (
 	"testing"
 
+	"repro/internal/cnfsolver"
 	"repro/internal/constraints"
 	"repro/internal/core"
 	"repro/internal/replay"
@@ -51,7 +52,7 @@ func main() {
 
 func TestCNFSolverFigure2(t *testing.T) {
 	rec, sys := buildSystem(t, figure2SC, vm.SC, 3000)
-	sol, stats, err := Solve(sys, Options{})
+	sol, stats, err := cnfsolver.Solve(sys, cnfsolver.Options{})
 	if err != nil {
 		t.Fatalf("cnf solve: %v (stats %+v)", err, stats)
 	}
@@ -93,7 +94,7 @@ func main() {
 	for name, src := range srcs {
 		t.Run(name, func(t *testing.T) {
 			_, sys := buildSystem(t, src, vm.SC, 3000)
-			_, _, errCNF := Solve(sys, Options{})
+			_, _, errCNF := cnfsolver.Solve(sys, cnfsolver.Options{})
 			_, _, errSeq := solver.Solve(sys, solver.Options{MaxPreemptions: -1})
 			if (errCNF == nil) != (errSeq == nil) {
 				t.Fatalf("solver disagreement: cnf=%v, dedicated=%v", errCNF, errSeq)
@@ -122,7 +123,7 @@ func main() {
 }
 `
 	_, sys := buildSystem(t, src, vm.PSO, 3000)
-	sol, _, err := Solve(sys, Options{})
+	sol, _, err := cnfsolver.Solve(sys, cnfsolver.Options{})
 	if err != nil {
 		t.Fatalf("cnf solve under PSO: %v", err)
 	}
@@ -134,16 +135,16 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Solve(sysSC, Options{}); err == nil {
+	if _, _, err := cnfsolver.Solve(sysSC, cnfsolver.Options{}); err == nil {
 		t.Fatal("PSO-only bug must be UNSAT under the SC encoding")
-	} else if _, ok := err.(*Unsat); !ok {
+	} else if _, ok := err.(*cnfsolver.Unsat); !ok {
 		t.Fatalf("expected Unsat, got %v", err)
 	}
 }
 
 func TestCNFSolverSizeLimit(t *testing.T) {
 	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
-	if _, _, err := Solve(sys, Options{MaxSAPs: 2}); err == nil {
+	if _, _, err := cnfsolver.Solve(sys, cnfsolver.Options{MaxSAPs: 2}); err == nil {
 		t.Fatal("size limit must refuse large systems")
 	}
 }

@@ -12,11 +12,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/ballarus"
+	"repro/internal/cnfsolver"
 	"repro/internal/constraints"
 	"repro/internal/escape"
 	"repro/internal/ir"
@@ -44,6 +47,47 @@ type RecordOptions struct {
 	DrainBias int
 	// MaxActions bounds each attempt.
 	MaxActions int
+	// Ctx cancels the bug hunt between attempts (nil = never).
+	Ctx context.Context
+	// Deadline bounds the hunt's wall time (0 = none). An interrupted hunt
+	// returns the best recording found so far, or a *NoFailureError that
+	// reports how far it got.
+	Deadline time.Duration
+}
+
+// LevelStats reports one chaos level's share of a bug hunt.
+type LevelStats struct {
+	// Chaos is the scheduler chaos level swept.
+	Chaos int
+	// Seeds is how many schedules were executed at this level.
+	Seeds int
+	// Livelocked counts runs that hit the action budget without failing.
+	Livelocked int
+	// Failures counts runs that ended in an assertion failure.
+	Failures int
+}
+
+// NoFailureError reports a bug hunt that found no assertion failure,
+// with the per-chaos-level breakdown of what was tried.
+type NoFailureError struct {
+	Seed      int64
+	SeedLimit int64
+	Levels    []LevelStats
+	// Interrupted reports that the hunt was cut short by Ctx or Deadline
+	// rather than exhausting its seeds.
+	Interrupted bool
+}
+
+func (e *NoFailureError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: no assertion failure in %d seeds starting at %d", e.SeedLimit, e.Seed)
+	if e.Interrupted {
+		b.WriteString(" (hunt interrupted)")
+	}
+	for _, l := range e.Levels {
+		fmt.Fprintf(&b, "; chaos %d: %d run, %d livelocked", l.Chaos, l.Seeds, l.Livelocked)
+	}
+	return b.String()
 }
 
 // Recording is a recorded failing execution: the CLAP log plus everything
@@ -93,14 +137,34 @@ func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
 	if err != nil {
 		return nil, err
 	}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	if opts.Ctx != nil {
+		if d, ok := opts.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+	}
+	var levels []LevelStats
+	interrupted := false
+hunt:
 	for _, chaos := range ladder {
 		attempt := opts
 		attempt.Chaos = chaos
+		ls := LevelStats{Chaos: chaos}
 		found := 0
 		for s := opts.Seed; s < opts.Seed+opts.SeedLimit && found < perLevel; s++ {
+			if huntInterrupted(opts.Ctx, deadline) {
+				interrupted = true
+				levels = append(levels, ls)
+				break hunt
+			}
+			ls.Seeds++
 			rec, err := recordSeed(prog, s, attempt, sharing, paths)
 			if err != nil {
 				if errors.Is(err, vm.ErrActionBudget) {
+					ls.Livelocked++
 					continue // a livelocked seed is just an uninteresting run
 				}
 				return nil, err
@@ -108,16 +172,37 @@ func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
 			if rec.Failure == nil || rec.Failure.Kind != vm.FailAssert {
 				continue
 			}
+			ls.Failures++
 			found++
 			if best == nil || rec.Run.VisibleEvents < best.Run.VisibleEvents {
 				best = rec
 			}
 		}
+		levels = append(levels, ls)
 	}
 	if best != nil {
+		// An interrupted hunt that already has a failing run degrades
+		// gracefully: the candidate pool is merely smaller.
 		return best, nil
 	}
-	return nil, fmt.Errorf("core: no assertion failure in %d seeds starting at %d", opts.SeedLimit, opts.Seed)
+	return nil, &NoFailureError{
+		Seed:        opts.Seed,
+		SeedLimit:   opts.SeedLimit,
+		Levels:      levels,
+		Interrupted: interrupted,
+	}
+}
+
+// huntInterrupted reports whether the record-phase budget has run out.
+func huntInterrupted(ctx context.Context, deadline time.Time) bool {
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+		}
+	}
+	return !deadline.IsZero() && time.Now().After(deadline)
 }
 
 // RecordSeed runs exactly one recording attempt with the given seed.
@@ -201,6 +286,12 @@ const (
 	Sequential SolverKind = iota
 	// Parallel is the generate-and-validate worker pool (internal/parsolve).
 	Parallel
+	// CNF is the SAT encoding with a CDCL core (internal/cnfsolver).
+	CNF
+	// Portfolio tries Sequential under a budget, then Parallel, then CNF,
+	// recording a per-attempt trail; a panic or injected fault in one
+	// stage degrades to the next instead of killing the pipeline.
+	Portfolio
 )
 
 // ReproduceOptions configures the offline phases.
@@ -210,8 +301,16 @@ type ReproduceOptions struct {
 	SeqOptions solver.Options
 	// Parallel solver tuning.
 	ParOptions parsolve.Options
+	// CNF solver tuning.
+	CNFOptions cnfsolver.Options
 	// SkipReplay computes the schedule without the final replay run.
 	SkipReplay bool
+	// Ctx cancels the offline phases (nil = never).
+	Ctx context.Context
+	// Deadline bounds the whole offline pipeline (0 = none). The remaining
+	// budget is threaded through solving and replay; per-solver deadlines
+	// in SeqOptions etc. still apply and the earliest bound wins.
+	Deadline time.Duration
 }
 
 // Reproduction is the end-to-end result for one recorded failure.
@@ -224,6 +323,11 @@ type Reproduction struct {
 	Parallel *parsolve.Result
 	// SeqStats holds the sequential-solver statistics when that solver ran.
 	SeqStats *solver.Stats
+	// CNFStats holds the CNF-solver statistics when that solver ran.
+	CNFStats *cnfsolver.Stats
+	// Attempts is the per-solver attempt trail: which solvers ran, how
+	// long each took, and why the pipeline moved on. Always populated.
+	Attempts []SolverAttempt
 	// Outcome is the replay verdict (nil when SkipReplay).
 	Outcome *replay.Outcome
 
@@ -234,8 +338,22 @@ type Reproduction struct {
 }
 
 // Reproduce runs the offline pipeline on a recording.
+//
+// On failure it returns the partial Reproduction alongside the error
+// whenever any diagnostics exist (constraint stats, solver attempts,
+// partial search statistics), so an interrupted or failed solve still
+// tells the caller what was tried and how far each stage got.
 func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 	rep := &Reproduction{Recording: rec}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	if opts.Ctx != nil {
+		if d, ok := opts.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+	}
 	t0 := time.Now()
 	sys, err := rec.Analyze()
 	if err != nil {
@@ -254,43 +372,81 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 			// available through the solver package directly.
 			seqOpts.MaxPreemptions = -1
 		}
-		sol, stats, err := solver.Solve(sys, seqOpts)
-		if err != nil {
-			return nil, err
+		wireSeq(&seqOpts, opts.Ctx, deadline)
+		sol, att := runSolverStage("sequential", func() (*solver.Solution, int, error) {
+			s, stats, err := solver.Solve(sys, seqOpts)
+			rep.SeqStats = stats
+			return s, boundOf(stats), err
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		rep.SolveTime = time.Since(t1)
+		if sol == nil {
+			return rep, attemptError("core", att)
 		}
 		rep.Solution = sol
-		rep.SeqStats = stats
 	case Parallel:
-		res, err := parsolve.Solve(sys, opts.ParOptions)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Found() {
-			return nil, fmt.Errorf("core: parallel solver found no schedule (generated %d, capped=%v, timedOut=%v)",
-				res.Generated, res.Capped, res.TimedOut)
-		}
-		rep.Parallel = res
-		// Prefer the fewest-preemption solution found.
-		best := res.Solutions[0]
-		for _, s := range res.Solutions[1:] {
-			if s.Preemptions < best.Preemptions {
-				best = s
+		parOpts := opts.ParOptions
+		wirePar(&parOpts, opts.Ctx, deadline)
+		sol, att := runSolverStage("parallel", func() (*solver.Solution, int, error) {
+			res, err := parsolve.Solve(sys, parOpts)
+			rep.Parallel = res
+			if err != nil {
+				return nil, -1, err
 			}
+			if !res.Found() {
+				return nil, res.Bound, parallelFailure(res)
+			}
+			return bestSolution(res), res.Bound, nil
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		rep.SolveTime = time.Since(t1)
+		if sol == nil {
+			return rep, attemptError("core", att)
 		}
-		rep.Solution = best
+		rep.Solution = sol
+	case CNF:
+		cnfOpts := opts.CNFOptions
+		wireCNF(&cnfOpts, opts.Ctx, deadline)
+		sol, att := runSolverStage("cnf", func() (*solver.Solution, int, error) {
+			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
+			rep.CNFStats = stats
+			return s, -1, err
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		rep.SolveTime = time.Since(t1)
+		if sol == nil {
+			return rep, attemptError("core", att)
+		}
+		rep.Solution = sol
+	case Portfolio:
+		popts := opts
+		sol, attempts, err := runPortfolio(rep, sys, popts, deadline)
+		rep.Attempts = attempts
+		rep.SolveTime = time.Since(t1)
+		if err != nil {
+			return rep, err
+		}
+		rep.Solution = sol
 	default:
 		return nil, fmt.Errorf("core: unknown solver kind %d", opts.Solver)
 	}
-	rep.SolveTime = time.Since(t1)
 
 	if !opts.SkipReplay {
 		t2 := time.Now()
-		out, err := replay.Run(sys, rep.Solution, replay.Options{
+		ropts := replay.Options{
 			Mode:   replay.ModeFor(rec.Model),
 			Inputs: rec.Inputs,
-		})
+			Ctx:    opts.Ctx,
+		}
+		if !deadline.IsZero() {
+			ropts.Deadline = time.Until(deadline)
+			if ropts.Deadline <= 0 {
+				ropts.Deadline = time.Nanosecond
+			}
+		}
+		out, err := replay.Run(sys, rep.Solution, ropts)
 		if err != nil {
-			return nil, err
+			return rep, err
 		}
 		rep.ReplayTime = time.Since(t2)
 		rep.Outcome = out
@@ -299,6 +455,32 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 		}
 	}
 	return rep, nil
+}
+
+// bestSolution picks the fewest-preemption schedule of a parallel result.
+func bestSolution(res *parsolve.Result) *solver.Solution {
+	best := res.Solutions[0]
+	for _, s := range res.Solutions[1:] {
+		if s.Preemptions < best.Preemptions {
+			best = s
+		}
+	}
+	return best
+}
+
+func parallelFailure(res *parsolve.Result) error {
+	if res.TimedOut || res.Cancelled {
+		return &solver.Interrupted{Reason: "parallel search cut short", Bound: res.Bound}
+	}
+	return fmt.Errorf("parallel solver found no schedule (generated %d, capped=%v)",
+		res.Generated, res.Capped)
+}
+
+func boundOf(stats *solver.Stats) int {
+	if stats == nil {
+		return -1
+	}
+	return stats.BoundReached
 }
 
 // ReproduceSource is the one-call convenience API: compile, record, solve,

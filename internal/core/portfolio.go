@@ -1,0 +1,288 @@
+// Solver portfolio: CLAP ships three decision procedures (the sequential
+// minimal-preemption search, the parallel generate-and-validate pool, and
+// the CNF/CDCL encoding) with complementary strengths — §4 of the paper
+// compares them benchmark by benchmark. The portfolio runs them as a
+// degradation ladder: sequential under a budget first (it yields the
+// fewest-preemption schedules), then parallel (it wins on preemption-heavy
+// systems like racey), then CNF. A stage that is interrupted, finds
+// nothing, returns an error, or panics moves the ladder on; every attempt
+// is recorded so a reproduction that needed a fallback says which stage
+// failed and why.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cnfsolver"
+	"repro/internal/constraints"
+	"repro/internal/faultinject"
+	"repro/internal/parsolve"
+	"repro/internal/solver"
+)
+
+// Default per-stage budgets when the caller supplies no deadline: each
+// stage is always bounded so the portfolio can never hang in one stage.
+const (
+	defaultSeqBudget = 10 * time.Second
+	defaultParBudget = 30 * time.Second
+	defaultCNFBudget = 60 * time.Second
+)
+
+// SolverAttempt records one solver stage's outcome in the attempt trail.
+type SolverAttempt struct {
+	// Solver names the stage: "sequential", "parallel" or "cnf".
+	Solver string
+	// Elapsed is the stage's wall time.
+	Elapsed time.Duration
+	// Outcome is one of "solved", "interrupted", "fault injected",
+	// "panicked", "no schedule" or "failed".
+	Outcome string
+	// Err holds the failure detail when the stage did not solve.
+	Err string
+	// BoundReached is the last preemption bound the stage explored
+	// (-1 when the stage does not sweep bounds).
+	BoundReached int
+	// Preemptions is the solution's preemption count when solved.
+	Preemptions int
+
+	// err retains the underlying error for callers inside the package.
+	err error
+}
+
+// String renders the attempt for logs and CLI output.
+func (a SolverAttempt) String() string {
+	s := fmt.Sprintf("%s: %s in %v", a.Solver, a.Outcome, a.Elapsed.Round(time.Millisecond))
+	if a.Outcome == "solved" {
+		return fmt.Sprintf("%s (%d preemptions)", s, a.Preemptions)
+	}
+	if a.Err != "" {
+		s += " (" + a.Err + ")"
+	}
+	return s
+}
+
+// runSolverStage runs one stage with full containment: an injected fault
+// skips the stage, a panic is recovered into the attempt record, and an
+// interrupt is classified apart from a genuine failure.
+func runSolverStage(name string, fn func() (*solver.Solution, int, error)) (sol *solver.Solution, att SolverAttempt) {
+	att = SolverAttempt{Solver: name, BoundReached: -1}
+	start := time.Now()
+	defer func() {
+		att.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			sol = nil
+			att.Outcome = "panicked"
+			att.Err = fmt.Sprint(p)
+			att.err = fmt.Errorf("%s solver panicked: %v", name, p)
+		}
+	}()
+	if err := faultinject.Fire("solver." + name); err != nil {
+		att.Outcome = "fault injected"
+		att.Err = err.Error()
+		att.err = err
+		return nil, att
+	}
+	s, bound, err := fn()
+	att.BoundReached = bound
+	if err != nil {
+		var intr *solver.Interrupted
+		if errors.As(err, &intr) {
+			att.Outcome = "interrupted"
+		} else {
+			att.Outcome = "failed"
+		}
+		att.Err = err.Error()
+		att.err = err
+		return nil, att
+	}
+	if s == nil {
+		att.Outcome = "no schedule"
+		att.err = fmt.Errorf("%s solver returned no schedule", name)
+		return nil, att
+	}
+	att.Outcome = "solved"
+	att.Preemptions = s.Preemptions
+	return s, att
+}
+
+// attemptError turns a failed attempt into the error a single-solver
+// Reproduce call reports. Interrupts pass through typed so callers can
+// distinguish "ran out of budget" from "proved unsatisfiable".
+func attemptError(prefix string, att SolverAttempt) error {
+	if att.err != nil {
+		var intr *solver.Interrupted
+		if errors.As(att.err, &intr) {
+			return att.err
+		}
+		return fmt.Errorf("%s: %s solver: %w", prefix, att.Solver, att.err)
+	}
+	return fmt.Errorf("%s: %s solver %s", prefix, att.Solver, att.Outcome)
+}
+
+// wireSeq threads the pipeline context and remaining deadline into a
+// sequential solver's options; an existing tighter bound wins.
+func wireSeq(o *solver.Options, ctx context.Context, deadline time.Time) {
+	if o.Ctx == nil {
+		o.Ctx = ctx
+	}
+	capBudget(&o.Deadline, remaining(deadline))
+}
+
+func wirePar(o *parsolve.Options, ctx context.Context, deadline time.Time) {
+	if o.Ctx == nil {
+		o.Ctx = ctx
+	}
+	capBudget(&o.Deadline, remaining(deadline))
+}
+
+func wireCNF(o *cnfsolver.Options, ctx context.Context, deadline time.Time) {
+	if o.Ctx == nil {
+		o.Ctx = ctx
+	}
+	capBudget(&o.Deadline, remaining(deadline))
+}
+
+// remaining converts an absolute deadline to a duration budget; zero means
+// "no bound", and an expired deadline becomes a nanosecond so the stage
+// starts, notices, and reports an interrupt instead of silently running.
+func remaining(deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return time.Nanosecond
+	}
+	return rem
+}
+
+// capBudget tightens *d to budget when budget is the earlier bound.
+func capBudget(d *time.Duration, budget time.Duration) {
+	if budget <= 0 {
+		return
+	}
+	if *d == 0 || *d > budget {
+		*d = budget
+	}
+}
+
+// stageBudget splits the remaining wall budget: the stage gets a 1/divisor
+// share (so earlier stages leave room for their fallbacks), or the default
+// when no deadline governs the run.
+func stageBudget(deadline time.Time, divisor int64, def time.Duration) time.Duration {
+	rem := remaining(deadline)
+	if rem == 0 {
+		return def
+	}
+	share := rem / time.Duration(divisor)
+	if share <= 0 {
+		share = time.Nanosecond
+	}
+	return share
+}
+
+// RunPortfolio runs the staged solver portfolio directly on a constraint
+// system: Sequential under a budget, then Parallel, then CNF, honouring
+// opts.Ctx/opts.Deadline. It returns the first solution found together
+// with the full attempt trail; when every stage fails, the trail explains
+// each stage's exit.
+func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solution, []SolverAttempt, error) {
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	if opts.Ctx != nil {
+		if d, ok := opts.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+	}
+	return runPortfolio(&Reproduction{}, sys, opts, deadline)
+}
+
+// runPortfolio is RunPortfolio against a caller-owned Reproduction, so the
+// per-stage statistics (SeqStats, Parallel, CNFStats) land in the final
+// report even when the stage that produced them did not solve.
+func runPortfolio(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+	var attempts []SolverAttempt
+
+	// Stage 1: sequential, minimal preemptions, under a budget share.
+	seqOpts := opts.SeqOptions
+	if seqOpts.MaxPreemptions == 0 {
+		seqOpts.MaxPreemptions = -1
+	}
+	wireSeq(&seqOpts, opts.Ctx, deadline)
+	capBudget(&seqOpts.Deadline, stageBudget(deadline, 4, defaultSeqBudget))
+	sol, att := runSolverStage("sequential", func() (*solver.Solution, int, error) {
+		s, stats, err := solver.Solve(sys, seqOpts)
+		rep.SeqStats = stats
+		return s, boundOf(stats), err
+	})
+	attempts = append(attempts, att)
+	if sol != nil {
+		return sol, attempts, nil
+	}
+	if err := portfolioCut(opts.Ctx, deadline, attempts); err != nil {
+		return nil, attempts, err
+	}
+
+	// Stage 2: parallel generate-and-validate with half the time left.
+	parOpts := opts.ParOptions
+	wirePar(&parOpts, opts.Ctx, deadline)
+	capBudget(&parOpts.Deadline, stageBudget(deadline, 2, defaultParBudget))
+	sol, att = runSolverStage("parallel", func() (*solver.Solution, int, error) {
+		res, err := parsolve.Solve(sys, parOpts)
+		rep.Parallel = res
+		if err != nil {
+			return nil, -1, err
+		}
+		if !res.Found() {
+			return nil, res.Bound, parallelFailure(res)
+		}
+		return bestSolution(res), res.Bound, nil
+	})
+	attempts = append(attempts, att)
+	if sol != nil {
+		return sol, attempts, nil
+	}
+	if err := portfolioCut(opts.Ctx, deadline, attempts); err != nil {
+		return nil, attempts, err
+	}
+
+	// Stage 3: CNF/CDCL with everything that remains.
+	cnfOpts := opts.CNFOptions
+	wireCNF(&cnfOpts, opts.Ctx, deadline)
+	capBudget(&cnfOpts.Deadline, stageBudget(deadline, 1, defaultCNFBudget))
+	sol, att = runSolverStage("cnf", func() (*solver.Solution, int, error) {
+		s, stats, err := cnfsolver.Solve(sys, cnfOpts)
+		rep.CNFStats = stats
+		return s, -1, err
+	})
+	attempts = append(attempts, att)
+	if sol != nil {
+		return sol, attempts, nil
+	}
+	return nil, attempts, fmt.Errorf("core: portfolio exhausted: %s", trailSummary(attempts))
+}
+
+// portfolioCut reports a typed interrupt when the shared budget ran out
+// between stages, so an exhausted portfolio is not mistaken for unsat.
+func portfolioCut(ctx context.Context, deadline time.Time, attempts []SolverAttempt) error {
+	if !huntInterrupted(ctx, deadline) {
+		return nil
+	}
+	return fmt.Errorf("core: portfolio cut short (%s): %w",
+		trailSummary(attempts), &solver.Interrupted{Reason: "portfolio budget exhausted", Bound: -1})
+}
+
+// trailSummary renders the attempt trail as one line.
+func trailSummary(attempts []SolverAttempt) string {
+	parts := make([]string, len(attempts))
+	for i, a := range attempts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,218 @@
+// Package faultinject is the repository's fault-injection harness: a
+// deterministic, seed-driven corrupter for on-disk logs and a registry of
+// injectable failure hooks for pipeline stages.
+//
+// C11Tester-style robustness validation needs adversarial conditions to be
+// systematic, not ad hoc: every corruption is a pure function of a seed (or
+// explicit parameters), so a failing robustness test names the exact
+// mutation that broke the pipeline and replays it forever. The failure
+// hooks let tests force a solver stage (or any other registered point) to
+// fail or panic without reaching into its internals, proving that the
+// portfolio's degradation paths actually run.
+//
+// Production code pays one mutex-guarded map lookup per registered fire
+// point; with nothing armed, Fire returns nil immediately.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// Failure hooks.
+
+// Failure describes what an armed fire point does.
+type Failure struct {
+	// Err is returned by Fire (a structured stage failure).
+	Err error
+	// Panic, when non-empty, makes Fire panic with this value instead —
+	// used to prove stages recover panics into structured errors.
+	Panic string
+	// After skips the first After calls before firing (0 = fire at once).
+	After int
+	// Times bounds how often the point fires (0 = every call once armed).
+	Times int
+}
+
+// ErrInjected is the default error of an armed point with no explicit Err.
+var ErrInjected = fmt.Errorf("faultinject: injected failure")
+
+type armed struct {
+	f     Failure
+	calls int
+	fired int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*armed{}
+)
+
+// Enable arms a fire point.
+func Enable(point string, f Failure) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[point] = &armed{f: f}
+}
+
+// Fail arms a point with the default injected error.
+func Fail(point string) { Enable(point, Failure{}) }
+
+// Disable disarms one point.
+func Disable(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, point)
+}
+
+// Reset disarms every point. Tests should defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*armed{}
+}
+
+// Fire consults the registry at a named point: it returns the armed error
+// (or panics, if the armed failure says so) when the point is due, and nil
+// otherwise. Call counting is per arming, so After/Times schedules are
+// deterministic.
+func Fire(point string) error {
+	mu.Lock()
+	a, ok := points[point]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	a.calls++
+	due := a.calls > a.f.After && (a.f.Times == 0 || a.fired < a.f.Times)
+	if due {
+		a.fired++
+	}
+	f := a.f
+	mu.Unlock()
+	if !due {
+		return nil
+	}
+	if f.Panic != "" {
+		panic(f.Panic)
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, point)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic corrupter.
+
+// Corrupter produces seed-driven mutations of encoded logs. All methods are
+// pure in the seed sequence: the same seed yields the same mutations, so
+// robustness failures are replayable by construction. Inputs are never
+// modified; every mutation returns a fresh slice.
+type Corrupter struct {
+	rng *rand.Rand
+}
+
+// NewCorrupter builds a corrupter for the given seed.
+func NewCorrupter(seed int64) *Corrupter {
+	return &Corrupter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Truncate keeps the first n bytes (a crash-interrupted write).
+func Truncate(buf []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	return append([]byte{}, buf[:n]...)
+}
+
+// FlipBit flips bit k of the buffer (a silent storage corruption).
+func FlipBit(buf []byte, k int) []byte {
+	out := append([]byte{}, buf...)
+	if len(out) == 0 {
+		return out
+	}
+	k %= len(out) * 8
+	if k < 0 {
+		k += len(out) * 8
+	}
+	out[k/8] ^= 1 << (k % 8)
+	return out
+}
+
+// DropRange removes buf[off:off+n] (a lost frame or segment).
+func DropRange(buf []byte, off, n int) []byte {
+	if off < 0 {
+		off = 0
+	}
+	if off > len(buf) {
+		off = len(buf)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if off+n > len(buf) {
+		n = len(buf) - off
+	}
+	out := append([]byte{}, buf[:off]...)
+	return append(out, buf[off+n:]...)
+}
+
+// Mutation is one applied corruption, for failure reports.
+type Mutation struct {
+	// Op is "truncate", "flipbit" or "droprange".
+	Op string
+	// Off and N parameterize the op: truncate keeps Off bytes; flipbit
+	// flips bit Off; droprange removes N bytes at Off.
+	Off, N int
+}
+
+// String renders the mutation for test-failure messages.
+func (m Mutation) String() string {
+	switch m.Op {
+	case "truncate":
+		return fmt.Sprintf("truncate to %dB", m.Off)
+	case "flipbit":
+		return fmt.Sprintf("flip bit %d", m.Off)
+	default:
+		return fmt.Sprintf("drop %dB at %d", m.N, m.Off)
+	}
+}
+
+// Apply replays a mutation.
+func (m Mutation) Apply(buf []byte) []byte {
+	switch m.Op {
+	case "truncate":
+		return Truncate(buf, m.Off)
+	case "flipbit":
+		return FlipBit(buf, m.Off)
+	default:
+		return DropRange(buf, m.Off, m.N)
+	}
+}
+
+// Mutate draws one random mutation for the buffer and applies it, returning
+// the mutated copy and the mutation for replay/reporting.
+func (c *Corrupter) Mutate(buf []byte) ([]byte, Mutation) {
+	var m Mutation
+	if len(buf) == 0 {
+		m = Mutation{Op: "truncate", Off: 0}
+		return m.Apply(buf), m
+	}
+	switch c.rng.Intn(3) {
+	case 0:
+		m = Mutation{Op: "truncate", Off: c.rng.Intn(len(buf))}
+	case 1:
+		m = Mutation{Op: "flipbit", Off: c.rng.Intn(len(buf) * 8)}
+	default:
+		off := c.rng.Intn(len(buf))
+		n := 1 + c.rng.Intn(16)
+		m = Mutation{Op: "droprange", Off: off, N: n}
+	}
+	return m.Apply(buf), m
+}

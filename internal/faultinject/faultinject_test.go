@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestFireUnarmed(t *testing.T) {
+	defer Reset()
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestFireDefaultError(t *testing.T) {
+	defer Reset()
+	Fail("stage")
+	err := Fire("stage")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	Disable("stage")
+	if err := Fire("stage"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestFireCustomError(t *testing.T) {
+	defer Reset()
+	custom := errors.New("disk on fire")
+	Enable("stage", Failure{Err: custom})
+	if err := Fire("stage"); !errors.Is(err, custom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestFireAfterAndTimes(t *testing.T) {
+	defer Reset()
+	Enable("stage", Failure{After: 2, Times: 1})
+	if err := Fire("stage"); err != nil {
+		t.Fatalf("call 1 fired early: %v", err)
+	}
+	if err := Fire("stage"); err != nil {
+		t.Fatalf("call 2 fired early: %v", err)
+	}
+	if err := Fire("stage"); err == nil {
+		t.Fatal("call 3 did not fire")
+	}
+	if err := Fire("stage"); err != nil {
+		t.Fatalf("Times=1 exceeded: %v", err)
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	defer Reset()
+	Enable("stage", Failure{Panic: "boom"})
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("want panic boom, got %v", p)
+		}
+	}()
+	Fire("stage")
+	t.Fatal("unreachable")
+}
+
+func TestTruncateFlipDropArePure(t *testing.T) {
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	ref := append([]byte(nil), orig...)
+
+	if got := Truncate(orig, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Truncate: %v", got)
+	}
+	if got := Truncate(orig, -5); len(got) != 0 {
+		t.Fatalf("Truncate negative: %v", got)
+	}
+	if got := Truncate(orig, 100); !bytes.Equal(got, orig) {
+		t.Fatalf("Truncate past end: %v", got)
+	}
+
+	if got := FlipBit(orig, 0); got[0] != 0 || !bytes.Equal(got[1:], orig[1:]) {
+		t.Fatalf("FlipBit 0: %v", got)
+	}
+	if got := FlipBit(orig, 8*len(orig)+1); !bytes.Equal(FlipBit(orig, 1), got) {
+		t.Fatal("FlipBit must wrap modulo the bit length")
+	}
+	if got := FlipBit(nil, 3); len(got) != 0 {
+		t.Fatalf("FlipBit on empty: %v", got)
+	}
+
+	if got := DropRange(orig, 2, 3); !bytes.Equal(got, []byte{1, 2, 6, 7, 8}) {
+		t.Fatalf("DropRange: %v", got)
+	}
+	if got := DropRange(orig, 6, 100); !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("DropRange past end: %v", got)
+	}
+
+	if !bytes.Equal(orig, ref) {
+		t.Fatal("a mutation modified its input")
+	}
+}
+
+func TestCorrupterDeterministic(t *testing.T) {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	a, b := NewCorrupter(42), NewCorrupter(42)
+	for i := 0; i < 50; i++ {
+		ma, mutA := a.Mutate(buf)
+		mb, mutB := b.Mutate(buf)
+		if !reflect.DeepEqual(mutA, mutB) || !bytes.Equal(ma, mb) {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, mutA, mutB)
+		}
+		// The recorded mutation replays to the same output.
+		if !bytes.Equal(mutA.Apply(buf), ma) {
+			t.Fatalf("step %d: %v does not replay", i, mutA)
+		}
+		if mutA.String() == "" {
+			t.Fatal("mutation renders empty")
+		}
+	}
+}
+
+func TestCorrupterEmptyInput(t *testing.T) {
+	c := NewCorrupter(1)
+	out, m := c.Mutate(nil)
+	if len(out) != 0 {
+		t.Fatalf("mutating empty input produced %v", out)
+	}
+	if !bytes.Equal(m.Apply(nil), out) {
+		t.Fatal("empty-input mutation does not replay")
+	}
+}

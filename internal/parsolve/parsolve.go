@@ -14,6 +14,7 @@
 package parsolve
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -39,6 +40,9 @@ type Options struct {
 	MaxSchedules int
 	// Deadline bounds the whole search (0 = none).
 	Deadline time.Duration
+	// Ctx cancels the search (nil = never). A context deadline earlier
+	// than Deadline wins; cancellation is reported via Result.Cancelled.
+	Ctx context.Context
 }
 
 func (o *Options) fill() {
@@ -71,6 +75,8 @@ type Result struct {
 	Capped bool
 	// TimedOut reports whether the deadline expired first.
 	TimedOut bool
+	// Cancelled reports whether the caller's context ended the search.
+	Cancelled bool
 	// Elapsed is the wall time of the search.
 	Elapsed time.Duration
 }
@@ -88,9 +94,15 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 		RespectHardEdges: true,
 	})
 
+	// Unify the explicit deadline with the context's: earliest wins.
 	var deadline time.Time
 	if opts.Deadline > 0 {
 		deadline = start.Add(opts.Deadline)
+	}
+	if opts.Ctx != nil {
+		if d, ok := opts.Ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
 	}
 
 	for bound := 0; bound <= opts.MaxBound; bound++ {
@@ -131,6 +143,16 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 			if done {
 				return false
 			}
+			if opts.Ctx != nil {
+				select {
+				case <-opts.Ctx.Done():
+					mu.Lock()
+					res.Cancelled = true
+					mu.Unlock()
+					return false
+				default:
+				}
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				mu.Lock()
 				res.TimedOut = true
@@ -149,7 +171,7 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 			res.Bound = bound
 			break
 		}
-		if res.TimedOut {
+		if res.TimedOut || res.Cancelled {
 			break
 		}
 	}

@@ -25,7 +25,9 @@
 package replay
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/constraints"
 	"repro/internal/ir"
@@ -72,6 +74,11 @@ type Options struct {
 	Inputs []int64
 	// MaxActions bounds the scheduler loop.
 	MaxActions int
+	// Deadline bounds the replay's wall time (0 = none): a replay of a bad
+	// schedule must fail with a diagnosis, never spin past its budget.
+	Deadline time.Duration
+	// Ctx cancels the replay between scheduling decisions (nil = never).
+	Ctx context.Context
 }
 
 // Outcome reports a replay.
@@ -91,8 +98,12 @@ func Run(sys *constraints.System, sol *solver.Solution, opts Options) (*Outcome,
 		sys:  sys,
 		sol:  sol,
 		mode: opts.Mode,
+		ctx:  opts.Ctx,
 		r2p:  map[trace.ThreadID]vm.ThreadID{0: 0},
 		p2r:  map[vm.ThreadID]trace.ThreadID{0: 0},
+	}
+	if opts.Deadline > 0 {
+		r.deadline = time.Now().Add(opts.Deadline)
 	}
 	r.init()
 	conf := vm.Config{
@@ -164,6 +175,12 @@ type replayer struct {
 
 	matched int
 	err     error
+
+	// Deadline guard: picks counts scheduling decisions so the wall clock
+	// is only polled on a stride.
+	deadline time.Time
+	ctx      context.Context
+	picks    int
 }
 
 func (r *replayer) init() {
@@ -212,6 +229,19 @@ func (r *replayer) fail(format string, args ...any) int {
 
 // Pick implements vm.Scheduler.
 func (r *replayer) Pick(v *vm.VM, actions []vm.Action) int {
+	r.picks++
+	if r.picks&255 == 0 {
+		if r.ctx != nil {
+			select {
+			case <-r.ctx.Done():
+				return r.fail("cancelled after %d events (%v)", r.matched, r.ctx.Err())
+			default:
+			}
+		}
+		if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+			return r.fail("deadline exceeded after %d events", r.matched)
+		}
+	}
 	var target vm.ThreadID
 	switch {
 	case r.bugPending:

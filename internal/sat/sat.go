@@ -115,6 +115,12 @@ type Solver struct {
 	Propagations int64
 	Learned      int64
 	MaxLearnts   int
+
+	// Stop, when set, is polled between conflicts; returning true aborts
+	// Solve with Unknown. It is how deadline-governed callers (the CNF
+	// backend's theory loop) keep a single SAT call from outliving its
+	// budget.
+	Stop func() bool
 }
 
 // New creates a solver over nvars variables.
@@ -456,6 +462,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if conflict != nil {
 			s.Conflicts++
 			conflictsAtRestart++
+			if s.Stop != nil && s.Conflicts&255 == 0 && s.Stop() {
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				return Unsat
 			}
@@ -511,6 +520,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.trailLim = append(s.trailLim, len(s.trail))
 			s.enqueue(a, nil)
 			continue
+		}
+		if s.Stop != nil && s.Decisions&255 == 0 && s.Stop() {
+			return Unknown
 		}
 		// Pick a branching variable.
 		v := -1

@@ -29,7 +29,9 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/constraints"
 	"repro/internal/schedule"
@@ -73,6 +75,12 @@ type Options struct {
 	// becomes approximate, matching the paper's own segment-based
 	// approximation of context switches.
 	BoundDecisionBudget int64
+	// Ctx cancels the search between decision expansions (nil = never).
+	// Cancellation surfaces as *Interrupted with the partial Stats intact.
+	Ctx context.Context
+	// Deadline bounds the solve's wall time (0 = none). It composes with
+	// Ctx: whichever fires first interrupts the search.
+	Deadline time.Duration
 }
 
 func (o *Options) fill() {
@@ -113,6 +121,9 @@ type Stats struct {
 	Backtracks  int64
 	Extensions  int64
 	Validations int64
+	// BoundReached is the last preemption bound the search explored —
+	// partial-progress diagnostics for interrupted solves.
+	BoundReached int
 }
 
 // Unsat is returned when the system has no solution within the options'
@@ -122,12 +133,31 @@ type Unsat struct{ Reason string }
 // Error implements error.
 func (u *Unsat) Error() string { return "solver: unsatisfiable: " + u.Reason }
 
+// Interrupted is returned when a deadline or context cancellation cut the
+// search short. The Stats returned alongside it describe the partial work
+// (decisions expanded, bound reached), so callers can diagnose what the
+// budget bought before moving on.
+type Interrupted struct {
+	Reason string
+	// Bound is the preemption bound being explored at the interrupt.
+	Bound int
+}
+
+// Error implements error.
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("solver: interrupted at bound %d: %s", e.Bound, e.Reason)
+}
+
 // Solve runs the decision procedure.
 func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 	opts.fill()
 	s := &search{sys: sys, opts: opts, stats: &Stats{}}
+	if opts.Deadline > 0 {
+		s.deadline = time.Now().Add(opts.Deadline)
+	}
 	s.init()
 	if opts.MaxPreemptions >= 0 {
+		s.stats.BoundReached = opts.MaxPreemptions
 		sol, err := s.solveWithBound(opts.MaxPreemptions)
 		return sol, s.stats, err
 	}
@@ -139,6 +169,7 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 	s.boundBudget = opts.BoundDecisionBudget
 	for c := 0; c <= opts.MinimalSearchLimit; c++ {
 		s.boundStart = s.stats.Decisions
+		s.stats.BoundReached = c
 		sol, err := s.solveWithBound(c)
 		if err == nil {
 			return sol, s.stats, nil
@@ -192,6 +223,12 @@ type search struct {
 	bound       int
 	boundBudget int64 // per-bound decision cap (minimal mode), 0 = off
 	boundStart  int64
+
+	// deadline is the absolute wall-clock cutoff (zero = none); pendingIntr
+	// carries an interrupt detected inside a generator callback out to
+	// solveWithBound.
+	deadline    time.Time
+	pendingIntr *Interrupted
 
 	// Reachability scratch: generation-stamped visited marks and a
 	// reusable stack, so the hot reaches() path never allocates.
@@ -441,10 +478,33 @@ func (s *search) reaches(from, to constraints.SAPRef) bool {
 	return false
 }
 
+// interrupted polls the search's cancellation sources: the caller's context
+// and the wall-clock deadline. It is cheap enough to call on a stride from
+// every search hot loop.
+func (s *search) interrupted() *Interrupted {
+	if s.opts.Ctx != nil {
+		select {
+		case <-s.opts.Ctx.Done():
+			return &Interrupted{Reason: s.opts.Ctx.Err().Error(), Bound: s.bound}
+		default:
+		}
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return &Interrupted{Reason: "deadline exceeded", Bound: s.bound}
+	}
+	return nil
+}
+
 func (s *search) solveWithBound(bound int) (*Solution, error) {
 	s.bound = bound
+	if ierr := s.interrupted(); ierr != nil {
+		return nil, ierr
+	}
 	if bound <= s.opts.GenFallbackBound {
 		sol, decided := s.tryGenerate(bound)
+		if s.pendingIntr != nil {
+			return nil, s.pendingIntr
+		}
 		if sol != nil {
 			return sol, nil
 		}
@@ -473,6 +533,12 @@ func (s *search) tryGenerate(bound int) (sol *Solution, decided bool) {
 	})
 	res := gen.Generate(bound, func(order []constraints.SAPRef, pre int) bool {
 		s.stats.Validations++
+		if s.stats.Validations&63 == 0 {
+			if ierr := s.interrupted(); ierr != nil {
+				s.pendingIntr = ierr
+				return false
+			}
+		}
 		w, err := s.sys.ValidateSchedule(order)
 		if err != nil || w.Preemptions > bound {
 			return true
@@ -491,6 +557,11 @@ func (s *search) tryGenerate(bound int) (sol *Solution, decided bool) {
 // decide assigns decision points depth-first.
 func (s *search) decide(i int) (*Solution, error) {
 	s.stats.Decisions++
+	if s.stats.Decisions&255 == 0 {
+		if ierr := s.interrupted(); ierr != nil {
+			return nil, ierr
+		}
+	}
 	if s.stats.Decisions > s.opts.MaxDecisions {
 		return nil, fmt.Errorf("solver: decision budget exceeded (%d)", s.opts.MaxDecisions)
 	}

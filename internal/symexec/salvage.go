@@ -1,0 +1,67 @@
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/ballarus"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// BlockPrefix decodes a thread's (possibly truncated) path log into the
+// flat executed basic-block sequence, in event order.
+//
+// It is the lenient sibling of the activation-tree builder: a salvaged log
+// legitimately ends mid-activation (the crash cut the writer off before the
+// closing exit events), so unclosed activations at the end of the stream are
+// accepted. Everything else — unknown function ids, path ids outside the
+// Ball–Larus numbering, unbalanced exits — is still an error: truncation
+// loses suffixes, it never invents malformed prefixes.
+//
+// Because events are processed in order and each event contributes its
+// blocks immediately, the result of a truncated log is always a prefix of
+// the full log's result; the robustness suite relies on exactly this.
+func BlockPrefix(paths []*ballarus.FuncPaths, tl *trace.ThreadLog) ([]ir.BlockID, error) {
+	var blocks []ir.BlockID
+	var stack []ir.FuncID
+	for i, e := range tl.Events {
+		switch e.Kind {
+		case trace.EvEnter:
+			if int(e.Arg) >= len(paths) {
+				return nil, fmt.Errorf("symexec: thread %d event %d: bad function id %d", tl.Thread, i, e.Arg)
+			}
+			stack = append(stack, ir.FuncID(e.Arg))
+		case trace.EvPath, trace.EvPartial:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("symexec: thread %d event %d: path outside activation", tl.Thread, i)
+			}
+			fp := paths[stack[len(stack)-1]]
+			var seg ballarus.Segment
+			var err error
+			if e.Kind == trace.EvPath {
+				seg, err = fp.Decode(e.Arg)
+			} else {
+				seg, err = fp.DecodePartial(e.Arg)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("symexec: thread %d event %d: %w", tl.Thread, i, err)
+			}
+			segBlocks := seg.Blocks
+			if e.Kind == trace.EvPartial {
+				if int(e.Arg2) < len(segBlocks) {
+					segBlocks = segBlocks[:e.Arg2]
+				}
+				stack = stack[:len(stack)-1]
+			}
+			blocks = append(blocks, segBlocks...)
+		case trace.EvExit:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("symexec: thread %d event %d: unbalanced exit", tl.Thread, i)
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			return nil, fmt.Errorf("symexec: thread %d event %d: unexpected kind %v", tl.Thread, i, e.Kind)
+		}
+	}
+	return blocks, nil
+}

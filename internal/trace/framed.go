@@ -1,0 +1,425 @@
+// Framed path-log encoding: the crash-tolerant on-disk format.
+//
+// CLAP's whole premise is that the recorded process crashes, so the log
+// writer cannot be trusted to flush a complete, well-formed buffer. The
+// flat encoding (Encode/DecodePathLog) is all-or-nothing: one truncated
+// varint loses the entire recording. The framed encoding chunks each
+// thread's stream into small, independently decodable segments:
+//
+//	header:  magic "CLPF" + version byte
+//	frame:   marker 0xA5 | kind | uvarint thread | uvarint payload len |
+//	         payload | crc32(kind ‖ thread ‖ payload)
+//
+// Two frame kinds exist: a meta frame (spawn parentage, one per thread)
+// and event frames (a sequence number plus up to EventsPerFrame events and
+// the cut records of any partial segments among them). Length framing
+// bounds the damage of a truncated tail to the final frame; the checksum
+// turns silent bit flips into detected corruption; per-thread sequence
+// numbers let the salvage decoder keep only each thread's contiguous
+// prefix when a middle frame is lost.
+//
+// DecodeFramedPathLog is the strict decoder (any fault is an error);
+// DecodePathLogSalvage recovers the longest valid prefix from damaged
+// input, resynchronizing on frame markers past a corrupt region, and
+// reports exactly what was kept and what was lost.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Framed-format constants.
+const (
+	framedVersion = 1
+	frameMarker   = 0xA5
+
+	frameMeta   = 0 // payload: parent+1, index
+	frameEvents = 1 // payload: seq, nevents, events..., ncuts, cuts...
+
+	// MaxThreads bounds the thread ids a framed decoder accepts; a corrupt
+	// thread id past it is rejected instead of growing the thread table
+	// without bound.
+	MaxThreads = 1 << 20
+
+	// maxFramePayload bounds a single frame's declared payload length.
+	maxFramePayload = 1 << 26
+)
+
+// framedMagic identifies a framed CLAP path log.
+var framedMagic = []byte{'C', 'L', 'P', 'F'}
+
+// FramedOptions tunes the framed encoding.
+type FramedOptions struct {
+	// EventsPerFrame caps the events per frame (default 128). Smaller
+	// frames lose less to a truncated tail at a higher size overhead.
+	EventsPerFrame int
+}
+
+// IsFramed reports whether buf starts with the framed-format header.
+func IsFramed(buf []byte) bool {
+	return len(buf) >= len(framedMagic)+1 && string(buf[:len(framedMagic)]) == string(framedMagic)
+}
+
+// EncodeFramed serializes the log in the crash-tolerant framed format.
+func (l *PathLog) EncodeFramed(opts FramedOptions) []byte {
+	per := opts.EventsPerFrame
+	if per <= 0 {
+		per = 128
+	}
+	buf := append([]byte{}, framedMagic...)
+	buf = append(buf, framedVersion)
+	for _, t := range l.Threads {
+		var meta []byte
+		meta = binary.AppendUvarint(meta, uint64(t.Parent+1))
+		meta = binary.AppendUvarint(meta, uint64(t.Index))
+		buf = appendFrame(buf, frameMeta, t.Thread, meta)
+		cutIdx := 0
+		seq := uint64(1)
+		for off := 0; off < len(t.Events); off += per {
+			end := off + per
+			if end > len(t.Events) {
+				end = len(t.Events)
+			}
+			chunk := t.Events[off:end]
+			var payload []byte
+			payload = binary.AppendUvarint(payload, seq)
+			payload = binary.AppendUvarint(payload, uint64(len(chunk)))
+			payload = appendEvents(payload, chunk)
+			// The cut records of this chunk's partial segments ride in the
+			// same frame so a salvaged prefix stays self-consistent.
+			partials := 0
+			for _, e := range chunk {
+				if e.Kind == EvPartial {
+					partials++
+				}
+			}
+			payload = binary.AppendUvarint(payload, uint64(partials))
+			for k := 0; k < partials && cutIdx < len(t.Cuts); k++ {
+				payload = binary.AppendUvarint(payload, t.Cuts[cutIdx])
+				cutIdx++
+			}
+			buf = appendFrame(buf, frameEvents, t.Thread, payload)
+			seq++
+		}
+	}
+	return buf
+}
+
+// appendFrame writes one frame: marker, kind, thread, length, payload, crc.
+func appendFrame(buf []byte, kind byte, thread ThreadID, payload []byte) []byte {
+	buf = append(buf, frameMarker, kind)
+	var tvar []byte
+	tvar = binary.AppendUvarint(tvar, uint64(thread))
+	buf = append(buf, tvar...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(append(append([]byte{kind}, tvar...), payload...))
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// frame is one decoded frame.
+type frame struct {
+	kind   byte
+	thread ThreadID
+	// meta frames.
+	parent ThreadID
+	index  int32
+	// event frames.
+	seq    uint64
+	events []Event
+	cuts   []uint64
+}
+
+// parseFrame decodes the frame starting at off. On any fault it returns a
+// CorruptError locating the damage; truncated reports whether the fault was
+// the input ending mid-frame (as opposed to bad bytes).
+func parseFrame(buf []byte, off int) (f frame, end int, truncated bool, cerr *CorruptError) {
+	r := reader{buf: buf, off: off}
+	mk, err := r.byte()
+	if err != nil {
+		return f, 0, true, r.corrupt(-1, "truncated at frame marker")
+	}
+	if mk != frameMarker {
+		return f, 0, false, &CorruptError{Offset: off, Thread: -1, Reason: fmt.Sprintf("bad frame marker 0x%02x", mk)}
+	}
+	kind, err := r.byte()
+	if err != nil {
+		return f, 0, true, r.corrupt(-1, "truncated at frame kind")
+	}
+	if kind != frameMeta && kind != frameEvents {
+		return f, 0, false, &CorruptError{Offset: off, Thread: -1, Reason: fmt.Sprintf("unknown frame kind %d", kind)}
+	}
+	tvStart := r.off
+	tid, err := r.uvarint()
+	if err != nil {
+		return f, 0, r.off >= len(buf), r.corrupt(-1, "frame thread id: %v", err)
+	}
+	if tid >= MaxThreads {
+		return f, 0, false, &CorruptError{Offset: off, Thread: -1, Reason: fmt.Sprintf("thread id %d exceeds the limit %d", tid, MaxThreads)}
+	}
+	tvEnd := r.off
+	thread := ThreadID(tid)
+	plen, err := r.uvarint()
+	if err != nil {
+		return f, 0, r.off >= len(buf), r.corrupt(thread, "frame payload length: %v", err)
+	}
+	if plen > maxFramePayload {
+		return f, 0, false, r.corrupt(thread, "frame payload length %d exceeds the limit %d", plen, maxFramePayload)
+	}
+	if plen+4 > uint64(r.remaining()) {
+		return f, 0, true, r.corrupt(thread, "frame payload %dB overruns %dB remaining", plen, r.remaining())
+	}
+	payload := buf[r.off : r.off+int(plen)]
+	crcOff := r.off + int(plen)
+	got := binary.LittleEndian.Uint32(buf[crcOff : crcOff+4])
+	want := crc32.ChecksumIEEE(append(append([]byte{kind}, buf[tvStart:tvEnd]...), payload...))
+	if got != want {
+		return f, 0, false, &CorruptError{Offset: off, Thread: thread,
+			Reason: fmt.Sprintf("frame checksum mismatch (got %08x, want %08x)", got, want)}
+	}
+	end = crcOff + 4
+
+	f = frame{kind: kind, thread: thread}
+	pr := reader{buf: payload}
+	fail := func(format string, args ...any) (frame, int, bool, *CorruptError) {
+		return frame{}, 0, false, &CorruptError{Offset: off + pr.off, Thread: thread, Reason: fmt.Sprintf(format, args...)}
+	}
+	switch kind {
+	case frameMeta:
+		parent, err := pr.uvarint()
+		if err != nil {
+			return fail("meta parent: %v", err)
+		}
+		if parent > MaxThreads {
+			return fail("meta parent %d exceeds the limit %d", parent, MaxThreads)
+		}
+		index, err := pr.uvarint()
+		if err != nil {
+			return fail("meta index: %v", err)
+		}
+		if index > 1<<31-1 {
+			return fail("meta index %d out of range", index)
+		}
+		f.parent = ThreadID(parent) - 1
+		f.index = int32(index)
+	case frameEvents:
+		seq, err := pr.uvarint()
+		if err != nil {
+			return fail("frame sequence: %v", err)
+		}
+		f.seq = seq
+		cnt, err := pr.uvarint()
+		if err != nil {
+			return fail("frame event count: %v", err)
+		}
+		if cnt > MaxDecodedEvents {
+			return fail("frame event count %d exceeds the decoder cap %d", cnt, uint64(MaxDecodedEvents))
+		}
+		events, err := decodeEvents(&pr, cnt, thread)
+		if err != nil {
+			return fail("%v", err)
+		}
+		f.events = events
+		ncuts, err := pr.uvarint()
+		if err != nil {
+			return fail("frame cut count: %v", err)
+		}
+		if cerr := pr.checkCount(ncuts, thread, "frame cut count"); cerr != nil {
+			return fail("%s", cerr.Reason)
+		}
+		for i := uint64(0); i < ncuts; i++ {
+			c, err := pr.uvarint()
+			if err != nil {
+				return fail("frame cut %d: %v", i, err)
+			}
+			f.cuts = append(f.cuts, c)
+		}
+	}
+	if !pr.done() {
+		return fail("%d trailing payload bytes", pr.remaining())
+	}
+	return f, end, false, nil
+}
+
+// SalvageReport describes what DecodePathLogSalvage recovered.
+type SalvageReport struct {
+	// BytesTotal, BytesSalvaged and BytesSkipped partition the input:
+	// salvaged bytes decoded into kept frames, skipped bytes were corrupt,
+	// unreachable, or belonged to out-of-sequence frames.
+	BytesTotal    int
+	BytesSalvaged int
+	BytesSkipped  int
+	// Frames counts frames kept; DroppedFrames counts frames that parsed
+	// but were discarded (sequence gap after a lost frame).
+	Frames        int
+	DroppedFrames int
+	// Threads and Events count the recovered data.
+	Threads int
+	Events  int
+	// Truncated reports that the input ended mid-frame — the signature of a
+	// crash-interrupted write.
+	Truncated bool
+	// Err is the first corruption encountered (nil for a clean log).
+	Err *CorruptError
+}
+
+// Clean reports whether the whole input decoded without damage.
+func (r *SalvageReport) Clean() bool { return r.Err == nil }
+
+// String summarizes the salvage for logs and CLI output.
+func (r *SalvageReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("clean: %d frames, %d threads, %d events (%dB)",
+			r.Frames, r.Threads, r.Events, r.BytesTotal)
+	}
+	state := "corrupt"
+	if r.Truncated {
+		state = "truncated"
+	}
+	return fmt.Sprintf("%s at byte %d (%s): salvaged %d/%dB, %d frames (+%d dropped), %d threads, %d events",
+		state, r.Err.Offset, r.Err.Reason, r.BytesSalvaged, r.BytesTotal, r.Frames, r.DroppedFrames, r.Threads, r.Events)
+}
+
+// DecodeFramedPathLog strictly decodes a framed log: any truncation, bit
+// flip, missing frame or trailing garbage is a *CorruptError.
+func DecodeFramedPathLog(buf []byte) (*PathLog, error) {
+	log, rep := DecodePathLogSalvage(buf)
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	if rep.DroppedFrames > 0 || rep.BytesSkipped > 0 {
+		return nil, &CorruptError{Offset: 0, Thread: -1,
+			Reason: fmt.Sprintf("%d dropped frames, %d skipped bytes", rep.DroppedFrames, rep.BytesSkipped)}
+	}
+	return log, nil
+}
+
+// DecodePathLogSalvage leniently decodes a framed log, recovering the
+// longest valid prefix of every thread's stream from truncated or
+// bit-flipped input. It never fails: the returned log holds whatever was
+// recoverable (possibly nothing) and the report says what happened. After a
+// corrupt region it resynchronizes on the next checksum-valid frame, so a
+// single damaged frame costs only that frame (and, via sequence numbers,
+// its thread's subsequent frames — a salvaged thread stream is always a
+// contiguous prefix of the recorded one).
+func DecodePathLogSalvage(buf []byte) (*PathLog, *SalvageReport) {
+	log := &PathLog{}
+	rep := &SalvageReport{BytesTotal: len(buf)}
+	headerLen := len(framedMagic) + 1
+	if !IsFramed(buf) {
+		rep.Err = &CorruptError{Offset: 0, Thread: -1, Reason: "missing framed-log magic"}
+		rep.BytesSkipped = len(buf)
+		rep.Truncated = len(buf) < headerLen
+		return log, rep
+	}
+	if buf[len(framedMagic)] != framedVersion {
+		rep.Err = &CorruptError{Offset: len(framedMagic), Thread: -1,
+			Reason: fmt.Sprintf("unsupported framed-log version %d", buf[len(framedMagic)])}
+		rep.BytesSkipped = len(buf)
+		return log, rep
+	}
+	rep.BytesSalvaged = headerLen
+
+	// nextSeq tracks each thread's expected event-frame sequence number; a
+	// gap means an earlier frame was lost, so later frames of that thread
+	// are dropped to keep the salvaged stream a true prefix.
+	nextSeq := map[ThreadID]uint64{}
+	seen := map[ThreadID]bool{}
+	off := headerLen
+	for off < len(buf) {
+		f, end, truncated, cerr := parseFrame(buf, off)
+		if cerr == nil {
+			keep := true
+			switch f.kind {
+			case frameMeta:
+				log.SetThreadMeta(f.thread, f.parent, f.index)
+			case frameEvents:
+				if f.seq != nextSeq[f.thread]+1 {
+					keep = false // gap: an earlier frame of this thread was lost
+				} else {
+					nextSeq[f.thread] = f.seq
+					for _, e := range f.events {
+						log.Append(f.thread, e)
+					}
+					for _, c := range f.cuts {
+						log.AppendCut(f.thread, c)
+					}
+					rep.Events += len(f.events)
+				}
+			}
+			if keep {
+				rep.Frames++
+				rep.BytesSalvaged += end - off
+				seen[f.thread] = true
+			} else {
+				rep.DroppedFrames++
+				rep.BytesSkipped += end - off
+				if rep.Err == nil {
+					rep.Err = &CorruptError{Offset: off, Thread: f.thread,
+						Reason: fmt.Sprintf("frame sequence gap (got %d, want %d)", f.seq, nextSeq[f.thread]+1)}
+				}
+			}
+			off = end
+			continue
+		}
+		if rep.Err == nil {
+			rep.Err = cerr
+		}
+		if truncated {
+			rep.Truncated = true
+			rep.BytesSkipped += len(buf) - off
+			break
+		}
+		// Resynchronize: scan for the next offset where a checksum-valid
+		// frame parses. A false positive needs a 1-in-2³² CRC collision.
+		resync := -1
+		for cand := off + 1; cand < len(buf); cand++ {
+			if buf[cand] != frameMarker {
+				continue
+			}
+			if _, _, _, err := parseFrame(buf, cand); err == nil {
+				resync = cand
+				break
+			}
+		}
+		if resync < 0 {
+			rep.BytesSkipped += len(buf) - off
+			break
+		}
+		rep.BytesSkipped += resync - off
+		off = resync
+	}
+	rep.Threads = len(seen)
+	return log, rep
+}
+
+// FrameSpan locates one frame inside a framed encoding, for tooling (the
+// fault-injection harness uses it to truncate at segment boundaries or drop
+// a specific thread's segments).
+type FrameSpan struct {
+	Off, Len int
+	Thread   ThreadID
+	// Kind is 0 for a meta frame, 1 for an events frame.
+	Kind byte
+}
+
+// FrameSpans inventories the frames of a framed log. It requires a clean
+// log (it is a tooling aid, not a salvage path).
+func FrameSpans(buf []byte) ([]FrameSpan, error) {
+	if !IsFramed(buf) {
+		return nil, &CorruptError{Offset: 0, Thread: -1, Reason: "missing framed-log magic"}
+	}
+	var spans []FrameSpan
+	off := len(framedMagic) + 1
+	for off < len(buf) {
+		f, end, _, cerr := parseFrame(buf, off)
+		if cerr != nil {
+			return nil, cerr
+		}
+		spans = append(spans, FrameSpan{Off: off, Len: end - off, Thread: f.thread, Kind: f.kind})
+		off = end
+	}
+	return spans, nil
+}

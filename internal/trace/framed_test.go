@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleLog builds a three-thread log exercising every event kind, the
+// run-length path encoding, partial segments with cuts, and enough events
+// to span multiple frames at small EventsPerFrame.
+func sampleLog() *PathLog {
+	l := &PathLog{}
+	l.SetThreadMeta(0, -1, 0)
+	l.SetThreadMeta(1, 0, 0)
+	l.SetThreadMeta(2, 0, 1)
+	l.Append(0, Event{Kind: EvEnter, Arg: 0})
+	for i := 0; i < 300; i++ {
+		l.Append(0, Event{Kind: EvPath, Arg: 7}) // long run → run-length encoded
+	}
+	l.Append(0, Event{Kind: EvPath, Arg: 3})
+	l.Append(0, Event{Kind: EvExit})
+	l.Append(1, Event{Kind: EvEnter, Arg: 1})
+	l.Append(1, Event{Kind: EvPath, Arg: 2})
+	l.Append(1, Event{Kind: EvPartial, Arg: 5, Arg2: 4})
+	l.AppendCut(1, 9)
+	l.Append(2, Event{Kind: EvEnter, Arg: 2})
+	for i := 0; i < 50; i++ {
+		l.Append(2, Event{Kind: EvPath, Arg: uint64(i % 3)})
+	}
+	l.Append(2, Event{Kind: EvPartial, Arg: 1, Arg2: 0})
+	l.AppendCut(2, 2)
+	return l
+}
+
+func TestFramedRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	for _, per := range []int{0, 1, 7, 128, 10_000} {
+		buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: per})
+		if !IsFramed(buf) {
+			t.Fatalf("per=%d: encoding lacks the framed magic", per)
+		}
+		got, err := DecodeFramedPathLog(buf)
+		if err != nil {
+			t.Fatalf("per=%d: strict decode: %v", per, err)
+		}
+		if !reflect.DeepEqual(orig, got) {
+			t.Fatalf("per=%d: round trip mismatch\norig %+v\ngot  %+v", per, orig, got)
+		}
+	}
+}
+
+func TestFramedSalvageCleanLog(t *testing.T) {
+	orig := sampleLog()
+	buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: 16})
+	got, rep := DecodePathLogSalvage(buf)
+	if !rep.Clean() {
+		t.Fatalf("clean log reported damage: %v", rep)
+	}
+	if rep.Events != orig.EventCount() || rep.Threads != 3 {
+		t.Fatalf("salvage stats wrong: %+v", rep)
+	}
+	if rep.BytesSalvaged != len(buf) || rep.BytesSkipped != 0 {
+		t.Fatalf("byte accounting wrong: %+v", rep)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("clean salvage must equal the original")
+	}
+	if !strings.Contains(rep.String(), "clean") {
+		t.Fatalf("report string: %q", rep.String())
+	}
+}
+
+// eventsPrefix reports whether every thread of got holds a prefix of the
+// corresponding thread's events in orig — the salvage guarantee.
+func eventsPrefix(t *testing.T, orig, got *PathLog) {
+	t.Helper()
+	for _, tl := range got.Threads {
+		if int(tl.Thread) >= len(orig.Threads) {
+			t.Fatalf("salvage invented thread %d", tl.Thread)
+		}
+		ref := orig.Threads[tl.Thread]
+		if len(tl.Events) > len(ref.Events) {
+			t.Fatalf("thread %d: salvaged %d events, original has %d", tl.Thread, len(tl.Events), len(ref.Events))
+		}
+		if !reflect.DeepEqual(tl.Events, append([]Event(nil), ref.Events[:len(tl.Events)]...)) && len(tl.Events) > 0 {
+			t.Fatalf("thread %d: salvaged events are not a prefix", tl.Thread)
+		}
+	}
+}
+
+func TestFramedSalvageTruncation(t *testing.T) {
+	orig := sampleLog()
+	buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: 8})
+	spans, err := FrameSpans(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := map[int]bool{len(buf): true, len(framedMagic) + 1: true}
+	for _, s := range spans {
+		boundaries[s.Off+s.Len] = true
+	}
+	for n := 0; n <= len(buf); n++ {
+		got, rep := DecodePathLogSalvage(buf[:n])
+		eventsPrefix(t, orig, got)
+		if rep.Clean() && !boundaries[n] {
+			t.Fatalf("truncation to %dB inside a frame reported clean", n)
+		}
+		if n < len(buf) && n > len(framedMagic) && !boundaries[n] && !rep.Truncated {
+			t.Fatalf("truncation to %dB not flagged Truncated: %v", n, rep)
+		}
+		if rep.BytesSalvaged+rep.BytesSkipped != rep.BytesTotal {
+			t.Fatalf("truncation to %dB: byte accounting does not partition: %+v", n, rep)
+		}
+	}
+}
+
+func TestFramedSalvageBitFlips(t *testing.T) {
+	orig := sampleLog()
+	buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: 8})
+	for off := 0; off < len(buf); off++ {
+		for bit := 0; bit < 8; bit += 3 {
+			mut := append([]byte(nil), buf...)
+			mut[off] ^= 1 << bit
+			got, rep := DecodePathLogSalvage(mut)
+			_ = rep
+			// Whatever was salvaged must still be a prefix of some thread's
+			// stream unless the flip forged a different valid payload — the
+			// CRC makes that a 1-in-2³² event, so assert the strong property.
+			eventsPrefix(t, orig, got)
+		}
+	}
+}
+
+func TestFramedSalvageResync(t *testing.T) {
+	orig := sampleLog()
+	buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: 8})
+	spans, err := FrameSpans(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of thread 2's first events frame; thread 2 spans
+	// several frames, so the sequence-gap rule must drop all the later ones.
+	var victim FrameSpan
+	for _, s := range spans {
+		if s.Thread == 2 && s.Kind == 1 {
+			victim = s
+			break
+		}
+	}
+	if victim.Len == 0 {
+		t.Fatal("no events frame for thread 2")
+	}
+	mut := append([]byte(nil), buf...)
+	mut[victim.Off+victim.Len/2] ^= 0x40
+	got, rep := DecodePathLogSalvage(mut)
+	if rep.Clean() {
+		t.Fatal("corruption not reported")
+	}
+	if rep.Err.Offset != victim.Off {
+		t.Fatalf("corruption located at %d, frame starts at %d", rep.Err.Offset, victim.Off)
+	}
+	// The other threads must survive in full: resync found their frames.
+	for _, tid := range []ThreadID{0, 1} {
+		if !reflect.DeepEqual(got.Threads[tid].Events, orig.Threads[tid].Events) {
+			t.Fatalf("thread %d lost events to an unrelated corrupt frame", tid)
+		}
+	}
+	// Thread 2 keeps only the prefix before the damaged frame (here: none),
+	// and its later frames are dropped by the sequence-gap rule.
+	if len(got.Threads) > 2 && len(got.Threads[2].Events) != 0 {
+		t.Fatalf("thread 2 kept %d events past a lost first frame", len(got.Threads[2].Events))
+	}
+	if rep.DroppedFrames == 0 {
+		t.Fatal("sequence-gap frames not counted as dropped")
+	}
+}
+
+func TestFramedSalvageDroppedFrame(t *testing.T) {
+	orig := sampleLog()
+	buf := orig.EncodeFramed(FramedOptions{EventsPerFrame: 8})
+	spans, err := FrameSpans(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove thread 0's second events frame cleanly.
+	count := 0
+	var victim FrameSpan
+	for _, s := range spans {
+		if s.Thread == 0 && s.Kind == 1 {
+			count++
+			if count == 2 {
+				victim = s
+				break
+			}
+		}
+	}
+	if victim.Len == 0 {
+		t.Fatal("thread 0 has fewer than two events frames")
+	}
+	mut := append(append([]byte(nil), buf[:victim.Off]...), buf[victim.Off+victim.Len:]...)
+	got, rep := DecodePathLogSalvage(mut)
+	eventsPrefix(t, orig, got)
+	if len(got.Threads[0].Events) != 8 {
+		t.Fatalf("thread 0 should keep exactly its first frame (8 events), kept %d", len(got.Threads[0].Events))
+	}
+	if rep.Clean() {
+		t.Fatal("a sequence gap must be reported")
+	}
+	if !strings.Contains(rep.Err.Reason, "sequence gap") {
+		t.Fatalf("gap reason: %v", rep.Err)
+	}
+}
+
+func TestFramedHugePayloadRejected(t *testing.T) {
+	buf := append([]byte{}, framedMagic...)
+	buf = append(buf, framedVersion)
+	buf = append(buf, frameMarker, frameEvents)
+	buf = binary.AppendUvarint(buf, 0)            // thread
+	buf = binary.AppendUvarint(buf, uint64(1)<<40) // absurd payload length
+	if _, err := DecodeFramedPathLog(buf); err == nil {
+		t.Fatal("absurd payload length accepted")
+	}
+	_, rep := DecodePathLogSalvage(buf)
+	if rep.Clean() {
+		t.Fatal("salvage must flag the absurd payload length")
+	}
+}
+
+func TestFramedStrictRejectsDamage(t *testing.T) {
+	buf := sampleLog().EncodeFramed(FramedOptions{})
+	if _, err := DecodeFramedPathLog(buf[:len(buf)-3]); err == nil {
+		t.Fatal("strict decode accepted a truncated log")
+	}
+	mut := append([]byte(nil), buf...)
+	mut[len(mut)/2] ^= 1
+	if _, err := DecodeFramedPathLog(mut); err == nil {
+		t.Fatal("strict decode accepted a bit flip")
+	}
+	var cerr *CorruptError
+	_, err := DecodeFramedPathLog(mut)
+	if !errors.As(err, &cerr) {
+		t.Fatalf("strict decode error is not a *CorruptError: %v", err)
+	}
+}
+
+func TestFrameSpansPartition(t *testing.T) {
+	buf := sampleLog().EncodeFramed(FramedOptions{EventsPerFrame: 8})
+	spans, err := FrameSpans(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(framedMagic) + 1
+	for _, s := range spans {
+		if s.Off != off {
+			t.Fatalf("span at %d, expected %d", s.Off, off)
+		}
+		off += s.Len
+	}
+	if off != len(buf) {
+		t.Fatalf("spans cover %dB of %dB", off, len(buf))
+	}
+}
+
+// The flat decoders must reject declared counts that exceed the input size
+// instead of allocating for them.
+func TestFlatDecoderBoundChecks(t *testing.T) {
+	huge := binary.AppendUvarint(nil, uint64(1)<<40)
+	var cerr *CorruptError
+	if _, err := DecodePathLog(huge); !errors.As(err, &cerr) {
+		t.Fatalf("DecodePathLog: want *CorruptError for a huge thread count, got %v", err)
+	}
+	if _, err := DecodeAccessVectorLog(huge); !errors.As(err, &cerr) {
+		t.Fatalf("DecodeAccessVectorLog: want *CorruptError for a huge vector count, got %v", err)
+	}
+	if _, err := DecodeSyncOrderLog(huge); !errors.As(err, &cerr) {
+		t.Fatalf("DecodeSyncOrderLog: want *CorruptError for a huge length, got %v", err)
+	}
+	// An in-bounds vector count with a huge inner length must also fail.
+	buf := binary.AppendUvarint(nil, 1)
+	buf = binary.AppendUvarint(buf, uint64(1)<<40)
+	if _, err := DecodeAccessVectorLog(buf); !errors.As(err, &cerr) {
+		t.Fatalf("DecodeAccessVectorLog: want *CorruptError for a huge vector length, got %v", err)
+	}
+	// A huge event count in the flat path log must hit the decoder cap.
+	buf = binary.AppendUvarint(nil, 1)              // one thread
+	buf = binary.AppendUvarint(buf, 0)              // parent+1
+	buf = binary.AppendUvarint(buf, 0)              // index
+	buf = binary.AppendUvarint(buf, uint64(1)<<40)  // event count
+	if _, err := DecodePathLog(buf); !errors.As(err, &cerr) {
+		t.Fatalf("DecodePathLog: want *CorruptError for a huge event count, got %v", err)
+	}
+}

@@ -145,34 +145,83 @@ func (l *PathLog) Encode() []byte {
 			buf = binary.AppendUvarint(buf, c)
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(t.Events)))
-		for i := 0; i < len(t.Events); {
-			e := t.Events[i]
-			if e.Kind == EvPath {
-				// Run-length encode repeated path ids.
-				j := i + 1
-				for j < len(t.Events) && t.Events[j].Kind == EvPath && t.Events[j].Arg == e.Arg {
-					j++
-				}
-				if j-i >= 2 {
-					buf = append(buf, byte(evPathRun))
-					buf = binary.AppendUvarint(buf, e.Arg)
-					buf = binary.AppendUvarint(buf, uint64(j-i))
-					i = j
-					continue
-				}
-			}
-			buf = append(buf, byte(e.Kind))
-			switch e.Kind {
-			case EvEnter, EvPath:
-				buf = binary.AppendUvarint(buf, e.Arg)
-			case EvPartial:
-				buf = binary.AppendUvarint(buf, e.Arg)
-				buf = binary.AppendUvarint(buf, e.Arg2)
-			}
-			i++
-		}
+		buf = appendEvents(buf, t.Events)
 	}
 	return buf
+}
+
+// appendEvents serializes an event slice (run-length encoding repeated path
+// ids), without a leading count. Shared by the flat and framed encodings.
+func appendEvents(buf []byte, events []Event) []byte {
+	for i := 0; i < len(events); {
+		e := events[i]
+		if e.Kind == EvPath {
+			// Run-length encode repeated path ids.
+			j := i + 1
+			for j < len(events) && events[j].Kind == EvPath && events[j].Arg == e.Arg {
+				j++
+			}
+			if j-i >= 2 {
+				buf = append(buf, byte(evPathRun))
+				buf = binary.AppendUvarint(buf, e.Arg)
+				buf = binary.AppendUvarint(buf, uint64(j-i))
+				i = j
+				continue
+			}
+		}
+		buf = append(buf, byte(e.Kind))
+		switch e.Kind {
+		case EvEnter, EvPath:
+			buf = binary.AppendUvarint(buf, e.Arg)
+		case EvPartial:
+			buf = binary.AppendUvarint(buf, e.Arg)
+			buf = binary.AppendUvarint(buf, e.Arg2)
+		}
+		i++
+	}
+	return buf
+}
+
+// MaxDecodedEvents caps the per-thread event count a decoder will honor.
+// Run-length encoding means a handful of bytes can legitimately expand to
+// many events, so event counts cannot be bounded by input size alone; this
+// cap (16M events, orders of magnitude above any recording the VM's action
+// budget allows) is the backstop that keeps a corrupt header from demanding
+// a multi-gigabyte allocation.
+const MaxDecodedEvents = 1 << 24
+
+// CorruptError is the typed error every decoder in this package returns on
+// malformed input. It pinpoints the corruption for salvage tooling: the byte
+// offset where decoding failed, the thread being decoded (-1 when the fault
+// is not attributable to one), and a human-readable reason.
+type CorruptError struct {
+	Offset int
+	Thread ThreadID
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Thread >= 0 {
+		return fmt.Sprintf("trace: corrupt log at byte %d (thread %d): %s", e.Offset, e.Thread, e.Reason)
+	}
+	return fmt.Sprintf("trace: corrupt log at byte %d: %s", e.Offset, e.Reason)
+}
+
+// corrupt builds a CorruptError at the reader's current offset.
+func (r *reader) corrupt(thread ThreadID, format string, args ...any) *CorruptError {
+	return &CorruptError{Offset: r.off, Thread: thread, Reason: fmt.Sprintf(format, args...)}
+}
+
+// checkCount guards every count-prefixed section against allocation bombs: a
+// corrupt varint header can claim an absurd element count, but each element
+// occupies at least one encoded byte, so any count exceeding the remaining
+// input is provably corrupt — rejected before anything is allocated.
+func (r *reader) checkCount(n uint64, thread ThreadID, what string) *CorruptError {
+	if n > uint64(r.remaining()) {
+		return r.corrupt(thread, "%s %d exceeds %d remaining bytes", what, n, r.remaining())
+	}
+	return nil
 }
 
 // DecodePathLog parses a serialized path log.
@@ -181,6 +230,9 @@ func DecodePathLog(buf []byte) (*PathLog, error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("trace: thread count: %w", err)
+	}
+	if cerr := r.checkCount(n, -1, "thread count"); cerr != nil {
+		return nil, cerr
 	}
 	log := &PathLog{}
 	for ti := uint64(0); ti < n; ti++ {
@@ -196,6 +248,9 @@ func DecodePathLog(buf []byte) (*PathLog, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: thread %d cut count: %w", ti, err)
 		}
+		if cerr := r.checkCount(ncuts, ThreadID(ti), "cut count"); cerr != nil {
+			return nil, cerr
+		}
 		var cuts []uint64
 		for i := uint64(0); i < ncuts; i++ {
 			c, err := r.uvarint()
@@ -208,60 +263,80 @@ func DecodePathLog(buf []byte) (*PathLog, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: thread %d event count: %w", ti, err)
 		}
-		tl := ThreadLog{Thread: ThreadID(ti), Parent: ThreadID(parent) - 1, Index: int32(index), Cuts: cuts}
-		for uint64(len(tl.Events)) < cnt {
-			i := len(tl.Events)
-			kb, err := r.byte()
-			if err != nil {
-				return nil, fmt.Errorf("trace: thread %d event %d: %w", ti, i, err)
-			}
-			e := Event{Kind: EventKind(kb)}
-			switch e.Kind {
-			case EvEnter, EvPath:
-				arg, err := r.uvarint()
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d payload: %w", ti, i, err)
-				}
-				e.Arg = arg
-			case EvPartial:
-				arg, err := r.uvarint()
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d payload: %w", ti, i, err)
-				}
-				e.Arg = arg
-				arg2, err := r.uvarint()
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d payload2: %w", ti, i, err)
-				}
-				e.Arg2 = arg2
-			case evPathRun:
-				arg, err := r.uvarint()
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d run id: %w", ti, i, err)
-				}
-				count, err := r.uvarint()
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d run count: %w", ti, i, err)
-				}
-				if count < 2 || uint64(len(tl.Events))+count > cnt {
-					return nil, fmt.Errorf("trace: thread %d event %d: bad run count %d", ti, i, count)
-				}
-				for k := uint64(0); k < count; k++ {
-					tl.Events = append(tl.Events, Event{Kind: EvPath, Arg: arg})
-				}
-				continue
-			case EvExit:
-			default:
-				return nil, fmt.Errorf("trace: thread %d event %d: unknown kind %d", ti, i, kb)
-			}
-			tl.Events = append(tl.Events, e)
+		// Run-length-encoded events can legitimately outnumber the remaining
+		// bytes, so the byte-count bound does not apply; the absolute cap
+		// below keeps a corrupt header (or run count) from demanding a
+		// multi-gigabyte slice.
+		if cnt > MaxDecodedEvents {
+			return nil, r.corrupt(ThreadID(ti), "event count %d exceeds the decoder cap %d", cnt, uint64(MaxDecodedEvents))
 		}
+		tl := ThreadLog{Thread: ThreadID(ti), Parent: ThreadID(parent) - 1, Index: int32(index), Cuts: cuts}
+		events, err := decodeEvents(&r, cnt, ThreadID(ti))
+		if err != nil {
+			return nil, err
+		}
+		tl.Events = events
 		log.Threads = append(log.Threads, tl)
 	}
 	if !r.done() {
 		return nil, fmt.Errorf("trace: %d trailing bytes", r.remaining())
 	}
 	return log, nil
+}
+
+// decodeEvents parses exactly cnt events from r (expanding run-length
+// records). Shared by the flat and framed decoders; callers must have
+// bounded cnt by MaxDecodedEvents already.
+func decodeEvents(r *reader, cnt uint64, thread ThreadID) ([]Event, error) {
+	var events []Event
+	for uint64(len(events)) < cnt {
+		i := len(events)
+		kb, err := r.byte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d event %d: %w", thread, i, err)
+		}
+		e := Event{Kind: EventKind(kb)}
+		switch e.Kind {
+		case EvEnter, EvPath:
+			arg, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d payload: %w", thread, i, err)
+			}
+			e.Arg = arg
+		case EvPartial:
+			arg, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d payload: %w", thread, i, err)
+			}
+			e.Arg = arg
+			arg2, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d payload2: %w", thread, i, err)
+			}
+			e.Arg2 = arg2
+		case evPathRun:
+			arg, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d run id: %w", thread, i, err)
+			}
+			count, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d run count: %w", thread, i, err)
+			}
+			if count < 2 || uint64(len(events))+count > cnt {
+				return nil, fmt.Errorf("trace: thread %d event %d: bad run count %d", thread, i, count)
+			}
+			for k := uint64(0); k < count; k++ {
+				events = append(events, Event{Kind: EvPath, Arg: arg})
+			}
+			continue
+		case EvExit:
+		default:
+			return nil, fmt.Errorf("trace: thread %d event %d: unknown kind %d", thread, i, kb)
+		}
+		events = append(events, e)
+	}
+	return events, nil
 }
 
 // Size returns the encoded byte size, the number Table 2 reports for CLAP.
@@ -314,11 +389,17 @@ func DecodeAccessVectorLog(buf []byte) (*AccessVectorLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: vector count: %w", err)
 	}
+	if cerr := r.checkCount(n, -1, "vector count"); cerr != nil {
+		return nil, cerr
+	}
 	log := &AccessVectorLog{}
 	for vi := uint64(0); vi < n; vi++ {
 		cnt, err := r.uvarint()
 		if err != nil {
 			return nil, fmt.Errorf("trace: vector %d length: %w", vi, err)
+		}
+		if cerr := r.checkCount(cnt, -1, "vector length"); cerr != nil {
+			return nil, cerr
 		}
 		var vec []ThreadID
 		for i := uint64(0); i < cnt; i++ {
@@ -368,6 +449,9 @@ func DecodeSyncOrderLog(buf []byte) (*SyncOrderLog, error) {
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("trace: sync order length: %w", err)
+	}
+	if cerr := r.checkCount(n, -1, "sync order length"); cerr != nil {
+		return nil, cerr
 	}
 	log := &SyncOrderLog{}
 	for i := uint64(0); i < n; i++ {
