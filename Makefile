@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
-.PHONY: ci vet build test fuzz-smoke
+.PHONY: ci vet build test fuzz-smoke bench bench-baseline
 
 ci: vet build test fuzz-smoke
 
@@ -14,8 +14,21 @@ vet:
 build:
 	$(GO) build ./...
 
+# The race detector slows the solver-heavy suites by an order of
+# magnitude; go test's default 10m per-package timeout is not enough for
+# internal/bench on small machines.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
+
+# Machine-readable per-stage perf snapshot over the paper's eleven
+# benchmarks (BENCH_<date>.json). `bench-baseline` measures the
+# pre-optimization pipeline (no preprocessing, serial portfolio) so the
+# committed pair documents a perf change; see cmd/benchjson.
+bench:
+	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+
+bench-baseline:
+	$(GO) run ./cmd/benchjson -baseline -o BENCH_baseline.json
 
 # A short fuzz pass per decoder target: the crash-tolerance claims hold on
 # arbitrary bytes, not just the corpus.

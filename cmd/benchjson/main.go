@@ -1,0 +1,272 @@
+// Command benchjson measures the offline pipeline per stage over the
+// paper's eleven evaluation programs and writes a machine-readable
+// BENCH_<date>.json snapshot, so perf changes leave a committed trajectory
+// that successive snapshots can be diffed against.
+//
+// It drives the exact same stage runners (internal/bench.Stage*) as the
+// repo-root `go test -bench BenchmarkStages` benchmarks through
+// testing.Benchmark, so the JSON numbers and the -bench numbers measure
+// identical code. On top of the stages it times the end-to-end portfolio
+// solve (best of -reps repetitions).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                     # current pipeline
+//	go run ./cmd/benchjson -baseline -o BENCH_baseline.json
+//	go run ./cmd/benchjson -run peterson,racey # subset
+//
+// -baseline measures the pre-optimization configuration: constraint
+// preprocessing off and the portfolio as the old serial
+// sequential→parallel→CNF ladder. Committing a baseline snapshot next to a
+// current one is how `make bench-baseline` + `make bench` document a perf
+// PR's effect.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/parsolve"
+	"repro/internal/solver"
+)
+
+// programs is the paper's eleven evaluation programs: the Table 1 set plus
+// racey, the Table 3 stress test.
+var programs = []string{
+	"sim_race", "pbzip2", "aget", "bbuf", "swarm", "pfscan", "apache",
+	"bakery", "dekker", "peterson", "racey",
+}
+
+// stageIters fixes each stage's iteration count (testing's -benchtime in
+// "Nx" form). Counts, not durations: StagePreprocess rebuilds the system
+// off the clock every iteration, so a duration-based budget on a
+// microsecond-scale stage would ramp to thousands of iterations and spend
+// minutes in untimed setup.
+var stageIters = map[string]string{
+	"build":      "10x",
+	"preprocess": "20x",
+	"sequential": "3x",
+	"parsolve":   "3x",
+	"cnf":        "3x",
+}
+
+// StageResult is one stage's measurement for one benchmark.
+type StageResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Skipped marks stages that did not produce a measurement: the CNF
+	// solver refusing an oversized system, or the bounded generator not
+	// reaching the bug (racey, the paper's Table 3 negative result).
+	Skipped bool `json:"skipped,omitempty"`
+	// Candidate-schedule counters, parsolve stage only.
+	Generated float64 `json:"generated,omitempty"`
+	Validated float64 `json:"validated,omitempty"`
+	Valid     float64 `json:"valid,omitempty"`
+}
+
+// BenchResult is one benchmark's full row.
+type BenchResult struct {
+	Name        string                 `json:"name"`
+	SAPs        int                    `json:"saps"`
+	Constraints int                    `json:"constraints"`
+	Variables   int                    `json:"variables"`
+	Stages      map[string]StageResult `json:"stages"`
+	// PortfolioWallNs is the best end-to-end portfolio solve wall time
+	// (system build off the clock, preprocessing on it).
+	PortfolioWallNs int64 `json:"portfolio_wall_ns"`
+	// PortfolioSolver is the winning stage ("sequential", "parallel",
+	// "cnf") of the best repetition, or "" when no repetition solved.
+	PortfolioSolver string `json:"portfolio_solver"`
+	Err             string `json:"err,omitempty"`
+}
+
+// Report is the whole snapshot.
+type Report struct {
+	Schema     string        `json:"schema"`
+	Date       string        `json:"date"`
+	Mode       string        `json:"mode"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func main() {
+	testing.Init()
+	var (
+		out      = flag.String("o", "", "output file (default BENCH_<date>.json, or BENCH_baseline.json with -baseline)")
+		baseline = flag.Bool("baseline", false, "measure the pre-optimization pipeline: no preprocessing, serial portfolio ladder")
+		run      = flag.String("run", "", "comma-separated benchmark subset (default: all eleven)")
+		reps     = flag.Int("reps", 3, "portfolio repetitions (best wall time wins)")
+	)
+	flag.Parse()
+
+	names := programs
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	mode := "current"
+	if *baseline {
+		mode = "baseline"
+	}
+	path := *out
+	if path == "" {
+		if *baseline {
+			path = "BENCH_baseline.json"
+		} else {
+			path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		}
+	}
+
+	rep := Report{
+		Schema:     "clap-bench/1",
+		Date:       time.Now().Format("2006-01-02"),
+		Mode:       mode,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "== %s\n", name)
+		rep.Benchmarks = append(rep.Benchmarks, measure(name, *baseline, *reps))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, mode %s)\n", path, len(rep.Benchmarks), mode)
+}
+
+func measure(name string, baseline bool, reps int) BenchResult {
+	res := BenchResult{Name: name, Stages: map[string]StageResult{}}
+	b, ok := bench.ByName(name)
+	if !ok {
+		res.Err = "unknown benchmark"
+		return res
+	}
+	p, err := bench.Prepare(b)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.SAPs = p.Stats.SAPs
+	res.Constraints = p.Stats.Clauses
+	res.Variables = p.Stats.Variables
+
+	sys, err := bench.FreshSystem(p, baseline)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	stages := map[string]func(*testing.B){
+		"build":      bench.StageBuild(p),
+		"sequential": bench.StageSequential(p, sys),
+		"parsolve":   bench.StageParsolve(p, sys),
+		"cnf":        bench.StageCNF(p, sys),
+	}
+	if !baseline {
+		// The baseline pipeline has no preprocessing stage to measure.
+		stages["preprocess"] = bench.StagePreprocess(p)
+	}
+	for _, stage := range []string{"build", "preprocess", "sequential", "parsolve", "cnf"} {
+		fn, ok := stages[stage]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "   %-11s", stage)
+		res.Stages[stage] = runStage(stage, fn)
+		sr := res.Stages[stage]
+		if sr.Skipped {
+			fmt.Fprintf(os.Stderr, " skipped\n")
+		} else {
+			fmt.Fprintf(os.Stderr, " %12.0f ns/op %10d allocs/op\n", sr.NsPerOp, sr.AllocsPerOp)
+		}
+	}
+
+	wall, winner := portfolioWall(p, baseline, reps)
+	res.PortfolioWallNs = wall.Nanoseconds()
+	res.PortfolioSolver = winner
+	fmt.Fprintf(os.Stderr, "   portfolio   %12d ns (%s)\n", res.PortfolioWallNs, winner)
+	return res
+}
+
+// runStage measures one stage through testing.Benchmark with the stage's
+// fixed iteration count. A zero-iteration result means the runner skipped
+// (b.Skipf) or failed (b.Fatal); either way there is no measurement.
+func runStage(stage string, fn func(*testing.B)) StageResult {
+	if iters, ok := stageIters[stage]; ok {
+		if err := flag.Set("test.benchtime", iters); err != nil {
+			panic(err)
+		}
+	}
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return StageResult{Skipped: true}
+	}
+	return StageResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Generated:   r.Extra["generated"],
+		Validated:   r.Extra["validated"],
+		Valid:       r.Extra["valid"],
+	}
+}
+
+// portfolioWall times the end-to-end portfolio solve: a fresh system build
+// per repetition off the clock, then preprocessing (unless baseline) plus
+// the portfolio on the clock. Best wall time of the solving repetitions
+// wins; the winner is the trail's first solved attempt.
+func portfolioWall(p *bench.Prepared, baseline bool, reps int) (time.Duration, string) {
+	best := time.Duration(-1)
+	winner := ""
+	for i := 0; i < reps; i++ {
+		sys, err := p.Recording.Analyze()
+		if err != nil {
+			continue
+		}
+		t0 := time.Now()
+		sol, attempts, err := core.RunPortfolio(sys, core.ReproduceOptions{
+			NoPreprocess:    baseline,
+			SerialPortfolio: baseline,
+			SeqOptions: solver.Options{MaxPreemptions: p.Bench.MaxPreemptions},
+			// Workers defaults to GOMAXPROCS: the portfolio wall is an
+			// end-to-end number on this machine, not the fixed 8-worker
+			// Table 3 configuration the parsolve stage measures.
+			ParOptions: parsolve.Options{MaxBound: p.Bench.ParallelBound},
+			Deadline: 20 * time.Second,
+		})
+		wall := time.Since(t0)
+		if err != nil || sol == nil {
+			continue
+		}
+		if best < 0 || wall < best {
+			best = wall
+			winner = ""
+			for _, a := range attempts {
+				if a.Outcome == "solved" {
+					winner = a.Solver
+					break
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, ""
+	}
+	return best, winner
+}

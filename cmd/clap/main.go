@@ -25,12 +25,19 @@
 //	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
 //	-dump-constraints   print the constraint system before solving
+//	-cpuprofile FILE    write a pprof CPU profile covering the whole
+//	                    record/solve/replay pipeline
+//	-memprofile FILE    write a pprof heap profile at exit (after a GC)
+//	-trace FILE         write a runtime execution trace (go tool trace)
 //	-v                  verbose
 package main
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -66,6 +73,10 @@ type flags struct {
 	dump     bool
 	simplify bool
 	verbose  bool
+
+	cpuprofile string
+	memprofile string
+	traceOut   string
 }
 
 func parseFlags(args []string) (rest []string, f flags, err error) {
@@ -158,6 +169,18 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 				return nil, f, err
 			}
 			f.out = v
+		case "-cpuprofile":
+			if f.cpuprofile, err = need(a); err != nil {
+				return nil, f, err
+			}
+		case "-memprofile":
+			if f.memprofile, err = need(a); err != nil {
+				return nil, f, err
+			}
+		case "-trace":
+			if f.traceOut, err = need(a); err != nil {
+				return nil, f, err
+			}
 		case "-salvage":
 			f.salvage = true
 		case "-dump-constraints":
@@ -173,7 +196,7 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 	return rest, f, nil
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: clap run|record|reproduce|bench|decodelog ... (see the package docs for flags)")
 	}
@@ -182,6 +205,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(f)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	switch cmd {
 	case "run":
 		return cmdRun(rest, f)
@@ -196,6 +228,64 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// startProfiles arms the requested profilers and returns the teardown
+// that stops them and writes the heap profile. The CPU profile and
+// execution trace cover the whole pipeline (record, solve, replay); the
+// heap profile is written at exit after a GC so it reflects live memory,
+// not transient garbage.
+func startProfiles(f flags) (func() error, error) {
+	var stops []func() error
+	if f.cpuprofile != "" {
+		fp, err := os.Create(f.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(fp); err != nil {
+			fp.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return fp.Close()
+		})
+	}
+	if f.traceOut != "" {
+		fp, err := os.Create(f.traceOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := rtrace.Start(fp); err != nil {
+			fp.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return fp.Close()
+		})
+	}
+	if f.memprofile != "" {
+		name := f.memprofile
+		stops = append(stops, func() error {
+			fp, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer fp.Close()
+			runtime.GC()
+			return pprof.WriteHeapProfile(fp)
+		})
+	}
+	return func() error {
+		var first error
+		for _, stop := range stops {
+			if err := stop(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 func loadProgram(rest []string) (string, error) {
@@ -356,6 +446,10 @@ func reproduceSource(src string, f flags) error {
 	}
 	stats := sys.ComputeStats()
 	fmt.Printf("constraints: %s\n", stats)
+	pre := sys.Preprocess()
+	if f.verbose {
+		fmt.Printf("  %s\n", pre)
+	}
 	if f.dump {
 		fmt.Println(sys.Formula())
 	}

@@ -1,0 +1,130 @@
+// Per-stage benchmark runners over the paper's evaluation programs. Each
+// runner times exactly one offline-pipeline stage — constraint-system
+// build, preprocessing, sequential solve, parallel generate-and-validate,
+// CNF solve — against a prepared recording. They are shared between the
+// repo-root `go test -bench BenchmarkStages` benchmarks and cmd/benchjson,
+// which drives them through testing.Benchmark to emit the machine-readable
+// BENCH_<date>.json perf trajectory; both paths therefore measure the same
+// code the same way.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cnfsolver"
+	"repro/internal/constraints"
+	"repro/internal/parsolve"
+	"repro/internal/solver"
+)
+
+// StageDeadline bounds each measured solve so a regression shows up as a
+// skipped/interrupted stage instead of a hung benchmark run.
+const StageDeadline = 60 * time.Second
+
+// FreshSystem builds a constraint system from the prepared recording,
+// preprocessed unless baseline is set. Stage runners take their own system
+// rather than sharing p.System because Preprocess mutates the system in
+// place (candidate pruning) and the Table benchmarks measure the
+// un-preprocessed build.
+func FreshSystem(p *Prepared, baseline bool) (*constraints.System, error) {
+	sys, err := p.Recording.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	if !baseline {
+		sys.Preprocess()
+	}
+	return sys, nil
+}
+
+// StageBuild times the constraint-system build (symbolic execution of the
+// decoded paths plus constraint encoding).
+func StageBuild(p *Prepared) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Recording.Analyze(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// StagePreprocess times the preprocessing pass alone: each iteration
+// rebuilds the system off the clock, then times Preprocess on it.
+func StagePreprocess(p *Prepared) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys, err := p.Recording.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			sys.Preprocess()
+		}
+	}
+}
+
+// StageSequential times the sequential decision-procedure solve.
+func StageSequential(p *Prepared, sys *constraints.System) func(*testing.B) {
+	return func(b *testing.B) {
+		bound := p.Bench.MaxPreemptions
+		if bound == 0 {
+			bound = -1
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.Solve(sys, solver.Options{
+				MaxPreemptions: bound, Deadline: StageDeadline,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// StageParsolve times the parallel generate-and-validate solve and reports
+// the candidate counts (generated, validated, valid). Benchmarks whose bug
+// the bounded generator cannot reach — the relaxed-model trio, the paper's
+// Table 3 negative result — are skipped.
+func StageParsolve(p *Prepared, sys *constraints.System) func(*testing.B) {
+	return func(b *testing.B) {
+		var res *parsolve.Result
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := parsolve.Solve(sys, parsolve.Options{
+				Workers: 8, MaxBound: p.Bench.ParallelBound,
+				Deadline: StageDeadline,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Found() {
+				b.Skipf("bug unreachable within bound %d (generated %d candidates)",
+					p.Bench.ParallelBound, r.Generated)
+			}
+			res = r
+		}
+		b.ReportMetric(float64(res.Generated), "generated")
+		b.ReportMetric(float64(res.Validated), "validated")
+		b.ReportMetric(float64(res.Valid), "valid")
+	}
+}
+
+// StageCNF times the CNF (CDCL + theory refinement) solve. Systems whose
+// cubic encoding exceeds the solver's size limit are skipped.
+func StageCNF(p *Prepared, sys *constraints.System) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cnfsolver.Solve(sys, cnfsolver.Options{
+				Deadline: StageDeadline,
+			}); err != nil {
+				b.Skipf("cnf stage unavailable: %v", err)
+			}
+		}
+	}
+}

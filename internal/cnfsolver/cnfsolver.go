@@ -190,15 +190,32 @@ func (e *encoder) encode() {
 	for _, edge := range e.sys.HardEdges {
 		e.add(e.lit(int(edge[0]), int(edge[1])))
 	}
-	// Frw: read→write mapping choice variables.
-	for _, ri := range e.sys.Reads {
+	// Frw: read→write mapping choice variables. Free reads (outside the
+	// cone of influence, see constraints.Preprocess) get no choice
+	// structure at all: their values feed nothing the theory checks, so
+	// any order is acceptable around them.
+	for i := range e.sys.Reads {
+		ri := &e.sys.Reads[i]
+		if ri.Free {
+			e.choiceLit = append(e.choiceLit, nil)
+			continue
+		}
 		r := int(ri.Read)
+		rivals := ri.AllRivals()
 		choice := make([]sat.Lit, 0, len(ri.Cands)+1)
 		initVar := e.s.NewVar()
 		e.mapVars = append(e.mapVars, initVar)
 		choice = append(choice, sat.MkLit(initVar, false))
-		// init choice: every definitely-same-address write is after r.
-		for _, w := range ri.Cands {
+		if ri.NoInit {
+			// Preprocessing proved the initial value unobservable. The
+			// variable stays (choiceLit indexing is positional) but is
+			// pinned false.
+			e.add(sat.MkLit(initVar, true))
+		}
+		// init choice: every definitely-same-address write is after r —
+		// including writes pruned from Cands, which still exist in every
+		// schedule.
+		for _, w := range rivals {
 			if e.definitelySame(ri.Read, w) {
 				e.add(sat.MkLit(initVar, true), e.lit(r, int(w)))
 			}
@@ -210,7 +227,7 @@ func (e *encoder) encode() {
 			// m → w before r.
 			e.add(sat.MkLit(mv, true), e.lit(int(w), r))
 			// m → every same-address rival is before w or after r.
-			for _, w2 := range ri.Cands {
+			for _, w2 := range rivals {
 				if w2 == w || !e.definitelySame(ri.Read, w2) {
 					continue
 				}
@@ -309,7 +326,7 @@ func (e *encoder) learnValueLemmas() {
 		ok := true
 		for _, id := range ids {
 			ri, found := readIdx[id]
-			if !found {
+			if !found || e.sys.Reads[ri].Free {
 				ok = false
 				break
 			}
@@ -432,7 +449,7 @@ func (e *encoder) supportClause(expr symbolic.Expr) []sat.Lit {
 	visit = func(expr symbolic.Expr) bool {
 		for _, id := range symbolic.Syms(expr, nil, nil) {
 			ri, ok := readIdx[id]
-			if !ok {
+			if !ok || e.choiceLit[ri] == nil {
 				return false
 			}
 			if seen[ri] {

@@ -71,7 +71,19 @@ type System struct {
 	// Layout gives flat addresses for memory simulation.
 	Layout *ir.Layout
 
+	// Pre holds the preprocessing report once Preprocess has run (nil
+	// before). All backends share the preprocessed structure.
+	Pre *PreStats
+
 	refOf map[*symexec.SAP]SAPRef
+
+	// scratch holds the pooled validation state. ValidateSchedule and
+	// CountSwitches run millions of times under the parallel backend, so
+	// their per-call state is recycled instead of reallocated; the pool
+	// and caches are safe for concurrent validators. Adding sync state
+	// makes System non-copyable, which it already was in spirit (refOf,
+	// shared slices).
+	scratch validateScratch
 }
 
 // ReadInfo lists the candidate writes a read may map to.
@@ -79,11 +91,36 @@ type ReadInfo struct {
 	Read SAPRef
 	// Cands are writes to the same variable whose address may equal the
 	// read's (definitely-equal when both concrete). Writes by any thread,
-	// including the reader.
+	// including the reader. Preprocess may shrink this set; the pruned
+	// writes provably cannot be the read's last writer in any schedule.
 	Cands []SAPRef
+	// Rivals is the full pre-pruning candidate set. Same-address interval
+	// constraints ("no rival write between the mapped write and the read")
+	// must range over Rivals: a write pruned as un-mappable still exists in
+	// every schedule and still must stay outside the interval. Nil until
+	// Preprocess runs; use AllRivals.
+	Rivals []SAPRef
 	// Init is the variable's initial value, the value the read returns
 	// when it precedes every same-address write.
 	Init int64
+	// NoInit is set by Preprocess when some definitely-same-address write
+	// unconditionally precedes the read: the initial value is unobservable.
+	NoInit bool
+	// Free is set by Preprocess when the read lies outside the cone of
+	// influence of Fpath ∧ Fbug: its value feeds no path condition, no bug
+	// predicate, no address expression and no cone write's value, so
+	// solvers need not decide its mapping at all — any schedule position
+	// yields a value the remaining constraints never observe.
+	Free bool
+}
+
+// AllRivals returns the full same-variable rival write set: the
+// pre-pruning candidate list when Preprocess has run, Cands otherwise.
+func (ri *ReadInfo) AllRivals() []SAPRef {
+	if ri.Rivals != nil {
+		return ri.Rivals
+	}
+	return ri.Cands
 }
 
 // Region is one lock region [Lock, Unlock] on a mutex. HasUnlock is false

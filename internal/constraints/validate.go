@@ -53,138 +53,94 @@ func vErr(at int, format string, args ...any) *ValidationError {
 // ValidateSchedule checks a candidate total order of all SAPs against every
 // constraint family and, when valid, returns the witness with concrete read
 // values. The check is a single forward pass: O(n) simulation of memory,
-// locks and condition variables, plus evaluation of Fpath and Fbug.
+// locks and condition variables, plus evaluation of Fpath and Fbug. The
+// working state lives in a pooled scratch and the Witness maps are only
+// materialized on acceptance, so the (overwhelmingly common) rejection path
+// allocates nothing.
 func (sys *System) ValidateSchedule(order []SAPRef) (*Witness, error) {
 	n := len(sys.SAPs)
 	if len(order) != n {
 		return nil, vErr(-1, "schedule has %d entries, system has %d SAPs", len(order), n)
 	}
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = -1
-	}
+	v := sys.getValidator()
+	defer sys.putValidator(v)
+	v.resetForValidate(sys, n)
 	for i, r := range order {
 		if r < 0 || int(r) >= n {
 			return nil, vErr(i, "SAP ref %d out of range", r)
 		}
-		if pos[r] != -1 {
+		if v.pos[r] != -1 {
 			return nil, vErr(i, "SAP %s appears twice", sys.SAPs[r])
 		}
-		pos[r] = i
+		v.pos[r] = i
 	}
 
 	// Hard order edges.
 	for _, e := range sys.HardEdges {
-		if pos[e[0]] >= pos[e[1]] {
-			return nil, vErr(pos[e[1]], "order edge violated: %s must precede %s", sys.SAPs[e[0]], sys.SAPs[e[1]])
+		if v.pos[e[0]] >= v.pos[e[1]] {
+			return nil, vErr(v.pos[e[1]], "order edge violated: %s must precede %s", sys.SAPs[e[0]], sys.SAPs[e[1]])
 		}
-	}
-
-	w := &Witness{
-		Order:       append([]SAPRef(nil), order...),
-		Env:         symbolic.MapEnv{},
-		MappedWrite: map[SAPRef]SAPRef{},
 	}
 
 	// Forward simulation: memory, locks, condition variables.
-	mem := sys.Layout.InitImage(sys.An.Prog)
-	lastWriter := make([]SAPRef, sys.Layout.Size)
-	for i := range lastWriter {
-		lastWriter[i] = -1
-	}
-	type lockState struct {
-		held  bool
-		owner trace.ThreadID
-	}
-	locks := map[ir.SyncID]*lockState{}
-	lock := func(m ir.SyncID) *lockState {
-		if s, ok := locks[m]; ok {
-			return s
-		}
-		s := &lockState{}
-		locks[m] = s
-		return s
-	}
-	// Signals available per condition variable: unconsumed signal
-	// positions, and broadcast positions (never consumed).
-	signalsAt := map[ir.SyncID][]int{}
-	broadcastsAt := map[ir.SyncID][]int{}
-	waitBeganAt := map[SAPRef]int{}
-
-	addrOf := func(s *symexec.SAP, at int) (int, error) {
-		if s.Addr != symexec.NoAddr {
-			return s.Addr, nil
-		}
-		idx, err := symbolic.EvalInt(s.AddrIndex, w.Env)
-		if err != nil {
-			return 0, vErr(at, "address of %s: %v", s, err)
-		}
-		a, ok := sys.Layout.Addr(sys.An.Prog, s.Var, idx)
-		if !ok {
-			return 0, vErr(at, "address of %s out of bounds (index %d)", s, idx)
-		}
-		return a, nil
-	}
-
 	for i, r := range order {
 		s := sys.SAPs[r]
 		switch s.Kind {
 		case symexec.SAPRead:
-			a, err := addrOf(s, i)
+			a, err := sys.addrOfAt(v, s, i)
 			if err != nil {
 				return nil, err
 			}
-			w.Env[s.Sym.ID] = mem[a]
-			w.MappedWrite[r] = lastWriter[a]
+			v.env.bind(s.Sym.ID, v.mem[a])
+			v.mapped[r] = v.lastWriter[a]
 		case symexec.SAPWrite:
-			a, err := addrOf(s, i)
+			a, err := sys.addrOfAt(v, s, i)
 			if err != nil {
 				return nil, err
 			}
-			v, err := symbolic.EvalInt(s.Val, w.Env)
+			val, err := symbolic.EvalInt(s.Val, &v.env)
 			if err != nil {
 				return nil, vErr(i, "value of %s: %v", s, err)
 			}
-			mem[a] = v
-			lastWriter[a] = r
+			v.mem[a] = val
+			v.lastWriter[a] = r
 		case symexec.SAPLock, symexec.SAPWaitEnd:
-			st := lock(s.Mutex)
+			st := v.locks[s.Mutex]
 			if st.held {
 				return nil, vErr(i, "%s acquires mutex m%d held by t%d", s, s.Mutex, st.owner)
 			}
-			st.held = true
-			st.owner = s.Thread
+			v.locks[s.Mutex] = lockOwner{held: true, owner: s.Thread}
 			if s.Kind == symexec.SAPWaitEnd {
 				// A wake needs an eligible signal: one that happened after
 				// this wait began. Signals are consumed; broadcasts serve
 				// any number of waits pending at broadcast time.
-				began, ok := findBegin(sys, waitBeganAt, r)
+				began, ok := findBegin(sys, v.waitBeganAt, r)
 				if !ok {
 					return nil, vErr(i, "%s has no recorded begin", s)
 				}
-				if !consumeSignal(signalsAt, broadcastsAt, s.Cond, began) {
+				if !consumeSignal(v.signalsAt, v.broadcastsAt, s.Cond, began) {
 					return nil, vErr(i, "%s has no eligible signal", s)
 				}
 			}
 		case symexec.SAPUnlock, symexec.SAPWaitBegin:
-			st := lock(s.Mutex)
+			st := v.locks[s.Mutex]
 			if !st.held || st.owner != s.Thread {
 				return nil, vErr(i, "%s releases mutex m%d not held by it", s, s.Mutex)
 			}
-			st.held = false
+			v.locks[s.Mutex] = lockOwner{}
 			if s.Kind == symexec.SAPWaitBegin {
-				waitBeganAt[r] = i
+				v.waitBeganAt[r] = i
 			}
 		case symexec.SAPSignal:
-			signalsAt[s.Cond] = append(signalsAt[s.Cond], i)
+			v.signalsAt[s.Cond] = append(v.signalsAt[s.Cond], i)
 		case symexec.SAPBroadcast:
-			broadcastsAt[s.Cond] = append(broadcastsAt[s.Cond], i)
+			v.broadcastsAt[s.Cond] = append(v.broadcastsAt[s.Cond], i)
 		}
 	}
 
 	// Fpath and Fbug under the simulated values.
 	for _, c := range sys.Path {
-		ok, err := symbolic.EvalBool(c, w.Env)
+		ok, err := symbolic.EvalBool(c, &v.env)
 		if err != nil {
 			return nil, vErr(-1, "path condition %s: %v", c, err)
 		}
@@ -194,7 +150,7 @@ func (sys *System) ValidateSchedule(order []SAPRef) (*Witness, error) {
 			return nil, e
 		}
 	}
-	ok, err := symbolic.EvalBool(sys.Bug, w.Env)
+	ok, err := symbolic.EvalBool(sys.Bug, &v.env)
 	if err != nil {
 		return nil, vErr(-1, "bug predicate %s: %v", sys.Bug, err)
 	}
@@ -204,8 +160,40 @@ func (sys *System) ValidateSchedule(order []SAPRef) (*Witness, error) {
 		return nil, e
 	}
 
-	w.Switches, w.Preemptions = sys.CountSwitches(order)
+	// Accepted: materialize the witness from the scratch state.
+	w := &Witness{
+		Order:       append([]SAPRef(nil), order...),
+		Env:         make(symbolic.MapEnv, len(sys.Reads)),
+		MappedWrite: make(map[SAPRef]SAPRef, len(sys.Reads)),
+	}
+	for _, r := range order {
+		s := sys.SAPs[r]
+		if s.Kind != symexec.SAPRead {
+			continue
+		}
+		if val, bound := v.env.Value(s.Sym.ID); bound {
+			w.Env[s.Sym.ID] = val
+		}
+		w.MappedWrite[r] = v.mapped[r]
+	}
+	w.Switches, w.Preemptions = sys.countSwitches(v, order)
 	return w, nil
+}
+
+// addrOfAt resolves a SAP's flat address under the current environment.
+func (sys *System) addrOfAt(v *validator, s *symexec.SAP, at int) (int, error) {
+	if s.Addr != symexec.NoAddr {
+		return s.Addr, nil
+	}
+	idx, err := symbolic.EvalInt(s.AddrIndex, &v.env)
+	if err != nil {
+		return 0, vErr(at, "address of %s: %v", s, err)
+	}
+	a, ok := sys.Layout.Addr(sys.An.Prog, s.Var, idx)
+	if !ok {
+		return 0, vErr(at, "address of %s out of bounds (index %d)", s, idx)
+	}
+	return a, nil
 }
 
 // findBegin locates the begin position of a wait-end's matching begin.
@@ -242,7 +230,10 @@ func consumeSignal(signalsAt, broadcastsAt map[ir.SyncID][]int, c ir.SyncID, beg
 	ss := signalsAt[c]
 	for k, sp := range ss {
 		if sp > began {
-			signalsAt[c] = append(ss[:k:k], ss[k+1:]...)
+			// In-place removal: the slice is scratch-owned, so shifting
+			// keeps the backing array for reuse instead of reallocating.
+			copy(ss[k:], ss[k+1:])
+			signalsAt[c] = ss[:len(ss)-1]
 			return true
 		}
 	}
@@ -257,20 +248,27 @@ func consumeSignal(signalsAt, broadcastsAt map[ir.SyncID][]int, c ir.SyncID, beg
 // child had not exited, a wait-end whose turn had not come, …) are the
 // paper's non-preemptive, must-interleave switches (§4.2).
 func (sys *System) CountSwitches(order []SAPRef) (switches, preemptions int) {
-	// preds[r] = hard-edge predecessors of r.
-	preds := map[SAPRef][]SAPRef{}
-	for _, e := range sys.HardEdges {
-		preds[e[1]] = append(preds[e[1]], e[0])
-	}
-	scheduled := make([]bool, len(sys.SAPs))
-	next := make([]int, len(sys.Threads))
+	v := sys.getValidator()
+	defer sys.putValidator(v)
+	return sys.countSwitches(v, order)
+}
+
+// countSwitches is CountSwitches over a caller-held scratch; its state is
+// disjoint from the forward-pass half, so ValidateSchedule shares one
+// validator for both.
+func (sys *System) countSwitches(v *validator, order []SAPRef) (switches, preemptions int) {
+	// preds[r] = hard-edge predecessors of r, cached on the system.
+	preds := sys.hardPredsTable()
+	v.resetForCount(sys, len(sys.SAPs))
+	scheduled := v.scheduled
+	next := v.next
 	// Replay-level blocking state: a thread whose next operation is a lock
 	// acquisition on a held mutex (or a wake without an eligible signal)
 	// cannot continue either — switching away from it is forced.
-	lockHeld := map[ir.SyncID]bool{}
-	signalsSeen := map[ir.SyncID]int{}
-	broadcastsSeen := map[ir.SyncID]int{}
-	signalsConsumed := map[ir.SyncID]int{}
+	lockHeld := v.lockHeld
+	signalsSeen := v.signalsSeen
+	broadcastsSeen := v.broadcastsSeen
+	signalsConsumed := v.signalsConsumed
 	ready := func(t trace.ThreadID) bool {
 		refs := sys.Threads[t]
 		for k := next[t]; k < len(refs); k++ {

@@ -305,6 +305,14 @@ type ReproduceOptions struct {
 	CNFOptions cnfsolver.Options
 	// SkipReplay computes the schedule without the final replay run.
 	SkipReplay bool
+	// NoPreprocess skips the shared constraint preprocessing pass
+	// (constraints.Preprocess) that every backend otherwise benefits
+	// from. Intended for baseline benchmarking and debugging.
+	NoPreprocess bool
+	// SerialPortfolio runs the portfolio stages strictly one after
+	// another (sequential, then parallel, then CNF) instead of racing
+	// them concurrently. Intended for baseline benchmarking.
+	SerialPortfolio bool
 	// Ctx cancels the offline phases (nil = never).
 	Ctx context.Context
 	// Deadline bounds the whole offline pipeline (0 = none). The remaining
@@ -362,6 +370,9 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 	rep.SymbolicTime = time.Since(t0)
 	rep.System = sys
 	rep.Stats = sys.ComputeStats()
+	if !opts.NoPreprocess {
+		sys.Preprocess()
+	}
 
 	t1 := time.Now()
 	switch opts.Solver {

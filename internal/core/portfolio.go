@@ -1,19 +1,28 @@
 // Solver portfolio: CLAP ships three decision procedures (the sequential
 // minimal-preemption search, the parallel generate-and-validate pool, and
 // the CNF/CDCL encoding) with complementary strengths — §4 of the paper
-// compares them benchmark by benchmark. The portfolio runs them as a
-// degradation ladder: sequential under a budget first (it yields the
-// fewest-preemption schedules), then parallel (it wins on preemption-heavy
-// systems like racey), then CNF. A stage that is interrupted, finds
-// nothing, returns an error, or panics moves the ladder on; every attempt
-// is recorded so a reproduction that needed a fallback says which stage
-// failed and why.
+// compares them benchmark by benchmark. The portfolio races all three
+// concurrently under the shared deadline: the first stage to solve cancels
+// the others through the context/deadline interrupt plumbing every solver
+// already honours, so wall time is the fastest stage rather than the sum
+// of a degradation ladder. On machines with fewer cores than stages the
+// start is staggered (see stageGrace) so time-sharing one CPU does not
+// slow the common fast sequential win. When several stages solve before noticing the
+// cancellation, the earliest stage in [sequential, parallel, cnf] order
+// wins, preserving the old ladder's preference for minimal-preemption
+// sequential schedules. A stage that is interrupted, finds nothing, errors,
+// or panics is recorded in the attempt trail — kept in fixed stage order
+// regardless of finish order — so a reproduction that needed a fallback
+// says which stage failed and why. The strictly staged serial ladder
+// survives behind ReproduceOptions.SerialPortfolio for baseline
+// benchmarking and deterministic trails.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -185,11 +194,12 @@ func stageBudget(deadline time.Time, divisor int64, def time.Duration) time.Dura
 	return share
 }
 
-// RunPortfolio runs the staged solver portfolio directly on a constraint
-// system: Sequential under a budget, then Parallel, then CNF, honouring
-// opts.Ctx/opts.Deadline. It returns the first solution found together
-// with the full attempt trail; when every stage fails, the trail explains
-// each stage's exit.
+// RunPortfolio runs the solver portfolio directly on a constraint system,
+// honouring opts.Ctx/opts.Deadline: by default the three stages race
+// concurrently and the first solution cancels the rest; with
+// opts.SerialPortfolio they run as the old sequential→parallel→CNF ladder.
+// It returns the winning solution together with the full attempt trail;
+// when every stage fails, the trail explains each stage's exit.
 func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solution, []SolverAttempt, error) {
 	var deadline time.Time
 	if opts.Deadline > 0 {
@@ -200,6 +210,9 @@ func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solut
 			deadline = d
 		}
 	}
+	if !opts.NoPreprocess {
+		sys.Preprocess()
+	}
 	return runPortfolio(&Reproduction{}, sys, opts, deadline)
 }
 
@@ -207,6 +220,170 @@ func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solut
 // per-stage statistics (SeqStats, Parallel, CNFStats) land in the final
 // report even when the stage that produced them did not solve.
 func runPortfolio(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+	if opts.SerialPortfolio {
+		return runPortfolioSerial(rep, sys, opts, deadline)
+	}
+	return runPortfolioRacing(rep, sys, opts, deadline)
+}
+
+// raceGrace is the head start each later portfolio stage concedes when the
+// machine has fewer cores than racing stages.
+const raceGrace = 150 * time.Millisecond
+
+// stageGrace decides how staggered the race starts. With at least one core
+// per stage the stages start together — a true race. With fewer cores the
+// "race" is really time-sharing: three backends splitting one CPU slow the
+// common case, where the sequential solver (first in the preference order,
+// cheapest on small systems) finishes in milliseconds when given the whole
+// machine. Each later stage therefore waits one extra grace period — a
+// quick sequential win cancels the heavyweights before they consume
+// anything, while hard systems still get the full portfolio after a delay
+// that is noise against their solve times. The grace shrinks with a tight
+// shared deadline so a late stage is never denied a meaningful share.
+func stageGrace(deadline time.Time) time.Duration {
+	if runtime.GOMAXPROCS(0) >= 3 {
+		return 0
+	}
+	g := raceGrace
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline) / 10; rem < g {
+			g = rem
+		}
+	}
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// stageResult carries one racing stage's outcome back to the collector.
+type stageResult struct {
+	idx int
+	sol *solver.Solution
+	att SolverAttempt
+}
+
+// runPortfolioRacing runs the three stages concurrently. Each stage gets
+// the full remaining shared deadline (not a ladder share — the stages no
+// longer queue behind each other), and the per-stage default budgets still
+// apply when the caller set no deadline so no stage can hang the race.
+// The first solution cancels the shared context; losers observe it through
+// their normal interrupt polling and exit as "interrupted" attempts.
+func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+	base := opts.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	seqOpts := opts.SeqOptions
+	if seqOpts.MaxPreemptions == 0 {
+		seqOpts.MaxPreemptions = -1
+	}
+	wireSeq(&seqOpts, ctx, deadline)
+	if deadline.IsZero() {
+		capBudget(&seqOpts.Deadline, defaultSeqBudget)
+	}
+
+	parOpts := opts.ParOptions
+	wirePar(&parOpts, ctx, deadline)
+	if deadline.IsZero() {
+		capBudget(&parOpts.Deadline, defaultParBudget)
+	}
+
+	cnfOpts := opts.CNFOptions
+	wireCNF(&cnfOpts, ctx, deadline)
+	if deadline.IsZero() {
+		capBudget(&cnfOpts.Deadline, defaultCNFBudget)
+	}
+
+	// The stage index doubles as the tie-break priority: the serial
+	// ladder's order is the preference order among simultaneous solvers.
+	stages := []struct {
+		name string
+		run  func() (*solver.Solution, int, error)
+	}{
+		{"sequential", func() (*solver.Solution, int, error) {
+			s, stats, err := solver.Solve(sys, seqOpts)
+			rep.SeqStats = stats
+			return s, boundOf(stats), err
+		}},
+		{"parallel", func() (*solver.Solution, int, error) {
+			res, err := parsolve.Solve(sys, parOpts)
+			rep.Parallel = res
+			if err != nil {
+				return nil, -1, err
+			}
+			if !res.Found() {
+				return nil, res.Bound, parallelFailure(res)
+			}
+			return bestSolution(res), res.Bound, nil
+		}},
+		{"cnf", func() (*solver.Solution, int, error) {
+			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
+			rep.CNFStats = stats
+			return s, -1, err
+		}},
+	}
+
+	grace := stageGrace(deadline)
+	results := make(chan stageResult, len(stages))
+	for i := range stages {
+		go func(i int) {
+			if d := time.Duration(i) * grace; d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					results <- stageResult{idx: i, att: SolverAttempt{
+						Solver:       stages[i].name,
+						Outcome:      "interrupted",
+						Err:          "cancelled before start",
+						BoundReached: -1,
+					}}
+					return
+				case <-t.C:
+				}
+			}
+			sol, att := runSolverStage(stages[i].name, stages[i].run)
+			results <- stageResult{idx: i, sol: sol, att: att}
+		}(i)
+	}
+
+	trail := make([]SolverAttempt, len(stages))
+	var winner *solver.Solution
+	winIdx := -1
+	for n := 0; n < len(stages); n++ {
+		r := <-results
+		trail[r.idx] = r.att
+		if r.sol != nil && (winIdx == -1 || r.idx < winIdx) {
+			winner, winIdx = r.sol, r.idx
+			cancel() // first success: stop the losing stages
+		}
+	}
+	if winner != nil {
+		return winner, trail, nil
+	}
+	if err := portfolioCut(opts.Ctx, deadline, trail); err != nil {
+		return nil, trail, err
+	}
+	// No shared budget expired, but a stage may have exhausted its own:
+	// surface that interrupt typed so "ran out of time" in every stage is
+	// not mistaken for a proof that no schedule exists.
+	for _, a := range trail {
+		var intr *solver.Interrupted
+		if a.err != nil && errors.As(a.err, &intr) {
+			return nil, trail, fmt.Errorf("core: portfolio exhausted (%s): %w", trailSummary(trail), intr)
+		}
+	}
+	return nil, trail, fmt.Errorf("core: portfolio exhausted: %s", trailSummary(trail))
+}
+
+// runPortfolioSerial is the pre-racing degradation ladder: sequential under
+// a budget share, then parallel, then CNF, each stage starting only after
+// the previous one gave up.
+func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
 	var attempts []SolverAttempt
 
 	// Stage 1: sequential, minimal preemptions, under a budget share.

@@ -182,7 +182,10 @@ func TestReproduceCNFKind(t *testing.T) {
 	}
 }
 
-func TestPortfolioPrefersSequential(t *testing.T) {
+// TestPortfolioRacesAllStages pins the concurrent portfolio's contract:
+// every stage appears in the trail in fixed ladder order no matter which
+// finished first, and at least one of them solved.
+func TestPortfolioRacesAllStages(t *testing.T) {
 	rec := recordLostUpdate(t)
 	rep, err := Reproduce(rec, ReproduceOptions{Solver: Portfolio})
 	if err != nil {
@@ -191,8 +194,40 @@ func TestPortfolioPrefersSequential(t *testing.T) {
 	if !rep.Outcome.Reproduced {
 		t.Fatal("portfolio did not reproduce")
 	}
+	want := []string{"sequential", "parallel", "cnf"}
+	if len(rep.Attempts) != len(want) {
+		t.Fatalf("racing portfolio should record all three stages: %+v", rep.Attempts)
+	}
+	solved := 0
+	for i, a := range rep.Attempts {
+		if a.Solver != want[i] {
+			t.Fatalf("attempt %d: want stage %q in the trail, got %+v", i, want[i], rep.Attempts)
+		}
+		if a.Outcome == "solved" {
+			solved++
+		}
+	}
+	if solved == 0 {
+		t.Fatalf("no stage solved: %+v", rep.Attempts)
+	}
+	if rep.SeqStats == nil {
+		t.Fatal("sequential stats missing from the report")
+	}
+}
+
+// TestPortfolioSerialPrefersSequential keeps the old ladder pinned: in
+// serial mode a healthy portfolio stops at the sequential stage.
+func TestPortfolioSerialPrefersSequential(t *testing.T) {
+	rec := recordLostUpdate(t)
+	rep, err := Reproduce(rec, ReproduceOptions{Solver: Portfolio, SerialPortfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Outcome.Reproduced {
+		t.Fatal("serial portfolio did not reproduce")
+	}
 	if len(rep.Attempts) != 1 || rep.Attempts[0].Solver != "sequential" {
-		t.Fatalf("healthy portfolio should stop at the sequential stage: %+v", rep.Attempts)
+		t.Fatalf("healthy serial portfolio should stop at the sequential stage: %+v", rep.Attempts)
 	}
 	if rep.SeqStats == nil {
 		t.Fatal("sequential stats missing from the report")
@@ -251,7 +286,13 @@ func TestRunPortfolioDirect(t *testing.T) {
 	if sol == nil || len(attempts) == 0 {
 		t.Fatalf("no solution or trail: %v %v", sol, attempts)
 	}
-	if attempts[len(attempts)-1].Outcome != "solved" {
+	solved := false
+	for _, a := range attempts {
+		if a.Outcome == "solved" {
+			solved = true
+		}
+	}
+	if !solved {
 		t.Fatalf("trail: %v", attempts)
 	}
 }

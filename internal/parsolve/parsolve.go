@@ -31,9 +31,11 @@ type Options struct {
 	// MaxBound is the largest preemption bound swept (default 8).
 	MaxBound int
 	// StopAfter stops the search once this many valid schedules are found
-	// (default 1). More may be returned: candidates already in flight are
-	// still validated, matching the paper's "we typically have found
-	// multiple correct schedules before the whole process is terminated".
+	// (default 1). More may be returned — workers mid-validation finish
+	// their current candidate, matching the paper's "we typically have
+	// found multiple correct schedules before the whole process is
+	// terminated" — but queued candidates are drained unvalidated so the
+	// pool shuts down promptly.
 	StopAfter int
 	// MaxSchedules caps generation per bound (0 = 5,000,000). A hit is
 	// reported via Result.Capped, never silently.
@@ -67,6 +69,10 @@ type Result struct {
 	Solutions []*solver.Solution
 	// Generated counts candidate schedules produced.
 	Generated int64
+	// Validated counts candidates the pool actually validated; it trails
+	// Generated when the search was cut short and queued candidates were
+	// drained unvalidated.
+	Validated int64
 	// Valid counts candidates that passed validation.
 	Valid int
 	// Bound is the preemption bound at which the first solution appeared.
@@ -105,8 +111,27 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 		}
 	}
 
+	// The search context is cancelled the moment the search is over — the
+	// caller's context fired, the deadline expired, or StopAfter was
+	// reached — so workers drain queued candidates without validating them
+	// instead of grinding through a full channel's worth of dead work.
+	parent := opts.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	sctx, cancelSearch := context.WithCancel(parent)
+	defer cancelSearch()
+
+	// Candidate orders are copied into pooled buffers: invalid candidates
+	// (the overwhelming majority, per Table 3) recycle their buffer, only
+	// solutions keep theirs.
+	bufPool := sync.Pool{New: func() any {
+		s := make([]constraints.SAPRef, 0, len(sys.SAPs))
+		return &s
+	}}
+
 	for bound := 0; bound <= opts.MaxBound; bound++ {
-		jobs := make(chan []constraints.SAPRef, opts.Workers*4)
+		jobs := make(chan *[]constraints.SAPRef, opts.Workers*4)
 		var mu sync.Mutex
 		stop := false
 		var wg sync.WaitGroup
@@ -114,49 +139,56 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for order := range jobs {
-					witness, err := sys.ValidateSchedule(order)
-					if err != nil {
+				for op := range jobs {
+					if sctx.Err() != nil {
+						bufPool.Put(op) // search over: drain, don't validate
 						continue
 					}
+					order := *op
+					witness, err := sys.ValidateSchedule(order)
 					mu.Lock()
+					res.Validated++
+					if err != nil {
+						mu.Unlock()
+						bufPool.Put(op)
+						continue
+					}
 					res.Valid++
 					res.Solutions = append(res.Solutions, &solver.Solution{
 						Order:       order,
 						Witness:     witness,
 						Preemptions: witness.Preemptions,
 					})
-					if res.Valid >= opts.StopAfter {
+					if res.Valid >= opts.StopAfter && !stop {
 						stop = true
+						cancelSearch()
 					}
 					mu.Unlock()
 				}
 			}()
 		}
 		genRes := gen.Generate(bound, func(order []constraints.SAPRef, pre int) bool {
-			cp := make([]constraints.SAPRef, len(order))
-			copy(cp, order)
-			jobs <- cp
+			op := bufPool.Get().(*[]constraints.SAPRef)
+			*op = append((*op)[:0], order...)
+			jobs <- op
 			mu.Lock()
 			done := stop
 			mu.Unlock()
 			if done {
 				return false
 			}
-			if opts.Ctx != nil {
-				select {
-				case <-opts.Ctx.Done():
-					mu.Lock()
-					res.Cancelled = true
-					mu.Unlock()
-					return false
-				default:
-				}
+			if parent.Err() != nil {
+				mu.Lock()
+				res.Cancelled = true
+				mu.Unlock()
+				cancelSearch()
+				return false
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				mu.Lock()
 				res.TimedOut = true
 				mu.Unlock()
+				cancelSearch()
 				return false
 			}
 			return true

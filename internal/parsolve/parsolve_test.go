@@ -1,6 +1,7 @@
 package parsolve_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -115,6 +116,52 @@ func TestParallelSolveStopAfterCollectsSeveral(t *testing.T) {
 	}
 	if len(res.Solutions) < 3 {
 		t.Skipf("only %d solutions exist within the bound", len(res.Solutions))
+	}
+}
+
+// TestParallelSolveCancelDrainsWithoutValidating pins the prompt-shutdown
+// contract: once the search is over, queued candidates are drained, not
+// validated. With the caller's context already cancelled, the pool must
+// validate nothing at all even though the generator enqueued work.
+func TestParallelSolveCancelDrainsWithoutValidating(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := parsolve.Solve(sys, parsolve.Options{Workers: 4, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Fatalf("cancelled context not reported: %+v", res)
+	}
+	if res.Generated == 0 {
+		t.Fatalf("generator enqueued nothing: %+v", res)
+	}
+	if res.Validated != 0 {
+		t.Fatalf("cancelled pool validated %d queued candidates instead of draining them", res.Validated)
+	}
+	if res.Found() {
+		t.Fatalf("cancelled search returned solutions: %+v", res)
+	}
+}
+
+// TestParallelSolveStopAfterPromptness checks the StopAfter path keeps the
+// Validated counter coherent: the pool validates at least the winning
+// candidates but never more than were generated.
+func TestParallelSolveStopAfterPromptness(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	res, err := parsolve.Solve(sys, parsolve.Options{Workers: 1, StopAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatalf("nothing found: %+v", res)
+	}
+	if res.Validated == 0 || res.Validated > res.Generated {
+		t.Fatalf("validated counter incoherent: validated=%d generated=%d", res.Validated, res.Generated)
+	}
+	if int64(res.Valid) > res.Validated {
+		t.Fatalf("more valid than validated: %+v", res)
 	}
 }
 

@@ -90,9 +90,11 @@ type Solver struct {
 	// originals keeps every added clause verbatim for DIMACS export
 	// (AddClause simplifies units and satisfied clauses away internally).
 	originals [][]Lit
-	// watches[l] = clauses watching literal l (they contain l.Not()? No:
-	// convention here: watches[l] lists clauses in which l is watched).
-	watches map[Lit][]*clause
+	// watches[int(l)] = clauses watching literal l (convention: the list
+	// for l holds clauses in which l is watched). Dense by literal index —
+	// propagate is the solver's inner loop and a map lookup per trail
+	// literal dominated its profile.
+	watches [][]*clause
 
 	assign   []lbool
 	level    []int32
@@ -108,6 +110,11 @@ type Solver struct {
 
 	propagated int
 	ok         bool
+
+	// Conflict-analysis scratch, reused across conflicts: analyze runs
+	// once per conflict and allocated a map plus a growing slice each time.
+	seen      []bool
+	learntBuf []Lit
 
 	// Stats
 	Conflicts    int64
@@ -126,7 +133,6 @@ type Solver struct {
 // New creates a solver over nvars variables.
 func New(nvars int) *Solver {
 	s := &Solver{
-		watches:    map[Lit][]*clause{},
 		varInc:     1,
 		ok:         true,
 		MaxLearnts: 10000,
@@ -142,6 +148,8 @@ func (s *Solver) grow(nvars int) {
 		s.reason = append(s.reason, nil)
 		s.activity = append(s.activity, 0)
 		s.polarity = append(s.polarity, false)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
 	}
 }
 
@@ -217,8 +225,8 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 }
 
 func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+	s.watches[int(c.lits[0])] = append(s.watches[int(c.lits[0])], c)
+	s.watches[int(c.lits[1])] = append(s.watches[int(c.lits[1])], c)
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
@@ -250,7 +258,7 @@ func (s *Solver) propagate() *clause {
 		s.propagated++
 		s.Propagations++
 		falsified := l.Not()
-		ws := s.watches[falsified]
+		ws := s.watches[int(falsified)]
 		kept := ws[:0]
 		var conflict *clause
 		for wi := 0; wi < len(ws); wi++ {
@@ -272,7 +280,7 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.value(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					s.watches[int(c.lits[1])] = append(s.watches[int(c.lits[1])], c)
 					moved = true
 					break
 				}
@@ -286,7 +294,7 @@ func (s *Solver) propagate() *clause {
 				conflict = c
 			}
 		}
-		s.watches[falsified] = kept
+		s.watches[int(falsified)] = kept
 		if conflict != nil {
 			return conflict
 		}
@@ -295,10 +303,15 @@ func (s *Solver) propagate() *clause {
 }
 
 // analyze performs 1UIP conflict analysis, returning the learnt clause
-// (with the asserting literal first) and the backjump level.
+// (with the asserting literal first) and the backjump level. The returned
+// slice is scratch owned by the solver, valid until the next analyze call —
+// callers copy it when retaining (Solve copies into the learnt clause).
 func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
-	learnt := []Lit{0} // slot 0 for the asserting literal
-	seen := make(map[int]bool)
+	learnt := append(s.learntBuf[:0], 0) // slot 0 for the asserting literal
+	// seen is all-false between calls: the trail walk below unsets every
+	// current-level var it set, and the lower-level residue (exactly the
+	// vars of learnt[1:]) is cleared before returning.
+	seen := s.seen
 	counter := 0
 	var p Lit = -1
 	c := conflict
@@ -335,6 +348,10 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		}
 	}
 	learnt[0] = p.Not()
+	for _, q := range learnt[1:] {
+		seen[q.Var()] = false
+	}
+	s.learntBuf = learnt
 
 	// Backjump level: the highest level among the other literals.
 	bl := 0
@@ -397,14 +414,14 @@ func (s *Solver) reduceDB() {
 		return
 	}
 	s.learnts = kept
-	for l, ws := range s.watches {
+	for li, ws := range s.watches {
 		filtered := ws[:0]
 		for _, c := range ws {
 			if !drop[c] {
 				filtered = append(filtered, c)
 			}
 		}
-		s.watches[l] = filtered
+		s.watches[li] = filtered
 	}
 }
 
@@ -484,7 +501,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true, activity: s.varInc}
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, activity: s.varInc}
 				s.learnts = append(s.learnts, c)
 				s.Learned++
 				s.watch(c)

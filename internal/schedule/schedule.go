@@ -61,7 +61,10 @@ type Options struct {
 	MaxWalkNodes int
 }
 
-// Generator produces candidate schedules for a constraint system.
+// Generator produces candidate schedules for a constraint system. A
+// Generator reuses its walk scratch across CSP sets and Generate calls, so
+// it is NOT safe for concurrent Generate calls; create one per goroutine
+// (the parallel backend runs one generator feeding a validator pool).
 type Generator struct {
 	sys  *constraints.System
 	opts Options
@@ -73,6 +76,20 @@ type Generator struct {
 	// threads (only used with RespectHardEdges).
 	intraPreds [][]constraints.SAPRef
 	crossPreds [][]constraints.SAPRef
+
+	// Walk scratch, reused across CSP sets: a bounded generation expands
+	// thousands of sets and allocating per set dominated the generator's
+	// profile.
+	allCSPs   []CSP
+	cspsBuilt bool
+	st        genState
+	ws        *walkState
+	used      []bool
+	cspAt     map[[2]int]trace.ThreadID
+	// readyBufs are per-depth ready-set buffers for the relaxed walk: slot
+	// 2d holds the depth-d ready set being iterated, slot 2d+1 the
+	// transient probes of other threads at depth d.
+	readyBufs [][]constraints.SAPRef
 }
 
 // walkState tracks the semantic gates during a generation walk: mutex
@@ -178,6 +195,8 @@ func NewGenerator(sys *constraints.System, opts Options) *Generator {
 			g.crossPreds[b] = append(g.crossPreds[b], a)
 		}
 	}
+	g.ws = newWalkState(sys)
+	g.cspAt = map[[2]int]trace.ThreadID{}
 	return g
 }
 
@@ -232,26 +251,30 @@ func (g *Generator) GenerateWithBound(c int, sink Sink) Result {
 
 // enumCSPSets enumerates all CSP sets of size c. The CSP space is
 // (threads × SAP positions × other threads); sets are built in
-// lexicographically increasing order to avoid duplicates.
+// lexicographically increasing order to avoid duplicates. The set passed
+// to f is a shared buffer valid only for the duration of the call.
 func (g *Generator) enumCSPSets(c int, f func(set []CSP)) {
-	var all []CSP
-	for t1, refs := range g.perThread {
-		for k := 1; k < len(refs); k++ {
-			// Preempting before the k-th SAP (k=0 is the thread's first
-			// SAP, where a "switch" is not a preemption of anything).
-			for t2 := range g.perThread {
-				if t1 == t2 {
-					continue
+	if !g.cspsBuilt {
+		g.cspsBuilt = true
+		for t1, refs := range g.perThread {
+			for k := 1; k < len(refs); k++ {
+				// Preempting before the k-th SAP (k=0 is the thread's first
+				// SAP, where a "switch" is not a preemption of anything).
+				for t2 := range g.perThread {
+					if t1 == t2 {
+						continue
+					}
+					g.allCSPs = append(g.allCSPs, CSP{T1: trace.ThreadID(t1), K: k, T2: trace.ThreadID(t2)})
 				}
-				all = append(all, CSP{T1: trace.ThreadID(t1), K: k, T2: trace.ThreadID(t2)})
 			}
 		}
 	}
+	all := g.allCSPs
 	set := make([]CSP, 0, c)
 	var rec func(start int)
 	rec = func(start int) {
 		if len(set) == c {
-			f(append([]CSP(nil), set...))
+			f(set)
 			return
 		}
 		for i := start; i < len(all); i++ {
@@ -306,24 +329,58 @@ type genState struct {
 	pre       int
 }
 
-// generateForSet produces every schedule consistent with the CSP set.
+// reset prepares the state for a system of n SAPs across nt threads.
+func (st *genState) reset(nt, n, total int) {
+	if cap(st.next) < nt {
+		st.next = make([]int, nt)
+	}
+	st.next = st.next[:nt]
+	for i := range st.next {
+		st.next[i] = 0
+	}
+	if cap(st.scheduled) < n {
+		st.scheduled = make([]bool, n)
+	}
+	st.scheduled = st.scheduled[:n]
+	for i := range st.scheduled {
+		st.scheduled[i] = false
+	}
+	if cap(st.order) < total {
+		st.order = make([]constraints.SAPRef, 0, total)
+	}
+	st.order = st.order[:0]
+	st.pre = 0
+}
+
+// generateForSet produces every schedule consistent with the CSP set. The
+// walk state lives on the Generator and is reset here, not reallocated:
+// apply/undo leave the lock/signal maps balanced back to empty, and the
+// dense slices are cleared in place.
 func (g *Generator) generateForSet(set []CSP, emit func([]constraints.SAPRef, int), stop *bool, nodes *int) {
 	total := 0
 	for _, refs := range g.perThread {
 		total += len(refs)
 	}
-	st := &genState{
-		next:      make([]int, len(g.perThread)),
-		scheduled: make([]bool, len(g.sys.SAPs)),
-		order:     make([]constraints.SAPRef, 0, total),
-	}
-	ws := newWalkState(g.sys)
+	st := &g.st
+	st.reset(len(g.perThread), len(g.sys.SAPs), total)
+	ws := g.ws
+	clear(ws.lockHeld)
+	clear(ws.signals)
+	clear(ws.broadcasts)
+	clear(ws.wakes)
 	// cspAt[t][k] = preempting thread, from the set.
-	cspAt := map[[2]int]trace.ThreadID{}
+	cspAt := g.cspAt
+	clear(cspAt)
 	for _, c := range set {
 		cspAt[[2]int{int(c.T1), c.K}] = c.T2
 	}
-	used := make([]bool, len(set))
+	if cap(g.used) < len(set) {
+		g.used = make([]bool, len(set))
+	}
+	used := g.used[:len(set)]
+	for i := range used {
+		used[i] = false
+	}
 	usedCount := 0
 	lastThread := -1 // thread of the most recently emitted SAP
 	var run func(cur int)
@@ -485,11 +542,24 @@ func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
 	for _, refs := range g.perThread {
 		total += len(refs)
 	}
-	scheduled := make([]bool, len(g.sys.SAPs))
-	order := make([]constraints.SAPRef, 0, total)
-	ws := newWalkState(g.sys)
-	readyOf := func(t int) []constraints.SAPRef {
-		var out []constraints.SAPRef
+	st := &g.st
+	st.reset(len(g.perThread), len(g.sys.SAPs), total)
+	scheduled := st.scheduled
+	order := st.order
+	ws := g.ws
+	clear(ws.lockHeld)
+	clear(ws.signals)
+	clear(ws.broadcasts)
+	clear(ws.wakes)
+	// readyInto computes thread t's ready set into the per-depth scratch
+	// slot, so the walk allocates nothing per node. The slot being iterated
+	// at depth d is 2d; probes of other threads use 2d+1; deeper recursion
+	// only touches slots ≥ 2(d+1).
+	readyInto := func(t, slot int) []constraints.SAPRef {
+		for len(g.readyBufs) <= slot {
+			g.readyBufs = append(g.readyBufs, nil)
+		}
+		out := g.readyBufs[slot][:0]
 		for _, r := range g.perThread[t] {
 			if scheduled[r] {
 				continue
@@ -513,11 +583,12 @@ func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
 				out = append(out, r)
 			}
 		}
+		g.readyBufs[slot] = out
 		return out
 	}
 	nodes := 0
-	var walk func(cur int, switches int, justSwitched bool)
-	walk = func(cur int, switches int, justSwitched bool) {
+	var walk func(cur, switches, depth int, justSwitched bool)
+	walk = func(cur, switches, depth int, justSwitched bool) {
 		if stop {
 			return
 		}
@@ -535,14 +606,14 @@ func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
 			}
 			return
 		}
-		ready := readyOf(cur)
+		ready := readyInto(cur, 2*depth)
 		if len(ready) > 0 {
 			// Stay on the current thread: branch over its ready SAPs.
 			for _, r := range ready {
 				scheduled[r] = true
 				order = append(order, r)
 				ws.apply(r)
-				walk(cur, switches, false)
+				walk(cur, switches, depth+1, false)
 				ws.undo(r)
 				order = order[:len(order)-1]
 				scheduled[r] = false
@@ -565,7 +636,7 @@ func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
 			if t == cur {
 				continue
 			}
-			if len(readyOf(t)) == 0 {
+			if len(readyInto(t, 2*depth+1)) == 0 {
 				continue
 			}
 			cost := 0
@@ -575,15 +646,15 @@ func (g *Generator) GenerateRelaxed(c int, sink Sink) Result {
 			if switches+cost > c {
 				continue
 			}
-			walk(t, switches+cost, true)
+			walk(t, switches+cost, depth+1, true)
 			if stop {
 				return
 			}
 		}
 	}
 	for t := range g.perThread {
-		if len(readyOf(t)) > 0 {
-			walk(t, 0, true)
+		if len(readyInto(t, 0)) > 0 {
+			walk(t, 0, 0, true)
 			if stop {
 				break
 			}

@@ -13,8 +13,8 @@ func (s *search) extendSchedules(sink func(order []constraints.SAPRef) bool) {
 	n := len(s.sys.SAPs)
 	// Incoming-degree counting over the decided graph.
 	indeg := make([]int, n)
-	for a := range s.adj {
-		for _, b := range s.adj[a] {
+	for a := range s.g.adj {
+		for _, b := range s.g.adj[a] {
 			indeg[b]++
 		}
 	}
@@ -36,12 +36,12 @@ func (s *search) extendSchedules(sink func(order []constraints.SAPRef) bool) {
 	take := func(r constraints.SAPRef) {
 		scheduled[r] = true
 		order = append(order, r)
-		for _, b := range s.adj[r] {
+		for _, b := range s.g.adj[r] {
 			indeg[b]--
 		}
 	}
 	untake := func(r constraints.SAPRef) {
-		for _, b := range s.adj[r] {
+		for _, b := range s.g.adj[r] {
 			indeg[b]++
 		}
 		order = order[:len(order)-1]

@@ -56,7 +56,7 @@ type Options struct {
 	// pathological systems fail fast instead of hanging.
 	MaxDecisions int64
 	// ExtendNodeBudget caps the linear-extension walk per complete mapping
-	// (default 50_000 nodes); exhausting it counts as "no extension within
+	// (default 10_000 nodes); exhausting it counts as "no extension within
 	// the bound", keeping minimal-mode sweeps from wandering exponentially
 	// at infeasible bounds.
 	ExtendNodeBudget int
@@ -66,11 +66,11 @@ type Options struct {
 	// satisfiability exactly and cheaply, where the mapping search would
 	// grind through huge numbers of order-infeasible mappings. Default 3.
 	GenFallbackBound int
-	// GenScheduleBudget caps that enumeration (default 30_000 candidates);
+	// GenScheduleBudget caps that enumeration (default 40_000 candidates);
 	// on overflow the mapping search takes over for the bound.
 	GenScheduleBudget int
 	// BoundDecisionBudget caps mapping-search decisions per bound in
-	// minimal mode (default 200_000): rather than prove an infeasible low
+	// minimal mode (default 60_000): rather than prove an infeasible low
 	// bound unsatisfiable exhaustively, the sweep moves on — minimality
 	// becomes approximate, matching the paper's own segment-based
 	// approximation of context switches.
@@ -156,6 +156,9 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 		s.deadline = time.Now().Add(opts.Deadline)
 	}
 	s.init()
+	if s.hardUnsat {
+		return nil, s.stats, &Unsat{Reason: "hard order constraints are cyclic"}
+	}
 	if opts.MaxPreemptions >= 0 {
 		s.stats.BoundReached = opts.MaxPreemptions
 		sol, err := s.solveWithBound(opts.MaxPreemptions)
@@ -204,10 +207,12 @@ type search struct {
 	opts  Options
 	stats *Stats
 
-	// adj is the order graph (hard edges plus decided edges).
-	adj [][]constraints.SAPRef
-	// trail records added edges for undo.
-	trail []edgeRec
+	// g is the order graph (hard edges plus decided edges) with
+	// incrementally maintained topological order.
+	g *ordGraph
+	// hardUnsat is set when the hard edges alone are cyclic: the system
+	// has no schedule at any bound.
+	hardUnsat bool
 
 	decisions []decision
 	// chosenWrite[readIdx] = candidate index (-1 init value), set during
@@ -229,23 +234,17 @@ type search struct {
 	// solveWithBound.
 	deadline    time.Time
 	pendingIntr *Interrupted
-
-	// Reachability scratch: generation-stamped visited marks and a
-	// reusable stack, so the hot reaches() path never allocates.
-	seen    []int32
-	seenGen int32
-	stack   []constraints.SAPRef
-}
-
-type edgeRec struct {
-	from constraints.SAPRef
 }
 
 func (s *search) init() {
 	n := len(s.sys.SAPs)
-	s.adj = make([][]constraints.SAPRef, n)
+	s.g = newOrdGraph(n)
 	for _, e := range s.sys.HardEdges {
-		s.adj[e[0]] = append(s.adj[e[0]], e[1])
+		if !s.g.addEdge(e[0], e[1]) {
+			// The unconditional constraints are already contradictory —
+			// there is no schedule to find at any bound.
+			s.hardUnsat = true
+		}
 	}
 	// Decision agenda: waits first (few, highly constrained), then reads
 	// ordered by candidate count (static MRV), then lock region pairs.
@@ -264,9 +263,14 @@ func (s *search) init() {
 			}
 		}
 	}
-	reads := make([]int, len(s.sys.Reads))
-	for i := range reads {
-		reads[i] = i
+	// Free reads (outside the cone of influence, see constraints.Preprocess)
+	// need no mapping decision: any schedule position yields a value the
+	// remaining constraints never observe.
+	reads := make([]int, 0, len(s.sys.Reads))
+	for i := range s.sys.Reads {
+		if !s.sys.Reads[i].Free {
+			reads = append(reads, i)
+		}
 	}
 	class := func(ri int) int {
 		if addrFormer[s.sys.SAP(s.sys.Reads[ri].Read).Sym.ID] {
@@ -279,7 +283,14 @@ func (s *search) init() {
 		if ca != cb {
 			return ca < cb
 		}
-		return len(s.sys.Reads[a].Cands) < len(s.sys.Reads[b].Cands)
+		// Order by the full rival-set size, not the pruned candidate
+		// count: pruning shrinks chains non-uniformly, and sorting by the
+		// pruned counts interleaves same-location read-modify-write chains
+		// out of program order — which starves the one-sided rival
+		// placement below of the mixed placements those chains need. The
+		// stable sort over equal full-set sizes keeps chain reads in
+		// program order; the pruned Cands still shrink the branching.
+		return len(s.sys.Reads[a].AllRivals()) < len(s.sys.Reads[b].AllRivals())
 	}
 	for i := 1; i < len(reads); i++ {
 		for j := i; j > 0 && less(reads[j], reads[j-1]); j-- {
@@ -425,57 +436,21 @@ func (s *search) checkEagerly() bool {
 }
 
 // addEdge inserts a < b, reporting false on a cycle (b already reaches a).
+// Cycle detection is incremental: the order graph keeps a topological
+// order, so a rank-consistent edge costs O(1) and only rank inversions
+// pay for a search bounded to the affected region (see ordGraph).
 func (s *search) addEdge(a, b constraints.SAPRef) bool {
-	if a == b {
-		return false
-	}
-	if s.reaches(b, a) {
-		return false
-	}
-	s.adj[a] = append(s.adj[a], b)
-	s.trail = append(s.trail, edgeRec{from: a})
-	return true
+	return s.g.addEdge(a, b)
 }
 
-// undoTo truncates the trail back to length n.
-func (s *search) undoTo(n int) {
-	for len(s.trail) > n {
-		rec := s.trail[len(s.trail)-1]
-		s.trail = s.trail[:len(s.trail)-1]
-		s.adj[rec.from] = s.adj[rec.from][:len(s.adj[rec.from])-1]
-	}
-}
+// undoTo truncates the edge trail back to mark n.
+func (s *search) undoTo(n int) { s.g.undoTo(n) }
 
 // reaches reports whether to is reachable from from in the order graph.
-// It is the solver's hottest path (every edge insertion and rival
-// placement queries it), so it uses generation-stamped marks instead of a
-// fresh set per call.
+// The maintained topological order answers most queries in O(1) (a node
+// never reaches one ranked at or below it) and rank-prunes the rest.
 func (s *search) reaches(from, to constraints.SAPRef) bool {
-	if from == to {
-		return true
-	}
-	if s.seen == nil {
-		s.seen = make([]int32, len(s.sys.SAPs))
-	}
-	s.seenGen++
-	gen := s.seenGen
-	s.stack = s.stack[:0]
-	s.stack = append(s.stack, from)
-	s.seen[from] = gen
-	for len(s.stack) > 0 {
-		n := s.stack[len(s.stack)-1]
-		s.stack = s.stack[:len(s.stack)-1]
-		if n == to {
-			return true
-		}
-		for _, m := range s.adj[n] {
-			if s.seen[m] != gen {
-				s.seen[m] = gen
-				s.stack = append(s.stack, m)
-			}
-		}
-	}
-	return false
+	return s.g.reaches(from, to)
 }
 
 // interrupted polls the search's cancellation sources: the caller's context
@@ -572,7 +547,7 @@ func (s *search) decide(i int) (*Solution, error) {
 		return s.complete()
 	}
 	d := s.decisions[i]
-	mark := len(s.trail)
+	mark := s.g.mark()
 	switch d.kind {
 	case decWait:
 		wi := s.sys.Waits[d.wait]
@@ -609,7 +584,13 @@ func (s *search) decide(i int) (*Solution, error) {
 		// equality or inequality here, enabling exact pruning and interval
 		// side-constraints even for symbolic-address programs.
 		addrKnown, addrOfRef := s.resolveAddrs(ri)
-		for ci := -1; ci < len(ri.Cands); ci++ {
+		firstChoice := -1
+		if ri.NoInit {
+			// Preprocessing proved a same-address write always precedes the
+			// read: the initial value is unobservable.
+			firstChoice = 0
+		}
+		for ci := firstChoice; ci < len(ri.Cands); ci++ {
 			if ci >= 0 {
 				if known, same := addrMatch(addrKnown, addrOfRef, r, ri.Cands[ci]); known && !same {
 					continue // definitely different cells: not a candidate
@@ -635,8 +616,10 @@ func (s *search) decide(i int) (*Solution, error) {
 					}
 				} else {
 					// Initial value: every same-address write (statically or
-					// dynamically resolved) comes after the read.
-					for _, w2 := range ri.Cands {
+					// dynamically resolved) comes after the read — including
+					// writes pruned from the candidate set, which still exist
+					// in the schedule.
+					for _, w2 := range ri.AllRivals() {
 						same := s.definitelySame(r, w2)
 						if !same {
 							if known, eq := addrMatch(addrKnown, addrOfRef, r, w2); known && eq {
@@ -731,7 +714,7 @@ func (s *search) resolveAddrs(ri constraints.ReadInfo) (map[constraints.SAPRef]b
 		}
 	}
 	resolve(ri.Read)
-	for _, w := range ri.Cands {
+	for _, w := range ri.AllRivals() {
 		resolve(w)
 	}
 	return known, addr
@@ -751,7 +734,10 @@ func addrMatch(known map[constraints.SAPRef]bool, addr map[constraints.SAPRef]in
 // selected by rivalsAfter.
 func (s *search) placeRivals(ri constraints.ReadInfo, w, r constraints.SAPRef, rivalsAfter bool, addrKnown map[constraints.SAPRef]bool, addrOf map[constraints.SAPRef]int) bool {
 	var free []constraints.SAPRef
-	for _, w2 := range ri.Cands {
+	// The interval constraint ranges over the full rival set: a write
+	// pruned from Cands cannot be the mapped write, but it still exists in
+	// every schedule and must stay outside the (w, r) interval.
+	for _, w2 := range ri.AllRivals() {
 		if w2 == w {
 			continue
 		}
@@ -896,6 +882,9 @@ func (s *search) evalEnv() (symbolic.MapEnv, error) {
 		return val, nil
 	}
 	for i := range s.sys.Reads {
+		if s.sys.Reads[i].Free {
+			continue // outside the cone: undecided by design, never observed
+		}
 		id := s.sys.SAP(s.sys.Reads[i].Read).Sym.ID
 		if _, err := valueOf(id, 0); err != nil {
 			return nil, err
