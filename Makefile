@@ -4,12 +4,19 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
-.PHONY: ci vet build test fuzz-smoke bench bench-baseline
+.PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples
 
-ci: vet build test fuzz-smoke
+ci: vet build test vet-examples fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Run the static lockset/happens-before lint over the checked-in example
+# programs. Findings are expected (some examples are intentionally racy);
+# the golden tests in internal/bench pin the exact reports, so this
+# target only guards that the linter runs every example without error.
+vet-examples:
+	$(GO) run ./cmd/clap vet examples/vet/*.mc
 
 build:
 	$(GO) build ./...

@@ -73,12 +73,29 @@ type StageResult struct {
 	Valid     float64 `json:"valid,omitempty"`
 }
 
+// StaticJSON summarizes the static lockset / happens-before analysis and
+// its effect on constraint preprocessing for one benchmark.
+type StaticJSON struct {
+	SharedVars    int `json:"shared_vars"`
+	ProtectedVars int `json:"protected_vars"`
+	AccessSites   int `json:"access_sites"`
+	Races         int `json:"races"`
+	LockCycles    int `json:"lock_cycles"`
+	// Frw read→write candidate edges before and after preprocessing, and
+	// how many of the pruned edges the mutual-exclusion rule removed.
+	// Zero in baseline mode, which does not preprocess.
+	FrwCandsBefore int `json:"frw_cands_before,omitempty"`
+	FrwCandsAfter  int `json:"frw_cands_after,omitempty"`
+	PrunedMutex    int `json:"pruned_mutex,omitempty"`
+}
+
 // BenchResult is one benchmark's full row.
 type BenchResult struct {
 	Name        string                 `json:"name"`
 	SAPs        int                    `json:"saps"`
 	Constraints int                    `json:"constraints"`
 	Variables   int                    `json:"variables"`
+	Static      *StaticJSON            `json:"static,omitempty"`
 	Stages      map[string]StageResult `json:"stages"`
 	// PortfolioWallNs is the best end-to-end portfolio solve wall time
 	// (system build off the clock, preprocessing on it).
@@ -170,6 +187,21 @@ func measure(name string, baseline bool, reps int) BenchResult {
 	if err != nil {
 		res.Err = err.Error()
 		return res
+	}
+	if static := p.Recording.Static; static != nil {
+		st := static.ComputeStats()
+		res.Static = &StaticJSON{
+			SharedVars:    st.SharedVars,
+			ProtectedVars: st.ProtectedVars,
+			AccessSites:   st.AccessSites,
+			Races:         st.Races,
+			LockCycles:    st.Cycles,
+		}
+		if sys.Pre != nil {
+			res.Static.FrwCandsBefore = sys.Pre.CandsBefore
+			res.Static.FrwCandsAfter = sys.Pre.CandsAfter
+			res.Static.PrunedMutex = sys.Pre.PrunedMutex
+		}
 	}
 
 	stages := map[string]func(*testing.B){

@@ -6,6 +6,8 @@
 //	clap record <prog.mc> [flags]      hunt a failing schedule, dump the path log
 //	clap reproduce <prog.mc> [flags]   record, solve, and replay the failure
 //	clap bench <name>                  reproduce one built-in benchmark
+//	clap vet <prog.mc>...              static lockset/happens-before lint:
+//	                                   potential races and lock-order cycles
 //	clap decodelog <log> [flags]       inspect a recorded path log file
 //
 // Flags (after the subcommand):
@@ -49,6 +51,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/simplify"
 	"repro/internal/solver"
+	"repro/internal/staticanalysis"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -198,7 +201,7 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 
 func run(args []string) (err error) {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: clap run|record|reproduce|bench|decodelog ... (see the package docs for flags)")
+		return fmt.Errorf("usage: clap run|record|reproduce|bench|vet|decodelog ... (see the package docs for flags)")
 	}
 	cmd := args[0]
 	rest, f, err := parseFlags(args[1:])
@@ -223,6 +226,8 @@ func run(args []string) (err error) {
 		return cmdReproduce(rest, f)
 	case "bench":
 		return cmdBench(rest, f)
+	case "vet":
+		return cmdVet(rest, f)
 	case "decodelog":
 		return cmdDecodeLog(rest, f)
 	default:
@@ -394,6 +399,38 @@ func cmdDecodeLog(rest []string, f flags) error {
 	return nil
 }
 
+// cmdVet runs the static lockset / happens-before analysis on each
+// program and prints its findings. Findings are diagnostics, not errors:
+// vet exits zero unless a program fails to load or compile, so it can
+// sweep a directory of intentionally racy examples.
+func cmdVet(rest []string, f flags) error {
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: clap vet <prog.mc>... [-v]")
+	}
+	for i, name := range rest {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		prog, err := core.Compile(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if len(rest) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== %s ==\n", name)
+		}
+		res := staticanalysis.Analyze(prog)
+		fmt.Print(res.Render())
+		if f.verbose {
+			fmt.Printf("%s\n", res.ComputeStats())
+		}
+	}
+	return nil
+}
+
 func cmdReproduce(rest []string, f flags) error {
 	src, err := loadProgram(rest)
 	if err != nil {
@@ -439,6 +476,9 @@ func reproduceSource(src string, f flags) error {
 	fmt.Printf("recorded failure (seed %d, model %s): %s\n", rec.Seed, f.model, rec.Failure)
 	fmt.Printf("  path log %dB; run: %d instructions, %d branches, %d SAPs\n",
 		rec.LogSize(), rec.Run.Instructions, rec.Run.Branches, rec.Run.VisibleEvents)
+	if f.verbose && rec.Static != nil {
+		fmt.Printf("  %s\n", rec.Static.ComputeStats())
+	}
 
 	sys, err := rec.Analyze()
 	if err != nil {

@@ -24,6 +24,7 @@ type PreStats struct {
 	PrunedOrder    int // read →* write in the hard order
 	PrunedShadowed int // a definitely-same-address write always intervenes
 	PrunedLock     int // lock-region dominance kills both serializations
+	PrunedMutex    int // mutual exclusion: every serialization shadows or reorders the write
 	// NoInitReads counts reads whose initial-value choice was pruned.
 	NoInitReads int
 	// Wait→signal candidate edges before and after pruning.
@@ -38,8 +39,8 @@ type PreStats struct {
 
 // String renders the report in one line.
 func (p *PreStats) String() string {
-	return fmt.Sprintf("preprocess: %d/%d read candidates pruned (order %d, shadowed %d, lock %d), %d/%d reads free, %d no-init, %d/%d wait candidates pruned, %v",
-		p.CandsBefore-p.CandsAfter, p.CandsBefore, p.PrunedOrder, p.PrunedShadowed, p.PrunedLock,
+	return fmt.Sprintf("preprocess: %d/%d read candidates pruned (order %d, shadowed %d, lock %d, mutex %d), %d/%d reads free, %d no-init, %d/%d wait candidates pruned, %v",
+		p.CandsBefore-p.CandsAfter, p.CandsBefore, p.PrunedOrder, p.PrunedShadowed, p.PrunedLock, p.PrunedMutex,
 		p.FreeReads, p.Reads, p.NoInitReads,
 		p.WaitCandsBefore-p.WaitCandsAfter, p.WaitCandsBefore, p.Elapsed.Round(time.Microsecond))
 }
@@ -77,12 +78,7 @@ func (sys *System) Preprocess() *PreStats {
 		sys.pruneCandidates(r, st)
 		sys.pruneWaitCandidates(r, st)
 	} else {
-		for i := range sys.Reads {
-			ri := &sys.Reads[i]
-			ri.Rivals = ri.Cands
-			st.CandsBefore += len(ri.Cands)
-			st.CandsAfter += len(ri.Cands)
-		}
+		sys.pruneCandidatesNoClosure(st)
 		for i := range sys.Waits {
 			st.WaitCandsBefore += len(sys.Waits[i].Cands)
 			st.WaitCandsAfter += len(sys.Waits[i].Cands)
@@ -189,6 +185,25 @@ func (sys *System) pruneCandidates(r *reach, st *PreStats) {
 		return false
 	}
 
+	// readSideShadow is the mutual-exclusion rule's second disjunct: a
+	// definitely-same-address write w3 trapped between the read's region
+	// lock and the read itself. In the "write's region first" serialization
+	// of the region pair, w precedes that lock, so w3 shadows it.
+	readSideShadow := func(read *symexec.SAP, rivals []SAPRef, w SAPRef, readReg *pregion, ri *ReadInfo) bool {
+		for _, w3 := range rivals {
+			if w3 == w {
+				continue
+			}
+			if def, _ := sameAddr(sys.SAPs[w3], read); !def {
+				continue
+			}
+			if r.reaches(readReg.lock, w3) && r.reaches(w3, ri.Read) {
+				return true
+			}
+		}
+		return false
+	}
+
 	for i := range sys.Reads {
 		ri := &sys.Reads[i]
 		ri.Rivals = ri.Cands
@@ -233,6 +248,18 @@ func (sys *System) pruneCandidates(r *reach, st *PreStats) {
 						st.PrunedLock++
 						continue cand
 					}
+					// Rule 4 (mutual exclusion, read side): the regions
+					// serialize one way or the other. "Read's region first"
+					// puts the read before w (rw is closed, so the order is
+					// read ≤ unlock(Rr) < lock(Rw) ≤ w, or Rr is open and
+					// this serialization cannot happen at all). "Write's
+					// region first" puts w before lock(Rr), where a
+					// definitely-same-address write between lock(Rr) and the
+					// read shadows it. Either way w is never the last writer.
+					if readSideShadow(read, ri.Rivals, w, rr, ri) {
+						st.PrunedMutex++
+						continue cand
+					}
 				}
 			}
 			kept = append(kept, w)
@@ -253,6 +280,64 @@ func (sys *System) pruneCandidates(r *reach, st *PreStats) {
 			}
 		}
 	}
+}
+
+// pruneCandidatesNoClosure is the mutual-exclusion rule for systems too
+// large for the reachability closure. It needs no closure because the
+// containments it uses are same-thread program order, which the hard
+// edges enforce under every memory model (lock/unlock are fences: a
+// write's order variable is pinned after the region's lock and a read's
+// before its unlock). A cross-thread candidate w is dead when the static
+// lockset analysis proves both accesses hold a mutex m and w's enclosing
+// region of m is open: the open region must serialize last, so the read
+// precedes w in every schedule.
+func (sys *System) pruneCandidatesNoClosure(st *PreStats) {
+	for i := range sys.Reads {
+		ri := &sys.Reads[i]
+		ri.Rivals = ri.Cands
+		st.CandsBefore += len(ri.Cands)
+		read := sys.SAPs[ri.Read]
+		kept := make([]SAPRef, 0, len(ri.Cands))
+	cand:
+		for _, w := range ri.Cands {
+			ws := sys.SAPs[w]
+			if ws.Thread != read.Thread {
+				common := ws.MustLocks.Inter(read.MustLocks)
+				for m, regions := range sys.Regions {
+					if !common.Has(m) {
+						continue
+					}
+					wOpen, rIn := false, false
+					for j := range regions {
+						reg := &regions[j]
+						if !reg.HasUnlock && sys.poInRegion(w, reg) {
+							wOpen = true
+						}
+						if sys.poInRegion(ri.Read, reg) {
+							rIn = true
+						}
+					}
+					if wOpen && rIn {
+						st.PrunedMutex++
+						continue cand
+					}
+				}
+			}
+			kept = append(kept, w)
+		}
+		ri.Cands = kept
+		st.CandsAfter += len(kept)
+	}
+}
+
+// poInRegion reports whether SAP s sits inside the region in its thread's
+// program (Seq) order.
+func (sys *System) poInRegion(s SAPRef, reg *Region) bool {
+	sp, lk := sys.SAPs[s], sys.SAPs[reg.Lock]
+	if sp.Thread != lk.Thread || sp.Seq <= lk.Seq {
+		return false
+	}
+	return !reg.HasUnlock || sp.Seq < sys.SAPs[reg.Unlock].Seq
 }
 
 // regionIndex flattens Regions and computes, for every SAP, the regions

@@ -26,6 +26,7 @@ import (
 	"repro/internal/parsolve"
 	"repro/internal/replay"
 	"repro/internal/solver"
+	"repro/internal/staticanalysis"
 	"repro/internal/symexec"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -53,6 +54,13 @@ type RecordOptions struct {
 	// returns the best recording found so far, or a *NoFailureError that
 	// reports how far it got.
 	Deadline time.Duration
+	// NoDemote keeps every shared access a scheduling point. By default
+	// the recorder demotes accesses to globals the static lockset /
+	// happens-before analysis proves race-free (staticanalysis.Demotable):
+	// they keep full shared-memory semantics and stay in the path log,
+	// but stop being preemption points and visible events, shrinking the
+	// recorded trace and the scheduler's search space.
+	NoDemote bool
 }
 
 // LevelStats reports one chaos level's share of a bug hunt.
@@ -97,6 +105,10 @@ type Recording struct {
 	Model   vm.MemModel
 	Inputs  []int64
 	Sharing *escape.Result
+	// Static is the lockset / happens-before analysis result; its Must
+	// map stamps SAPs with locksets during symbolic execution, and its
+	// Demotable verdicts drove the recorder's access demotion.
+	Static  *staticanalysis.Result
 	Paths   []*ballarus.FuncPaths
 	Log     *trace.PathLog
 	Failure *vm.Failure
@@ -133,6 +145,7 @@ func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
 	var best *Recording
 	// The static analyses are per-program: hoist them out of the seed loop.
 	sharing := escape.Analyze(prog)
+	static := staticanalysis.Analyze(prog)
 	paths, err := ballarus.ProgramPaths(prog)
 	if err != nil {
 		return nil, err
@@ -161,7 +174,7 @@ hunt:
 				break hunt
 			}
 			ls.Seeds++
-			rec, err := recordSeed(prog, s, attempt, sharing, paths)
+			rec, err := recordSeed(prog, s, attempt, sharing, static, paths)
 			if err != nil {
 				if errors.Is(err, vm.ErrActionBudget) {
 					ls.Livelocked++
@@ -208,15 +221,34 @@ func huntInterrupted(ctx context.Context, deadline time.Time) bool {
 // RecordSeed runs exactly one recording attempt with the given seed.
 func RecordSeed(prog *ir.Program, seed int64, opts RecordOptions) (*Recording, error) {
 	sharing := escape.Analyze(prog)
+	static := staticanalysis.Analyze(prog)
 	paths, err := ballarus.ProgramPaths(prog)
 	if err != nil {
 		return nil, err
 	}
-	return recordSeed(prog, seed, opts, sharing, paths)
+	return recordSeed(prog, seed, opts, sharing, static, paths)
+}
+
+// demotedGlobals marks the shared globals whose accesses the recorder may
+// demote from scheduling points: those the lockset / happens-before
+// analysis proves free of concurrent conflicting access. Returns nil when
+// nothing is demotable (the common case for racy programs), so the VM's
+// fast path stays unchanged.
+func demotedGlobals(sharing *escape.Result, static *staticanalysis.Result) []bool {
+	var out []bool
+	for g, sh := range sharing.Shared {
+		if sh && static.Demotable[g] {
+			if out == nil {
+				out = make([]bool, len(sharing.Shared))
+			}
+			out[g] = true
+		}
+	}
+	return out
 }
 
 // recordSeed is RecordSeed with the per-program analyses precomputed.
-func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escape.Result, paths []*ballarus.FuncPaths) (*Recording, error) {
+func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escape.Result, static *staticanalysis.Result, paths []*ballarus.FuncPaths) (*Recording, error) {
 	pathRec := &vm.PathRecorder{Paths: paths, Log: &trace.PathLog{}}
 	sched := vm.NewRandomScheduler(seed)
 	if opts.Chaos > 0 {
@@ -225,12 +257,17 @@ func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escap
 	if opts.DrainBias > 0 {
 		sched.DrainBias = opts.DrainBias
 	}
+	var demoted []bool
+	if !opts.NoDemote {
+		demoted = demotedGlobals(sharing, static)
+	}
 	machine, err := vm.New(prog, vm.Config{
 		Model:        opts.Model,
 		Inputs:       opts.Inputs,
 		MaxActions:   opts.MaxActions,
 		Sched:        sched,
 		Shared:       sharing.Shared,
+		Demoted:      demoted,
 		PathRecorder: pathRec,
 	})
 	if err != nil {
@@ -245,6 +282,7 @@ func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escap
 		Model:   opts.Model,
 		Inputs:  opts.Inputs,
 		Sharing: sharing,
+		Static:  static,
 		Paths:   pathRec.Paths,
 		Log:     pathRec.Log,
 		Failure: res.Failure,
@@ -262,9 +300,14 @@ func (r *Recording) Analyze() (*constraints.System, error) {
 	if r.Failure == nil || r.Failure.Kind != vm.FailAssert {
 		return nil, fmt.Errorf("core: recording holds no assertion failure to reproduce")
 	}
+	var locks map[ir.Instr]ir.LockSet
+	if r.Static != nil {
+		locks = r.Static.Must
+	}
 	an, err := symexec.Analyze(r.Prog, r.Paths, r.Log, symexec.Options{
 		Shared: r.Sharing.Shared,
 		Inputs: r.Inputs,
+		Locks:  locks,
 		Failure: symexec.FailureSpec{
 			Thread: r.Failure.Thread,
 			Site:   r.Failure.Site,

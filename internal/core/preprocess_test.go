@@ -67,6 +67,33 @@ func main() {
 }
 `
 
+// mutexPruneSrc exercises the mutual-exclusion rule: main's locked read
+// of x can never observe the worker's locked x=1, because whichever way
+// the two m-regions serialize, main's own x=2 either shadows it or the
+// read precedes it. The bug itself lives on the unprotected flag y.
+const mutexPruneSrc = `
+int x;
+int y;
+mutex m;
+func worker() {
+	lock(m);
+	x = 1;
+	unlock(m);
+	y = 1;
+}
+func main() {
+	int h = spawn worker();
+	y = 2;
+	lock(m);
+	x = 2;
+	int v = x;
+	unlock(m);
+	int u = y;
+	join(h);
+	assert(u == 2, "worker's flag write raced past main's");
+}
+`
+
 // symIdxSrc keeps addresses symbolic (a racy index feeds an array read),
 // checking the pass stays conservative when sameAddr cannot decide.
 const symIdxSrc = `
@@ -221,6 +248,7 @@ func TestPreprocessPreservesSchedules(t *testing.T) {
 		{"lost_update_sc", lostUpdateSrc, vm.SC},
 		{"lost_update_pso", lostUpdateSrc, vm.PSO},
 		{"lock_shadow", lockShadowSrc, vm.SC},
+		{"mutex_prune", mutexPruneSrc, vm.SC},
 		{"cond_prune", condPruneSrc, vm.SC},
 		{"symbolic_index", symIdxSrc, vm.SC},
 	}
@@ -257,6 +285,13 @@ func TestPreprocessRuleCoverage(t *testing.T) {
 	st = pre.Pre
 	if st.WaitCandsAfter >= st.WaitCandsBefore {
 		t.Fatalf("no wait candidate pruned: %+v", st)
+	}
+
+	rec = recordSrc(t, mutexPruneSrc, vm.SC)
+	_, pre = analyzeBoth(t, rec)
+	st = pre.Pre
+	if st.PrunedMutex == 0 {
+		t.Fatalf("mutual-exclusion rule did not fire: %+v", st)
 	}
 
 	// The lost-update program's assertion reads every variable the bug

@@ -18,6 +18,8 @@
 package escape
 
 import (
+	"slices"
+
 	"repro/internal/ir"
 )
 
@@ -191,6 +193,11 @@ func Analyze(prog *ir.Program) *Result {
 		for g := range directAccess[fi] {
 			res.AccessedBy[g] = append(res.AccessedBy[g], ir.FuncID(fi))
 		}
+	}
+	// Sort explicitly rather than relying on the append order above, so
+	// diagnostics stay deterministic under refactoring.
+	for g := range res.AccessedBy {
+		slices.Sort(res.AccessedBy[g])
 	}
 	for g := range prog.Globals {
 		var m multiplicity

@@ -239,3 +239,34 @@ func main() {
 		t.Error("IsShared(a) must be true")
 	}
 }
+
+func TestAccessedBySorted(t *testing.T) {
+	// Many functions touching the same global: the diagnostic lists must
+	// come out in ascending FuncID order on every run.
+	prog, res := analyze(t, `
+int x;
+func f1() { x = 1; }
+func f2() { x = 2; }
+func f3() { x = 3; }
+func f4() { x = 4; }
+func f5() { x = 5; }
+func main() {
+	int h1 = spawn f1();
+	int h2 = spawn f2();
+	int h3 = spawn f3();
+	int h4 = spawn f4();
+	int h5 = spawn f5();
+	join(h1); join(h2); join(h3); join(h4); join(h5);
+	x = 0;
+}
+`)
+	fns := res.AccessedBy[prog.GlobalByName("x")]
+	if len(fns) != 6 {
+		t.Fatalf("x accessed by %v, want 6 functions", fns)
+	}
+	for i := 1; i < len(fns); i++ {
+		if fns[i-1] >= fns[i] {
+			t.Fatalf("AccessedBy not sorted ascending: %v", fns)
+		}
+	}
+}

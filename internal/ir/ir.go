@@ -407,6 +407,97 @@ func (p *Program) Dump() string {
 	return sb.String()
 }
 
+// MaxLockSetMutexes is the LockSet capacity: mutexes with ids at or above
+// it never enter a set, which degrades the lockset analysis to "unknown"
+// (conservatively unprotected) for them instead of miscounting.
+const MaxLockSetMutexes = 64
+
+// LockSet is a per-instruction lock summary: a set of mutexes encoded as a
+// bitmask over ir.SyncID. The static lockset analysis annotates every
+// instruction with the mutexes provably held there.
+type LockSet uint64
+
+// AllLocks returns the set of every representable mutex of the program.
+func AllLocks(p *Program) LockSet {
+	n := len(p.Mutexes)
+	if n >= MaxLockSetMutexes {
+		return ^LockSet(0)
+	}
+	return LockSet(1)<<uint(n) - 1
+}
+
+// Has reports whether mutex m is in the set.
+func (s LockSet) Has(m SyncID) bool {
+	return m >= 0 && m < MaxLockSetMutexes && s&(1<<uint(m)) != 0
+}
+
+// With returns the set plus mutex m (unchanged for unrepresentable ids).
+func (s LockSet) With(m SyncID) LockSet {
+	if m < 0 || m >= MaxLockSetMutexes {
+		return s
+	}
+	return s | 1<<uint(m)
+}
+
+// Without returns the set minus mutex m.
+func (s LockSet) Without(m SyncID) LockSet {
+	if m < 0 || m >= MaxLockSetMutexes {
+		return s
+	}
+	return s &^ (1 << uint(m))
+}
+
+// Inter returns the intersection with o.
+func (s LockSet) Inter(o LockSet) LockSet { return s & o }
+
+// Union returns the union with o.
+func (s LockSet) Union(o LockSet) LockSet { return s | o }
+
+// Empty reports whether the set holds no mutex.
+func (s LockSet) Empty() bool { return s == 0 }
+
+// Names renders the set as "{a,b}" using the program's mutex names, in
+// ascending id order.
+func (s LockSet) Names(p *Program) string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	first := true
+	for m := range p.Mutexes {
+		if !s.Has(SyncID(m)) {
+			continue
+		}
+		if !first {
+			sb.WriteString(",")
+		}
+		first = false
+		sb.WriteString(p.Mutexes[m])
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// PosOf returns the source position an instruction carries, or the zero
+// position for instructions lowered without one (register moves etc.).
+func PosOf(in Instr) minic.Pos {
+	switch x := in.(type) {
+	case *LoadG:
+		return x.Pos
+	case *StoreG:
+		return x.Pos
+	case *LoadA:
+		return x.Pos
+	case *StoreA:
+		return x.Pos
+	case *Spawn:
+		return x.Pos
+	case *SyncOp:
+		return x.Pos
+	case *Assert:
+		return x.Pos
+	}
+	return minic.Pos{}
+}
+
 // BackEdges returns the back edges of f's CFG discovered by DFS: edges
 // (from, to) where to is an ancestor of from on the DFS stack. Ball–Larus
 // instrumentation places loop re-entry points on these edges.

@@ -69,6 +69,13 @@ type Options struct {
 	// GenScheduleBudget caps that enumeration (default 40_000 candidates);
 	// on overflow the mapping search takes over for the bound.
 	GenScheduleBudget int
+	// GenEscalateBudget is the enumeration cap for the minimal-mode rescue
+	// pass: when the whole bound sweep fails but some low bound's
+	// enumeration had been capped, those bounds are re-enumerated with this
+	// budget before the solver declares unsat — the enumerator decides low
+	// bounds exactly where the budgeted mapping search may thrash. Default
+	// 2_000_000 candidates; negative disables the pass.
+	GenEscalateBudget int
 	// BoundDecisionBudget caps mapping-search decisions per bound in
 	// minimal mode (default 60_000): rather than prove an infeasible low
 	// bound unsatisfiable exhaustively, the sweep moves on — minimality
@@ -101,6 +108,9 @@ func (o *Options) fill() {
 	}
 	if o.GenScheduleBudget == 0 {
 		o.GenScheduleBudget = 40_000
+	}
+	if o.GenEscalateBudget == 0 {
+		o.GenEscalateBudget = 2_000_000
 	}
 	if o.BoundDecisionBudget == 0 {
 		o.BoundDecisionBudget = 60_000
@@ -170,6 +180,7 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 	// bound gets a bounded effort so one infeasible bound cannot stall the
 	// sweep.
 	s.boundBudget = opts.BoundDecisionBudget
+	s.genCapped = make([]bool, opts.GenFallbackBound+1)
 	for c := 0; c <= opts.MinimalSearchLimit; c++ {
 		s.boundStart = s.stats.Decisions
 		s.stats.BoundReached = c
@@ -179,6 +190,32 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 		}
 		if _, ok := err.(*Unsat); !ok {
 			return nil, s.stats, err
+		}
+	}
+	// Rescue pass: the sweep failed, but any low bound whose enumeration
+	// was capped is still undecided — the budgeted mapping search that took
+	// over can thrash on shapes the enumerator handles easily (a valid
+	// schedule can sit far into the generation stream yet be cheap to reach
+	// by streaming validation). Re-enumerate those bounds, in order, with
+	// the escalated budget; bounds the first pass proved empty stay proved.
+	if opts.GenEscalateBudget > 0 {
+		for c := 0; c <= min(opts.GenFallbackBound, opts.MinimalSearchLimit); c++ {
+			if !s.genCapped[c] {
+				continue
+			}
+			s.bound = c
+			s.stats.BoundReached = c
+			sol, _ := s.tryGenerate(c, genLimits{
+				MaxSchedules: opts.GenEscalateBudget,
+				MaxCSPSets:   10_000_000,
+				MaxWalkNodes: 500_000_000,
+			})
+			if s.pendingIntr != nil {
+				return nil, s.stats, s.pendingIntr
+			}
+			if sol != nil {
+				return sol, s.stats, nil
+			}
 		}
 	}
 	return nil, s.stats, &Unsat{Reason: fmt.Sprintf("no schedule within %d preemptions", opts.MinimalSearchLimit)}
@@ -228,6 +265,11 @@ type search struct {
 	bound       int
 	boundBudget int64 // per-bound decision cap (minimal mode), 0 = off
 	boundStart  int64
+	// genCapped[b] records that bound b's first-pass enumeration hit a
+	// budget cap (minimal mode only): such bounds were not decided
+	// exhaustively, so the rescue pass revisits them with the escalated
+	// budget before the sweep concludes unsat.
+	genCapped []bool
 
 	// deadline is the absolute wall-clock cutoff (zero = none); pendingIntr
 	// carries an interrupt detected inside a generator callback out to
@@ -476,7 +518,11 @@ func (s *search) solveWithBound(bound int) (*Solution, error) {
 		return nil, ierr
 	}
 	if bound <= s.opts.GenFallbackBound {
-		sol, decided := s.tryGenerate(bound)
+		sol, decided := s.tryGenerate(bound, genLimits{
+			MaxSchedules: s.opts.GenScheduleBudget,
+			MaxCSPSets:   200_000,
+			MaxWalkNodes: 5_000_000,
+		})
 		if s.pendingIntr != nil {
 			return nil, s.pendingIntr
 		}
@@ -486,8 +532,12 @@ func (s *search) solveWithBound(bound int) (*Solution, error) {
 		if decided {
 			return nil, &Unsat{Reason: fmt.Sprintf("no schedule with %d preemptions (exhaustive)", bound)}
 		}
+		if s.genCapped != nil && bound < len(s.genCapped) {
+			s.genCapped[bound] = true
+		}
 		// Enumeration overflowed its budget: fall through to the mapping
-		// search, which scales to large bounds.
+		// search, which scales to large bounds. In minimal mode the rescue
+		// pass may revisit this bound with the escalated budget.
 	}
 	sol, err := s.decide(0)
 	if err != nil {
@@ -496,15 +546,23 @@ func (s *search) solveWithBound(bound int) (*Solution, error) {
 	return sol, nil
 }
 
+// genLimits bounds one enumeration attempt (see schedule.Options for the
+// cap semantics).
+type genLimits struct {
+	MaxSchedules int
+	MaxCSPSets   int
+	MaxWalkNodes int
+}
+
 // tryGenerate enumerates all candidate schedules with exactly `bound`
 // preemptions and validates each. decided=true means the enumeration was
 // exhaustive, so a nil solution proves unsatisfiability at this bound.
-func (s *search) tryGenerate(bound int) (sol *Solution, decided bool) {
+func (s *search) tryGenerate(bound int, lim genLimits) (sol *Solution, decided bool) {
 	gen := schedule.NewGenerator(s.sys, schedule.Options{
-		MaxSchedules:     s.opts.GenScheduleBudget,
+		MaxSchedules:     lim.MaxSchedules,
 		RespectHardEdges: true,
-		MaxCSPSets:       200_000,
-		MaxWalkNodes:     5_000_000,
+		MaxCSPSets:       lim.MaxCSPSets,
+		MaxWalkNodes:     lim.MaxWalkNodes,
 	})
 	res := gen.Generate(bound, func(order []constraints.SAPRef, pre int) bool {
 		s.stats.Validations++

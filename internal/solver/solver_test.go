@@ -99,6 +99,70 @@ func TestSolveFigure2Minimal(t *testing.T) {
 	}
 }
 
+// dekkerTSOSrc is Dekker's algorithm with the fences elided: correct under
+// SC, broken under TSO where the flag stores may pass the flag loads. Its
+// failures need genuinely preemptive schedules (no 0-preemption solution),
+// which makes it the subject for bound-sweep and rescue-pass tests.
+const dekkerTSOSrc = `
+int flag0;
+int flag1;
+int incrit;
+int bad;
+func t0() {
+	flag0 = 1;
+	if (flag1 == 0) {
+		incrit = incrit + 1;
+		if (incrit != 1) { bad = 1; }
+		incrit = incrit - 1;
+	}
+}
+func t1() {
+	flag1 = 1;
+	if (flag0 == 0) {
+		incrit = incrit + 1;
+		if (incrit != 1) { bad = 1; }
+		incrit = incrit - 1;
+	}
+}
+func main() {
+	int h0;
+	int h1;
+	h0 = spawn t0();
+	h1 = spawn t1();
+	join(h0);
+	join(h1);
+	int b = bad;
+	assert(b == 0, "mutual exclusion violated");
+}
+`
+
+// TestGenEscalationRescue pins the minimal-mode rescue pass: with the
+// first-pass enumeration budget and the per-bound mapping budget both
+// starved, the sweep alone fails, and only the escalated re-enumeration of
+// the capped low bounds can find the schedule. Disabling escalation must
+// turn the same solve unsatisfiable.
+func TestGenEscalationRescue(t *testing.T) {
+	sys := buildFailingSystem(t, dekkerTSOSrc, vm.TSO, 3000)
+	starved := Options{
+		MaxPreemptions:      -1,
+		GenScheduleBudget:   1,
+		BoundDecisionBudget: 1,
+	}
+	sol, stats, err := Solve(sys, starved)
+	if err != nil {
+		t.Fatalf("rescue pass did not recover: %v (stats %+v)", err, stats)
+	}
+	if _, err := sys.ValidateSchedule(sol.Order); err != nil {
+		t.Fatalf("rescued solution does not validate: %v", err)
+	}
+	starved.GenEscalateBudget = -1
+	if _, _, err := Solve(sys, starved); err == nil {
+		t.Fatal("starved solve without escalation should be unsatisfiable")
+	} else if _, ok := err.(*Unsat); !ok {
+		t.Fatalf("expected *Unsat, got %v", err)
+	}
+}
+
 func TestSolveLockedProgram(t *testing.T) {
 	src := `
 int c;
@@ -258,39 +322,7 @@ func main() {
 }
 
 func TestSolveTSODekker(t *testing.T) {
-	src := `
-int flag0;
-int flag1;
-int incrit;
-int bad;
-func t0() {
-	flag0 = 1;
-	if (flag1 == 0) {
-		incrit = incrit + 1;
-		if (incrit != 1) { bad = 1; }
-		incrit = incrit - 1;
-	}
-}
-func t1() {
-	flag1 = 1;
-	if (flag0 == 0) {
-		incrit = incrit + 1;
-		if (incrit != 1) { bad = 1; }
-		incrit = incrit - 1;
-	}
-}
-func main() {
-	int h0;
-	int h1;
-	h0 = spawn t0();
-	h1 = spawn t1();
-	join(h0);
-	join(h1);
-	int b = bad;
-	assert(b == 0, "mutual exclusion violated");
-}
-`
-	sys := buildFailingSystem(t, src, vm.TSO, 3000)
+	sys := buildFailingSystem(t, dekkerTSOSrc, vm.TSO, 3000)
 	sol, _, err := Solve(sys, Options{MaxPreemptions: -1})
 	if err != nil {
 		t.Fatalf("solve dekker under TSO: %v", err)

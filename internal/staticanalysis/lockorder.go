@@ -1,0 +1,222 @@
+package staticanalysis
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// The lock-order pass builds a graph over the program's mutexes: an edge
+// m1 → m2 means some live thread may acquire m2 while m1 may be held
+// (directly at a lock instruction, or transitively through a call that
+// acquires m2 inside). Any strongly connected component with more than
+// one mutex — or a self-loop, a non-reentrant re-acquisition — is a
+// potential deadlock and surfaces in `clap vet`.
+
+// lockOrder populates res.LockEdges and res.Cycles.
+func (a *analysis) lockOrder() {
+	prog := a.prog
+	n := len(prog.Funcs)
+
+	// acquires[f]: mutexes locked anywhere in f or its callees.
+	acquires := make([]ir.LockSet, n)
+	for changed := true; changed; {
+		changed = false
+		for fi, fn := range prog.Funcs {
+			s := acquires[fi]
+			for _, b := range fn.Blocks {
+				for _, in := range b.Instrs {
+					switch x := in.(type) {
+					case *ir.SyncOp:
+						if x.Kind == ir.BuiltinLock {
+							s = s.With(x.Obj)
+						}
+					case *ir.Call:
+						s = s.Union(acquires[x.Func])
+					}
+				}
+			}
+			if s != acquires[fi] {
+				acquires[fi] = s
+				changed = true
+			}
+		}
+	}
+
+	edges := map[[2]ir.SyncID]LockEdge{}
+	addEdge := func(held, acq ir.SyncID, fn ir.FuncID, instr ir.Instr) {
+		key := [2]ir.SyncID{held, acq}
+		if _, ok := edges[key]; ok {
+			return // keep the first (deterministic scan order) witness
+		}
+		edges[key] = LockEdge{Held: held, Acquired: acq, Fn: fn, Pos: ir.PosOf(instr)}
+	}
+	for fi, fn := range prog.Funcs {
+		if len(a.rootsOf[fi]) == 0 {
+			continue // dead code cannot deadlock
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				held := a.mayAt[in]
+				if held.Empty() {
+					continue
+				}
+				switch x := in.(type) {
+				case *ir.SyncOp:
+					if x.Kind != ir.BuiltinLock {
+						continue
+					}
+					for m := range prog.Mutexes {
+						if held.Has(ir.SyncID(m)) {
+							addEdge(ir.SyncID(m), x.Obj, ir.FuncID(fi), in)
+						}
+					}
+				case *ir.Call:
+					inner := acquires[x.Func]
+					if inner.Empty() {
+						continue
+					}
+					for m1 := range prog.Mutexes {
+						if !held.Has(ir.SyncID(m1)) {
+							continue
+						}
+						for m2 := range prog.Mutexes {
+							if inner.Has(ir.SyncID(m2)) {
+								f2, site := a.firstLockSite(x.Func, ir.SyncID(m2))
+								addEdge(ir.SyncID(m1), ir.SyncID(m2), f2, site)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, e := range edges {
+		a.res.LockEdges = append(a.res.LockEdges, e)
+	}
+	sort.Slice(a.res.LockEdges, func(i, j int) bool {
+		x, y := a.res.LockEdges[i], a.res.LockEdges[j]
+		if x.Held != y.Held {
+			return x.Held < y.Held
+		}
+		return x.Acquired < y.Acquired
+	})
+
+	a.res.Cycles = lockCycles(len(prog.Mutexes), a.res.LockEdges)
+}
+
+// firstLockSite returns the first (block order) lock instruction for m in
+// f or, recursively, in its callees — the witness position reported for
+// a call-carried lock-order edge.
+func (a *analysis) firstLockSite(f ir.FuncID, m ir.SyncID) (ir.FuncID, ir.Instr) {
+	seen := map[ir.FuncID]bool{}
+	var find func(f ir.FuncID) (ir.FuncID, ir.Instr)
+	find = func(f ir.FuncID) (ir.FuncID, ir.Instr) {
+		if seen[f] {
+			return -1, nil
+		}
+		seen[f] = true
+		for _, b := range a.prog.Funcs[f].Blocks {
+			for _, in := range b.Instrs {
+				switch x := in.(type) {
+				case *ir.SyncOp:
+					if x.Kind == ir.BuiltinLock && x.Obj == m {
+						return f, in
+					}
+				case *ir.Call:
+					if ff, site := find(x.Func); site != nil {
+						return ff, site
+					}
+				}
+			}
+		}
+		return -1, nil
+	}
+	ff, site := find(f)
+	if site == nil {
+		return f, nil
+	}
+	return ff, site
+}
+
+// lockCycles runs Tarjan's SCC over the lock-order graph and returns the
+// components that can deadlock: size > 1, or a single mutex with a
+// self-edge.
+func lockCycles(numMutexes int, edges []LockEdge) []Cycle {
+	succs := make([][]ir.SyncID, numMutexes)
+	self := make([]bool, numMutexes)
+	for _, e := range edges {
+		succs[e.Held] = append(succs[e.Held], e.Acquired)
+		if e.Held == e.Acquired {
+			self[e.Held] = true
+		}
+	}
+
+	const unvisited = -1
+	index := make([]int, numMutexes)
+	low := make([]int, numMutexes)
+	onStack := make([]bool, numMutexes)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []ir.SyncID
+	next := 0
+	var comps [][]ir.SyncID
+	var strong func(v ir.SyncID)
+	strong = func(v ir.SyncID) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if index[w] == unvisited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []ir.SyncID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < numMutexes; v++ {
+		if index[v] == unvisited {
+			strong(ir.SyncID(v))
+		}
+	}
+
+	var cycles []Cycle
+	for _, comp := range comps {
+		if len(comp) == 1 && !self[comp[0]] {
+			continue
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		in := map[ir.SyncID]bool{}
+		for _, m := range comp {
+			in[m] = true
+		}
+		cy := Cycle{Mutexes: comp}
+		for _, e := range edges {
+			if in[e.Held] && in[e.Acquired] {
+				cy.Edges = append(cy.Edges, e)
+			}
+		}
+		cycles = append(cycles, cy)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].Mutexes[0] < cycles[j].Mutexes[0] })
+	return cycles
+}

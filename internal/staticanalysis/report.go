@@ -1,0 +1,86 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Render formats the result as the `clap vet` diagnostic listing: one
+// line per shared global, one per potential race, a block per lock-order
+// cycle, and a summary line. The output is deterministic (sorted by
+// global id and source position) so it can be golden-tested.
+func (r *Result) Render() string {
+	var sb strings.Builder
+
+	counts := map[ir.GlobalID]int{}
+	for _, acc := range r.Accesses {
+		counts[acc.Global]++
+	}
+	for g := range r.Prog.Globals {
+		gid := ir.GlobalID(g)
+		if !r.Sharing.IsShared(gid) {
+			continue
+		}
+		prot := "no consistent lock"
+		if m := r.ConsistentLock[g]; m >= 0 {
+			prot = "protected by " + r.Prog.Mutexes[m]
+		} else if r.Demotable[g] {
+			prot = "no concurrent accesses"
+		}
+		fmt.Fprintf(&sb, "shared %s: %d access sites, %s\n", r.Prog.Globals[g].Name, counts[gid], prot)
+	}
+
+	for _, race := range r.Races {
+		fmt.Fprintf(&sb, "race: %s: %s vs %s\n",
+			r.Prog.Globals[race.Global].Name, r.accessString(race.A), r.accessString(race.B))
+	}
+
+	for _, cy := range r.Cycles {
+		var names []string
+		for _, m := range cy.Mutexes {
+			names = append(names, r.Prog.Mutexes[m])
+		}
+		names = append(names, names[0])
+		fmt.Fprintf(&sb, "lock-order cycle: %s\n", strings.Join(names, " -> "))
+		for _, e := range cy.Edges {
+			fmt.Fprintf(&sb, "  holds %s, acquires %s at %s@%s\n",
+				r.Prog.Mutexes[e.Held], r.Prog.Mutexes[e.Acquired],
+				r.Prog.Funcs[e.Fn].Name, e.Pos)
+		}
+	}
+
+	switch {
+	case len(r.Races) == 0 && len(r.Cycles) == 0:
+		sb.WriteString("summary: no potential races, no lock-order cycles\n")
+	default:
+		fmt.Fprintf(&sb, "summary: %s, %s\n",
+			plural(len(r.Races), "potential race"), plural(len(r.Cycles), "lock-order cycle"))
+	}
+	return sb.String()
+}
+
+func (r *Result) accessString(a Access) string {
+	kind := "read"
+	if a.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("%s %s@%s %s", kind, r.Prog.Funcs[a.Fn].Name, a.Pos, a.Locks.Names(r.Prog))
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("1 %s", noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}
+
+// String condenses the stats to one -verbose line, mirroring
+// constraints.PreStats.String.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"static: shared=%d protected=%d sites=%d pairs=%d lock-excluded=%d hb-ordered=%d races=%d lock-edges=%d cycles=%d",
+		s.SharedVars, s.ProtectedVars, s.AccessSites, s.Pairs,
+		s.LockExcluded, s.HBOrdered, s.Races, s.LockEdges, s.Cycles)
+}

@@ -1,0 +1,379 @@
+package staticanalysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := ir.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Analyze(prog)
+}
+
+// raceOn reports whether the result flags a potential race on the named
+// global.
+func raceOn(r *Result, name string) bool {
+	g := r.Prog.GlobalByName(name)
+	for _, race := range r.Races {
+		if race.Global == g {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLocksetProtectsCounter(t *testing.T) {
+	r := analyzeSrc(t, `
+int count;
+mutex m;
+
+func worker(n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		count = count + 1;
+		unlock(m);
+	}
+}
+
+func main() {
+	int h1 = spawn worker(3);
+	int h2 = spawn worker(3);
+	join(h1);
+	join(h2);
+	assert(count == 6, "lost update");
+}
+`)
+	if raceOn(r, "count") {
+		t.Fatalf("count is lock-protected and join-separated, got races:\n%s", r.Render())
+	}
+	g := r.Prog.GlobalByName("count")
+	m := r.Prog.FuncByName("main")
+	if r.ConsistentLock[g] < 0 {
+		t.Errorf("count should have a consistent protecting lock")
+	}
+	// The worker accesses hold m; main's final read holds nothing but is
+	// join-separated.
+	for _, acc := range r.Accesses {
+		want := acc.Fn != ir.FuncID(m)
+		if got := acc.Locks.Has(0); got != want {
+			t.Errorf("access in %s: Has(m)=%v want %v", r.Prog.Funcs[acc.Fn].Name, got, want)
+		}
+	}
+	if st := r.ComputeStats(); st.LockExcluded == 0 || st.HBOrdered == 0 {
+		t.Errorf("expected lock-excluded and hb-ordered pairs, got %+v", st)
+	}
+}
+
+func TestLocksetInterprocedural(t *testing.T) {
+	// The lock is taken in the caller; the access happens in a callee,
+	// which must inherit the entry lockset through the call-graph
+	// summary.
+	r := analyzeSrc(t, `
+int count;
+mutex m;
+
+func bump() {
+	count = count + 1;
+}
+
+func worker() {
+	lock(m);
+	bump();
+	unlock(m);
+}
+
+func main() {
+	int h1 = spawn worker();
+	int h2 = spawn worker();
+	join(h1);
+	join(h2);
+}
+`)
+	if raceOn(r, "count") {
+		t.Fatalf("callee inherits caller's lockset, got races:\n%s", r.Render())
+	}
+	if g := r.Prog.GlobalByName("count"); r.ConsistentLock[g] < 0 {
+		t.Errorf("count should be consistently protected through the call")
+	}
+}
+
+func TestLocksetRecursionConservative(t *testing.T) {
+	// A recursive callee that can release m on some path without
+	// reacquiring it saturates conservatively, so the caller cannot claim
+	// m across the recursive call even though the releasing branch is
+	// dynamically dead.
+	r := analyzeSrc(t, `
+int x;
+mutex m;
+
+func rec(n) {
+	if (n > 1000) {
+		unlock(m);
+		rec(n - 1);
+	}
+}
+
+func worker(n) {
+	lock(m);
+	rec(n);
+	x = x + 1;
+	unlock(m);
+}
+
+func main() {
+	int h1 = spawn worker(1);
+	int h2 = spawn worker(1);
+	join(h1);
+	join(h2);
+}
+`)
+	var access *Access
+	for i, acc := range r.Accesses {
+		if acc.Global == r.Prog.GlobalByName("x") && acc.Write {
+			access = &r.Accesses[i]
+			break
+		}
+	}
+	if access == nil {
+		t.Fatal("no write access to x found")
+	}
+	if access.Locks.Has(0) {
+		t.Errorf("must-held lockset across a recursive unlock/relock must drop m")
+	}
+	if !raceOn(r, "x") {
+		t.Errorf("x must be flagged: the recursive summary cannot prove m held")
+	}
+}
+
+func TestBranchMeetIntersects(t *testing.T) {
+	// Only one arm of the branch locks, so the merge point holds nothing.
+	r := analyzeSrc(t, `
+int x;
+mutex m;
+
+func worker(c) {
+	if (c) {
+		lock(m);
+	} else {
+		yield();
+	}
+	x = x + 1;
+	if (c) {
+		unlock(m);
+	}
+}
+
+func main() {
+	int h1 = spawn worker(1);
+	int h2 = spawn worker(0);
+	join(h1);
+	join(h2);
+}
+`)
+	if !raceOn(r, "x") {
+		t.Errorf("conditional locking must not count as protection:\n%s", r.Render())
+	}
+}
+
+func TestSpawnJoinSeparation(t *testing.T) {
+	// Unlocked accesses in main are ordered against the worker by the
+	// spawn/join pair; worker instances race with each other.
+	r := analyzeSrc(t, `
+int x;
+
+func worker() {
+	x = x + 1;
+}
+
+func main() {
+	x = 1;
+	int h = spawn worker();
+	join(h);
+	assert(x == 2, "bump lost");
+}
+`)
+	if raceOn(r, "x") {
+		t.Fatalf("single worker fully separated by spawn/join, got:\n%s", r.Render())
+	}
+
+	r = analyzeSrc(t, `
+int x;
+
+func worker() {
+	x = x + 1;
+}
+
+func main() {
+	int h1 = spawn worker();
+	int h2 = spawn worker();
+	join(h1);
+	join(h2);
+}
+`)
+	if !raceOn(r, "x") {
+		t.Errorf("two worker instances must race with each other")
+	}
+}
+
+func TestSpawnInLoopNotSeparated(t *testing.T) {
+	// A join whose spawn sits in a loop joins only the last handle, so
+	// main's final read is not provably ordered.
+	r := analyzeSrc(t, `
+int x;
+
+func worker() {
+	x = x + 1;
+}
+
+func main() {
+	int i;
+	int h;
+	for (i = 0; i < 3; i = i + 1) {
+		h = spawn worker();
+	}
+	join(h);
+	int v = x;
+	print(v);
+}
+`)
+	if !raceOn(r, "x") {
+		t.Errorf("loop-spawned workers must stay concurrent with main's read")
+	}
+}
+
+func TestCondSeparation(t *testing.T) {
+	// Classic message passing: one signal site, one wait site, accesses
+	// ordered across the condition variable.
+	r := analyzeSrc(t, `
+int data;
+int ready;
+mutex m;
+cond c;
+
+func consumer() {
+	lock(m);
+	wait(c, m);
+	unlock(m);
+	int v = data;
+	print(v);
+}
+
+func main() {
+	int h = spawn consumer();
+	data = 42;
+	lock(m);
+	ready = 1;
+	signal(c);
+	unlock(m);
+	join(h);
+}
+`)
+	if raceOn(r, "data") {
+		t.Errorf("data write before signal vs read after wait is ordered:\n%s", r.Render())
+	}
+}
+
+func TestLockOrderCycle(t *testing.T) {
+	r := analyzeSrc(t, `
+int x;
+mutex a;
+mutex b;
+
+func t1() {
+	lock(a);
+	lock(b);
+	x = 1;
+	unlock(b);
+	unlock(a);
+}
+
+func main() {
+	int h = spawn t1();
+	lock(b);
+	lock(a);
+	x = 2;
+	unlock(a);
+	unlock(b);
+	join(h);
+}
+`)
+	if len(r.Cycles) != 1 {
+		t.Fatalf("want 1 lock-order cycle, got %d:\n%s", len(r.Cycles), r.Render())
+	}
+	if len(r.Cycles[0].Mutexes) != 2 {
+		t.Errorf("cycle should span both mutexes: %+v", r.Cycles[0])
+	}
+	if raceOn(r, "x") {
+		t.Errorf("x is protected by a (and b) at every site")
+	}
+	if !strings.Contains(r.Render(), "lock-order cycle: a -> b -> a") {
+		t.Errorf("render should show the cycle:\n%s", r.Render())
+	}
+}
+
+func TestNoLockOrderCycleWhenOrdered(t *testing.T) {
+	r := analyzeSrc(t, `
+int x;
+mutex a;
+mutex b;
+
+func t1() {
+	lock(a);
+	lock(b);
+	x = 1;
+	unlock(b);
+	unlock(a);
+}
+
+func main() {
+	int h = spawn t1();
+	lock(a);
+	lock(b);
+	x = 2;
+	unlock(b);
+	unlock(a);
+	join(h);
+}
+`)
+	if len(r.Cycles) != 0 {
+		t.Errorf("consistent a-then-b order must not report a cycle:\n%s", r.Render())
+	}
+	if len(r.LockEdges) != 1 {
+		t.Errorf("want the single a->b edge, got %+v", r.LockEdges)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	src := `
+int x;
+int y;
+
+func racer(v) {
+	x = v;
+	y = v;
+}
+
+func main() {
+	int h1 = spawn racer(1);
+	int h2 = spawn racer(2);
+	join(h1);
+	join(h2);
+}
+`
+	first := analyzeSrc(t, src).Render()
+	for i := 0; i < 5; i++ {
+		if got := analyzeSrc(t, src).Render(); got != first {
+			t.Fatalf("render not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "race: x:") || !strings.Contains(first, "race: y:") {
+		t.Errorf("both globals should be flagged:\n%s", first)
+	}
+}

@@ -18,6 +18,10 @@ type Options struct {
 	Inputs []int64
 	// Failure identifies the failing assertion; it is required.
 	Failure FailureSpec
+	// Locks optionally maps instructions to their statically must-held
+	// locksets (staticanalysis.Result.Must); memory SAPs are stamped with
+	// them.
+	Locks map[ir.Instr]ir.LockSet
 }
 
 // Analyze symbolically re-executes the recorded run.
@@ -39,6 +43,7 @@ func Analyze(prog *ir.Program, paths []*ballarus.FuncPaths, log *trace.PathLog, 
 		spawnArgs: map[trace.ThreadID][]symbolic.Expr{},
 		keyToTid:  map[threadKey]trace.ThreadID{},
 		readOf:    map[symbolic.SymID]*SAP{},
+		locks:     opts.Locks,
 	}
 	an := &Analysis{
 		Prog:      prog,
@@ -119,6 +124,16 @@ type globalCtx struct {
 	spawnArgs map[trace.ThreadID][]symbolic.Expr
 	keyToTid  map[threadKey]trace.ThreadID
 	readOf    map[symbolic.SymID]*SAP
+	locks     map[ir.Instr]ir.LockSet
+}
+
+// lockAt returns the statically must-held lockset at an instruction, or
+// the empty set when no lockset analysis was supplied.
+func (g *globalCtx) lockAt(in ir.Instr) ir.LockSet {
+	if g.locks == nil {
+		return 0
+	}
+	return g.locks[in]
 }
 
 // assertRec is an executed assertion occurrence.
@@ -284,7 +299,7 @@ func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *a
 	case *ir.LoadG:
 		if e.g.shared[x.Global] {
 			sym := e.fresh(x.Global)
-			s := e.emit(&SAP{Kind: SAPRead, Var: x.Global, Addr: e.g.layout.Base[x.Global], Sym: sym})
+			s := e.emit(&SAP{Kind: SAPRead, Var: x.Global, Addr: e.g.layout.Base[x.Global], Sym: sym, MustLocks: e.g.lockAt(x)})
 			e.g.readOf[sym.ID] = s
 			regs[x.Dst] = sym
 		} else {
@@ -292,7 +307,7 @@ func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *a
 		}
 	case *ir.StoreG:
 		if e.g.shared[x.Global] {
-			e.emit(&SAP{Kind: SAPWrite, Var: x.Global, Addr: e.g.layout.Base[x.Global], Val: regs[x.Src]})
+			e.emit(&SAP{Kind: SAPWrite, Var: x.Global, Addr: e.g.layout.Base[x.Global], Val: regs[x.Src], MustLocks: e.g.lockAt(x)})
 		} else {
 			e.nonShared.writeScalar(x.Global, regs[x.Src])
 		}
@@ -300,7 +315,7 @@ func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *a
 		idx := regs[x.Idx]
 		if e.g.shared[x.Array] {
 			sym := e.fresh(x.Array)
-			s := &SAP{Kind: SAPRead, Var: x.Array, Sym: sym}
+			s := &SAP{Kind: SAPRead, Var: x.Array, Sym: sym, MustLocks: e.g.lockAt(x)}
 			if err := e.fillAddr(s, x.Array, idx); err != nil {
 				return err
 			}
@@ -317,7 +332,7 @@ func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *a
 	case *ir.StoreA:
 		idx := regs[x.Idx]
 		if e.g.shared[x.Array] {
-			s := &SAP{Kind: SAPWrite, Var: x.Array, Val: regs[x.Src]}
+			s := &SAP{Kind: SAPWrite, Var: x.Array, Val: regs[x.Src], MustLocks: e.g.lockAt(x)}
 			if err := e.fillAddr(s, x.Array, idx); err != nil {
 				return err
 			}

@@ -104,6 +104,12 @@ type SAP struct {
 
 	// Other is the counterpart thread of fork and join.
 	Other trace.ThreadID
+
+	// MustLocks is the statically computed must-held lockset at the
+	// access (memory SAPs only; zero when no lockset analysis ran).
+	// Diagnostics and the constraint preprocessor use it as a
+	// conservative mutual-exclusion hint.
+	MustLocks ir.LockSet
 }
 
 // String renders the SAP for diagnostics.

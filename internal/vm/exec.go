@@ -238,6 +238,14 @@ func (v *VM) isShared(g ir.GlobalID) bool {
 	return v.conf.Shared == nil || v.conf.Shared[g]
 }
 
+// demoted reports whether accesses to shared global g were demoted from
+// scheduling points: they keep shared-memory semantics but are neither
+// visible events nor LEAP accesses, and execution continues within the
+// same run action.
+func (v *VM) demoted(g ir.GlobalID) bool {
+	return v.conf.Demoted != nil && v.conf.Demoted[g]
+}
+
 // gated reports whether the access must wait (GateAccess said no). The
 // instruction is left unexecuted: ip stays put, the run action ends, and
 // the access retries on the thread's next turn.
@@ -300,6 +308,10 @@ func (v *VM) execInstr(t *Thread, fr *frame, in ir.Instr) (bool, error) {
 			fr.regs[x.Dst] = IntVal(v.mem[addr])
 			break
 		}
+		if v.demoted(x.Global) {
+			fr.regs[x.Dst] = IntVal(v.loadShared(t, addr))
+			break
+		}
 		if v.gated(t, x.Global, false) {
 			return true, nil
 		}
@@ -317,6 +329,10 @@ func (v *VM) execInstr(t *Thread, fr *frame, in ir.Instr) (bool, error) {
 		addr := v.base[x.Global]
 		if !v.isShared(x.Global) {
 			v.mem[addr] = src.I
+			break
+		}
+		if v.demoted(x.Global) {
+			v.storeShared(t, addr, src.I)
 			break
 		}
 		if v.gated(t, x.Global, true) {
@@ -340,6 +356,10 @@ func (v *VM) execInstr(t *Thread, fr *frame, in ir.Instr) (bool, error) {
 			fr.regs[x.Dst] = IntVal(v.mem[addr])
 			break
 		}
+		if v.demoted(x.Array) {
+			fr.regs[x.Dst] = IntVal(v.loadShared(t, addr))
+			break
+		}
 		if v.gated(t, x.Array, false) {
 			return true, nil
 		}
@@ -361,6 +381,10 @@ func (v *VM) execInstr(t *Thread, fr *frame, in ir.Instr) (bool, error) {
 		}
 		if !v.isShared(x.Array) {
 			v.mem[addr] = src.I
+			break
+		}
+		if v.demoted(x.Array) {
+			v.storeShared(t, addr, src.I)
 			break
 		}
 		if v.gated(t, x.Array, true) {

@@ -198,6 +198,15 @@ type Config struct {
 	// local instructions: not scheduling points, not SAPs, not recorded by
 	// LEAP. A nil slice conservatively treats every global as shared.
 	Shared []bool
+	// Demoted marks shared globals whose accesses the static lockset /
+	// happens-before analysis proved free of concurrent conflicting
+	// access. Demoted accesses keep full shared-memory semantics (store
+	// buffers, value injection) but are not scheduling points, visible
+	// events, or LEAP-recorded accesses: with no concurrent rival the
+	// interleaving around them is irrelevant, so the recorder skips them
+	// the same way partial-order reduction skips invisible transitions.
+	// Nil demotes nothing. Ignored for globals not marked in Shared.
+	Demoted []bool
 	// PathRecorder, if non-nil, records CLAP thread-local path logs.
 	PathRecorder *PathRecorder
 	// LeapRecorder, if non-nil, records LEAP per-variable access vectors.
