@@ -4,9 +4,10 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
-.PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples
+.PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples \
+	race-obs metrics-smoke
 
-ci: vet build test vet-examples fuzz-smoke
+ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +45,18 @@ fuzz-smoke:
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/trace/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+
+# Focused race-detector pass over the observability and parallel-solver
+# packages: both synchronize across goroutines (heartbeat vs. registry,
+# progress hooks vs. workers), so they get a dedicated -race run even when
+# the full `test` target is skipped.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/parsolve/...
+
+# End-to-end metrics smoke: reproduce one benchmark with -metrics-json and
+# require the five pipeline-stage spans in the report via `clap stats`.
+metrics-smoke:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/clap bench sim_race -metrics-json $$tmp >/dev/null && \
+	$(GO) run ./cmd/clap stats $$tmp -require record,symexec,preprocess,solve,replay >/dev/null && \
+	echo "metrics-smoke: ok" ; rc=$$?; rm -f $$tmp; exit $$rc

@@ -67,7 +67,12 @@ type StageResult struct {
 	// solver refusing an oversized system, or the bounded generator not
 	// reaching the bug (racey, the paper's Table 3 negative result).
 	Skipped bool `json:"skipped,omitempty"`
-	// Candidate-schedule counters, parsolve stage only.
+	// Counters holds the stage's per-stage counters under their stable
+	// dotted names (internal/obs/names.go): search effort for the solver
+	// stages, pruning counts for preprocess.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Candidate-schedule counters, parsolve stage only. Kept for diffing
+	// against clap-bench/1 snapshots; duplicates Counters["solver.par.*"].
 	Generated float64 `json:"generated,omitempty"`
 	Validated float64 `json:"validated,omitempty"`
 	Valid     float64 `json:"valid,omitempty"`
@@ -144,7 +149,7 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:     "clap-bench/1",
+		Schema:     "clap-bench/2",
 		Date:       time.Now().Format("2006-01-02"),
 		Mode:       mode,
 		GoVersion:  runtime.Version(),
@@ -249,14 +254,21 @@ func runStage(stage string, fn func(*testing.B)) StageResult {
 	if r.N == 0 {
 		return StageResult{Skipped: true}
 	}
-	return StageResult{
+	sr := StageResult{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
-		Generated:   r.Extra["generated"],
-		Validated:   r.Extra["validated"],
-		Valid:       r.Extra["valid"],
+		Generated:   r.Extra["solver.par.generated"],
+		Validated:   r.Extra["solver.par.validated"],
+		Valid:       r.Extra["solver.par.valid"],
 	}
+	if len(r.Extra) > 0 {
+		sr.Counters = map[string]float64{}
+		for k, v := range r.Extra {
+			sr.Counters[k] = v
+		}
+	}
+	return sr
 }
 
 // portfolioWall times the end-to-end portfolio solve: a fresh system build

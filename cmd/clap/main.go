@@ -9,6 +9,7 @@
 //	clap vet <prog.mc>...              static lockset/happens-before lint:
 //	                                   potential races and lock-order cycles
 //	clap decodelog <log> [flags]       inspect a recorded path log file
+//	clap stats <metrics.json>          pretty-print a -metrics-json report
 //
 // Flags (after the subcommand):
 //
@@ -26,7 +27,11 @@
 //	-salvage            decodelog: recover the longest valid prefix from a
 //	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
-//	-dump-constraints   print the constraint system before solving
+//	-dump-constraints   print the constraint system after solving
+//	-metrics-json FILE  write the pipeline's span tree and metric registry
+//	                    as JSON (written even when the run fails)
+//	-progress           print a periodic solver heartbeat to stderr
+//	-require a,b,c      stats: fail unless each named span is in the report
 //	-cpuprofile FILE    write a pprof CPU profile covering the whole
 //	                    record/solve/replay pipeline
 //	-memprofile FILE    write a pprof heap profile at exit (after a GC)
@@ -35,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -45,9 +51,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/cnfsolver"
 	"repro/internal/core"
-	"repro/internal/parsolve"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/simplify"
 	"repro/internal/solver"
@@ -77,9 +82,17 @@ type flags struct {
 	simplify bool
 	verbose  bool
 
-	cpuprofile string
-	memprofile string
-	traceOut   string
+	cpuprofile  string
+	memprofile  string
+	traceOut    string
+	metricsJSON string
+	progress    bool
+	require     string
+
+	// tr collects the pipeline's spans and metrics when -metrics-json or
+	// -progress asked for them; nil otherwise (the pipeline records into
+	// its own private trace and nothing is written).
+	tr *obs.Trace
 }
 
 func parseFlags(args []string) (rest []string, f flags, err error) {
@@ -184,6 +197,16 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 			if f.traceOut, err = need(a); err != nil {
 				return nil, f, err
 			}
+		case "-metrics-json":
+			if f.metricsJSON, err = need(a); err != nil {
+				return nil, f, err
+			}
+		case "-require":
+			if f.require, err = need(a); err != nil {
+				return nil, f, err
+			}
+		case "-progress":
+			f.progress = true
 		case "-salvage":
 			f.salvage = true
 		case "-dump-constraints":
@@ -208,6 +231,9 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	// All teardown is deferred here rather than in main so a failing
+	// subcommand still flushes its profiles, trace and metrics: a crash
+	// under -cpuprofile is exactly when the profile matters.
 	stopProfiles, err := startProfiles(f)
 	if err != nil {
 		return err
@@ -217,6 +243,31 @@ func run(args []string) (err error) {
 			err = perr
 		}
 	}()
+	if f.metricsJSON != "" || f.progress {
+		f.tr = obs.NewTrace("clap")
+		defer func() {
+			if f.metricsJSON == "" {
+				return
+			}
+			data, mErr := f.tr.Report().Encode()
+			if mErr == nil {
+				mErr = os.WriteFile(f.metricsJSON, data, 0o644)
+			}
+			if mErr != nil && err == nil {
+				err = mErr
+			}
+		}()
+	}
+	if f.progress {
+		hopts := obs.HeartbeatOptions{Gauges: obs.ProgressGauges, Rates: obs.ProgressRates}
+		if f.timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+			defer cancel()
+			hopts.Ctx = ctx
+		}
+		hb := obs.StartHeartbeat(os.Stderr, f.tr.Reg(), hopts)
+		defer hb.Stop()
+	}
 	switch cmd {
 	case "run":
 		return cmdRun(rest, f)
@@ -230,6 +281,8 @@ func run(args []string) (err error) {
 		return cmdVet(rest, f)
 	case "decodelog":
 		return cmdDecodeLog(rest, f)
+	case "stats":
+		return cmdStats(rest, f)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -242,14 +295,30 @@ func run(args []string) (err error) {
 // not transient garbage.
 func startProfiles(f flags) (func() error, error) {
 	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for _, stop := range stops {
+			if err := stop(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	// A profiler that fails to start must not leak the ones already armed:
+	// stop them before reporting, or a failed -trace would leave the CPU
+	// profiler running with its file handle open and nothing to stop it.
+	fail := func(err error) (func() error, error) {
+		stopAll()
+		return nil, err
+	}
 	if f.cpuprofile != "" {
 		fp, err := os.Create(f.cpuprofile)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(fp); err != nil {
 			fp.Close()
-			return nil, err
+			return fail(err)
 		}
 		stops = append(stops, func() error {
 			pprof.StopCPUProfile()
@@ -259,11 +328,11 @@ func startProfiles(f flags) (func() error, error) {
 	if f.traceOut != "" {
 		fp, err := os.Create(f.traceOut)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := rtrace.Start(fp); err != nil {
 			fp.Close()
-			return nil, err
+			return fail(err)
 		}
 		stops = append(stops, func() error {
 			rtrace.Stop()
@@ -282,15 +351,7 @@ func startProfiles(f flags) (func() error, error) {
 			return pprof.WriteHeapProfile(fp)
 		})
 	}
-	return func() error {
-		var first error
-		for _, stop := range stops {
-			if err := stop(); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}, nil
+	return stopAll, nil
 }
 
 func loadProgram(rest []string) (string, error) {
@@ -341,7 +402,7 @@ func cmdRecord(rest []string, f flags) error {
 	}
 	rec, err := core.Record(prog, core.RecordOptions{
 		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
-		Deadline: f.timeout,
+		Deadline: f.timeout, Obs: f.tr,
 	})
 	if err != nil {
 		return err
@@ -461,14 +522,33 @@ func cmdBench(rest []string, f flags) error {
 	return reproduceSource(b.Source, f)
 }
 
+// solverKind maps the -solver flag to a core.SolverKind.
+func solverKind(name string) (core.SolverKind, error) {
+	switch name {
+	case "seq":
+		return core.Sequential, nil
+	case "par":
+		return core.Parallel, nil
+	case "cnf":
+		return core.CNF, nil
+	case "portfolio":
+		return core.Portfolio, nil
+	}
+	return 0, fmt.Errorf("unknown solver %q", name)
+}
+
 func reproduceSource(src string, f flags) error {
+	kind, err := solverKind(f.solver)
+	if err != nil {
+		return err
+	}
 	prog, err := core.Compile(src)
 	if err != nil {
 		return err
 	}
 	rec, err := core.Record(prog, core.RecordOptions{
 		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
-		Deadline: f.timeout,
+		Deadline: f.timeout, Obs: f.tr,
 	})
 	if err != nil {
 		return err
@@ -480,84 +560,64 @@ func reproduceSource(src string, f flags) error {
 		fmt.Printf("  %s\n", rec.Static.ComputeStats())
 	}
 
-	sys, err := rec.Analyze()
-	if err != nil {
-		return err
+	// Replay runs separately below so -simplify can shrink the schedule
+	// between solving and the final deterministic replay.
+	ropts := core.ReproduceOptions{
+		Solver:     kind,
+		SeqOptions: solver.Options{MaxPreemptions: f.cs},
+		Deadline:   f.timeout,
+		SkipReplay: true,
+		Obs:        f.tr,
 	}
-	stats := sys.ComputeStats()
-	fmt.Printf("constraints: %s\n", stats)
-	pre := sys.Preprocess()
-	if f.verbose {
-		fmt.Printf("  %s\n", pre)
+	rep, rerr := core.Reproduce(rec, ropts)
+	if rep != nil {
+		fmt.Printf("constraints: %s\n", rep.Stats)
+		if f.verbose && rep.System != nil && rep.System.Pre != nil {
+			fmt.Printf("  %s\n", rep.System.Pre)
+		}
+		if f.dump && rep.System != nil {
+			fmt.Println(rep.System.Formula())
+		}
+		if f.solver == "portfolio" || f.verbose {
+			for _, a := range rep.Attempts {
+				fmt.Printf("  attempt %s\n", a)
+			}
+		}
 	}
-	if f.dump {
-		fmt.Println(sys.Formula())
+	if rerr != nil {
+		return rerr
+	}
+	switch {
+	case f.verbose && rep.SeqStats != nil:
+		fmt.Printf("  sequential solver: %+v\n", *rep.SeqStats)
+	case rep.Parallel != nil && kind == core.Parallel:
+		fmt.Printf("  parallel solver: generated %d, valid %d, bound %d, %.3fs\n",
+			rep.Parallel.Generated, rep.Parallel.Valid, rep.Parallel.Bound, rep.Parallel.Elapsed.Seconds())
+	case rep.CNFStats != nil && kind == core.CNF:
+		fmt.Printf("  cnf solver: %d bool vars, %d clauses, %d theory rounds\n",
+			rep.CNFStats.BoolVars, rep.CNFStats.Clauses, rep.CNFStats.TheoryRounds)
 	}
 
-	var sol *solver.Solution
-	switch f.solver {
-	case "seq":
-		s, st, err := solver.Solve(sys, solver.Options{MaxPreemptions: f.cs, Deadline: f.timeout})
-		if err != nil {
-			return err
-		}
-		sol = s
-		if f.verbose {
-			fmt.Printf("  sequential solver: %+v\n", *st)
-		}
-	case "par":
-		res, err := parsolve.Solve(sys, parsolve.Options{Deadline: f.timeout})
-		if err != nil {
-			return err
-		}
-		if !res.Found() {
-			return fmt.Errorf("parallel solver found no schedule (generated %d, timedOut=%v)",
-				res.Generated, res.TimedOut)
-		}
-		sol = res.Solutions[0]
-		fmt.Printf("  parallel solver: generated %d, valid %d, bound %d, %.3fs\n",
-			res.Generated, res.Valid, res.Bound, res.Elapsed.Seconds())
-	case "cnf":
-		s, st, err := cnfsolver.Solve(sys, cnfsolver.Options{Deadline: f.timeout})
-		if err != nil {
-			return err
-		}
-		sol = s
-		fmt.Printf("  cnf solver: %d bool vars, %d clauses, %d theory rounds\n",
-			st.BoolVars, st.Clauses, st.TheoryRounds)
-	case "portfolio":
-		s, attempts, err := core.RunPortfolio(sys, core.ReproduceOptions{
-			SeqOptions: solver.Options{MaxPreemptions: f.cs},
-			Deadline:   f.timeout,
-		})
-		for _, a := range attempts {
-			fmt.Printf("  portfolio: %s\n", a)
-		}
-		if err != nil {
-			return err
-		}
-		sol = s
-	default:
-		return fmt.Errorf("unknown solver %q", f.solver)
-	}
+	sol := rep.Solution
 	if f.simplify {
-		res, err := simplify.Simplify(sys, sol.Order, simplify.Options{})
+		res, err := simplify.Simplify(rep.System, sol.Order, simplify.Options{})
 		if err != nil {
 			return err
 		}
 		if res.After < sol.Preemptions {
 			fmt.Printf("  simplifier: %d -> %d preemptions (%d moves)\n", res.Before, res.After, res.Moves)
 			sol = &solver.Solution{Order: res.Order, Witness: res.Witness, Preemptions: res.After}
+			rep.Solution = sol
 		}
 	}
 	fmt.Printf("schedule: %d SAPs, %d preemptive context switches\n", len(sol.Order), sol.Preemptions)
 	if f.verbose {
 		for i, ref := range sol.Order {
-			fmt.Printf("  %3d %s\n", i, sys.SAP(ref))
+			fmt.Printf("  %3d %s\n", i, rep.System.SAP(ref))
 		}
 	}
 
-	out, err := replay.Run(sys, sol, replay.Options{
+	out, err := rep.Replay(replay.Options{
 		Mode: replay.ModeFor(f.model), Inputs: f.inputs, Deadline: f.timeout,
 	})
 	if err != nil {
@@ -568,5 +628,37 @@ func reproduceSource(src string, f flags) error {
 	}
 	fmt.Printf("replay: bug reproduced deterministically (%s mode, %d events verified)\n",
 		replay.ModeFor(f.model), out.EventsMatched)
+	return nil
+}
+
+// cmdStats pretty-prints a -metrics-json report: the span tree with
+// durations and attributes, then the counters and gauges sorted by name.
+// With -require a,b,c it exits nonzero unless every named span is present,
+// which is how `make ci` smoke-tests the metrics pipeline.
+func cmdStats(rest []string, f flags) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: clap stats <metrics.json> [-require span,span,...]")
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+	rep, err := obs.DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stdout)
+	if f.require != "" {
+		var missing []string
+		for _, name := range strings.Split(f.require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && rep.Span(name) == nil {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("report is missing required spans: %s", strings.Join(missing, ", "))
+		}
+	}
 	return nil
 }

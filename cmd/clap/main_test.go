@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// buildClap compiles the clap binary once per test run.
+var buildClap = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "clapbin")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "clap")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		return "", &buildError{out: out, err: err}
+	}
+	return bin, nil
+})
+
+type buildError struct {
+	out []byte
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + ": " + string(e.out) }
+
+func clapBin(t *testing.T) string {
+	t.Helper()
+	bin, err := buildClap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// noFailureProg never violates an assertion, so `clap reproduce` on it
+// exhausts its seeds and exits nonzero.
+const noFailureProg = `
+int x;
+func child() { x = 1; }
+func main() {
+	int h = spawn child();
+	join(h);
+}
+`
+
+const racyProg = `
+int x;
+func t1() {
+	int r = x;
+	x = r + 1;
+}
+func main() {
+	int h = spawn t1();
+	int r = x;
+	x = r + 1;
+	join(h);
+	int v = x;
+	assert(v == 2, "lost update");
+}
+`
+
+// TestFailingRunStillWritesProfileAndMetrics pins the teardown contract:
+// when the pipeline fails, the already-started CPU profile must still be
+// stopped and flushed (a valid gzipped pprof file, not an empty or
+// truncated one) and the -metrics-json report must still be written. The
+// pre-fix code deferred teardown only on the success path out of main's
+// os.Exit, losing both artifacts exactly when a failing run made them
+// interesting.
+func TestFailingRunStillWritesProfileAndMetrics(t *testing.T) {
+	bin := clapBin(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "clean.mc")
+	if err := os.WriteFile(prog, []byte(noFailureProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	profile := filepath.Join(dir, "cpu.pprof")
+	metrics := filepath.Join(dir, "metrics.json")
+
+	cmd := exec.Command(bin, "reproduce", prog, "-seeds", "5",
+		"-cpuprofile", profile, "-metrics-json", metrics)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("reproduce of a failure-free program succeeded:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("clap did not run: %v\n%s", err, out)
+	}
+
+	prof, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatalf("CPU profile not written on the error path: %v", err)
+	}
+	if len(prof) == 0 {
+		t.Fatal("CPU profile is empty: profiler never stopped/flushed")
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Fatalf("CPU profile is not gzipped pprof data (starts % x)", prof[:min(4, len(prof))])
+	}
+
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics report not written on the error path: %v", err)
+	}
+	rep, err := obs.DecodeReport(data)
+	if err != nil {
+		t.Fatalf("metrics report does not parse: %v", err)
+	}
+	if rep.Span("record") == nil {
+		t.Error("failed run's report lacks the record span")
+	}
+}
+
+// TestProfileFlushedWhenLaterProfilerFailsToStart pins the startProfiles
+// unwind: -cpuprofile arms first, then -trace fails to open its file. The
+// already-running CPU profiler must be stopped and flushed before the
+// error is reported; pre-fix it was abandoned mid-flight, leaving a
+// zero-byte profile behind.
+func TestProfileFlushedWhenLaterProfilerFailsToStart(t *testing.T) {
+	bin := clapBin(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "clean.mc")
+	if err := os.WriteFile(prog, []byte(noFailureProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	profile := filepath.Join(dir, "cpu.pprof")
+	badTrace := filepath.Join(dir, "no-such-dir", "trace.out")
+
+	out, err := exec.Command(bin, "reproduce", prog, "-seeds", "5",
+		"-cpuprofile", profile, "-trace", badTrace).CombinedOutput()
+	if err == nil {
+		t.Fatalf("run succeeded despite unopenable -trace file:\n%s", out)
+	}
+	prof, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatalf("CPU profile missing after failed -trace setup: %v", err)
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Fatalf("CPU profile not flushed when a later profiler failed to start (%d bytes)", len(prof))
+	}
+}
+
+// TestMetricsReportAndStats runs a full reproduce with -metrics-json and
+// checks the report has the five pipeline stage spans, every metric name
+// is on the documented stable list, and `clap stats` both renders it
+// deterministically and enforces -require.
+func TestMetricsReportAndStats(t *testing.T) {
+	bin := clapBin(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "racy.mc")
+	if err := os.WriteFile(prog, []byte(racyProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(dir, "metrics.json")
+	out, err := exec.Command(bin, "reproduce", prog, "-metrics-json", metrics).CombinedOutput()
+	if err != nil {
+		t.Fatalf("reproduce failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"record", "symexec", "preprocess", "solve", "replay"} {
+		if rep.Span(span) == nil {
+			t.Errorf("report lacks the %s stage span", span)
+		}
+	}
+	for name := range rep.Counters {
+		if !obs.IsStable(name) {
+			t.Errorf("counter %q is not in obs.StableNames", name)
+		}
+	}
+	for name := range rep.Gauges {
+		if !obs.IsStable(name) {
+			t.Errorf("gauge %q is not in obs.StableNames", name)
+		}
+	}
+
+	stats := func() []byte {
+		t.Helper()
+		out, err := exec.Command(bin, "stats", metrics,
+			"-require", "record,symexec,preprocess,solve,replay").CombinedOutput()
+		if err != nil {
+			t.Fatalf("clap stats failed: %v\n%s", err, out)
+		}
+		return out
+	}
+	one, two := stats(), stats()
+	if !bytes.Equal(one, two) {
+		t.Errorf("clap stats output is nondeterministic:\n--- first\n%s--- second\n%s", one, two)
+	}
+	if out, err := exec.Command(bin, "stats", metrics, "-require", "no.such.span").CombinedOutput(); err == nil {
+		t.Errorf("stats -require accepted a missing span:\n%s", out)
+	}
+}

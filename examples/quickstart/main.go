@@ -71,7 +71,7 @@ func main() {
 	fmt.Printf("constraints: %s\n", rep.Stats)
 	fmt.Printf("schedule: %d SAPs with %d preemptive context switches (symbolic %.3fs, solve %.3fs)\n",
 		len(rep.Solution.Order), rep.Solution.Preemptions,
-		rep.SymbolicTime.Seconds(), rep.SolveTime.Seconds())
+		rep.SymbolicTime().Seconds(), rep.SolveTime().Seconds())
 
 	fmt.Println("computed SAP schedule:")
 	for i, ref := range rep.Solution.Order {

@@ -78,7 +78,7 @@ func TestEachBenchmarkReproduces(t *testing.T) {
 			}
 			t.Logf("%s: SAPs %d, constraints %d, vars %d, cs %d, solve %.3fs",
 				b.Name, rep.Stats.SAPs, rep.Stats.Clauses, rep.Stats.Variables,
-				rep.Solution.Preemptions, rep.SolveTime.Seconds())
+				rep.Solution.Preemptions, rep.SolveTime().Seconds())
 		})
 	}
 }

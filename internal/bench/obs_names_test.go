@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// TestObsNamesStable runs the instrumented pipeline over every benchmark
+// and pins the observability contract -metrics-json consumers rely on:
+// the five pipeline stages appear as top-level spans, and every counter
+// or gauge the run publishes carries a name from the stable list in
+// internal/obs/names.go. A new metric must be added there (and to
+// DESIGN.md) before it ships, so renames show up as test failures here
+// instead of silent schema drift.
+func TestObsNamesStable(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := obs.NewTrace("bench")
+			prog, err := core.Compile(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := core.Record(prog, core.RecordOptions{
+				Model:     b.Model,
+				Inputs:    b.Inputs,
+				SeedLimit: b.SeedLimit,
+				Obs:       tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Reproduce(rec, core.ReproduceOptions{
+				Solver:     core.Sequential,
+				SeqOptions: solver.Options{MaxPreemptions: b.MaxPreemptions},
+				Obs:        tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Outcome.Reproduced {
+				t.Fatal("bug not reproduced")
+			}
+			for _, stage := range []string{"record", "symexec", "preprocess", "solve", "replay"} {
+				if tr.Root().Find(stage) == nil {
+					t.Errorf("span %q missing from trace", stage)
+				}
+			}
+			counters, gauges := tr.Reg().Snapshot()
+			for name := range counters {
+				if !obs.IsStable(name) {
+					t.Errorf("counter %q not in the stable-name list", name)
+				}
+			}
+			for name := range gauges {
+				if !obs.IsStable(name) {
+					t.Errorf("gauge %q not in the stable-name list", name)
+				}
+			}
+			if len(counters)+len(gauges) == 0 {
+				t.Error("instrumented run published no metrics")
+			}
+		})
+	}
+}

@@ -52,9 +52,13 @@ func StageBuild(p *Prepared) func(*testing.B) {
 }
 
 // StagePreprocess times the preprocessing pass alone: each iteration
-// rebuilds the system off the clock, then times Preprocess on it.
+// rebuilds the system off the clock, then times Preprocess on it. The last
+// iteration's pruning counters are reported under their stable dotted
+// names (see internal/obs/names.go) so benchjson carries them into the
+// perf trajectory.
 func StagePreprocess(p *Prepared) func(*testing.B) {
 	return func(b *testing.B) {
+		var pre *constraints.PreStats
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -63,26 +67,38 @@ func StagePreprocess(p *Prepared) func(*testing.B) {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			sys.Preprocess()
+			pre = sys.Preprocess()
 		}
+		b.ReportMetric(float64(pre.CandsBefore), "preprocess.cands.before")
+		b.ReportMetric(float64(pre.CandsAfter), "preprocess.cands.after")
+		b.ReportMetric(float64(pre.PrunedOrder), "preprocess.pruned.order")
+		b.ReportMetric(float64(pre.PrunedShadowed), "preprocess.pruned.shadowed")
+		b.ReportMetric(float64(pre.PrunedLock), "preprocess.pruned.lock")
+		b.ReportMetric(float64(pre.PrunedMutex), "preprocess.pruned.mutex")
 	}
 }
 
-// StageSequential times the sequential decision-procedure solve.
+// StageSequential times the sequential decision-procedure solve and
+// reports the last iteration's search counters.
 func StageSequential(p *Prepared, sys *constraints.System) func(*testing.B) {
 	return func(b *testing.B) {
 		bound := p.Bench.MaxPreemptions
 		if bound == 0 {
 			bound = -1
 		}
+		var st *solver.Stats
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solver.Solve(sys, solver.Options{
+			_, stats, err := solver.Solve(sys, solver.Options{
 				MaxPreemptions: bound, Deadline: StageDeadline,
-			}); err != nil {
+			})
+			if err != nil {
 				b.Fatal(err)
 			}
+			st = stats
 		}
+		b.ReportMetric(float64(st.Decisions), "solver.seq.decisions")
+		b.ReportMetric(float64(st.Backtracks), "solver.seq.backtracks")
 	}
 }
 
@@ -108,23 +124,31 @@ func StageParsolve(p *Prepared, sys *constraints.System) func(*testing.B) {
 			}
 			res = r
 		}
-		b.ReportMetric(float64(res.Generated), "generated")
-		b.ReportMetric(float64(res.Validated), "validated")
-		b.ReportMetric(float64(res.Valid), "valid")
+		b.ReportMetric(float64(res.Generated), "solver.par.generated")
+		b.ReportMetric(float64(res.Validated), "solver.par.validated")
+		b.ReportMetric(float64(res.Valid), "solver.par.valid")
 	}
 }
 
-// StageCNF times the CNF (CDCL + theory refinement) solve. Systems whose
-// cubic encoding exceeds the solver's size limit are skipped.
+// StageCNF times the CNF (CDCL + theory refinement) solve and reports the
+// last iteration's encoding and search counters. Systems whose cubic
+// encoding exceeds the solver's size limit are skipped.
 func StageCNF(p *Prepared, sys *constraints.System) func(*testing.B) {
 	return func(b *testing.B) {
+		var st *cnfsolver.Stats
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := cnfsolver.Solve(sys, cnfsolver.Options{
+			_, stats, err := cnfsolver.Solve(sys, cnfsolver.Options{
 				Deadline: StageDeadline,
-			}); err != nil {
+			})
+			if err != nil {
 				b.Skipf("cnf stage unavailable: %v", err)
 			}
+			st = stats
 		}
+		b.ReportMetric(float64(st.BoolVars), "solver.cnf.boolvars")
+		b.ReportMetric(float64(st.Clauses), "solver.cnf.clauses")
+		b.ReportMetric(float64(st.TheoryRounds), "solver.cnf.rounds")
+		b.ReportMetric(float64(st.SATConflicts), "solver.cnf.sat.conflicts")
 	}
 }

@@ -105,7 +105,7 @@ func Table1(benches []Benchmark) []Table1Row {
 			rows = append(rows, row)
 			continue
 		}
-		row.SolveSec = rep.SolveTime.Seconds()
+		row.SolveSec = rep.SolveTime().Seconds()
 		row.CS = rep.Solution.Preemptions
 		row.Success = rep.Outcome != nil && rep.Outcome.Reproduced
 		rows = append(rows, row)

@@ -38,6 +38,11 @@ type Options struct {
 	Ctx context.Context
 	// Deadline bounds the solve's wall time (0 = none). Composes with Ctx.
 	Deadline time.Duration
+	// Progress, when set, receives periodic snapshots of the live solving
+	// statistics (sampled from the SAT engine's stop-hook stride), for
+	// progress heartbeats. Called from the solving goroutine; it must be
+	// fast and must not call back into the solver.
+	Progress func(Stats)
 }
 
 func (o *Options) fill() {
@@ -55,6 +60,17 @@ type Stats struct {
 	Clauses      int64
 	TheoryRounds int
 	SATConflicts int64
+	// SATDecisions / SATPropagations mirror the CDCL engine's own effort
+	// counters, for the consolidated metrics registry.
+	SATDecisions    int64
+	SATPropagations int64
+}
+
+// sample copies the CDCL engine's live counters into the stats.
+func (st *Stats) sample(s *sat.Solver) {
+	st.SATConflicts = s.Conflicts
+	st.SATDecisions = s.Decisions
+	st.SATPropagations = s.Propagations
 }
 
 // Solve computes a bug-reproducing schedule with the CNF backend.
@@ -79,31 +95,47 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 		}
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
-	// The stop hook keeps a single CDCL call from outliving the budget; a
-	// stopped call returns Unknown, which surfaces below as *Interrupted.
-	e.s.Stop = interrupted
 	e.encode()
 	st := &Stats{BoolVars: e.s.NumVars(), Clauses: e.clauses}
+	// The stop hook keeps a single CDCL call from outliving the budget; a
+	// stopped call returns Unknown, which surfaces below as *Interrupted.
+	// It is also the live-progress sampling point: the engine polls it on
+	// a conflict/decision stride, so publishing from it gives heartbeats
+	// a view inside long SAT calls.
+	var polls int64
+	e.s.Stop = func() bool {
+		if opts.Progress != nil {
+			if polls++; polls%16 == 0 {
+				st.sample(e.s)
+				opts.Progress(*st)
+			}
+		}
+		return interrupted()
+	}
 
 	for round := 0; round < opts.MaxTheoryRounds; round++ {
 		st.TheoryRounds = round + 1
+		if opts.Progress != nil {
+			st.sample(e.s)
+			opts.Progress(*st)
+		}
 		if interrupted() {
-			st.SATConflicts = e.s.Conflicts
+			st.sample(e.s)
 			return nil, st, &solver.Interrupted{Reason: "cnf theory loop cut short", Bound: -1}
 		}
 		switch e.s.Solve() {
 		case sat.Sat:
 		case sat.Unknown:
-			st.SATConflicts = e.s.Conflicts
+			st.sample(e.s)
 			return nil, st, &solver.Interrupted{Reason: "sat search cut short", Bound: -1}
 		default:
-			st.SATConflicts = e.s.Conflicts
+			st.sample(e.s)
 			return nil, st, &Unsat{Rounds: round + 1}
 		}
 		order := e.extractOrder()
 		w, err := sys.ValidateSchedule(order)
 		if err == nil {
-			st.SATConflicts = e.s.Conflicts
+			st.sample(e.s)
 			return &solver.Solution{Order: order, Witness: w, Preemptions: w.Preemptions}, st, nil
 		}
 		// Theory rejection: derive the smallest sound conflict clause.
@@ -113,7 +145,7 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 		// coarser blocking.
 		e.block(err)
 	}
-	st.SATConflicts = e.s.Conflicts
+	st.sample(e.s)
 	return nil, st, fmt.Errorf("cnfsolver: theory refinement did not converge in %d rounds", opts.MaxTheoryRounds)
 }
 
@@ -238,8 +270,11 @@ func (e *encoder) encode() {
 		e.choiceLit = append(e.choiceLit, choice)
 	}
 	e.learnValueLemmas()
-	// Fso locking: cross-thread regions do not overlap.
-	for _, regions := range e.sys.Regions {
+	// Fso locking: cross-thread regions do not overlap. Sorted mutex
+	// order keeps the order-literal numbering (and thus the whole CNF)
+	// identical run to run.
+	for _, m := range e.sys.RegionMutexes() {
+		regions := e.sys.Regions[m]
 		for i := 0; i < len(regions); i++ {
 			for j := i + 1; j < len(regions); j++ {
 				a, b := regions[i], regions[j]

@@ -1,0 +1,64 @@
+package constraints
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestFormulaDeterministic pins the rendered formula byte for byte across
+// repeated calls. Regions is keyed by mutex in a map; before Formula
+// ranged its keys sorted, a two-mutex system printed its lock sections in
+// whatever order the runtime's map iteration produced, so the "same"
+// system diffed against itself.
+func TestFormulaDeterministic(t *testing.T) {
+	src := `
+int a;
+int b;
+mutex m1;
+mutex m2;
+func worker() {
+	lock(m1);
+	int t = a;
+	a = t + 1;
+	unlock(m1);
+	lock(m2);
+	int u = b;
+	b = u + 1;
+	unlock(m2);
+}
+func main() {
+	int h;
+	h = spawn worker();
+	lock(m1);
+	int t = a;
+	a = t + 1;
+	unlock(m1);
+	lock(m2);
+	int u = b;
+	b = u + 1;
+	unlock(m2);
+	join(h);
+	assert(a != 2 || b != 2, "both finished");
+}
+`
+	r := findFailing(t, src, vm.SC, 3000)
+	sys := buildSystem(t, r, vm.SC)
+	if len(sys.Regions) < 2 {
+		t.Fatalf("test needs >= 2 mutexes to expose map order, got %d", len(sys.Regions))
+	}
+	ms := sys.RegionMutexes()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1] >= ms[i] {
+			t.Fatalf("RegionMutexes not sorted: %v", ms)
+		}
+	}
+	want := sys.Formula()
+	// Map iteration order changes between ranges, so a handful of calls is
+	// enough to expose an unsorted render with high probability.
+	for i := 0; i < 30; i++ {
+		if got := sys.Formula(); got != want {
+			t.Fatalf("Formula output varies between calls on the same system")
+		}
+	}
+}

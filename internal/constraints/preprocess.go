@@ -2,8 +2,10 @@ package constraints
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/symbolic"
 	"repro/internal/symexec"
 )
@@ -64,28 +66,49 @@ const maxClosureSAPs = 16384
 // Call it after all hard edges exist (i.e. after BuildWithSyncOrder's
 // extra edges, when that entry point is used): the closure is computed
 // from the hard-edge set at call time.
-func (sys *System) Preprocess() *PreStats {
+func (sys *System) Preprocess() *PreStats { return sys.PreprocessObs(nil) }
+
+// PreprocessObs is Preprocess with span-level observability: each pruning
+// rule runs under its own child span of sp, so a trace shows where the
+// pass's time went. A nil sp records nothing and costs nothing.
+func (sys *System) PreprocessObs(sp *obs.Span) *PreStats {
 	if sys.Pre != nil {
 		return sys.Pre
 	}
 	start := time.Now()
 	st := &PreStats{Reads: len(sys.Reads)}
 
+	csp := sp.Start("preprocess.closure")
 	r := newReach(sys)
 	st.ClosureSkipped = r == nil
+	csp.SetAttr("skipped", strconv.FormatBool(st.ClosureSkipped))
+	csp.End()
 
+	rsp := sp.Start("preprocess.prune.reads")
 	if r != nil {
 		sys.pruneCandidates(r, st)
-		sys.pruneWaitCandidates(r, st)
 	} else {
 		sys.pruneCandidatesNoClosure(st)
+	}
+	rsp.SetInt("pruned", int64(st.CandsBefore-st.CandsAfter))
+	rsp.End()
+
+	wsp := sp.Start("preprocess.prune.waits")
+	if r != nil {
+		sys.pruneWaitCandidates(r, st)
+	} else {
 		for i := range sys.Waits {
 			st.WaitCandsBefore += len(sys.Waits[i].Cands)
 			st.WaitCandsAfter += len(sys.Waits[i].Cands)
 		}
 	}
+	wsp.SetInt("pruned", int64(st.WaitCandsBefore-st.WaitCandsAfter))
+	wsp.End()
 
+	fsp := sp.Start("preprocess.free.reads")
 	sys.markFreeReads(st)
+	fsp.SetInt("free", int64(st.FreeReads))
+	fsp.End()
 
 	st.Elapsed = time.Since(start)
 	sys.Pre = st

@@ -106,8 +106,8 @@ func (sys *System) Formula() string {
 		r := sys.SAPs[ri.Read]
 		out += fmt.Sprintf("(assert (rw %s init=%d cands=%d))\n", r, ri.Init, len(ri.Cands))
 	}
-	for m, regions := range sys.Regions {
-		out += fmt.Sprintf("; lock m%d: %d regions\n", m, len(regions))
+	for _, m := range sys.RegionMutexes() {
+		out += fmt.Sprintf("; lock m%d: %d regions\n", m, len(sys.Regions[m]))
 	}
 	for _, wi := range sys.Waits {
 		out += fmt.Sprintf("; wait %s: %d candidate signals\n", sys.SAPs[wi.End], len(wi.Cands))

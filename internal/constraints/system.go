@@ -30,6 +30,7 @@ package constraints
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/symbolic"
@@ -147,6 +148,20 @@ func (sys *System) Ref(s *symexec.SAP) SAPRef { return sys.refOf[s] }
 
 // SAP returns the SAP at ref.
 func (sys *System) SAP(r SAPRef) *symexec.SAP { return sys.SAPs[r] }
+
+// RegionMutexes returns the keys of sys.Regions in increasing mutex
+// order. Regions is a map, so every consumer whose behaviour depends on
+// iteration order — solver decision agendas, CNF variable numbering,
+// rendered formulas — must range over this instead of the map, or the
+// same system solves (and prints) differently run to run.
+func (sys *System) RegionMutexes() []ir.SyncID {
+	ms := make([]ir.SyncID, 0, len(sys.Regions))
+	for m := range sys.Regions {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
 
 // BuildWithSyncOrder encodes the system and additionally pins the recorded
 // global synchronization order (the paper's §6.4 extension): entry k of

@@ -23,6 +23,7 @@ import (
 	"repro/internal/constraints"
 	"repro/internal/escape"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/parsolve"
 	"repro/internal/replay"
 	"repro/internal/solver"
@@ -61,6 +62,10 @@ type RecordOptions struct {
 	// but stop being preemption points and visible events, shrinking the
 	// recorded trace and the scheduler's search space.
 	NoDemote bool
+	// Obs, when set, records the hunt as a "record" span (one
+	// "record.level" child per chaos level) and publishes the record.*
+	// counters to the trace's registry. Nil records nothing.
+	Obs *obs.Trace
 }
 
 // LevelStats reports one chaos level's share of a bug hunt.
@@ -159,6 +164,8 @@ func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
 			deadline = d
 		}
 	}
+	sp := opts.Obs.Root().Start("record")
+	defer sp.End()
 	var levels []LevelStats
 	interrupted := false
 hunt:
@@ -166,11 +173,14 @@ hunt:
 		attempt := opts
 		attempt.Chaos = chaos
 		ls := LevelStats{Chaos: chaos}
+		lsp := sp.Start("record.level")
+		lsp.SetInt("chaos", int64(chaos))
 		found := 0
 		for s := opts.Seed; s < opts.Seed+opts.SeedLimit && found < perLevel; s++ {
 			if huntInterrupted(opts.Ctx, deadline) {
 				interrupted = true
 				levels = append(levels, ls)
+				endLevel(lsp, ls)
 				break hunt
 			}
 			ls.Seeds++
@@ -180,6 +190,8 @@ hunt:
 					ls.Livelocked++
 					continue // a livelocked seed is just an uninteresting run
 				}
+				lsp.SetAttr("err", err.Error())
+				endLevel(lsp, ls)
 				return nil, err
 			}
 			if rec.Failure == nil || rec.Failure.Kind != vm.FailAssert {
@@ -192,18 +204,30 @@ hunt:
 			}
 		}
 		levels = append(levels, ls)
+		endLevel(lsp, ls)
 	}
+	emitRecordCounters(opts.Obs.Reg(), levels, best)
 	if best != nil {
 		// An interrupted hunt that already has a failing run degrades
 		// gracefully: the candidate pool is merely smaller.
+		sp.SetInt("seed", best.Seed)
 		return best, nil
 	}
+	sp.SetAttr("err", "no assertion failure found")
 	return nil, &NoFailureError{
 		Seed:        opts.Seed,
 		SeedLimit:   opts.SeedLimit,
 		Levels:      levels,
 		Interrupted: interrupted,
 	}
+}
+
+// endLevel stamps one chaos level's stats onto its span and closes it.
+func endLevel(lsp *obs.Span, ls LevelStats) {
+	lsp.SetInt("seeds", int64(ls.Seeds))
+	lsp.SetInt("livelocked", int64(ls.Livelocked))
+	lsp.SetInt("failures", int64(ls.Failures))
+	lsp.End()
 }
 
 // huntInterrupted reports whether the record-phase budget has run out.
@@ -337,6 +361,21 @@ const (
 	Portfolio
 )
 
+// String names the kind for traces and CLI output.
+func (k SolverKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	case CNF:
+		return "cnf"
+	case Portfolio:
+		return "portfolio"
+	}
+	return fmt.Sprintf("solverkind(%d)", uint8(k))
+}
+
 // ReproduceOptions configures the offline phases.
 type ReproduceOptions struct {
 	Solver SolverKind
@@ -362,6 +401,11 @@ type ReproduceOptions struct {
 	// budget is threaded through solving and replay; per-solver deadlines
 	// in SeqOptions etc. still apply and the earliest bound wins.
 	Deadline time.Duration
+	// Obs, when set, is the trace the pipeline's spans and metrics attach
+	// to (typically shared with RecordOptions.Obs so one report covers the
+	// whole run). When nil, Reproduce still builds a private trace — the
+	// phase-timing accessors on Reproduction are derived from it.
+	Obs *obs.Trace
 }
 
 // Reproduction is the end-to-end result for one recorded failure.
@@ -381,11 +425,28 @@ type Reproduction struct {
 	Attempts []SolverAttempt
 	// Outcome is the replay verdict (nil when SkipReplay).
 	Outcome *replay.Outcome
+	// Trace is the observability record of the pipeline: one span per
+	// phase (symexec, preprocess, solve with a child per solver attempt,
+	// replay), plus the consolidated metric registry. Always populated by
+	// Reproduce — with ReproduceOptions.Obs when given, else privately.
+	Trace *obs.Trace
+}
 
-	// Phase timings, Table 1's time columns.
-	SymbolicTime time.Duration
-	SolveTime    time.Duration
-	ReplayTime   time.Duration
+// SymbolicTime reports the symbolic-execution phase's wall time (Table 1's
+// time columns), derived from the trace's "symexec" span.
+func (r *Reproduction) SymbolicTime() time.Duration { return r.phase("symexec") }
+
+// SolveTime reports the constraint-solving phase's wall time.
+func (r *Reproduction) SolveTime() time.Duration { return r.phase("solve") }
+
+// ReplayTime reports the replay phase's wall time (zero when SkipReplay).
+func (r *Reproduction) ReplayTime() time.Duration { return r.phase("replay") }
+
+func (r *Reproduction) phase(name string) time.Duration {
+	if r == nil || r.Trace == nil {
+		return 0
+	}
+	return r.Trace.Root().Find(name).Duration()
 }
 
 // Reproduce runs the offline pipeline on a recording.
@@ -395,7 +456,13 @@ type Reproduction struct {
 // partial search statistics), so an interrupted or failed solve still
 // tells the caller what was tried and how far each stage got.
 func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
-	rep := &Reproduction{Recording: rec}
+	tr := opts.Obs
+	if tr == nil {
+		// A private trace keeps the phase-timing accessors working for
+		// callers that never asked for observability.
+		tr = obs.NewTrace("clap")
+	}
+	rep := &Reproduction{Recording: rec, Trace: tr}
 	var deadline time.Time
 	if opts.Deadline > 0 {
 		deadline = time.Now().Add(opts.Deadline)
@@ -405,88 +472,39 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 			deadline = d
 		}
 	}
-	t0 := time.Now()
+	ssp := tr.Root().Start("symexec")
 	sys, err := rec.Analyze()
 	if err != nil {
+		ssp.SetAttr("err", err.Error())
+		ssp.End()
 		return nil, err
 	}
-	rep.SymbolicTime = time.Since(t0)
+	ssp.End()
 	rep.System = sys
 	rep.Stats = sys.ComputeStats()
+	emitConstraintStats(tr.Reg(), rep.Stats)
 	if !opts.NoPreprocess {
-		sys.Preprocess()
+		psp := tr.Root().Start("preprocess")
+		emitPreStats(tr.Reg(), sys.PreprocessObs(psp))
+		psp.End()
 	}
 
-	t1 := time.Now()
-	switch opts.Solver {
-	case Sequential:
-		seqOpts := opts.SeqOptions
-		if seqOpts.MaxPreemptions == 0 {
-			// Default to minimal-preemption mode; an exact zero bound is
-			// available through the solver package directly.
-			seqOpts.MaxPreemptions = -1
-		}
-		wireSeq(&seqOpts, opts.Ctx, deadline)
-		sol, att := runSolverStage("sequential", func() (*solver.Solution, int, error) {
-			s, stats, err := solver.Solve(sys, seqOpts)
-			rep.SeqStats = stats
-			return s, boundOf(stats), err
-		})
-		rep.Attempts = append(rep.Attempts, att)
-		rep.SolveTime = time.Since(t1)
-		if sol == nil {
-			return rep, attemptError("core", att)
-		}
-		rep.Solution = sol
-	case Parallel:
-		parOpts := opts.ParOptions
-		wirePar(&parOpts, opts.Ctx, deadline)
-		sol, att := runSolverStage("parallel", func() (*solver.Solution, int, error) {
-			res, err := parsolve.Solve(sys, parOpts)
-			rep.Parallel = res
-			if err != nil {
-				return nil, -1, err
-			}
-			if !res.Found() {
-				return nil, res.Bound, parallelFailure(res)
-			}
-			return bestSolution(res), res.Bound, nil
-		})
-		rep.Attempts = append(rep.Attempts, att)
-		rep.SolveTime = time.Since(t1)
-		if sol == nil {
-			return rep, attemptError("core", att)
-		}
-		rep.Solution = sol
-	case CNF:
-		cnfOpts := opts.CNFOptions
-		wireCNF(&cnfOpts, opts.Ctx, deadline)
-		sol, att := runSolverStage("cnf", func() (*solver.Solution, int, error) {
-			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
-			rep.CNFStats = stats
-			return s, -1, err
-		})
-		rep.Attempts = append(rep.Attempts, att)
-		rep.SolveTime = time.Since(t1)
-		if sol == nil {
-			return rep, attemptError("core", att)
-		}
-		rep.Solution = sol
-	case Portfolio:
-		popts := opts
-		sol, attempts, err := runPortfolio(rep, sys, popts, deadline)
-		rep.Attempts = attempts
-		rep.SolveTime = time.Since(t1)
+	slv := tr.Root().Start("solve")
+	slv.SetAttr("kind", opts.Solver.String())
+	sol, err := solveStage(rep, sys, opts, deadline, slv)
+	emitSolveSummary(tr.Reg(), rep.Attempts, sol)
+	if sol == nil {
 		if err != nil {
-			return rep, err
+			slv.SetAttr("err", err.Error())
 		}
-		rep.Solution = sol
-	default:
-		return nil, fmt.Errorf("core: unknown solver kind %d", opts.Solver)
+		slv.End()
+		return rep, err
 	}
+	slv.SetInt("preemptions", int64(sol.Preemptions))
+	slv.End()
+	rep.Solution = sol
 
 	if !opts.SkipReplay {
-		t2 := time.Now()
 		ropts := replay.Options{
 			Mode:   replay.ModeFor(rec.Model),
 			Inputs: rec.Inputs,
@@ -498,17 +516,109 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 				ropts.Deadline = time.Nanosecond
 			}
 		}
-		out, err := replay.Run(sys, rep.Solution, ropts)
+		out, err := rep.Replay(ropts)
 		if err != nil {
 			return rep, err
 		}
-		rep.ReplayTime = time.Since(t2)
-		rep.Outcome = out
 		if !out.Reproduced {
 			return rep, fmt.Errorf("core: replay did not reproduce the failure (got %v)", out.Failure)
 		}
 	}
 	return rep, nil
+}
+
+// solveStage dispatches to the selected solver, growing rep.Attempts and
+// the per-stage stats as it goes; every attempt becomes a child span of sp.
+func solveStage(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time, sp *obs.Span) (*solver.Solution, error) {
+	reg := rep.Trace.Reg()
+	switch opts.Solver {
+	case Sequential:
+		seqOpts := opts.SeqOptions
+		if seqOpts.MaxPreemptions == 0 {
+			// Default to minimal-preemption mode; an exact zero bound is
+			// available through the solver package directly.
+			seqOpts.MaxPreemptions = -1
+		}
+		wireSeq(&seqOpts, opts.Ctx, deadline)
+		wireProgress(reg, &seqOpts, nil, nil)
+		sol, att := runSolverStage("sequential", sp, func() (*solver.Solution, int, error) {
+			s, stats, err := solver.Solve(sys, seqOpts)
+			rep.SeqStats = stats
+			emitSeqStats(reg, stats)
+			return s, boundOf(stats), err
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		if sol == nil {
+			return nil, attemptError("core", att)
+		}
+		return sol, nil
+	case Parallel:
+		parOpts := opts.ParOptions
+		wirePar(&parOpts, opts.Ctx, deadline)
+		wireProgress(reg, nil, &parOpts, nil)
+		sol, att := runSolverStage("parallel", sp, func() (*solver.Solution, int, error) {
+			res, err := parsolve.Solve(sys, parOpts)
+			rep.Parallel = res
+			emitParResult(reg, res)
+			if err != nil {
+				return nil, -1, err
+			}
+			if !res.Found() {
+				return nil, res.Bound, parallelFailure(res)
+			}
+			return bestSolution(res), res.Bound, nil
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		if sol == nil {
+			return nil, attemptError("core", att)
+		}
+		return sol, nil
+	case CNF:
+		cnfOpts := opts.CNFOptions
+		wireCNF(&cnfOpts, opts.Ctx, deadline)
+		wireProgress(reg, nil, nil, &cnfOpts)
+		sol, att := runSolverStage("cnf", sp, func() (*solver.Solution, int, error) {
+			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
+			rep.CNFStats = stats
+			emitCNFStats(reg, stats)
+			return s, -1, err
+		})
+		rep.Attempts = append(rep.Attempts, att)
+		if sol == nil {
+			return nil, attemptError("core", att)
+		}
+		return sol, nil
+	case Portfolio:
+		sol, attempts, err := runPortfolio(rep, sys, opts, deadline, sp)
+		rep.Attempts = attempts
+		if err != nil {
+			return nil, err
+		}
+		return sol, nil
+	}
+	return nil, fmt.Errorf("core: unknown solver kind %d", opts.Solver)
+}
+
+// Replay runs the final replay phase on rep.Solution, recording the
+// "replay" span and the replay.* metrics. It is the tail of Reproduce,
+// split out so callers that solved with SkipReplay — to post-process the
+// schedule first, like clap's -simplify — replay under the same trace.
+func (rep *Reproduction) Replay(ropts replay.Options) (*replay.Outcome, error) {
+	if rep.Solution == nil {
+		return nil, fmt.Errorf("core: no solution to replay")
+	}
+	sp := rep.Trace.Root().Start("replay")
+	out, err := replay.Run(rep.System, rep.Solution, ropts)
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("reproduced", fmt.Sprint(out.Reproduced))
+	sp.End()
+	rep.Outcome = out
+	emitReplay(rep.Trace.Reg(), out)
+	return out, nil
 }
 
 // bestSolution picks the fewest-preemption schedule of a parallel result.

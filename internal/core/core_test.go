@@ -45,7 +45,7 @@ func TestEndToEndFigure2Sequential(t *testing.T) {
 	if rep.Stats.SAPs == 0 || rep.Stats.Clauses == 0 {
 		t.Error("stats empty")
 	}
-	if rep.SymbolicTime <= 0 || rep.SolveTime <= 0 {
+	if rep.SymbolicTime() <= 0 || rep.SolveTime() <= 0 {
 		t.Error("timings not collected")
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cnfsolver"
 	"repro/internal/constraints"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/parsolve"
 	"repro/internal/solver"
 )
@@ -76,9 +77,12 @@ func (a SolverAttempt) String() string {
 
 // runSolverStage runs one stage with full containment: an injected fault
 // skips the stage, a panic is recovered into the attempt record, and an
-// interrupt is classified apart from a genuine failure.
-func runSolverStage(name string, fn func() (*solver.Solution, int, error)) (sol *solver.Solution, att SolverAttempt) {
+// interrupt is classified apart from a genuine failure. The attempt is
+// recorded as a "solve.<name>" child span of parent — panics and faults
+// included, so a trace shows every stage that ran and why it exited.
+func runSolverStage(name string, parent *obs.Span, fn func() (*solver.Solution, int, error)) (sol *solver.Solution, att SolverAttempt) {
 	att = SolverAttempt{Solver: name, BoundReached: -1}
+	sp := parent.Start("solve." + name)
 	start := time.Now()
 	defer func() {
 		att.Elapsed = time.Since(start)
@@ -88,6 +92,17 @@ func runSolverStage(name string, fn func() (*solver.Solution, int, error)) (sol 
 			att.Err = fmt.Sprint(p)
 			att.err = fmt.Errorf("%s solver panicked: %v", name, p)
 		}
+		sp.SetAttr("outcome", att.Outcome)
+		if att.Err != "" {
+			sp.SetAttr("err", att.Err)
+		}
+		if att.BoundReached >= 0 {
+			sp.SetInt("bound", int64(att.BoundReached))
+		}
+		if att.Outcome == "solved" {
+			sp.SetInt("preemptions", int64(att.Preemptions))
+		}
+		sp.End()
 	}()
 	if err := faultinject.Fire("solver." + name); err != nil {
 		att.Outcome = "fault injected"
@@ -210,20 +225,31 @@ func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solut
 			deadline = d
 		}
 	}
+	rep := &Reproduction{Trace: opts.Obs}
 	if !opts.NoPreprocess {
-		sys.Preprocess()
+		psp := opts.Obs.Root().Start("preprocess")
+		emitPreStats(opts.Obs.Reg(), sys.PreprocessObs(psp))
+		psp.End()
 	}
-	return runPortfolio(&Reproduction{}, sys, opts, deadline)
+	sp := opts.Obs.Root().Start("solve")
+	sp.SetAttr("kind", "portfolio")
+	sol, trail, err := runPortfolio(rep, sys, opts, deadline, sp)
+	emitSolveSummary(opts.Obs.Reg(), trail, sol)
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+	}
+	sp.End()
+	return sol, trail, err
 }
 
 // runPortfolio is RunPortfolio against a caller-owned Reproduction, so the
 // per-stage statistics (SeqStats, Parallel, CNFStats) land in the final
 // report even when the stage that produced them did not solve.
-func runPortfolio(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+func runPortfolio(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time, sp *obs.Span) (*solver.Solution, []SolverAttempt, error) {
 	if opts.SerialPortfolio {
-		return runPortfolioSerial(rep, sys, opts, deadline)
+		return runPortfolioSerial(rep, sys, opts, deadline, sp)
 	}
-	return runPortfolioRacing(rep, sys, opts, deadline)
+	return runPortfolioRacing(rep, sys, opts, deadline, sp)
 }
 
 // raceGrace is the head start each later portfolio stage concedes when the
@@ -269,7 +295,7 @@ type stageResult struct {
 // apply when the caller set no deadline so no stage can hang the race.
 // The first solution cancels the shared context; losers observe it through
 // their normal interrupt polling and exit as "interrupted" attempts.
-func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time, sp *obs.Span) (*solver.Solution, []SolverAttempt, error) {
 	base := opts.Ctx
 	if base == nil {
 		base = context.Background()
@@ -298,6 +324,11 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 		capBudget(&cnfOpts.Deadline, defaultCNFBudget)
 	}
 
+	// The racing stages publish to disjoint gauge families, so one shared
+	// registry serves all three concurrently.
+	reg := rep.Trace.Reg()
+	wireProgress(reg, &seqOpts, &parOpts, &cnfOpts)
+
 	// The stage index doubles as the tie-break priority: the serial
 	// ladder's order is the preference order among simultaneous solvers.
 	stages := []struct {
@@ -307,11 +338,13 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 		{"sequential", func() (*solver.Solution, int, error) {
 			s, stats, err := solver.Solve(sys, seqOpts)
 			rep.SeqStats = stats
+			emitSeqStats(reg, stats)
 			return s, boundOf(stats), err
 		}},
 		{"parallel", func() (*solver.Solution, int, error) {
 			res, err := parsolve.Solve(sys, parOpts)
 			rep.Parallel = res
+			emitParResult(reg, res)
 			if err != nil {
 				return nil, -1, err
 			}
@@ -323,6 +356,7 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 		{"cnf", func() (*solver.Solution, int, error) {
 			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
 			rep.CNFStats = stats
+			emitCNFStats(reg, stats)
 			return s, -1, err
 		}},
 	}
@@ -336,6 +370,12 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 				select {
 				case <-ctx.Done():
 					t.Stop()
+					// The stage never ran, but it still gets a span: a
+					// trace of a cut-short race shows every stage's fate.
+					asp := sp.Start("solve." + stages[i].name)
+					asp.SetAttr("outcome", "interrupted")
+					asp.SetAttr("err", "cancelled before start")
+					asp.End()
 					results <- stageResult{idx: i, att: SolverAttempt{
 						Solver:       stages[i].name,
 						Outcome:      "interrupted",
@@ -346,7 +386,7 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 				case <-t.C:
 				}
 			}
-			sol, att := runSolverStage(stages[i].name, stages[i].run)
+			sol, att := runSolverStage(stages[i].name, sp, stages[i].run)
 			results <- stageResult{idx: i, sol: sol, att: att}
 		}(i)
 	}
@@ -383,8 +423,9 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 // runPortfolioSerial is the pre-racing degradation ladder: sequential under
 // a budget share, then parallel, then CNF, each stage starting only after
 // the previous one gave up.
-func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time) (*solver.Solution, []SolverAttempt, error) {
+func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts ReproduceOptions, deadline time.Time, sp *obs.Span) (*solver.Solution, []SolverAttempt, error) {
 	var attempts []SolverAttempt
+	reg := rep.Trace.Reg()
 
 	// Stage 1: sequential, minimal preemptions, under a budget share.
 	seqOpts := opts.SeqOptions
@@ -393,9 +434,11 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	}
 	wireSeq(&seqOpts, opts.Ctx, deadline)
 	capBudget(&seqOpts.Deadline, stageBudget(deadline, 4, defaultSeqBudget))
-	sol, att := runSolverStage("sequential", func() (*solver.Solution, int, error) {
+	wireProgress(reg, &seqOpts, nil, nil)
+	sol, att := runSolverStage("sequential", sp, func() (*solver.Solution, int, error) {
 		s, stats, err := solver.Solve(sys, seqOpts)
 		rep.SeqStats = stats
+		emitSeqStats(reg, stats)
 		return s, boundOf(stats), err
 	})
 	attempts = append(attempts, att)
@@ -410,9 +453,11 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	parOpts := opts.ParOptions
 	wirePar(&parOpts, opts.Ctx, deadline)
 	capBudget(&parOpts.Deadline, stageBudget(deadline, 2, defaultParBudget))
-	sol, att = runSolverStage("parallel", func() (*solver.Solution, int, error) {
+	wireProgress(reg, nil, &parOpts, nil)
+	sol, att = runSolverStage("parallel", sp, func() (*solver.Solution, int, error) {
 		res, err := parsolve.Solve(sys, parOpts)
 		rep.Parallel = res
+		emitParResult(reg, res)
 		if err != nil {
 			return nil, -1, err
 		}
@@ -433,9 +478,11 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	cnfOpts := opts.CNFOptions
 	wireCNF(&cnfOpts, opts.Ctx, deadline)
 	capBudget(&cnfOpts.Deadline, stageBudget(deadline, 1, defaultCNFBudget))
-	sol, att = runSolverStage("cnf", func() (*solver.Solution, int, error) {
+	wireProgress(reg, nil, nil, &cnfOpts)
+	sol, att = runSolverStage("cnf", sp, func() (*solver.Solution, int, error) {
 		s, stats, err := cnfsolver.Solve(sys, cnfOpts)
 		rep.CNFStats = stats
+		emitCNFStats(reg, stats)
 		return s, -1, err
 	})
 	attempts = append(attempts, att)

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// HeartbeatOptions tunes the progress heartbeat.
+type HeartbeatOptions struct {
+	// Interval between progress lines (default 2s).
+	Interval time.Duration
+	// Gauges are reported verbatim; Rates as per-second deltas. Both
+	// default to the solver progress sets in names.go. A metric that was
+	// never recorded is omitted from the line.
+	Gauges []string
+	Rates  []string
+	// Ctx stops the heartbeat when done (nil = only Stop stops it), so a
+	// -timeout'd pipeline takes its ticker down with it.
+	Ctx context.Context
+}
+
+// Heartbeat periodically writes one-line progress reports ("obs: ...")
+// from a registry's live gauges, for long solver runs. Start it with
+// StartHeartbeat; it never writes after Stop returns.
+type Heartbeat struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeartbeat launches the ticker goroutine. Returns nil (a no-op to
+// Stop) when reg is nil.
+func StartHeartbeat(w io.Writer, reg *Registry, opts HeartbeatOptions) *Heartbeat {
+	if reg == nil {
+		return nil
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Gauges == nil {
+		opts.Gauges = ProgressGauges
+	}
+	if opts.Rates == nil {
+		opts.Rates = ProgressRates
+	}
+	h := &Heartbeat{stop: make(chan struct{}), done: make(chan struct{})}
+	var ctxDone <-chan struct{}
+	if opts.Ctx != nil {
+		ctxDone = opts.Ctx.Done()
+	}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(opts.Interval)
+		defer t.Stop()
+		last := map[string]int64{}
+		lastAt := time.Now()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ctxDone:
+				return
+			case now := <-t.C:
+				line := progressLine(reg, opts, last, now.Sub(lastAt))
+				lastAt = now
+				if line != "" {
+					fmt.Fprintln(w, "obs:", line)
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Stop halts the heartbeat and waits for the final line to finish.
+// Safe on a nil heartbeat and safe to call twice.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// progressLine renders one tick. last is updated in place with the
+// current rate-metric values.
+func progressLine(reg *Registry, opts HeartbeatOptions, last map[string]int64, dt time.Duration) string {
+	var parts []string
+	for _, g := range opts.Gauges {
+		if v, ok := reg.Lookup(g); ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", g, v))
+		}
+	}
+	secs := dt.Seconds()
+	for _, rk := range opts.Rates {
+		v, ok := reg.Lookup(rk)
+		if !ok {
+			continue
+		}
+		d := v - last[rk]
+		last[rk] = v
+		if secs > 0 {
+			parts = append(parts, fmt.Sprintf("%s/s=%.0f", rk, float64(d)/secs))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,94 @@
+package obs
+
+// Stable metric names. These dotted names are the public schema of the
+// metrics report: cmd/benchjson emits them next to stage timings and the
+// pin test in internal/bench fails if the pipeline ever emits a name not
+// listed here. Add new names deliberately; never reuse one with a
+// different meaning.
+//
+// Convention: <phase>.<noun>[.<qualifier>]. Counters accumulate (Add),
+// gauges hold the latest live value (Set) — the solver.* metrics are
+// gauges because the progress hooks republish cumulative snapshots while
+// a solve runs.
+var StableNames = []string{
+	// Record phase (core.Record, per-level detail on the record spans).
+	"record.seeds",      // schedules executed across all chaos levels
+	"record.livelocked", // runs that hit the action budget without failing
+	"record.failures",   // runs that ended in an assertion failure
+	"record.levels",     // chaos levels swept
+	"record.events",     // path-log events of the winning recording
+	"record.log.bytes",  // encoded CLAP log size
+	"record.saps",       // shared access points of the winning run
+	"record.instructions",
+	"record.branches",
+
+	// Constraint system size (constraints.Stats).
+	"constraints.saps",
+	"constraints.clauses",
+	"constraints.variables",
+	"constraints.value.vars",
+	"constraints.signal.vars",
+
+	// Preprocessing pass (constraints.PreStats).
+	"preprocess.reads",
+	"preprocess.reads.free",
+	"preprocess.reads.noinit",
+	"preprocess.cands.before",
+	"preprocess.cands.after",
+	"preprocess.pruned.order",
+	"preprocess.pruned.shadowed",
+	"preprocess.pruned.lock",
+	"preprocess.pruned.mutex",
+	"preprocess.wait.cands.before",
+	"preprocess.wait.cands.after",
+	"preprocess.closure.skipped", // 1 when the reachability closure was skipped
+
+	// Sequential solver (solver.Stats); live-updated during the solve.
+	"solver.seq.decisions",
+	"solver.seq.backtracks",
+	"solver.seq.extensions",
+	"solver.seq.validations",
+	"solver.seq.bound",
+
+	// Parallel solver (parsolve.Result); live-updated during the solve.
+	"solver.par.generated",
+	"solver.par.validated",
+	"solver.par.valid",
+	"solver.par.bound",
+	"solver.par.capped", // 1 when generation hit MaxSchedules
+
+	// CNF solver (cnfsolver.Stats); live-updated during the solve.
+	"solver.cnf.boolvars",
+	"solver.cnf.clauses",
+	"solver.cnf.rounds",
+	"solver.cnf.sat.conflicts",
+	"solver.cnf.sat.decisions",
+	"solver.cnf.sat.propagations",
+
+	// Solve outcome, whichever backend won.
+	"solve.attempts",
+	"solve.preemptions",
+	"solve.schedule.len",
+
+	// Replay phase (replay.Outcome).
+	"replay.events.matched",
+	"replay.reproduced", // 1 when the replay reproduced the failure
+}
+
+var stableSet = func() map[string]bool {
+	m := make(map[string]bool, len(StableNames))
+	for _, n := range StableNames {
+		m[n] = true
+	}
+	return m
+}()
+
+// IsStable reports whether name is in the documented stable-name list.
+func IsStable(name string) bool { return stableSet[name] }
+
+// Default heartbeat configuration: the live gauges worth a glance during
+// a long solve, and the activity metrics worth reporting as rates.
+var (
+	ProgressGauges = []string{"solver.seq.bound", "solver.par.bound", "solver.cnf.rounds"}
+	ProgressRates  = []string{"solver.seq.decisions", "solver.par.generated", "solver.cnf.sat.conflicts"}
+)

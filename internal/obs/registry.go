@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind distinguishes monotonic counters from point-in-time gauges.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonically accumulated count (events seen,
+	// candidates pruned). Counters use Add.
+	KindCounter Kind = iota
+	// KindGauge is a last-value-wins measurement (current preemption
+	// bound, live decision count). Gauges use Set.
+	KindGauge
+)
+
+// Registry is a typed counter/gauge store keyed by stable dotted names
+// (see names.go). All methods are safe for concurrent use and no-ops on
+// a nil registry, so pipeline stages publish unconditionally.
+type Registry struct {
+	mu    sync.Mutex
+	vals  map[string]int64
+	kinds map[string]Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: map[string]int64{}, kinds: map[string]Kind{}}
+}
+
+// Counter is a typed handle to one monotonic counter.
+type Counter struct {
+	r    *Registry
+	name string
+}
+
+// Gauge is a typed handle to one gauge.
+type Gauge struct {
+	r    *Registry
+	name string
+}
+
+// Counter returns a handle to the named counter, registering it.
+func (r *Registry) Counter(name string) Counter {
+	r.touch(name, KindCounter)
+	return Counter{r: r, name: name}
+}
+
+// Gauge returns a handle to the named gauge, registering it.
+func (r *Registry) Gauge(name string) Gauge {
+	r.touch(name, KindGauge)
+	return Gauge{r: r, name: name}
+}
+
+// Add accumulates into the counter.
+func (c Counter) Add(d int64) { c.r.add(c.name, d, KindCounter) }
+
+// Set replaces the gauge's value.
+func (g Gauge) Set(v int64) { g.r.set(g.name, v) }
+
+// Add accumulates into a counter by name.
+func (r *Registry) Add(name string, d int64) { r.add(name, d, KindCounter) }
+
+// Set sets a gauge by name.
+func (r *Registry) Set(name string, v int64) { r.set(name, v) }
+
+func (r *Registry) touch(name string, k Kind) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.kinds[name]; !ok {
+		r.kinds[name] = k
+		r.vals[name] += 0
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) add(name string, d int64, k Kind) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.kinds[name]; !ok {
+		r.kinds[name] = k
+	}
+	r.vals[name] += d
+	r.mu.Unlock()
+}
+
+func (r *Registry) set(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.kinds[name]; !ok {
+		r.kinds[name] = KindGauge
+	}
+	r.vals[name] = v
+	r.mu.Unlock()
+}
+
+// Get returns the named metric's value (0 when absent or r is nil).
+func (r *Registry) Get(name string) int64 {
+	v, _ := r.Lookup(name)
+	return v
+}
+
+// Lookup returns the named metric's value and whether it was recorded.
+func (r *Registry) Lookup(name string) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vals[name]
+	return v, ok
+}
+
+// KindOf returns the metric's kind and whether it exists.
+func (r *Registry) KindOf(name string) (Kind, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.kinds[name]
+	return k, ok
+}
+
+// Names returns every recorded metric name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vals))
+	for n := range r.vals {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies the current values, split by kind. Either map may be
+// empty; both are nil for a nil registry.
+func (r *Registry) Snapshot() (counters, gauges map[string]int64) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters = make(map[string]int64)
+	gauges = make(map[string]int64)
+	for n, v := range r.vals {
+		if r.kinds[n] == KindGauge {
+			gauges[n] = v
+		} else {
+			counters[n] = v
+		}
+	}
+	return counters, gauges
+}

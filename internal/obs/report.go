@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ReportSchema identifies the metrics-report wire format.
+const ReportSchema = "clap-metrics/1"
+
+// Report is the machine-readable run report written by `clap
+// -metrics-json` and pretty-printed by `clap stats`: a snapshot of the
+// span tree plus the consolidated counters and gauges.
+type Report struct {
+	Schema   string           `json:"schema"`
+	Root     *Span            `json:"root"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Report snapshots the trace: open spans are closed at now in the copy,
+// the live tree keeps running. Nil for a nil trace.
+func (t *Trace) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	c, g := t.reg.Snapshot()
+	return &Report{Schema: ReportSchema, Root: t.root.snapshot(), Counters: c, Gauges: g}
+}
+
+// Encode marshals the report as indented JSON with a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: nil report")
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses and validates a metrics report.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: bad metrics report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("obs: unknown metrics schema %q (want %q)", r.Schema, ReportSchema)
+	}
+	if r.Root == nil {
+		return nil, fmt.Errorf("obs: metrics report has no span tree")
+	}
+	return &r, nil
+}
+
+// Span finds the first span with the given name in the report's tree.
+func (r *Report) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.Root.Find(name)
+}
+
+// Render pretty-prints the report: the span tree with durations and
+// attributes, then the counters and gauges sorted by name. The output is
+// deterministic for a given report.
+func (r *Report) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.Root.Walk(func(sp *Span, depth int) {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		fmt.Fprintf(w, "%s%-*s %12s", indent, 24-len(indent), sp.Name,
+			time.Duration(sp.DurNs).Round(time.Microsecond))
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, " %s=%s", k, sp.Attrs[k])
+			}
+		}
+		fmt.Fprintln(w)
+	})
+	renderKV := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n%s:\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-30s %d\n", k, m[k])
+		}
+	}
+	renderKV("counters", r.Counters)
+	renderKV("gauges", r.Gauges)
+}

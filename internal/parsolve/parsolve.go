@@ -15,6 +15,7 @@ package parsolve
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -45,7 +46,27 @@ type Options struct {
 	// Ctx cancels the search (nil = never). A context deadline earlier
 	// than Deadline wins; cancellation is reported via Result.Cancelled.
 	Ctx context.Context
+	// Progress, when set, receives periodic snapshots of the live search
+	// counters for progress heartbeats. Called from the generator
+	// goroutine; it must be fast and must not call back into the solver.
+	Progress func(Progress)
 }
+
+// Progress is one live snapshot handed to Options.Progress.
+type Progress struct {
+	// Generated counts candidates produced so far (all bounds).
+	Generated int64
+	// Validated counts candidates the pool has checked so far.
+	Validated int64
+	// Valid counts candidates that passed validation so far.
+	Valid int64
+	// Bound is the preemption bound currently being swept.
+	Bound int
+}
+
+// progressStride is how many generated candidates pass between Progress
+// callbacks.
+const progressStride = 2048
 
 func (o *Options) fill() {
 	if o.Workers <= 0 {
@@ -119,6 +140,24 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 	if parent == nil {
 		parent = context.Background()
 	}
+	// A context that is already cancelled, or a deadline already in the
+	// past, means there is no budget at all: report the cut immediately.
+	// Entering the bound loop here used to spawn a worker pool per bound
+	// (and, when a bound generated no candidates, sweep every bound with
+	// Cancelled never set — indistinguishable from an exhaustive search).
+	if err := parent.Err(); err != nil {
+		res.Cancelled = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			res.TimedOut = true
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		res.TimedOut = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
 	sctx, cancelSearch := context.WithCancel(parent)
 	defer cancelSearch()
 
@@ -167,12 +206,25 @@ func Solve(sys *constraints.System, opts Options) (*Result, error) {
 				}
 			}()
 		}
+		produced := int64(0)
 		genRes := gen.Generate(bound, func(order []constraints.SAPRef, pre int) bool {
 			op := bufPool.Get().(*[]constraints.SAPRef)
 			*op = append((*op)[:0], order...)
 			jobs <- op
+			produced++
 			mu.Lock()
 			done := stop
+			if opts.Progress != nil && produced%progressStride == 0 {
+				p := Progress{
+					Generated: res.Generated + produced,
+					Validated: res.Validated,
+					Valid:     int64(res.Valid),
+					Bound:     bound,
+				}
+				mu.Unlock()
+				opts.Progress(p)
+				mu.Lock()
+			}
 			mu.Unlock()
 			if done {
 				return false

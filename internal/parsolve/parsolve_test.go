@@ -119,11 +119,14 @@ func TestParallelSolveStopAfterCollectsSeveral(t *testing.T) {
 	}
 }
 
-// TestParallelSolveCancelDrainsWithoutValidating pins the prompt-shutdown
-// contract: once the search is over, queued candidates are drained, not
-// validated. With the caller's context already cancelled, the pool must
-// validate nothing at all even though the generator enqueued work.
-func TestParallelSolveCancelDrainsWithoutValidating(t *testing.T) {
+// TestParallelSolveCtxCancelledBeforeStart pins the immediate-return
+// contract: a context that is already cancelled when Solve is called must
+// yield Result.Cancelled without generating a single candidate, spawning
+// a worker pool, or validating anything. (The pre-fix code entered the
+// bound loop anyway: it spawned workers per bound and — when a bound
+// generated no candidates at all — swept every bound with Cancelled never
+// set, indistinguishable from an exhaustive unsatisfiable search.)
+func TestParallelSolveCtxCancelledBeforeStart(t *testing.T) {
 	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -134,14 +137,47 @@ func TestParallelSolveCancelDrainsWithoutValidating(t *testing.T) {
 	if !res.Cancelled {
 		t.Fatalf("cancelled context not reported: %+v", res)
 	}
-	if res.Generated == 0 {
-		t.Fatalf("generator enqueued nothing: %+v", res)
+	if res.Generated != 0 || res.Validated != 0 || res.Valid != 0 {
+		t.Fatalf("cancelled-before-start search did work: %+v", res)
 	}
-	if res.Validated != 0 {
-		t.Fatalf("cancelled pool validated %d queued candidates instead of draining them", res.Validated)
-	}
-	if res.Found() {
+	if res.Found() || res.Bound != -1 {
 		t.Fatalf("cancelled search returned solutions: %+v", res)
+	}
+}
+
+// TestParallelSolveCtxDeadlineAlreadyPast: a context whose deadline has
+// already expired must return immediately, reporting both the
+// cancellation and the timeout.
+func TestParallelSolveCtxDeadlineAlreadyPast(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := parsolve.Solve(sys, parsolve.Options{Workers: 4, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled || !res.TimedOut {
+		t.Fatalf("expired context deadline not reported as cancelled+timed-out: %+v", res)
+	}
+	if res.Generated != 0 || res.Validated != 0 || res.Found() {
+		t.Fatalf("expired-deadline search did work: %+v", res)
+	}
+}
+
+// TestParallelSolveDeadlineAlreadySpent: an explicit Deadline so small it
+// is already consumed by the time the search would start must report
+// TimedOut without doing any work.
+func TestParallelSolveDeadlineAlreadySpent(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	res, err := parsolve.Solve(sys, parsolve.Options{Workers: 4, Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatalf("spent deadline not reported: %+v", res)
+	}
+	if res.Generated != 0 || res.Validated != 0 || res.Found() {
+		t.Fatalf("spent-deadline search did work: %+v", res)
 	}
 }
 

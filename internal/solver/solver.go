@@ -82,6 +82,11 @@ type Options struct {
 	// becomes approximate, matching the paper's own segment-based
 	// approximation of context switches.
 	BoundDecisionBudget int64
+	// Progress, when set, receives periodic snapshots of the live search
+	// statistics (sampled from the same stride as interrupt polling), for
+	// progress heartbeats on long solves. Called from the solving
+	// goroutine; it must be fast and must not call back into the solver.
+	Progress func(Stats)
 	// Ctx cancels the search between decision expansions (nil = never).
 	// Cancellation surfaces as *Interrupted with the partial Stats intact.
 	Ctx context.Context
@@ -276,7 +281,15 @@ type search struct {
 	// solveWithBound.
 	deadline    time.Time
 	pendingIntr *Interrupted
+
+	// polls counts interrupt polls; every progressStride of them the live
+	// stats are published through opts.Progress.
+	polls int64
 }
+
+// progressStride is how many interrupt polls pass between Progress
+// callbacks: frequent enough for a live heartbeat, far off the hot path.
+const progressStride = 1024
 
 func (s *search) init() {
 	n := len(s.sys.SAPs)
@@ -342,7 +355,10 @@ func (s *search) init() {
 	for _, ri := range reads {
 		s.decisions = append(s.decisions, decision{kind: decRead, read: ri})
 	}
-	for m, regions := range s.sys.Regions {
+	// Regions is a map: iterate its keys sorted or the decision agenda —
+	// and with it the whole search — varies run to run.
+	for _, m := range s.sys.RegionMutexes() {
+		regions := s.sys.Regions[m]
 		for i := 0; i < len(regions); i++ {
 			for j := i + 1; j < len(regions); j++ {
 				if regions[i].Thread == regions[j].Thread {
@@ -499,6 +515,11 @@ func (s *search) reaches(from, to constraints.SAPRef) bool {
 // and the wall-clock deadline. It is cheap enough to call on a stride from
 // every search hot loop.
 func (s *search) interrupted() *Interrupted {
+	if s.opts.Progress != nil {
+		if s.polls++; s.polls%progressStride == 0 {
+			s.opts.Progress(*s.stats)
+		}
+	}
 	if s.opts.Ctx != nil {
 		select {
 		case <-s.opts.Ctx.Done():
