@@ -5,9 +5,9 @@ FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
 .PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples \
-	race-obs metrics-smoke
+	race-obs metrics-smoke timeline-smoke
 
-ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke
+ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,11 +29,12 @@ test:
 	$(GO) test -race -timeout 40m ./...
 
 # Machine-readable per-stage perf snapshot over the paper's eleven
-# benchmarks (BENCH_<date>.json). `bench-baseline` measures the
-# pre-optimization pipeline (no preprocessing, serial portfolio) so the
-# committed pair documents a perf change; see cmd/benchjson.
+# benchmarks (BENCH_<date>T<hhmmss>.json — timestamped so two same-day
+# runs never clobber). `bench-baseline` measures the pre-optimization
+# pipeline (no preprocessing, serial portfolio) so the committed pair
+# documents a perf change; see cmd/benchjson.
 bench:
-	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+	$(GO) run ./cmd/benchjson
 
 bench-baseline:
 	$(GO) run ./cmd/benchjson -baseline -o BENCH_baseline.json
@@ -60,3 +61,19 @@ metrics-smoke:
 	$(GO) run ./cmd/clap bench sim_race -metrics-json $$tmp >/dev/null && \
 	$(GO) run ./cmd/clap stats $$tmp -require record,symexec,preprocess,solve,replay >/dev/null && \
 	echo "metrics-smoke: ok" ; rc=$$?; rm -f $$tmp; exit $$rc
+
+# End-to-end flight-recorder smoke: record → solve → timeline + explain
+# over two benchmarks (one with schedule flips, one whose zero-flip
+# verdict exercises the reversal probe). `clap timeline -o` validates the
+# Chrome trace-event JSON with the same timeline.Validate helper the
+# golden tests pin; writing the artifact twice and comparing bytes guards
+# end-to-end determinism.
+timeline-smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	for b in sim_race pbzip2; do \
+		$(GO) run ./cmd/clap timeline $$b -o $$tmp/$$b.json >/dev/null && \
+		$(GO) run ./cmd/clap timeline $$b -o $$tmp/$$b.again.json >/dev/null && \
+		cmp -s $$tmp/$$b.json $$tmp/$$b.again.json && \
+		$(GO) run ./cmd/clap explain $$b >/dev/null || { rc=1; break; }; \
+	done; \
+	[ $$rc -eq 0 ] && echo "timeline-smoke: ok"; rm -rf $$tmp; exit $$rc

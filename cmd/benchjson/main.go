@@ -1,6 +1,7 @@
 // Command benchjson measures the offline pipeline per stage over the
 // paper's eleven evaluation programs and writes a machine-readable
-// BENCH_<date>.json snapshot, so perf changes leave a committed trajectory
+// BENCH_<date>T<hhmmss>.json snapshot (timestamped so two same-day runs
+// never clobber each other), so perf changes leave a committed trajectory
 // that successive snapshots can be diffed against.
 //
 // It drives the exact same stage runners (internal/bench.Stage*) as the
@@ -124,7 +125,7 @@ type Report struct {
 func main() {
 	testing.Init()
 	var (
-		out      = flag.String("o", "", "output file (default BENCH_<date>.json, or BENCH_baseline.json with -baseline)")
+		out      = flag.String("o", "", "output file (default BENCH_<date>T<hhmmss>.json, or BENCH_baseline.json with -baseline)")
 		baseline = flag.Bool("baseline", false, "measure the pre-optimization pipeline: no preprocessing, serial portfolio ladder")
 		run      = flag.String("run", "", "comma-separated benchmark subset (default: all eleven)")
 		reps     = flag.Int("reps", 3, "portfolio repetitions (best wall time wins)")
@@ -144,7 +145,9 @@ func main() {
 		if *baseline {
 			path = "BENCH_baseline.json"
 		} else {
-			path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+			// Include the time of day so two same-day runs never clobber
+			// each other's snapshot.
+			path = "BENCH_" + time.Now().Format("2006-01-02T150405") + ".json"
 		}
 	}
 

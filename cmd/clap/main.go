@@ -10,6 +10,20 @@
 //	                                   potential races and lock-order cycles
 //	clap decodelog <log> [flags]       inspect a recorded path log file
 //	clap stats <metrics.json>          pretty-print a -metrics-json report
+//	clap timeline <prog.mc|bench>      record, solve and replay, then write the
+//	                                   flight-recorder timeline: Chrome trace-event
+//	                                   JSON with -o (Perfetto/chrome://tracing),
+//	                                   an ASCII rendering on stdout otherwise
+//	clap explain <prog.mc|bench>       record and solve, then explain: the SAP
+//	                                   pairs the solver flipped against the
+//	                                   recorded order (with source positions), or
+//	                                   — when no schedule exists — the minimal
+//	                                   conflicting constraint-group core
+//
+// Exit codes: 0 on success; 1 when the pipeline or a required check fails
+// (`stats -require` missing a span, `explain` on a failed solve — the
+// verdict is still printed); 2 on usage errors (unknown subcommand, bad
+// flag or argument).
 //
 // Flags (after the subcommand):
 //
@@ -23,7 +37,8 @@
 //	-cs N               preemption bound (-1 = minimal, default)
 //	-timeout D          bound each phase's wall time (e.g. 30s, 2m);
 //	                    interrupted phases report partial diagnostics
-//	-o FILE             record: also write the crash-tolerant framed log
+//	-o FILE             record: also write the crash-tolerant framed log;
+//	                    timeline: write the Chrome trace-event JSON here
 //	-salvage            decodelog: recover the longest valid prefix from a
 //	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
@@ -41,6 +56,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -52,11 +68,13 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/simplify"
 	"repro/internal/solver"
 	"repro/internal/staticanalysis"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -64,8 +82,25 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "clap:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks a bad invocation (unknown subcommand, malformed flag,
+// wrong arguments) apart from a pipeline failure: usage exits 2 where
+// failures exit 1, so scripts can tell "you called it wrong" from "it ran
+// and failed".
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
 }
 
 type flags struct {
@@ -224,12 +259,12 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 
 func run(args []string) (err error) {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: clap run|record|reproduce|bench|vet|decodelog ... (see the package docs for flags)")
+		return usagef("usage: clap run|record|reproduce|bench|vet|decodelog|stats|timeline|explain ... (see the package docs for flags)")
 	}
 	cmd := args[0]
 	rest, f, err := parseFlags(args[1:])
 	if err != nil {
-		return err
+		return usagef("%v", err)
 	}
 	// All teardown is deferred here rather than in main so a failing
 	// subcommand still flushes its profiles, trace and metrics: a crash
@@ -266,7 +301,16 @@ func run(args []string) (err error) {
 			hopts.Ctx = ctx
 		}
 		hb := obs.StartHeartbeat(os.Stderr, f.tr.Reg(), hopts)
-		defer hb.Stop()
+		// The closing summary goes out on success and error paths alike; the
+		// deferred StopFinal also guarantees the ticker goroutine is gone
+		// before main exits.
+		defer func() {
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			hb.StopFinal(f.tr, outcome)
+		}()
 	}
 	switch cmd {
 	case "run":
@@ -283,8 +327,12 @@ func run(args []string) (err error) {
 		return cmdDecodeLog(rest, f)
 	case "stats":
 		return cmdStats(rest, f)
+	case "timeline":
+		return cmdTimeline(rest, f)
+	case "explain":
+		return cmdExplain(rest, f)
 	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return usagef("unknown subcommand %q", cmd)
 	}
 }
 
@@ -356,7 +404,7 @@ func startProfiles(f flags) (func() error, error) {
 
 func loadProgram(rest []string) (string, error) {
 	if len(rest) != 1 {
-		return "", fmt.Errorf("expected exactly one program file")
+		return "", usagef("expected exactly one program file")
 	}
 	src, err := os.ReadFile(rest[0])
 	if err != nil {
@@ -430,7 +478,7 @@ func cmdRecord(rest []string, f flags) error {
 // with -salvage (recovering the longest valid prefix of a damaged log).
 func cmdDecodeLog(rest []string, f flags) error {
 	if len(rest) != 1 {
-		return fmt.Errorf("usage: clap decodelog <log file> [-salvage] [-v]")
+		return usagef("usage: clap decodelog <log file> [-salvage] [-v]")
 	}
 	buf, err := os.ReadFile(rest[0])
 	if err != nil {
@@ -466,7 +514,7 @@ func cmdDecodeLog(rest []string, f flags) error {
 // sweep a directory of intentionally racy examples.
 func cmdVet(rest []string, f flags) error {
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: clap vet <prog.mc>... [-v]")
+		return usagef("usage: clap vet <prog.mc>... [-v]")
 	}
 	for i, name := range rest {
 		src, err := os.ReadFile(name)
@@ -506,11 +554,11 @@ func cmdBench(rest []string, f flags) error {
 		for _, b := range bench.All() {
 			names += " " + b.Name
 		}
-		return fmt.Errorf("usage: clap bench <name>; available:%s", names)
+		return usagef("usage: clap bench <name>; available:%s", names)
 	}
 	b, ok := bench.ByName(rest[0])
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q", rest[0])
+		return usagef("unknown benchmark %q", rest[0])
 	}
 	f.model = b.Model
 	f.inputs = b.Inputs
@@ -534,7 +582,7 @@ func solverKind(name string) (core.SolverKind, error) {
 	case "portfolio":
 		return core.Portfolio, nil
 	}
-	return 0, fmt.Errorf("unknown solver %q", name)
+	return 0, usagef("unknown solver %q", name)
 }
 
 func reproduceSource(src string, f flags) error {
@@ -637,7 +685,7 @@ func reproduceSource(src string, f flags) error {
 // which is how `make ci` smoke-tests the metrics pipeline.
 func cmdStats(rest []string, f flags) error {
 	if len(rest) != 1 {
-		return fmt.Errorf("usage: clap stats <metrics.json> [-require span,span,...]")
+		return usagef("usage: clap stats <metrics.json> [-require span,span,...]")
 	}
 	data, err := os.ReadFile(rest[0])
 	if err != nil {
@@ -661,4 +709,135 @@ func cmdStats(rest []string, f flags) error {
 		}
 	}
 	return nil
+}
+
+// resolveTarget loads the single program argument shared by the timeline
+// and explain subcommands: a built-in benchmark name, or a mini-language
+// source file. Benchmark targets adopt the benchmark's model, inputs and
+// seed budget, like `clap bench`.
+func resolveTarget(rest []string, f flags, usage string) (src, name string, out flags, err error) {
+	if len(rest) != 1 {
+		return "", "", f, usagef("%s", usage)
+	}
+	if b, ok := bench.ByName(rest[0]); ok {
+		f.model = b.Model
+		f.inputs = b.Inputs
+		f.seeds = b.SeedLimit
+		if b.MaxPreemptions != 0 {
+			f.cs = b.MaxPreemptions
+		}
+		return b.Source, b.Name, f, nil
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return "", "", f, err
+	}
+	return string(data), rest[0], f, nil
+}
+
+// flightPipeline records a failure and reproduces it with the flight
+// recorder's capture hooks armed: the replay's visible events are
+// collected for the timeline's replay lane, and the sequential solver
+// keeps its deepest partial order so a failed solve still has something
+// to show. A non-nil Reproduction may come back alongside an error — the
+// partial pipeline is exactly what timeline/explain want to look at.
+func flightPipeline(src string, f flags, skipReplay bool) (*core.Reproduction, error) {
+	kind, err := solverKind(f.solver)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := core.Record(prog, core.RecordOptions{
+		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+		Deadline: f.timeout, Obs: f.tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.Reproduce(rec, core.ReproduceOptions{
+		Solver:        kind,
+		SeqOptions:    solver.Options{MaxPreemptions: f.cs, CapturePartial: true},
+		Deadline:      f.timeout,
+		SkipReplay:    skipReplay,
+		CaptureReplay: true,
+		Obs:           f.tr,
+	})
+}
+
+// cmdTimeline runs the full pipeline and writes the flight-recorder
+// timeline: the recorded interleaving, the solved schedule with race-flip
+// arrows, and the replay capture. With -o the artifact is Chrome
+// trace-event JSON (validated before writing, linked from the metrics
+// report); without it an ASCII rendering goes to stdout. A failed solve
+// still writes what exists — the recorded lane plus the sequential
+// attempt's partial order — and then reports the failure.
+func cmdTimeline(rest []string, f flags) error {
+	src, name, f, err := resolveTarget(rest, f, "usage: clap timeline <prog.mc|benchmark> [-o FILE] [flags]")
+	if err != nil {
+		return err
+	}
+	rep, perr := flightPipeline(src, f, false)
+	if rep == nil {
+		return perr
+	}
+	tl, err := rep.BuildTimeline(name)
+	if err != nil {
+		return err
+	}
+	if f.out != "" {
+		data, err := timeline.EncodeChrome(tl)
+		if err != nil {
+			return err
+		}
+		if err := timeline.Validate(data); err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.out, data, 0o644); err != nil {
+			return err
+		}
+		f.tr.AddArtifact("timeline", f.out)
+		fmt.Printf("timeline: %d lanes written to %s (%dB); load in Perfetto or chrome://tracing\n",
+			len(tl.Execs), f.out, len(data))
+	} else {
+		timeline.RenderASCII(os.Stdout, tl)
+	}
+	return perr
+}
+
+// cmdExplain runs record and solve, then explains the result. A solved
+// reproduction gets the schedule diff: the conflicting SAP pairs whose
+// order the solver reversed relative to the recorded interleaving — the
+// race flips — plus the reads whose last writer changed. A failed solve
+// gets the minimal-unsat-subset verdict instead, and explain exits 1
+// (the verdict is printed either way).
+func cmdExplain(rest []string, f flags) error {
+	src, name, f, err := resolveTarget(rest, f, "usage: clap explain <prog.mc|benchmark> [flags]")
+	if err != nil {
+		return err
+	}
+	rep, perr := flightPipeline(src, f, true)
+	if rep == nil {
+		return perr
+	}
+	fmt.Printf("explain %s (seed %d, model %s):\n", name, rep.Recording.Seed, f.model)
+	if rep.Solution != nil {
+		d, err := rep.ScheduleDiff()
+		if err != nil {
+			return err
+		}
+		d.Render(os.Stdout)
+		return perr
+	}
+	if perr != nil {
+		fmt.Printf("solve failed: %v\n", perr)
+	}
+	verdict, err := rep.ExplainUnsat(explain.MUSOptions{})
+	if err != nil {
+		return err
+	}
+	verdict.Render(os.Stdout)
+	return perr
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/timeline"
 )
 
 // buildClap compiles the clap binary once per test run.
@@ -145,6 +146,139 @@ func TestProfileFlushedWhenLaterProfilerFailsToStart(t *testing.T) {
 	}
 	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
 		t.Fatalf("CPU profile not flushed when a later profiler failed to start (%d bytes)", len(prof))
+	}
+}
+
+// exitCode runs the built clap with args and returns its exit code.
+func exitCode(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(clapBin(t), args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("clap did not run: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestExitCodes pins the documented convention shared by every
+// subcommand: 0 on success, 1 when the pipeline or a required check
+// fails, 2 on usage errors.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "clean.mc")
+	if err := os.WriteFile(prog, []byte(noFailureProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(dir, "metrics.json")
+	racy := filepath.Join(dir, "racy.mc")
+	if err := os.WriteFile(racy, []byte(racyProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, "reproduce", racy, "-metrics-json", metrics); code != 0 {
+		t.Fatalf("reproduce exit %d:\n%s", code, out)
+	}
+
+	usage := [][]string{
+		{},                    // no subcommand
+		{"bogus"},             // unknown subcommand
+		{"stats"},             // missing operand
+		{"timeline"},          // missing operand
+		{"explain", "a", "b"}, // too many operands
+		{"reproduce", racy, "-nosuchflag"},
+	}
+	for _, args := range usage {
+		if code, out := exitCode(t, args...); code != 2 {
+			t.Errorf("clap %v: exit %d, want 2 (usage)\n%s", args, code, out)
+		}
+	}
+
+	failures := [][]string{
+		{"stats", metrics, "-require", "no.such.span"},
+		{"reproduce", prog, "-seeds", "5"},
+		{"explain", prog, "-seeds", "5"},
+		{"timeline", prog, "-seeds", "5"},
+	}
+	for _, args := range failures {
+		if code, out := exitCode(t, args...); code != 1 {
+			t.Errorf("clap %v: exit %d, want 1 (failure)\n%s", args, code, out)
+		}
+	}
+}
+
+// TestTimelineAndExplainCommands runs the flight-recorder subcommands on
+// a racy source file: the timeline artifact must be valid trace-event
+// JSON, byte-identical across two full pipeline runs, linked from the
+// metrics report, and the explain report must show the schedule diff.
+func TestTimelineAndExplainCommands(t *testing.T) {
+	bin := clapBin(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "racy.mc")
+	if err := os.WriteFile(prog, []byte(racyProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl1 := filepath.Join(dir, "tl1.json")
+	tl2 := filepath.Join(dir, "tl2.json")
+	metrics := filepath.Join(dir, "metrics.json")
+
+	out, err := exec.Command(bin, "timeline", prog, "-o", tl1, "-metrics-json", metrics).CombinedOutput()
+	if err != nil {
+		t.Fatalf("timeline failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("lanes written")) {
+		t.Errorf("timeline summary missing:\n%s", out)
+	}
+	data1, err := os.ReadFile(tl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := timeline.Validate(data1); err != nil {
+		t.Errorf("artifact is not valid trace-event JSON: %v", err)
+	}
+
+	if out, err := exec.Command(bin, "timeline", prog, "-o", tl2).CombinedOutput(); err != nil {
+		t.Fatalf("second timeline run failed: %v\n%s", err, out)
+	}
+	data2, err := os.ReadFile(tl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("timeline JSON differs across runs on the same program: %d vs %d bytes", len(data1), len(data2))
+	}
+
+	// The metrics report links the artifact.
+	mdata, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.DecodeReport(mdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Artifacts["timeline"] != tl1 {
+		t.Errorf("report artifacts = %v, want timeline → %s", rep.Artifacts, tl1)
+	}
+
+	// Without -o: the ASCII rendering names the lanes.
+	out, err = exec.Command(bin, "timeline", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ascii timeline failed: %v\n%s", err, out)
+	}
+	for _, lane := range []string{"recorded", "solved", "replay"} {
+		if !bytes.Contains(out, []byte(lane)) {
+			t.Errorf("ascii timeline missing %q lane:\n%s", lane, out)
+		}
+	}
+
+	out, err = exec.Command(bin, "explain", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("explain failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("schedule diff:")) {
+		t.Errorf("explain output missing the schedule diff:\n%s", out)
 	}
 }
 

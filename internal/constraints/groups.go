@@ -1,0 +1,194 @@
+package constraints
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// GroupKind classifies constraint groups by the encoding rule that
+// produced them.
+type GroupKind uint8
+
+// Group kinds. Each corresponds to one rule of the F = Fpath ∧ Fbug ∧
+// Fso ∧ Frw ∧ Fmo encoding, at the granularity a human can act on: per
+// thread, per mutex, per wait, per read.
+const (
+	// GroupBug is Fbug: the negated failing assertion.
+	GroupBug GroupKind = iota
+	// GroupPath is one thread's Fpath conjuncts.
+	GroupPath
+	// GroupMO is one thread's intra-thread memory-order edges (Fmo).
+	GroupMO
+	// GroupSpawn is the fork→start and exit→join edges (Fso).
+	GroupSpawn
+	// GroupOrder is any remaining cross-thread hard edge: the pinned
+	// global synchronization order of BuildWithSyncOrder, or edges added
+	// by tests.
+	GroupOrder
+	// GroupLock is the mutual exclusion of one mutex's lock regions (Fso).
+	GroupLock
+	// GroupWait is one completed wait's signal-mapping constraint (Fso).
+	GroupWait
+	// GroupRW is one read's last-writer mapping constraint (Frw).
+	GroupRW
+)
+
+var groupKindNames = map[GroupKind]string{
+	GroupBug: "fbug", GroupPath: "fpath", GroupMO: "fmo",
+	GroupSpawn: "fso/spawn", GroupOrder: "fso/order", GroupLock: "fso/lock",
+	GroupWait: "fso/wait", GroupRW: "frw",
+}
+
+// String names the kind.
+func (k GroupKind) String() string {
+	if s, ok := groupKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("group(%d)", uint8(k))
+}
+
+// Group is one deletable unit of the constraint system: the conjuncts one
+// encoding rule contributed for one thread/mutex/wait/read. The
+// explainability layer's minimal-unsat-subset shrinker deletes whole
+// groups, so the partition granularity here is the granularity of the
+// final "why no schedule exists" verdict.
+type Group struct {
+	Kind GroupKind
+	// ID is the group's stable name, e.g. "fso/lock/m2" or "fpath/t1".
+	ID string
+	// Desc is a one-line human-readable description for verdicts.
+	Desc string
+
+	// Thread identifies the thread for GroupPath/GroupMO (else -1).
+	Thread trace.ThreadID
+	// Mutex identifies the mutex for GroupLock (else -1).
+	Mutex ir.SyncID
+	// Index is the sys.Waits index for GroupWait and the sys.Reads index
+	// for GroupRW (else -1).
+	Index int
+
+	// Edges are the hard order edges the group contributes (GroupMO,
+	// GroupSpawn, GroupOrder only).
+	Edges [][2]SAPRef
+	// Exprs are the symbolic conjuncts the group contributes (GroupPath:
+	// the thread's path conditions; GroupBug: the bug predicate).
+	Exprs []symbolic.Expr
+}
+
+// Groups partitions the system's constraints into deletable per-rule
+// groups. Every hard edge, lock region set, wait mapping, read mapping,
+// path conjunct and the bug predicate lands in exactly one group, so
+// deleting a subset of groups is a well-defined weakening of F. The
+// partition is deterministic: groups come out in a fixed kind-major order
+// with sorted identifiers.
+func (sys *System) Groups() []Group {
+	var out []Group
+
+	// Fbug.
+	out = append(out, Group{
+		Kind: GroupBug, ID: "fbug",
+		Desc:   "Fbug: the failing assertion's condition must be violated",
+		Thread: -1, Mutex: -1, Index: -1,
+		Exprs: []symbolic.Expr{sys.Bug},
+	})
+
+	// Fpath per thread, reconstructed from the per-thread conjunct counts
+	// (Build concatenates An.Threads[i].PathCond into sys.Path in order).
+	off := 0
+	for _, tt := range sys.An.Threads {
+		n := len(tt.PathCond)
+		if n > 0 {
+			out = append(out, Group{
+				Kind: GroupPath,
+				ID:   fmt.Sprintf("fpath/t%d", tt.Thread),
+				Desc: fmt.Sprintf("Fpath(t%d): %d path conditions of thread %d", tt.Thread, n, tt.Thread),
+				Thread: tt.Thread, Mutex: -1, Index: -1,
+				Exprs: sys.Path[off : off+n],
+			})
+		}
+		off += n
+	}
+
+	// Hard edges, classified by endpoints: same-thread edges are Fmo;
+	// cross-thread fork→start / exit→join pairs are the spawn half of
+	// Fso; anything else cross-thread is a pinned order edge.
+	mo := map[trace.ThreadID][][2]SAPRef{}
+	var spawn, order [][2]SAPRef
+	for _, e := range sys.HardEdges {
+		a, b := sys.SAPs[e[0]], sys.SAPs[e[1]]
+		switch {
+		case a.Thread == b.Thread:
+			mo[a.Thread] = append(mo[a.Thread], e)
+		case a.Kind == symexec.SAPFork && b.Kind == symexec.SAPStart,
+			a.Kind == symexec.SAPExit && b.Kind == symexec.SAPJoin:
+			spawn = append(spawn, e)
+		default:
+			order = append(order, e)
+		}
+	}
+	for tid := range sys.Threads {
+		t := trace.ThreadID(tid)
+		if edges := mo[t]; len(edges) > 0 {
+			out = append(out, Group{
+				Kind: GroupMO,
+				ID:   fmt.Sprintf("fmo/t%d", t),
+				Desc: fmt.Sprintf("Fmo(t%d): %d program-order edges of thread %d under %v", t, len(edges), t, sys.Model),
+				Thread: t, Mutex: -1, Index: -1,
+				Edges: edges,
+			})
+		}
+	}
+	if len(spawn) > 0 {
+		out = append(out, Group{
+			Kind: GroupSpawn, ID: "fso/spawn",
+			Desc:   fmt.Sprintf("Fso(spawn): %d fork→start and exit→join edges", len(spawn)),
+			Thread: -1, Mutex: -1, Index: -1,
+			Edges: spawn,
+		})
+	}
+	if len(order) > 0 {
+		out = append(out, Group{
+			Kind: GroupOrder, ID: "fso/order",
+			Desc:   fmt.Sprintf("Fso(order): %d pinned cross-thread order edges", len(order)),
+			Thread: -1, Mutex: -1, Index: -1,
+			Edges: order,
+		})
+	}
+
+	// Lock mutual exclusion per mutex, in sorted mutex order.
+	for _, m := range sys.RegionMutexes() {
+		out = append(out, Group{
+			Kind: GroupLock,
+			ID:   fmt.Sprintf("fso/lock/m%d", m),
+			Desc: fmt.Sprintf("Fso(m%d): mutual exclusion of %d lock regions on mutex %d", m, len(sys.Regions[m]), m),
+			Thread: -1, Mutex: m, Index: -1,
+		})
+	}
+
+	// Wait/signal mapping per completed wait.
+	for i, wi := range sys.Waits {
+		b := sys.SAPs[wi.Begin]
+		out = append(out, Group{
+			Kind: GroupWait,
+			ID:   fmt.Sprintf("fso/wait/%d", i),
+			Desc: fmt.Sprintf("Fso(wait %d): wait on c%d at t%d#%d must map to one of %d signals", i, b.Cond, b.Thread, b.Seq, len(wi.Cands)),
+			Thread: -1, Mutex: -1, Index: i,
+		})
+	}
+
+	// Read→write mapping per read.
+	for i, ri := range sys.Reads {
+		r := sys.SAPs[ri.Read]
+		out = append(out, Group{
+			Kind: GroupRW,
+			ID:   fmt.Sprintf("frw/r%d", i),
+			Desc: fmt.Sprintf("Frw(read t%d#%d g%d): read must map to a same-address write or the initial value", r.Thread, r.Seq, r.Var),
+			Thread: -1, Mutex: -1, Index: i,
+		})
+	}
+	return out
+}

@@ -120,6 +120,55 @@ type Recording struct {
 	Run     *vm.Result
 	// Seed is the scheduler seed that triggered the failure.
 	Seed int64
+	// Chaos, DrainBias, MaxActions and Demoted pin the winning attempt's
+	// effective scheduler configuration, so CaptureEvents can re-run the
+	// seed bit-identically. (CLAP records no global order — the recorded
+	// interleaving is reconstructed, not stored.)
+	Chaos      int
+	DrainBias  int
+	MaxActions int
+	Demoted    []bool
+}
+
+// CaptureEvents reconstructs the recorded run's global interleaving by
+// re-executing the winning seed under the identical deterministic
+// scheduler configuration and collecting the visible events (with their
+// logical timestamps). It verifies the re-run reaches the same failure;
+// a divergence means the recording's configuration was tampered with and
+// is reported as an error rather than a wrong timeline.
+func (r *Recording) CaptureEvents() ([]vm.VisibleEvent, error) {
+	sched := vm.NewRandomScheduler(r.Seed)
+	if r.Chaos > 0 {
+		sched.Chaos = r.Chaos
+	}
+	if r.DrainBias > 0 {
+		sched.DrainBias = r.DrainBias
+	}
+	var events []vm.VisibleEvent
+	machine, err := vm.New(r.Prog, vm.Config{
+		Model:        r.Model,
+		Inputs:       r.Inputs,
+		MaxActions:   r.MaxActions,
+		Sched:        sched,
+		Shared:       r.Sharing.Shared,
+		Demoted:      r.Demoted,
+		PathRecorder: &vm.PathRecorder{Paths: r.Paths, Log: &trace.PathLog{}},
+		OnVisible:    func(ev vm.VisibleEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: recorded-run capture diverged: %w", err)
+	}
+	if r.Failure != nil {
+		f := res.Failure
+		if f == nil || f.Kind != r.Failure.Kind || f.Thread != r.Failure.Thread || f.Site != r.Failure.Site {
+			return nil, fmt.Errorf("core: recorded-run capture diverged: recorded %v, re-run %v", r.Failure, f)
+		}
+	}
+	return events, nil
 }
 
 // Compile parses, checks and lowers a mini-language source program.
@@ -302,16 +351,20 @@ func recordSeed(prog *ir.Program, seed int64, opts RecordOptions, sharing *escap
 		return nil, err
 	}
 	return &Recording{
-		Prog:    prog,
-		Model:   opts.Model,
-		Inputs:  opts.Inputs,
-		Sharing: sharing,
-		Static:  static,
-		Paths:   pathRec.Paths,
-		Log:     pathRec.Log,
-		Failure: res.Failure,
-		Run:     res,
-		Seed:    seed,
+		Prog:       prog,
+		Model:      opts.Model,
+		Inputs:     opts.Inputs,
+		Sharing:    sharing,
+		Static:     static,
+		Paths:      pathRec.Paths,
+		Log:        pathRec.Log,
+		Failure:    res.Failure,
+		Run:        res,
+		Seed:       seed,
+		Chaos:      sched.Chaos,
+		DrainBias:  sched.DrainBias,
+		MaxActions: opts.MaxActions,
+		Demoted:    demoted,
 	}, nil
 }
 
@@ -387,6 +440,9 @@ type ReproduceOptions struct {
 	CNFOptions cnfsolver.Options
 	// SkipReplay computes the schedule without the final replay run.
 	SkipReplay bool
+	// CaptureReplay collects the replay's visible events into
+	// Outcome.Events — the replay lane of the flight-recorder timeline.
+	CaptureReplay bool
 	// NoPreprocess skips the shared constraint preprocessing pass
 	// (constraints.Preprocess) that every backend otherwise benefits
 	// from. Intended for baseline benchmarking and debugging.
@@ -506,9 +562,10 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 
 	if !opts.SkipReplay {
 		ropts := replay.Options{
-			Mode:   replay.ModeFor(rec.Model),
-			Inputs: rec.Inputs,
-			Ctx:    opts.Ctx,
+			Mode:    replay.ModeFor(rec.Model),
+			Inputs:  rec.Inputs,
+			Ctx:     opts.Ctx,
+			Capture: opts.CaptureReplay,
 		}
 		if !deadline.IsZero() {
 			ropts.Deadline = time.Until(deadline)

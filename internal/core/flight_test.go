@@ -1,0 +1,111 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/solver"
+	"repro/internal/timeline"
+	"repro/internal/vm"
+)
+
+func flightRep(t *testing.T) *Reproduction {
+	t.Helper()
+	rep, err := ReproduceSource(figure2SC,
+		RecordOptions{Model: vm.SC, SeedLimit: 3000},
+		ReproduceOptions{
+			Solver: Sequential,
+			// GenFallbackBound -1 forces the backtracking search (the
+			// generate-and-validate fast path never builds a partial
+			// order), so CapturePartial has something to capture.
+			SeqOptions:    solver.Options{CapturePartial: true, GenFallbackBound: -1},
+			CaptureReplay: true,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCaptureEventsDeterministic(t *testing.T) {
+	rep := flightRep(t)
+	rec := rep.Recording
+	ev1, err := rec.CaptureEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev1) == 0 {
+		t.Fatal("no events captured")
+	}
+	ev2, err := rec.CaptureEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatal("recorded-run capture not deterministic")
+	}
+
+	// A recording whose pinned configuration no longer reaches the failure
+	// must report divergence, not silently return a different run.
+	bad := *rec
+	bad.MaxActions = 1
+	if _, err := bad.CaptureEvents(); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("want divergence error, got %v", err)
+	}
+}
+
+func TestBuildTimelineLanes(t *testing.T) {
+	rep := flightRep(t)
+	tl, err := rep.BuildTimeline("figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ex := range tl.Execs {
+		names = append(names, ex.Name)
+	}
+	want := []string{timeline.ExecRecorded, timeline.ExecSolved, timeline.ExecReplay}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("lanes = %v, want %v", names, want)
+	}
+	// The solved lane carries the diff's flip arrows when the solver
+	// reordered anything; spawn/join arrows always exist on event lanes.
+	if len(tl.Execs[0].Arrows) == 0 {
+		t.Error("recorded lane has no spawn/join arrows")
+	}
+
+	// A failed solve falls back to the sequential attempt's partial-order
+	// lane (captured because SeqOptions.CapturePartial was set).
+	noSol := *rep
+	noSol.Solution = nil
+	tl2, err := noSol.BuildTimeline("figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = names[:0]
+	for _, ex := range tl2.Execs {
+		names = append(names, ex.Name)
+	}
+	if len(names) < 2 || names[1] != "attempt:sequential" {
+		t.Fatalf("failed-solve lanes = %v, want attempt:sequential second", names)
+	}
+}
+
+func TestScheduleDiffRequiresSolution(t *testing.T) {
+	rep := flightRep(t)
+	if _, err := rep.ScheduleDiff(); err != nil {
+		t.Fatalf("solved rep: %v", err)
+	}
+	if v, ok := rep.Trace.Reg().Lookup("explain.flips"); !ok {
+		t.Error("explain.flips gauge not published")
+	} else if v < 0 {
+		t.Errorf("explain.flips = %d", v)
+	}
+	noSol := *rep
+	noSol.Solution = nil
+	if _, err := noSol.ScheduleDiff(); err == nil {
+		t.Error("diff without a solution should error")
+	}
+}

@@ -1,0 +1,86 @@
+// Package explain turns the pipeline's answers into explanations: a
+// schedule-diff report naming the SAP pairs the solver flipped relative to
+// the recorded interleaving (the race flips that trigger the bug, with
+// source positions), and — when solving fails — a delete-based minimal
+// unsatisfiable subset over the per-rule constraint groups, rendered as a
+// human-readable "why no schedule exists" verdict.
+package explain
+
+import (
+	"fmt"
+
+	"repro/internal/constraints"
+	"repro/internal/symexec"
+	"repro/internal/vm"
+)
+
+// evKindOf maps a SAP kind to the VM event kind its execution produces.
+var evKindOf = map[symexec.SAPKind]vm.EventKind{
+	symexec.SAPStart: vm.EvStart, symexec.SAPExit: vm.EvExit,
+	symexec.SAPRead: vm.EvRead, symexec.SAPWrite: vm.EvWrite,
+	symexec.SAPLock: vm.EvLock, symexec.SAPUnlock: vm.EvUnlock,
+	symexec.SAPWaitBegin: vm.EvWaitBegin, symexec.SAPWaitEnd: vm.EvWaitEnd,
+	symexec.SAPSignal: vm.EvSignal, symexec.SAPBroadcast: vm.EvBroadcast,
+	symexec.SAPFork: vm.EvSpawn, symexec.SAPJoin: vm.EvJoin,
+	symexec.SAPYield: vm.EvYield, symexec.SAPFence: vm.EvFence,
+}
+
+// NoTime marks a SAP with no recorded timestamp: a demoted access, which
+// produced no visible event in the recorded run.
+const NoTime int64 = -1
+
+// AlignRecorded maps each SAP to the logical time of its visible event in
+// the recorded run, by walking each thread's SAP sequence against the
+// thread's recorded events in program order. Demoted memory SAPs
+// (demoted[var] true) produced no event and get NoTime; drain events are
+// not SAPs and are skipped on the event side. The returned slice is
+// indexed by SAPRef.
+//
+// CLAP records no global order, so the caller must obtain events from a
+// deterministic re-run of the recorded seed (core.Recording.CaptureEvents)
+// — per-thread subsequences alone would not define the cross-thread times
+// this alignment hands to the schedule diff.
+func AlignRecorded(sys *constraints.System, events []vm.VisibleEvent, demoted []bool) ([]int64, error) {
+	byThread := map[int][]vm.VisibleEvent{}
+	for _, ev := range events {
+		if ev.Kind == vm.EvDrain {
+			continue
+		}
+		byThread[int(ev.Thread)] = append(byThread[int(ev.Thread)], ev)
+	}
+	times := make([]int64, len(sys.SAPs))
+	for tid, refs := range sys.Threads {
+		evs := byThread[tid]
+		if len(evs) == 0 {
+			// A spawned-but-never-scheduled thread: symexec still emits its
+			// Start pseudo-SAP, but the VM never ran it, so nothing to align.
+			for _, r := range refs {
+				times[r] = NoTime
+			}
+			continue
+		}
+		cur := 0
+		for _, r := range refs {
+			s := sys.SAP(r)
+			if s.Kind.IsMemory() && int(s.Var) < len(demoted) && demoted[s.Var] {
+				times[r] = NoTime
+				continue
+			}
+			if cur >= len(evs) {
+				return nil, fmt.Errorf("explain: thread %d has %d recorded events for %d SAPs (ran out at t%d#%d %s)",
+					tid, len(evs), len(refs), s.Thread, s.Seq, s.Kind)
+			}
+			ev := evs[cur]
+			cur++
+			if want, ok := evKindOf[s.Kind]; !ok || ev.Kind != want {
+				return nil, fmt.Errorf("explain: thread %d SAP t%d#%d %s does not match recorded event %s",
+					tid, s.Thread, s.Seq, s.Kind, ev.Kind)
+			}
+			times[r] = ev.Time
+		}
+		if cur != len(evs) {
+			return nil, fmt.Errorf("explain: thread %d has %d recorded events beyond its %d SAPs", tid, len(evs)-cur, len(refs))
+		}
+	}
+	return times, nil
+}

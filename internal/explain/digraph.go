@@ -1,0 +1,69 @@
+package explain
+
+import "repro/internal/constraints"
+
+// diGraph is the oracle's order graph: adjacency lists with a LIFO trail
+// for backtracking and a DFS cycle check per insertion. The production
+// solver's Pearce–Kelly graph is faster, but the oracle runs a handful of
+// budgeted checks per explain invocation, not millions per solve — plain
+// DFS keeps this package dependency-light and obviously correct.
+type diGraph struct {
+	adj   [][]constraints.SAPRef
+	trail []constraints.SAPRef // flat (from) list; adj pops mirror it
+
+	seen    []int32
+	seenGen int32
+	stack   []constraints.SAPRef
+}
+
+func newDiGraph(n int) *diGraph {
+	return &diGraph{adj: make([][]constraints.SAPRef, n), seen: make([]int32, n)}
+}
+
+// mark returns an undo point.
+func (g *diGraph) mark() int { return len(g.trail) }
+
+// undoTo pops edges back to the mark, LIFO.
+func (g *diGraph) undoTo(mark int) {
+	for len(g.trail) > mark {
+		from := g.trail[len(g.trail)-1]
+		g.trail = g.trail[:len(g.trail)-1]
+		g.adj[from] = g.adj[from][:len(g.adj[from])-1]
+	}
+}
+
+// addEdge inserts a < b unless it would close a cycle (then the graph is
+// unchanged and addEdge reports false).
+func (g *diGraph) addEdge(a, b constraints.SAPRef) bool {
+	if a == b {
+		return false
+	}
+	if g.reaches(b, a) {
+		return false
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.trail = append(g.trail, a)
+	return true
+}
+
+// reaches reports whether to is reachable from from.
+func (g *diGraph) reaches(from, to constraints.SAPRef) bool {
+	g.seenGen++
+	g.stack = g.stack[:0]
+	g.stack = append(g.stack, from)
+	g.seen[from] = g.seenGen
+	for len(g.stack) > 0 {
+		v := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if v == to {
+			return true
+		}
+		for _, w := range g.adj[v] {
+			if g.seen[w] != g.seenGen {
+				g.seen[w] = g.seenGen
+				g.stack = append(g.stack, w)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package explain
+
+import (
+	"repro/internal/constraints"
+)
+
+// Pivot probing for the zero-flip verdict.
+//
+// When the solver's schedule preserves the recorded order of every
+// conflicting pair, the diff alone cannot say whether that order matters.
+// The probe answers it: re-check the full constraint system with one
+// extra hard edge forcing the pair's REVERSED order. The oracle
+// over-approximates satisfiability (see oracle.go), so oracle-unsat is a
+// sound proof that no failing schedule reverses the pair — the pair's
+// recorded order is the failure's trigger, the strongest statement a
+// race-flip report can make.
+
+// Pivot is one racing pair probed with its order reversed.
+type Pivot struct {
+	Pair Flip
+	// Essential means the oracle proved no failing schedule can reverse
+	// the pair. When false with Known, a relaxed schedule reversing it
+	// exists (inconclusive: the oracle over-approximates). Known is false
+	// when the probe's budget ran out.
+	Essential bool
+	Known     bool
+}
+
+// ProbeReversal checks whether any schedule satisfying the full
+// constraint system could order second before first. budget <= 0 uses
+// the MUS shrinker's default.
+func ProbeReversal(sys *constraints.System, first, second constraints.SAPRef, budget int64) Pivot {
+	if budget <= 0 {
+		budget = 200_000
+	}
+	groups := sys.Groups()
+	groups = append(groups, constraints.Group{
+		Kind:   constraints.GroupOrder,
+		ID:     "probe/reversal",
+		Desc:   "probe: reversed racing-pair order",
+		Thread: -1, Mutex: -1, Index: -1,
+		Edges: [][2]constraints.SAPRef{{second, first}},
+	})
+	keep := make([]bool, len(groups))
+	for i := range keep {
+		keep[i] = true
+	}
+	p := Pivot{Pair: Flip{Kind: FlipRW, First: first, Second: second}}
+	switch check(sys, groups, keep, budget) {
+	case vUnsat:
+		p.Essential, p.Known = true, true
+	case vSat:
+		p.Known = true
+	}
+	return p
+}
+
+// ProbeRacePairs runs the reversal probe over the diff's racing pairs
+// and stores the verdicts for Render. Intended for the zero-flip case;
+// a no-op when the diff recorded no memory pairs.
+func (d *Diff) ProbeRacePairs(budget int64) {
+	for _, f := range d.racePairs {
+		p := ProbeReversal(d.sys, f.First, f.Second, budget)
+		p.Pair = f
+		d.Pivots = append(d.Pivots, p)
+	}
+}

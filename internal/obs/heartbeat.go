@@ -24,10 +24,12 @@ type HeartbeatOptions struct {
 
 // Heartbeat periodically writes one-line progress reports ("obs: ...")
 // from a registry's live gauges, for long solver runs. Start it with
-// StartHeartbeat; it never writes after Stop returns.
+// StartHeartbeat; it never writes after Stop or StopFinal returns.
 type Heartbeat struct {
-	stop chan struct{}
-	done chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+	w     io.Writer
+	start time.Time
 }
 
 // StartHeartbeat launches the ticker goroutine. Returns nil (a no-op to
@@ -45,7 +47,7 @@ func StartHeartbeat(w io.Writer, reg *Registry, opts HeartbeatOptions) *Heartbea
 	if opts.Rates == nil {
 		opts.Rates = ProgressRates
 	}
-	h := &Heartbeat{stop: make(chan struct{}), done: make(chan struct{})}
+	h := &Heartbeat{stop: make(chan struct{}), done: make(chan struct{}), w: w, start: time.Now()}
 	var ctxDone <-chan struct{}
 	if opts.Ctx != nil {
 		ctxDone = opts.Ctx.Done()
@@ -86,6 +88,37 @@ func (h *Heartbeat) Stop() {
 		close(h.stop)
 	}
 	<-h.done
+}
+
+// StopFinal halts the heartbeat (waiting for its goroutine to exit, like
+// Stop) and then writes the run's closing one-line summary: elapsed wall
+// time, the last pipeline phase the trace reached, and the outcome. It is
+// meant for both exits of a run — pass "ok" on success and the error
+// class on failure — so a -progress user always sees how the run ended.
+// Safe on a nil heartbeat (then it writes nothing, matching a heartbeat
+// that never started).
+func (h *Heartbeat) StopFinal(tr *Trace, outcome string) {
+	if h == nil {
+		return
+	}
+	h.Stop()
+	fmt.Fprintf(h.w, "obs: done in %v phase=%s outcome=%s\n",
+		time.Since(h.start).Round(time.Millisecond), lastPhase(tr), outcome)
+}
+
+// lastPhase names the most recent top-level phase span of the trace —
+// "how far did the pipeline get" for the closing summary.
+func lastPhase(tr *Trace) string {
+	root := tr.Root()
+	if root == nil {
+		return "none"
+	}
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if len(root.Children) == 0 {
+		return "none"
+	}
+	return root.Children[len(root.Children)-1].Name
 }
 
 // progressLine renders one tick. last is updated in place with the

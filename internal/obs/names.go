@@ -73,6 +73,14 @@ var StableNames = []string{
 	// Replay phase (replay.Outcome).
 	"replay.events.matched",
 	"replay.reproduced", // 1 when the replay reproduced the failure
+
+	// Flight recorder (core.BuildTimeline) and explainability
+	// (core.ScheduleDiff).
+	"timeline.execs",  // execution lanes in the timeline artifact
+	"timeline.events", // events across all lanes
+	"timeline.arrows", // spawn/join/flip flow arrows
+	"explain.flips",   // conflicting SAP pairs the solver reversed
+	"explain.remaps",  // reads whose last writer changed
 }
 
 var stableSet = func() map[string]bool {

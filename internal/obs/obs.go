@@ -43,6 +43,41 @@ type Span struct {
 type Trace struct {
 	root *Span
 	reg  *Registry
+
+	mu        sync.Mutex
+	artifacts map[string]string
+}
+
+// AddArtifact links a run artifact (a file the pipeline wrote, like the
+// flight-recorder timeline JSON) into the trace's report under a short
+// kind name. The last path registered for a kind wins.
+func (t *Trace) AddArtifact(kind, path string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.artifacts == nil {
+		t.artifacts = map[string]string{}
+	}
+	t.artifacts[kind] = path
+	t.mu.Unlock()
+}
+
+// Artifacts snapshots the registered artifact links (nil when none).
+func (t *Trace) Artifacts() map[string]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.artifacts) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(t.artifacts))
+	for k, v := range t.artifacts {
+		m[k] = v
+	}
+	return m
 }
 
 // NewTrace starts a trace whose root span is opened now.

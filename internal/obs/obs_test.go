@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -283,6 +284,63 @@ func TestHeartbeatStopsWithContext(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("heartbeat did not stop with its context")
+	}
+}
+
+func TestHeartbeatStopFinal(t *testing.T) {
+	tr := NewTrace("clap")
+	tr.Root().Start("record").End()
+	tr.Root().Start("solve").End()
+
+	for _, outcome := range []string{"ok", "error"} {
+		var buf bytes.Buffer
+		h := StartHeartbeat(&buf, tr.Reg(), HeartbeatOptions{Interval: time.Hour})
+		h.StopFinal(tr, outcome)
+		out := buf.String()
+		if !strings.Contains(out, "obs: done in ") ||
+			!strings.Contains(out, "phase=solve") ||
+			!strings.Contains(out, "outcome="+outcome) {
+			t.Errorf("outcome %q: summary line missing pieces: %q", outcome, out)
+		}
+		if strings.Count(out, "obs: done") != 1 {
+			t.Errorf("outcome %q: want exactly one summary line, got %q", outcome, out)
+		}
+	}
+
+	// Nil heartbeat (a -progress run that never started one): no output,
+	// no panic.
+	var nilH *Heartbeat
+	nilH.StopFinal(tr, "ok")
+
+	// A trace with no phases yet reports phase=none.
+	var buf bytes.Buffer
+	h := StartHeartbeat(&buf, NewRegistry(), HeartbeatOptions{Interval: time.Hour})
+	h.StopFinal(NewTrace("clap"), "error")
+	if !strings.Contains(buf.String(), "phase=none") {
+		t.Errorf("empty trace should report phase=none: %q", buf.String())
+	}
+}
+
+// TestHeartbeatNoGoroutineLeak pins the satellite requirement that no
+// heartbeat goroutine outlives the run: after StopFinal returns, the
+// ticker goroutines are gone.
+func TestHeartbeatNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr := NewTrace("clap")
+	hs := make([]*Heartbeat, 0, 8)
+	for i := 0; i < 8; i++ {
+		hs = append(hs, StartHeartbeat(&bytes.Buffer{}, tr.Reg(), HeartbeatOptions{Interval: time.Millisecond}))
+	}
+	for _, h := range hs {
+		h.StopFinal(tr, "ok")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat goroutines outlived StopFinal: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

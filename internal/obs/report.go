@@ -19,6 +19,8 @@ type Report struct {
 	Root     *Span            `json:"root"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Artifacts links files the run wrote (timeline JSON, …) by kind.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
 }
 
 // Report snapshots the trace: open spans are closed at now in the copy,
@@ -28,7 +30,7 @@ func (t *Trace) Report() *Report {
 		return nil
 	}
 	c, g := t.reg.Snapshot()
-	return &Report{Schema: ReportSchema, Root: t.root.snapshot(), Counters: c, Gauges: g}
+	return &Report{Schema: ReportSchema, Root: t.root.snapshot(), Counters: c, Gauges: g, Artifacts: t.Artifacts()}
 }
 
 // Encode marshals the report as indented JSON with a trailing newline.
@@ -108,4 +110,15 @@ func (r *Report) Render(w io.Writer) {
 	}
 	renderKV("counters", r.Counters)
 	renderKV("gauges", r.Gauges)
+	if len(r.Artifacts) > 0 {
+		fmt.Fprintf(w, "\nartifacts:\n")
+		keys := make([]string, 0, len(r.Artifacts))
+		for k := range r.Artifacts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-30s %s\n", k, r.Artifacts[k])
+		}
+	}
 }

@@ -79,6 +79,9 @@ type Options struct {
 	Deadline time.Duration
 	// Ctx cancels the replay between scheduling decisions (nil = never).
 	Ctx context.Context
+	// Capture collects the replay's visible events into Outcome.Events —
+	// the replay lane of the flight-recorder timeline.
+	Capture bool
 }
 
 // Outcome reports a replay.
@@ -90,15 +93,18 @@ type Outcome struct {
 	Failure *vm.Failure
 	// EventsMatched counts schedule events verified.
 	EventsMatched int
+	// Events is the replay's visible-event capture (Options.Capture only).
+	Events []vm.VisibleEvent
 }
 
 // Run replays sol's schedule.
 func Run(sys *constraints.System, sol *solver.Solution, opts Options) (*Outcome, error) {
 	r := &replayer{
-		sys:  sys,
-		sol:  sol,
-		mode: opts.Mode,
-		ctx:  opts.Ctx,
+		sys:     sys,
+		sol:     sol,
+		mode:    opts.Mode,
+		ctx:     opts.Ctx,
+		capture: opts.Capture,
 		r2p:  map[trace.ThreadID]vm.ThreadID{0: 0},
 		p2r:  map[vm.ThreadID]trace.ThreadID{0: 0},
 	}
@@ -131,7 +137,7 @@ func Run(sys *constraints.System, sol *solver.Solution, opts Options) (*Outcome,
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Failure: res.Failure, EventsMatched: r.matched}
+	out := &Outcome{Failure: res.Failure, EventsMatched: r.matched, Events: r.events}
 	if res.Failure != nil && res.Failure.Kind == vm.FailAssert {
 		// The failing thread must be the recorded bug thread (modulo the
 		// replay/recorded id mapping).
@@ -175,6 +181,9 @@ type replayer struct {
 
 	matched int
 	err     error
+
+	capture bool
+	events  []vm.VisibleEvent
 
 	// Deadline guard: picks counts scheduling decisions so the wall clock
 	// is only polled on a stride.
@@ -280,6 +289,9 @@ func (r *replayer) Pick(v *vm.VM, actions []vm.Action) int {
 func (r *replayer) onVisible(ev vm.VisibleEvent) {
 	if r.err != nil {
 		return
+	}
+	if r.capture {
+		r.events = append(r.events, ev)
 	}
 	rec, ok := r.p2r[ev.Thread]
 	if !ok {

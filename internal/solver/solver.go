@@ -82,6 +82,13 @@ type Options struct {
 	// becomes approximate, matching the paper's own segment-based
 	// approximation of context switches.
 	BoundDecisionBudget int64
+	// CapturePartial, when set, keeps a snapshot of the order graph's
+	// topological order at the deepest decision prefix the search reached,
+	// in Stats.Partial. For failed or interrupted solves this is the
+	// attempt's best partial schedule — the timeline layer renders losing
+	// portfolio attempts from it. Off by default (the snapshot costs one
+	// O(#SAPs) copy per new deepest prefix).
+	CapturePartial bool
 	// Progress, when set, receives periodic snapshots of the live search
 	// statistics (sampled from the same stride as interrupt polling), for
 	// progress heartbeats on long solves. Called from the solving
@@ -139,6 +146,12 @@ type Stats struct {
 	// BoundReached is the last preemption bound the search explored —
 	// partial-progress diagnostics for interrupted solves.
 	BoundReached int
+	// Partial is a SAP order consistent with every hard edge plus the
+	// decisions of the deepest prefix the search reached; PartialDepth is
+	// that prefix's decision depth. Captured only under
+	// Options.CapturePartial, nil otherwise.
+	Partial      []constraints.SAPRef
+	PartialDepth int
 }
 
 // Unsat is returned when the system has no solution within the options'
@@ -166,7 +179,7 @@ func (e *Interrupted) Error() string {
 // Solve runs the decision procedure.
 func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 	opts.fill()
-	s := &search{sys: sys, opts: opts, stats: &Stats{}}
+	s := &search{sys: sys, opts: opts, stats: &Stats{}, maxDepth: -1}
 	if opts.Deadline > 0 {
 		s.deadline = time.Now().Add(opts.Deadline)
 	}
@@ -285,6 +298,10 @@ type search struct {
 	// polls counts interrupt polls; every progressStride of them the live
 	// stats are published through opts.Progress.
 	polls int64
+
+	// maxDepth is the deepest decision prefix reached so far (-1 before
+	// the first decide call); used by the CapturePartial snapshot.
+	maxDepth int
 }
 
 // progressStride is how many interrupt polls pass between Progress
@@ -608,6 +625,24 @@ func (s *search) tryGenerate(bound int, lim genLimits) (sol *Solution, decided b
 	return nil, !res.Capped
 }
 
+// capturePartial snapshots the order graph's current topological order
+// as the deepest-prefix partial schedule. ord is a permutation of ranks,
+// so inverting it yields a SAP sequence consistent with every edge the
+// graph holds right now.
+func (s *search) capturePartial(depth int) {
+	s.maxDepth = depth
+	n := len(s.g.ord)
+	if cap(s.stats.Partial) < n {
+		s.stats.Partial = make([]constraints.SAPRef, n)
+	}
+	p := s.stats.Partial[:n]
+	for v, rank := range s.g.ord {
+		p[rank] = constraints.SAPRef(v)
+	}
+	s.stats.Partial = p
+	s.stats.PartialDepth = depth
+}
+
 // decide assigns decision points depth-first.
 func (s *search) decide(i int) (*Solution, error) {
 	s.stats.Decisions++
@@ -621,6 +656,9 @@ func (s *search) decide(i int) (*Solution, error) {
 	}
 	if s.boundBudget > 0 && s.stats.Decisions-s.boundStart > s.boundBudget {
 		return nil, &Unsat{Reason: fmt.Sprintf("bound %d effort budget exhausted", s.bound)}
+	}
+	if s.opts.CapturePartial && i > s.maxDepth {
+		s.capturePartial(i)
 	}
 	if i == len(s.decisions) {
 		return s.complete()

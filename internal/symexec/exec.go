@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ballarus"
 	"repro/internal/ir"
+	"repro/internal/minic"
 	"repro/internal/symbolic"
 	"repro/internal/trace"
 )
@@ -151,12 +152,18 @@ type texec struct {
 	nonShared *localState
 	children  int32
 	aborted   bool
+	// curPos is the source position of the instruction currently being
+	// executed; emit stamps it onto every SAP.
+	curPos minic.Pos
 }
 
-// emit appends a SAP, filling in its identity.
+// emit appends a SAP, filling in its identity and the source position of
+// the instruction being executed (zero for the Start/Exit
+// pseudo-operations, which are emitted outside execInstr).
 func (e *texec) emit(s *SAP) *SAP {
 	s.Thread = e.tid
 	s.Seq = len(e.tt.SAPs)
+	s.Pos = e.curPos
 	e.tt.SAPs = append(e.tt.SAPs, s)
 	return s
 }
@@ -285,6 +292,9 @@ func (e *texec) condTaken(c symbolic.Expr, takenThen bool) error {
 
 // execInstr symbolically executes one instruction.
 func (e *texec) execInstr(fn *ir.Func, regs []symbolic.Expr, in ir.Instr, act *activation, callIdx *int) error {
+	if p := ir.PosOf(in); p.Line != 0 {
+		e.curPos = p
+	}
 	switch x := in.(type) {
 	case *ir.Const:
 		regs[x.Dst] = symbolic.Int(x.V)

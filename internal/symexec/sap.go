@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/minic"
 	"repro/internal/symbolic"
 	"repro/internal/trace"
 )
@@ -110,6 +111,11 @@ type SAP struct {
 	// Diagnostics and the constraint preprocessor use it as a
 	// conservative mutual-exclusion hint.
 	MustLocks ir.LockSet
+
+	// Pos is the source position of the instruction that produced the SAP
+	// (zero for the Start/Exit pseudo-operations, which have none). The
+	// timeline and explain reports use it to point at source lines.
+	Pos minic.Pos
 }
 
 // String renders the SAP for diagnostics.

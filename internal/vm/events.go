@@ -84,6 +84,11 @@ func (k EventKind) IsSAP() bool { return k != EvDrain }
 type VisibleEvent struct {
 	Kind   EventKind
 	Thread ThreadID
+	// Time is the event's logical timestamp: its index in the run's global
+	// visible-event sequence (drains included), starting at 0. Deterministic
+	// for a fixed schedule, unlike wall clock, which is what lets timeline
+	// artifacts built from these events be byte-identical across runs.
+	Time int64
 	// Addr and Var identify the memory location for reads/writes/drains.
 	Addr int
 	Var  ir.GlobalID

@@ -25,8 +25,11 @@ func (v *VM) perform(a Action) error {
 	return v.runThread(t)
 }
 
-// observe delivers an event to the OnVisible observer and counts SAPs.
+// observe delivers an event to the OnVisible observer, stamping its
+// logical time, and counts SAPs.
 func (v *VM) observe(ev VisibleEvent) {
+	ev.Time = v.eventClock
+	v.eventClock++
 	if ev.Kind.IsSAP() {
 		v.visible++
 		v.threads[ev.Thread].visibleCount++

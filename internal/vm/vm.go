@@ -282,6 +282,7 @@ type VM struct {
 	instructions int64
 	branches     int64
 	visible      int64
+	eventClock   int64 // next VisibleEvent.Time (all events, drains included)
 	output       []int64
 	failure      *Failure
 	actionCount  int
