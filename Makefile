@@ -5,9 +5,9 @@ FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
 .PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples \
-	race-obs metrics-smoke timeline-smoke
+	race-obs metrics-smoke timeline-smoke serve-smoke
 
-ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke
+ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -77,3 +77,11 @@ timeline-smoke:
 		$(GO) run ./cmd/clap explain $$b >/dev/null || { rc=1; break; }; \
 	done; \
 	[ $$rc -eq 0 ] && echo "timeline-smoke: ok"; rm -rf $$tmp; exit $$rc
+
+# End-to-end daemon crash drill: ingest, deterministic kill -9 mid-job
+# (via an armed CLAP_FAULTS crash point), restart, and require every
+# accepted job — one intact, one with a truncated log — to reach exactly
+# one terminal state with duplicate uploads served from the cache. See
+# scripts/serve_smoke.sh.
+serve-smoke:
+	@GO="$(GO)" sh scripts/serve_smoke.sh

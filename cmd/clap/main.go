@@ -19,6 +19,12 @@
 //	                                   recorded order (with source positions), or
 //	                                   — when no schedule exists — the minimal
 //	                                   conflicting constraint-group core
+//	clap serve -dir D [-addr A]        run the reproduction daemon: HTTP ingest
+//	                                   of recorded bundles, durable jobs, crash
+//	                                   recovery (see serve.go for its flags)
+//	clap jobs -dir D                   list the daemon's job journal states
+//	clap bundle <prog.mc|bench> -o F   record locally, emit an uploadable
+//	                                   clap-bundle/1 for POST /v1/jobs
 //
 // Exit codes: 0 on success; 1 when the pipeline or a required check fails
 // (`stats -require` missing a span, `explain` on a failed solve — the
@@ -259,7 +265,7 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 
 func run(args []string) (err error) {
 	if len(args) < 1 {
-		return usagef("usage: clap run|record|reproduce|bench|vet|decodelog|stats|timeline|explain ... (see the package docs for flags)")
+		return usagef("usage: clap run|record|reproduce|bench|vet|decodelog|stats|timeline|explain|serve|jobs|bundle ... (see the package docs for flags)")
 	}
 	cmd := args[0]
 	rest, f, err := parseFlags(args[1:])
@@ -331,6 +337,12 @@ func run(args []string) (err error) {
 		return cmdTimeline(rest, f)
 	case "explain":
 		return cmdExplain(rest, f)
+	case "serve":
+		return cmdServe(rest, f)
+	case "jobs":
+		return cmdJobs(rest, f)
+	case "bundle":
+		return cmdBundle(rest, f)
 	default:
 		return usagef("unknown subcommand %q", cmd)
 	}

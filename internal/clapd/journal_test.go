@@ -1,0 +1,193 @@
+package clapd
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeWAL(t *testing.T, dir string, lines ...string) {
+	t.Helper()
+	body := strings.Join(lines, "")
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func line(seq uint64, digest string, state State, attempt int) string {
+	e := Entry{Seq: seq, Digest: digest, State: state, Attempt: attempt}
+	b, _ := json.Marshal(e)
+	return string(b) + "\n"
+}
+
+// TestJournalRoundTrip appends transitions and replays them: the highest
+// sequence number per digest wins, and sequence numbering continues from
+// where the previous incarnation stopped.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, entries, rec, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || rec.DroppedBytes != 0 {
+		t.Fatalf("fresh journal not empty: %d entries, %+v", len(entries), rec)
+	}
+	dA, dB := testDigest(0x11), testDigest(0x22)
+	for _, step := range []struct {
+		digest  string
+		state   State
+		attempt int
+	}{
+		{dA, StateQueued, 0},
+		{dB, StateQueued, 0},
+		{dA, StateRunning, 1},
+		{dA, StateDone, 1},
+		{dB, StateRunning, 1},
+	} {
+		if _, err := j.Append(step.digest, step.state, step.attempt, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, entries, rec, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.DroppedBytes != 0 {
+		t.Fatalf("clean journal reported a dropped tail: %+v", rec)
+	}
+	byDigest := map[string]Entry{}
+	for _, e := range entries {
+		byDigest[e.Digest] = e
+	}
+	if got := byDigest[dA]; got.State != StateDone || got.Attempt != 1 {
+		t.Errorf("digest A replayed as %+v, want done/1", got)
+	}
+	if got := byDigest[dB]; got.State != StateRunning {
+		t.Errorf("digest B replayed as %+v, want running", got)
+	}
+	// Appends continue past the replayed maximum — sequence numbers never
+	// collide across restarts.
+	e, err := j2.Append(dB, StateDone, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq <= 5 {
+		t.Errorf("restarted journal reused sequence space: %d", e.Seq)
+	}
+}
+
+// TestJournalTornTail pins crash tolerance: a mid-append crash leaves a
+// torn or garbage tail, and recovery keeps the clean prefix while
+// reporting exactly what was dropped.
+func TestJournalTornTail(t *testing.T) {
+	dA, dB := testDigest(0x31), testDigest(0x32)
+	cases := []struct {
+		name string
+		tail string
+	}{
+		{"garbage", `{"seq": 3, "dig`},
+		{"torn-no-newline", line(3, dB, StateRunning, 1)[:len(line(3, dB, StateRunning, 1))-1]},
+		{"invalid-state", `{"seq":3,"digest":"` + dB + `","state":"exploded"}` + "\n"},
+		{"invalid-digest", `{"seq":3,"digest":"zzz","state":"queued"}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeWAL(t, dir,
+				line(1, dA, StateQueued, 0),
+				line(2, dB, StateQueued, 0),
+				tc.tail,
+			)
+			j, entries, rec, err := OpenJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 2 {
+				t.Fatalf("replayed %d entries, want 2 (%+v)", len(entries), entries)
+			}
+			if rec.DroppedBytes == 0 || rec.DroppedReason == "" {
+				t.Errorf("damaged tail not reported: %+v", rec)
+			}
+			// Compaction rewrote a clean WAL: close, reopen, no drop.
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, entries2, rec2, err := OpenJournal(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			if rec2.DroppedBytes != 0 {
+				t.Errorf("compacted journal still reports damage: %+v", rec2)
+			}
+			if len(entries2) != len(entries) {
+				t.Errorf("compaction changed the entry set: %d != %d", len(entries2), len(entries))
+			}
+		})
+	}
+}
+
+// TestJournalCompaction proves the WAL stays proportional to the job
+// population: many transitions for one digest compact to one line.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDigest(0x44)
+	states := []State{StateQueued, StateRunning, StateRetrying, StateRunning, StateDone}
+	for i, s := range states {
+		if _, err := j.Append(d, s, i, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	if _, _, _, err := OpenJournal(dir); err != nil { // compacts
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Fatalf("compacted WAL has %d lines, want 1:\n%s", n, data)
+	}
+	if !strings.Contains(string(data), string(StateDone)) {
+		t.Errorf("compacted entry lost the terminal state:\n%s", data)
+	}
+}
+
+// TestReadJournal is the `clap jobs` path: a read-only replay that works
+// on a missing, clean, or damaged WAL without disturbing it.
+func TestReadJournal(t *testing.T) {
+	dir := t.TempDir()
+	entries, rec, err := ReadJournal(dir)
+	if err != nil || len(entries) != 0 || rec.DroppedBytes != 0 {
+		t.Fatalf("missing WAL: %v, %d entries, %+v", err, len(entries), rec)
+	}
+	d := testDigest(0x55)
+	writeWAL(t, dir, line(1, d, StateQueued, 0), line(2, d, StatePoisoned, 3), "garbage")
+	before, _ := os.ReadFile(filepath.Join(dir, journalName))
+	entries, rec, err = ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].State != StatePoisoned {
+		t.Errorf("replay: %+v", entries)
+	}
+	if rec.DroppedBytes == 0 {
+		t.Error("garbage tail not reported")
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, journalName))
+	if string(before) != string(after) {
+		t.Error("read-only replay modified the WAL")
+	}
+}

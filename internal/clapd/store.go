@@ -1,0 +1,200 @@
+// Content-addressed artifact store. Every accepted bundle and every
+// artifact a job produces lives under the bundle's digest:
+//
+//	<dir>/objects/<digest[:2]>/<digest>/bundle.json
+//	                                   /result.json
+//	                                   /metrics.json
+//	                                   /timeline.json
+//	                                   /explain.txt
+//
+// All writes are crash-safe: payload to a unique temp file in the target
+// directory, fsync, rename over the final name, fsync the directory. A
+// crash mid-write leaves only a *.tmp-* file, which Open sweeps; a
+// visible file is always complete. Concurrent writers of the same digest
+// are idempotent — both rename identical content, last one wins.
+//
+// The file helpers consult faultinject fire points (clapd.fs.create,
+// clapd.fs.write, clapd.fs.sync, clapd.fs.rename) so the chaos tests can
+// fail or kill the process at every step of the persistence path.
+package clapd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
+
+// Artifact names a store supports per digest.
+const (
+	ArtifactBundle   = "bundle.json"
+	ArtifactResult   = "result.json"
+	ArtifactMetrics  = "metrics.json"
+	ArtifactTimeline = "timeline.json"
+	ArtifactExplain  = "explain.txt"
+)
+
+// artifactNames is the closed set GET /v1/jobs/{digest}/{artifact}
+// serves; anything else is a 404, not a path traversal.
+var artifactNames = map[string]string{
+	"bundle":   ArtifactBundle,
+	"result":   ArtifactResult,
+	"metrics":  ArtifactMetrics,
+	"timeline": ArtifactTimeline,
+	"explain":  ArtifactExplain,
+}
+
+// Store is the content-addressed on-disk blob store.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir and sweeps
+// the debris of crashed writers: *.tmp-* files are partial by
+// construction and deleting them is the salvage — every visible artifact
+// was completed by a rename.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if err := os.MkdirAll(s.objectsDir(), 0o755); err != nil {
+		return nil, err
+	}
+	err := filepath.WalkDir(s.objectsDir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+			os.Remove(path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("clapd: store sweep: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Store) objectsDir() string { return filepath.Join(s.dir, "objects") }
+
+// blobDir is the per-digest directory. Digests are hex (validated at
+// ingest), so the two-level fanout is well-formed.
+func (s *Store) blobDir(digest string) string {
+	return filepath.Join(s.objectsDir(), digest[:2], digest)
+}
+
+// validDigest guards store paths against non-digest input (HTTP route
+// parameters reach here).
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for _, c := range d {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the named artifact exists for the digest.
+func (s *Store) Has(digest, artifact string) bool {
+	if !validDigest(digest) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.blobDir(digest), artifact))
+	return err == nil
+}
+
+// Read returns the named artifact's bytes.
+func (s *Store) Read(digest, artifact string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("clapd: bad digest %q", digest)
+	}
+	return os.ReadFile(filepath.Join(s.blobDir(digest), artifact))
+}
+
+// Write atomically persists one artifact: temp file, fsync, rename,
+// directory fsync. Safe for concurrent writers of the same artifact.
+func (s *Store) Write(digest, artifact string, data []byte) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("clapd: bad digest %q", digest)
+	}
+	dir := s.blobDir(digest)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return atomicWrite(dir, artifact, data)
+}
+
+// PutBundle stores a raw bundle under its digest. It reports whether the
+// blob was newly created (false = content-addressed dedupe hit).
+func (s *Store) PutBundle(digest string, raw []byte) (created bool, err error) {
+	if s.Has(digest, ArtifactBundle) {
+		return false, nil
+	}
+	if err := s.Write(digest, ArtifactBundle, raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// atomicWrite is the store's one durability primitive. Every step has a
+// faultinject point so chaos tests can fail or crash it.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, fmt.Sprintf("%s.tmp-%d-%d", name, os.Getpid(), tmpCounter.Add(1)))
+	if err := faultinject.Fire("clapd.fs.create"); err != nil {
+		return fmt.Errorf("clapd: create %s: %w", tmp, err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	// Any failure past this point must not leak the temp file: it would
+	// survive until the next Open sweep and look like crash debris.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := faultinject.Fire("clapd.fs.write"); err != nil {
+		return fail(fmt.Errorf("clapd: write %s: %w", tmp, err))
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := faultinject.Fire("clapd.fs.sync"); err != nil {
+		return fail(fmt.Errorf("clapd: sync %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := faultinject.Fire("clapd.fs.rename"); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("clapd: rename %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// tmpCounter backs atomicWrite's unique temp names (package-level so the
+// journal's writes share the sequence).
+var tmpCounter atomic.Uint64
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

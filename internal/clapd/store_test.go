@@ -1,0 +1,159 @@
+package clapd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func testDigest(seed byte) string {
+	return strings.Repeat(fmt.Sprintf("%02x", seed), 32)
+}
+
+// TestStoreConcurrentSameDigest hammers one digest from many writers:
+// content-addressed writes are idempotent, so every writer must succeed
+// and the surviving blob must be intact — no torn interleaving, no temp
+// debris.
+func TestStoreConcurrentSameDigest(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := testDigest(0xab)
+	payload := bytes.Repeat([]byte("same-content-every-writer\n"), 512)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.PutBundle(digest, payload); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent writer failed: %v", err)
+	}
+	got, err := s.Read(digest, ArtifactBundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("blob corrupted by concurrent writers (%dB != %dB)", len(got), len(payload))
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, "objects", digest[:2], digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Errorf("want exactly bundle.json, got %d entries", len(ents))
+	}
+}
+
+// TestStoreCrashSalvage simulates a writer killed mid-write: the
+// orphaned temp file is swept on the next open and never becomes a
+// visible artifact.
+func TestStoreCrashSalvage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := testDigest(0xcd)
+	if err := s.Write(digest, ArtifactResult, []byte("complete\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between create and rename leaves exactly this: a partial
+	// temp file next to completed artifacts.
+	blob := filepath.Join(dir, "objects", digest[:2], digest)
+	partial := filepath.Join(blob, ArtifactBundle+".tmp-9999-1")
+	if err := os.WriteFile(partial, []byte(`{"schema":"clap-bun`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(partial); !os.IsNotExist(err) {
+		t.Error("partial temp file survived the open sweep")
+	}
+	if s2.Has(digest, ArtifactBundle) {
+		t.Error("partial write became a visible artifact")
+	}
+	got, err := s2.Read(digest, ArtifactResult)
+	if err != nil || string(got) != "complete\n" {
+		t.Errorf("completed artifact damaged by sweep: %q, %v", got, err)
+	}
+}
+
+// TestStoreWriteFaults drives every fire point in the atomic-write path:
+// an injected failure at any step must fail the write cleanly — no
+// visible artifact, no leaked temp file — and a later clean write must
+// succeed.
+func TestStoreWriteFaults(t *testing.T) {
+	for _, point := range []string{"clapd.fs.create", "clapd.fs.write", "clapd.fs.sync", "clapd.fs.rename"} {
+		t.Run(point, func(t *testing.T) {
+			defer faultinject.Reset()
+			dir := t.TempDir()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			digest := testDigest(0xef)
+			faultinject.Enable(point, faultinject.Failure{Times: 1})
+			if err := s.Write(digest, ArtifactResult, []byte("x")); err == nil {
+				t.Fatalf("write with %s armed succeeded", point)
+			}
+			if s.Has(digest, ArtifactResult) {
+				t.Error("failed write left a visible artifact")
+			}
+			blob := filepath.Join(dir, "objects", digest[:2], digest)
+			if ents, err := os.ReadDir(blob); err == nil {
+				for _, e := range ents {
+					t.Errorf("failed write leaked %s", e.Name())
+				}
+			}
+			// The fault was Times-bounded; the retry must go through.
+			if err := s.Write(digest, ArtifactResult, []byte("y")); err != nil {
+				t.Fatalf("write after fault cleared: %v", err)
+			}
+			if got, _ := s.Read(digest, ArtifactResult); string(got) != "y" {
+				t.Errorf("retried write content: %q", got)
+			}
+		})
+	}
+}
+
+// TestStoreRejectsBadDigest keeps HTTP route parameters out of paths.
+func TestStoreRejectsBadDigest(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"", "..", "../../etc/passwd", strings.Repeat("g", 64), strings.Repeat("A", 64), testDigest(0xaa)[:63]} {
+		if s.Has(d, ArtifactBundle) {
+			t.Errorf("Has accepted digest %q", d)
+		}
+		if err := s.Write(d, ArtifactBundle, []byte("x")); err == nil {
+			t.Errorf("Write accepted digest %q", d)
+		}
+		if _, err := s.Read(d, ArtifactBundle); err == nil {
+			t.Errorf("Read accepted digest %q", d)
+		}
+	}
+}

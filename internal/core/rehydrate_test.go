@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+const rehydrateProg = `
+int x;
+int y;
+func racer() {
+	int r = x;
+	x = r + 1;
+	y = y + 1;
+}
+func main() {
+	int h = spawn racer();
+	int r = x;
+	x = r + 1;
+	join(h);
+	int v = x;
+	assert(v == 2, "lost update");
+}
+`
+
+// TestRehydrateReproduces is the service-path contract: a Recording
+// rebuilt from only the program, the framed log (after an encode/decode
+// round trip, like an upload), the failure spec and the scheduler pins
+// must drive the full offline pipeline to a verified replay, and its
+// CaptureEvents re-run must still converge on the recorded failure.
+func TestRehydrateReproduces(t *testing.T) {
+	prog, err := Compile(rehydrateProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Record(prog, RecordOptions{SeedLimit: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship the log through the crash-tolerant wire format.
+	framed := rec.Log.EncodeFramed(trace.FramedOptions{})
+	log, rep := trace.DecodePathLogSalvage(framed)
+	if !rep.Clean() {
+		t.Fatalf("round-tripped log not clean: %s", rep)
+	}
+
+	re, err := Rehydrate(prog, RehydrateSpec{
+		Model:      rec.Model,
+		Inputs:     rec.Inputs,
+		Log:        log,
+		Failure:    rec.Failure,
+		Seed:       rec.Seed,
+		Chaos:      rec.Chaos,
+		DrainBias:  rec.DrainBias,
+		MaxActions: rec.MaxActions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Run != nil {
+		t.Fatal("rehydrated recording claims a local run")
+	}
+
+	out, err := Reproduce(re, ReproduceOptions{Solver: Portfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome == nil || !out.Outcome.Reproduced {
+		t.Fatal("rehydrated recording did not reproduce the failure")
+	}
+
+	if _, err := re.CaptureEvents(); err != nil {
+		t.Fatalf("capture re-run diverged: %v", err)
+	}
+}
+
+// TestRehydrateValidation pins the typed rejections: a rehydrated
+// recording must carry a log and an assertion failure.
+func TestRehydrateValidation(t *testing.T) {
+	prog, err := Compile(rehydrateProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := &vm.Failure{Kind: vm.FailAssert}
+	if _, err := Rehydrate(nil, RehydrateSpec{Log: &trace.PathLog{}, Failure: fail}); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := Rehydrate(prog, RehydrateSpec{Failure: fail}); err == nil {
+		t.Error("missing log accepted")
+	}
+	if _, err := Rehydrate(prog, RehydrateSpec{Log: &trace.PathLog{}, Failure: fail}); err == nil {
+		t.Error("empty log accepted")
+	}
+	log := &trace.PathLog{}
+	log.Append(0, trace.Event{Kind: trace.EvEnter, Arg: 0})
+	if _, err := Rehydrate(prog, RehydrateSpec{Log: log}); err == nil {
+		t.Error("missing failure accepted")
+	}
+	if _, err := Rehydrate(prog, RehydrateSpec{Log: log, Failure: &vm.Failure{Kind: vm.FailDeadlock}}); err == nil {
+		t.Error("non-assertion failure accepted")
+	}
+}

@@ -12,11 +12,23 @@
 //
 // Production code pays one mutex-guarded map lookup per registered fire
 // point; with nothing armed, Fire returns nil immediately.
+//
+// Beyond returned errors and panics, a point may be armed to *crash*: the
+// process terminates immediately via os.Exit (no deferred functions, no
+// cleanup), which is a deterministic kill -9 at a named program point.
+// Crash points are how the clapd chaos tests prove durability: arm a
+// crash anywhere in the journal/store/worker paths, restart, and verify
+// no accepted job was lost or double-completed. ArmEnv lets a subprocess
+// arm points from an environment variable, so the crash happens in a
+// child process while the test survives to inspect the wreckage.
 package faultinject
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -30,6 +42,11 @@ type Failure struct {
 	// Panic, when non-empty, makes Fire panic with this value instead —
 	// used to prove stages recover panics into structured errors.
 	Panic string
+	// Crash makes Fire terminate the process immediately (os.Exit(137),
+	// the kill -9 exit status): no deferred functions run, simulating a
+	// hard kill at exactly this point. Tests that must survive the crash
+	// arm it in a subprocess via ArmEnv.
+	Crash bool
 	// After skips the first After calls before firing (0 = fire at once).
 	After int
 	// Times bounds how often the point fires (0 = every call once armed).
@@ -91,9 +108,13 @@ func Fire(point string) error {
 		a.fired++
 	}
 	f := a.f
+	crash := crashFn
 	mu.Unlock()
 	if !due {
 		return nil
+	}
+	if f.Crash {
+		crash(point)
 	}
 	if f.Panic != "" {
 		panic(f.Panic)
@@ -102,6 +123,92 @@ func Fire(point string) error {
 		return f.Err
 	}
 	return fmt.Errorf("%w at %s", ErrInjected, point)
+}
+
+// CrashExitCode is the status a crash point exits with — the shell's
+// status for a SIGKILLed process, so scripts treat an injected crash and
+// a real kill -9 identically.
+const CrashExitCode = 137
+
+// crashFn terminates the process at a crash point. Overridable so
+// in-process tests can observe a would-be crash instead of dying.
+var crashFn = func(point string) {
+	fmt.Fprintf(os.Stderr, "faultinject: crash at %s\n", point)
+	os.Exit(CrashExitCode)
+}
+
+// SetCrashFn replaces the crash behavior and returns a restore function.
+// Test-only: lets a single-process test assert a crash point fired
+// without losing the process.
+func SetCrashFn(fn func(point string)) (restore func()) {
+	mu.Lock()
+	old := crashFn
+	crashFn = fn
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		crashFn = old
+		mu.Unlock()
+	}
+}
+
+// ArmEnv arms fire points from a specification string, typically an
+// environment variable set by a test driving a subprocess:
+//
+//	point=mode[@after[:times]][,point=mode...]
+//
+// mode is "fail" (return ErrInjected), "panic" (panic with the point
+// name), or "crash" (os.Exit(137) — a deterministic kill -9). after
+// skips that many calls before firing; times bounds how often it fires
+// (crash points need no bound). An empty spec arms nothing.
+//
+//	CLAP_FAULTS="clapd.worker.result=crash@0" clap serve ...
+func ArmEnv(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, rhs, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("faultinject: bad fault spec %q (want point=mode[@after[:times]])", part)
+		}
+		mode := rhs
+		var after, times int
+		if m, sched, ok := strings.Cut(rhs, "@"); ok {
+			mode = m
+			a, t, hasTimes := strings.Cut(sched, ":")
+			n, err := strconv.Atoi(a)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faultinject: bad after count in %q", part)
+			}
+			after = n
+			if hasTimes {
+				n, err := strconv.Atoi(t)
+				if err != nil || n < 0 {
+					return fmt.Errorf("faultinject: bad times count in %q", part)
+				}
+				times = n
+			}
+		}
+		f := Failure{After: after, Times: times}
+		switch mode {
+		case "fail":
+			// Err nil: Fire returns ErrInjected wrapped with the point name.
+		case "panic":
+			f.Panic = "faultinject: injected panic at " + point
+		case "crash":
+			f.Crash = true
+		default:
+			return fmt.Errorf("faultinject: unknown fault mode %q in %q", mode, part)
+		}
+		Enable(point, f)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

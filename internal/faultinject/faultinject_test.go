@@ -133,3 +133,74 @@ func TestCorrupterEmptyInput(t *testing.T) {
 		t.Fatal("empty-input mutation does not replay")
 	}
 }
+
+// TestCrashPoint proves an armed crash point invokes the crash function
+// exactly when due, and that Reset disarms it.
+func TestCrashPoint(t *testing.T) {
+	defer Reset()
+	var crashed []string
+	restore := SetCrashFn(func(p string) { crashed = append(crashed, p) })
+	defer restore()
+
+	Enable("crash.here", Failure{Crash: true, After: 1})
+	if err := Fire("crash.here"); err != nil {
+		t.Fatalf("call before After fired: %v", err)
+	}
+	if len(crashed) != 0 {
+		t.Fatalf("crashed early: %v", crashed)
+	}
+	Fire("crash.here")
+	if len(crashed) != 1 || crashed[0] != "crash.here" {
+		t.Fatalf("crash not recorded: %v", crashed)
+	}
+	Reset()
+	Fire("crash.here")
+	if len(crashed) != 1 {
+		t.Fatal("Reset did not disarm the crash point")
+	}
+}
+
+// TestArmEnv covers the subprocess arming syntax end to end: fail, panic
+// and crash modes with schedules, plus rejection of malformed specs.
+func TestArmEnv(t *testing.T) {
+	defer Reset()
+	var crashed int
+	restore := SetCrashFn(func(string) { crashed++ })
+	defer restore()
+
+	if err := ArmEnv(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	err := ArmEnv("a.fail=fail, b.panic=panic@0:1 ,c.crash=crash@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire("a.fail"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fail mode returned %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic mode did not panic")
+			}
+		}()
+		Fire("b.panic")
+	}()
+	if err := Fire("b.panic"); err != nil {
+		t.Fatalf("panic mode with times=1 fired twice: %v", err)
+	}
+	Fire("c.crash")
+	if crashed != 0 {
+		t.Fatal("crash fired before its After count")
+	}
+	Fire("c.crash")
+	if crashed != 1 {
+		t.Fatalf("crash fired %d times, want 1", crashed)
+	}
+
+	for _, bad := range []string{"nopoint", "p=", "p=wat", "p=crash@x", "p=fail@1:y", "=crash"} {
+		if err := ArmEnv(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -81,6 +81,28 @@ var StableNames = []string{
 	"timeline.arrows", // spawn/join/flip flow arrows
 	"explain.flips",   // conflicting SAP pairs the solver reversed
 	"explain.remaps",  // reads whose last writer changed
+
+	// Reproduction daemon (internal/clapd), reported via GET /v1/stats.
+	// Counters unless noted; clapd.queue.depth is a gauge.
+	"clapd.ingest.accepted",
+	"clapd.ingest.dedup.cached",   // duplicate of a completed job, served from store
+	"clapd.ingest.dedup.poisoned", // duplicate of a permanently failed job
+	"clapd.ingest.dedup.inflight", // duplicate shed onto a queued/running job
+	"clapd.ingest.rejected.badbundle",
+	"clapd.ingest.rejected.toolarge",
+	"clapd.ingest.rejected.saturated", // admission refusals (HTTP 429)
+	"clapd.queue.depth",               // gauge: digests awaiting a worker
+	"clapd.jobs.executed",             // pipeline attempts started
+	"clapd.jobs.salvaged",             // attempts whose log needed salvage
+	"clapd.jobs.done",
+	"clapd.jobs.retried",
+	"clapd.jobs.poisoned",
+	"clapd.jobs.panics",                 // attempts recovered from a panic
+	"clapd.jobs.done.unjournaled",       // done work whose terminal append failed
+	"clapd.jobs.doublecomplete.refused", // refused exits from a terminal state
+	"clapd.recovered.requeued",          // jobs re-queued by restart recovery
+	"clapd.recovered.poisoned",          // jobs poisoned by restart recovery
+	"clapd.journal.dropped.bytes",       // damaged WAL tail dropped on open
 }
 
 var stableSet = func() map[string]bool {

@@ -1,0 +1,106 @@
+#!/bin/sh
+# serve-smoke: end-to-end crash-recovery drill for `clap serve`.
+#
+#   phase 1  start the daemon with a crash point armed (CLAP_FAULTS makes
+#            faultinject os.Exit(137) mid-solve — a deterministic kill -9),
+#            ingest an intact benchmark bundle, and let the daemon die with
+#            the job in flight.
+#   phase 2  restart the daemon clean. The accepted job must be recovered
+#            (a re-upload dedupes against it), a second, deliberately
+#            truncated bundle must be admitted through the salvage path,
+#            and both jobs must reach a terminal state. A final duplicate
+#            upload must be served from the cache without re-running the
+#            pipeline (asserted via the clapd.jobs.executed counter).
+#
+# Run via `make serve-smoke` (part of `make ci`).
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DIR="$TMP/state"
+CLAP="$TMP/clap"
+SRV_PID=""
+
+cleanup() {
+	if [ -n "$SRV_PID" ]; then kill -9 "$SRV_PID" 2>/dev/null || true; fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "serve-smoke: FAIL: $*" >&2
+	echo "--- daemon stderr ---" >&2
+	cat "$TMP/serve.err" 2>/dev/null >&2 || true
+	exit 1
+}
+
+$GO build -o "$CLAP" ./cmd/clap
+
+"$CLAP" bundle sim_race -o "$TMP/a.json" 2>/dev/null
+"$CLAP" bundle pbzip2 -o "$TMP/b.json" -truncate-log 7 2>/dev/null
+
+# start_daemon <CLAP_FAULTS spec>; sets SRV_PID and BASE.
+start_daemon() {
+	: >"$TMP/serve.out"
+	CLAP_FAULTS="$1" "$CLAP" serve -dir "$DIR" -addr 127.0.0.1:0 -retry-base 50ms \
+		>"$TMP/serve.out" 2>"$TMP/serve.err" &
+	SRV_PID=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		BASE=$(sed -n 's/^clapd listening on \(http:[^ ]*\).*/\1/p' "$TMP/serve.out")
+		if [ -n "$BASE" ]; then return 0; fi
+		kill -0 "$SRV_PID" 2>/dev/null || return 1
+		sleep 0.1
+		i=$((i + 1))
+	done
+	return 1
+}
+
+# post <bundle file>: headers land in $TMP/hdr, body in $TMP/body.
+post() {
+	curl -s -D "$TMP/hdr" -o "$TMP/body" -X POST --data-binary @"$1" "$BASE/v1/jobs"
+}
+
+# --- Phase 1: accept a job, then die mid-solve. -------------------------
+start_daemon "clapd.worker.solve=crash" || fail "phase-1 daemon did not start"
+# The response may be cut off by the crash; durability is asserted in
+# phase 2 — the journal fsynced "queued" before any worker could run.
+post "$TMP/a.json" || true
+wait "$SRV_PID" && code=0 || code=$?
+SRV_PID=""
+[ "$code" -eq 137 ] || fail "armed daemon exited $code, want 137 (injected kill -9)"
+
+# --- Phase 2: clean restart must recover everything. --------------------
+start_daemon "" || fail "phase-2 daemon did not start"
+post "$TMP/a.json" || fail "re-upload of recovered job failed"
+grep -qi "^X-Clap-Dedupe:" "$TMP/hdr" || fail "recovered job not found: duplicate was not deduped"
+post "$TMP/b.json" || fail "truncated bundle upload failed"
+grep -q " 201 " "$TMP/hdr" || fail "truncated bundle not accepted: $(head -1 "$TMP/hdr")"
+
+i=0
+while [ $i -lt 600 ]; do
+	if "$CLAP" jobs -dir "$DIR" | grep -q "^2 jobs: 0 queued, 0 running, 0 retrying"; then break; fi
+	i=$((i + 1))
+	[ $i -lt 600 ] || fail "jobs never reached terminal states: $("$CLAP" jobs -dir "$DIR")"
+	sleep 0.1
+done
+
+# The intact recovered job must have completed (the truncated one may
+# legitimately end done or poisoned depending on what the salvage lost).
+"$CLAP" jobs -dir "$DIR" | grep -q "^done" || fail "recovered job did not complete: $("$CLAP" jobs -dir "$DIR")"
+
+# A duplicate of terminal work is served from the cache: the executed
+# counter must not move.
+executed() {
+	curl -s "$BASE/v1/stats" | sed -n 's/.*"clapd\.jobs\.executed": \([0-9]*\).*/\1/p'
+}
+before=$(executed)
+post "$TMP/a.json" || fail "cached duplicate upload failed"
+grep -qi "^X-Clap-Dedupe: cached" "$TMP/hdr" || fail "terminal duplicate not served from cache: $(cat "$TMP/hdr")"
+after=$(executed)
+[ "$before" = "$after" ] || fail "cached duplicate re-ran the pipeline ($before -> $after executions)"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "graceful drain failed"
+SRV_PID=""
+echo "serve-smoke: ok"
