@@ -4,10 +4,10 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
-.PHONY: ci vet build test fuzz-smoke bench bench-baseline vet-examples \
-	race-obs metrics-smoke timeline-smoke serve-smoke
+.PHONY: ci vet build test fuzz-smoke bench bench-baseline bench-compare \
+	bench-gate vet-examples race-obs metrics-smoke timeline-smoke serve-smoke
 
-ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke serve-smoke
+ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke serve-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,18 @@ bench:
 
 bench-baseline:
 	$(GO) run ./cmd/benchjson -baseline -o BENCH_baseline.json
+
+# Diff two committed snapshots: per-benchmark per-stage speedup table,
+# non-zero exit when any stage measured in both regressed >10% ns/op.
+# Usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# CI smoke gate for the lazy-transitivity CNF core: solve the three
+# historically slowest benchmarks once and require the clause count to
+# stay an order of magnitude below the eager cubic ceiling.
+bench-gate:
+	$(GO) test ./internal/bench/ -run '^TestBenchGateLazyCNF$$' -count=1 -v
 
 # A short fuzz pass per decoder target: the crash-tolerance claims hold on
 # arbitrary bytes, not just the corpus.

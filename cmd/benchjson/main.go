@@ -15,6 +15,13 @@
 //	go run ./cmd/benchjson                     # current pipeline
 //	go run ./cmd/benchjson -baseline -o BENCH_baseline.json
 //	go run ./cmd/benchjson -run peterson,racey # subset
+//	go run ./cmd/benchjson -compare old.json new.json
+//
+// -compare diffs two snapshots: it prints a per-benchmark per-stage
+// speedup table (old ns/op over new, with the alloc ratio alongside) for
+// every stage measured in both, and exits non-zero when any such stage
+// regressed by more than 10% in ns/op — the perf gate `make bench-compare`
+// runs in CI.
 //
 // -baseline measures the pre-optimization configuration: constraint
 // preprocessing off and the portfolio as the old serial
@@ -129,8 +136,17 @@ func main() {
 		baseline = flag.Bool("baseline", false, "measure the pre-optimization pipeline: no preprocessing, serial portfolio ladder")
 		run      = flag.String("run", "", "comma-separated benchmark subset (default: all eleven)")
 		reps     = flag.Int("reps", 3, "portfolio repetitions (best wall time wins)")
+		compare  = flag.Bool("compare", false, "diff two snapshots (old.json new.json); exit 1 on a >10% ns/op stage regression")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1)))
+	}
 
 	names := programs
 	if *run != "" {
@@ -272,6 +288,105 @@ func runStage(stage string, fn func(*testing.B)) StageResult {
 		}
 	}
 	return sr
+}
+
+// regressionTolerance is the relative ns/op growth -compare accepts per
+// stage before failing: benchmark noise sits well under it, a real perf
+// regression does not.
+const regressionTolerance = 0.10
+
+// loadReport reads and decodes a benchjson snapshot. Both clap-bench/1
+// and clap-bench/2 snapshots decode: the fields -compare consumes are
+// common to both schemas.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "clap-bench/") {
+		return nil, fmt.Errorf("%s: schema %q is not a benchjson snapshot", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// runCompare prints the per-benchmark per-stage speedup table between two
+// snapshots and returns the process exit code: 1 when any stage measured
+// in both snapshots regressed by more than regressionTolerance in ns/op,
+// 0 otherwise. Stages skipped in either snapshot are reported but never
+// gate — a stage newly skipped is a behavior change for the equivalence
+// tests, not the perf gate, to catch.
+func runCompare(oldPath, newPath string) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if oldRep.Mode != newRep.Mode {
+		fmt.Fprintf(os.Stderr, "benchjson: comparing mode %q against %q — speedups reflect the mode change too\n",
+			oldRep.Mode, newRep.Mode)
+	}
+	oldBy := map[string]BenchResult{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%-10s %-11s %14s %14s %8s %8s  %s\n",
+		"benchmark", "stage", "old ns/op", "new ns/op", "speedup", "allocs", "verdict")
+	regressions := 0
+	compared := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-10s only in %s\n", nb.Name, newPath)
+			continue
+		}
+		for _, stage := range []string{"build", "preprocess", "sequential", "parsolve", "cnf"} {
+			ns, nok := nb.Stages[stage]
+			osr, ook := ob.Stages[stage]
+			oldOK := ook && !osr.Skipped
+			newOK := nok && !ns.Skipped
+			switch {
+			case !oldOK && !newOK:
+				continue // unmeasured on both sides: nothing to say
+			case !oldOK:
+				fmt.Printf("%-10s %-11s %14s %14.0f %8s %8s  no old measurement\n",
+					nb.Name, stage, "-", ns.NsPerOp, "-", "-")
+				continue
+			case !newOK:
+				fmt.Printf("%-10s %-11s %14.0f %14s %8s %8s  skipped in new snapshot\n",
+					nb.Name, stage, osr.NsPerOp, "-", "-", "-")
+				continue
+			}
+			compared++
+			speedup := osr.NsPerOp / ns.NsPerOp
+			allocs := "-"
+			if ns.AllocsPerOp > 0 {
+				allocs = fmt.Sprintf("%.2fx", float64(osr.AllocsPerOp)/float64(ns.AllocsPerOp))
+			}
+			verdict := "ok"
+			if ns.NsPerOp > osr.NsPerOp*(1+regressionTolerance) {
+				verdict = fmt.Sprintf("REGRESSION (+%.0f%%)", (ns.NsPerOp/osr.NsPerOp-1)*100)
+				regressions++
+			}
+			fmt.Printf("%-10s %-11s %14.0f %14.0f %7.2fx %8s  %s\n",
+				nb.Name, stage, osr.NsPerOp, ns.NsPerOp, speedup, allocs, verdict)
+		}
+	}
+	fmt.Printf("\n%d stages compared, %d regressions (tolerance %.0f%%)\n",
+		compared, regressions, regressionTolerance*100)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
 }
 
 // portfolioWall times the end-to-end portfolio solve: a fresh system build

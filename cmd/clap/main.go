@@ -48,6 +48,9 @@
 //	-salvage            decodelog: recover the longest valid prefix from a
 //	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
+//	-cache DIR          reproduce/bench: reuse preprocess snapshots and
+//	                    solved schedules from the content-addressed cache
+//	                    at DIR (created if missing; clear with rm -rf)
 //	-dump-constraints   print the constraint system after solving
 //	-metrics-json FILE  write the pipeline's span tree and metric registry
 //	                    as JSON (written even when the run fails)
@@ -121,6 +124,7 @@ type flags struct {
 	salvage  bool
 	dump     bool
 	simplify bool
+	cacheDir string
 	verbose  bool
 
 	cpuprofile  string
@@ -172,6 +176,12 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 			if err != nil {
 				return nil, f, err
 			}
+		case "-cache":
+			v, err := need(a)
+			if err != nil {
+				return nil, f, err
+			}
+			f.cacheDir = v
 		case "-seeds":
 			v, err := need(a)
 			if err != nil {
@@ -628,6 +638,13 @@ func reproduceSource(src string, f flags) error {
 		Deadline:   f.timeout,
 		SkipReplay: true,
 		Obs:        f.tr,
+	}
+	if f.cacheDir != "" {
+		cache, err := core.OpenDiskCache(f.cacheDir)
+		if err != nil {
+			return err
+		}
+		ropts.Cache = cache
 	}
 	rep, rerr := core.Reproduce(rec, ropts)
 	if rep != nil {

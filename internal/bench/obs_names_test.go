@@ -16,6 +16,56 @@ import (
 // DESIGN.md) before it ships, so renames show up as test failures here
 // instead of silent schema drift.
 func TestObsNamesStable(t *testing.T) {
+	// The lazy-CNF and artifact-cache metrics only appear on a CNF-backed
+	// cached run, which the per-benchmark sweep below (sequential, no
+	// cache) never produces — pin them in their own subtest so a rename
+	// or a silent drop of either family fails here.
+	t.Run("lazy-and-cache-pins", func(t *testing.T) {
+		t.Parallel()
+		for _, name := range []string{
+			"solver.cnf.lazy.rounds", "solver.cnf.lazy.lemmas",
+			"core.cache.hit", "core.cache.miss",
+		} {
+			if !obs.IsStable(name) {
+				t.Errorf("%q missing from the stable-name list", name)
+			}
+		}
+		b, ok := ByName("dekker")
+		if !ok {
+			t.Fatal("dekker benchmark missing")
+		}
+		cache, err := core.OpenDiskCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() (counters, gauges map[string]int64) {
+			p := preparedFor(t, b)
+			tr := obs.NewTrace("bench")
+			rep, err := core.Reproduce(p.Recording, core.ReproduceOptions{
+				Solver: core.CNF,
+				Cache:  cache,
+				Obs:    tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Outcome.Reproduced {
+				t.Fatal("bug not reproduced")
+			}
+			counters, gauges = tr.Reg().Snapshot()
+			return counters, gauges
+		}
+		_, gauges := run()
+		for _, name := range []string{"solver.cnf.lazy.rounds", "solver.cnf.lazy.lemmas"} {
+			if _, ok := gauges[name]; !ok {
+				t.Errorf("CNF run published no %q gauge", name)
+			}
+		}
+		counters, _ := run()
+		if counters["core.cache.hit"] == 0 {
+			t.Error("second cached run published no core.cache.hit")
+		}
+	})
 	for _, b := range All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {

@@ -149,6 +149,8 @@ func StageCNF(p *Prepared, sys *constraints.System) func(*testing.B) {
 		b.ReportMetric(float64(st.BoolVars), "solver.cnf.boolvars")
 		b.ReportMetric(float64(st.Clauses), "solver.cnf.clauses")
 		b.ReportMetric(float64(st.TheoryRounds), "solver.cnf.rounds")
+		b.ReportMetric(float64(st.LazyRounds), "solver.cnf.lazy.rounds")
+		b.ReportMetric(float64(st.LazyLemmas), "solver.cnf.lazy.lemmas")
 		b.ReportMetric(float64(st.SATConflicts), "solver.cnf.sat.conflicts")
 	}
 }

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -40,6 +42,12 @@ type Config struct {
 	// RetryBase·2ⁿ⁻¹ (capped at 64×) plus ≤50% deterministic jitter
 	// (default 500ms; tests use ~1ms).
 	RetryBase time.Duration
+	// CacheDir is the content-addressed artifact cache directory shared
+	// by job executions: preprocess snapshots and solved schedules are
+	// keyed by bundle digest, so a retry (or a re-upload after the store
+	// was pruned) skips straight to the cached schedule's re-validation.
+	// Default: "cache" under Dir. Set to "-" to disable caching.
+	CacheDir string
 	// Obs receives the daemon's spans and clapd.* counters (one trace
 	// for the process; per-job traces are separate). Created when nil.
 	Obs *obs.Trace
@@ -94,6 +102,9 @@ type Daemon struct {
 	journal *Journal
 	tr      *obs.Trace
 	logger  *log.Logger
+	// cache is the cross-attempt artifact cache (nil when disabled); see
+	// Config.CacheDir.
+	cache *core.DiskCache
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -151,6 +162,22 @@ func Open(cfg Config) (*Daemon, error) {
 		stop:    make(chan struct{}),
 		ctx:     ctx,
 		cancel:  cancel,
+	}
+	switch cfg.CacheDir {
+	case "-":
+		// caching disabled
+	case "":
+		cfg.CacheDir = filepath.Join(cfg.Dir, "cache")
+		fallthrough
+	default:
+		cache, cerr := core.OpenDiskCache(cfg.CacheDir)
+		if cerr != nil {
+			// The cache is an accelerator, never a dependency: log and run
+			// without it.
+			d.logger.Printf("artifact cache disabled: %v", cerr)
+		} else {
+			d.cache = cache
+		}
 	}
 	if jrec.DroppedBytes > 0 {
 		d.logger.Printf("journal recovery dropped %dB tail: %s", jrec.DroppedBytes, jrec.DroppedReason)

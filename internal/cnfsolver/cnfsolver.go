@@ -5,12 +5,18 @@
 // DPLL(T) loop with blocking clauses.
 //
 // The encoding is the paper's "one order variable per SAP" model made
-// boolean: a variable x_{a<b} per unordered SAP pair plus the cubic
-// transitivity axioms — which is exactly why the paper's constraint counts
-// grow as N³ in the number of shared accesses (§4.1). It is therefore the
-// faithful-but-heavyweight reference solver: quadratic variables, cubic
-// clauses, used on small and medium systems and as an independent
-// cross-check of the dedicated decision procedure in internal/solver.
+// boolean: a variable x_{a<b} per unordered SAP pair. The paper's
+// constraint counts grow as N³ in the number of shared accesses (§4.1)
+// because of the cubic transitivity closure; by default this encoder
+// instead leaves transitivity to a lazy theory: only the pairs mentioned
+// by actual constraints get variables, and after each SAT model the
+// induced relation is checked for cycles with the Pearce–Kelly order
+// graph (internal/solver). Each cycle found becomes one refinement lemma
+// — the disjunction of the negated edge literals along it — and when the
+// relation is acyclic its topological ranks are the witness total order.
+// Options.EagerTransitivity restores the faithful all-triples encoding,
+// which is also the automatic fallback whenever addresses are symbolic
+// (see encoder.eager for why lazy blocking would be incomplete there).
 package cnfsolver
 
 import (
@@ -20,23 +26,37 @@ import (
 	"time"
 
 	"repro/internal/constraints"
+	"repro/internal/ir"
 	"repro/internal/sat"
 	"repro/internal/solver"
 	"repro/internal/symbolic"
 	"repro/internal/symexec"
+	"repro/internal/trace"
 )
 
 // Options tunes the CNF backend.
 type Options struct {
-	// MaxSAPs refuses systems whose cubic encoding would be too large
-	// (default 400 SAPs ≈ 10M transitivity clauses).
+	// MaxSAPs refuses systems too large to encode. The default depends on
+	// the encoding in effect: 400 SAPs for the cubic eager encoding
+	// (≈ 10M transitivity clauses) and 2000 for the lazy one, whose n×n
+	// pair arena is the only quadratic cost.
 	MaxSAPs int
-	// MaxTheoryRounds bounds the lazy-refinement loop (default 200).
+	// MaxTheoryRounds bounds the lazy-refinement loop over value theory
+	// rejections (default 200).
 	MaxTheoryRounds int
+	// MaxLazyRounds bounds the inner transitivity-refinement loop per
+	// Solve call (default 5000). Each round adds at least one cycle lemma,
+	// so the loop converges; the bound guards pathological instances.
+	MaxLazyRounds int
+	// EagerTransitivity restores the all-triples O(n³) transitivity
+	// encoding (the paper's faithful reference shape). Systems with
+	// symbolic addresses use it regardless — see encoder.eager.
+	EagerTransitivity bool
 	// Ctx cancels the solve (nil = never); polled each theory round and,
 	// via the SAT engine's stop hook, inside each SAT call.
 	Ctx context.Context
-	// Deadline bounds the solve's wall time (0 = none). Composes with Ctx.
+	// Deadline bounds each Solve call's wall time (0 = none). Composes
+	// with Ctx.
 	Deadline time.Duration
 	// Progress, when set, receives periodic snapshots of the live solving
 	// statistics (sampled from the SAT engine's stop-hook stride), for
@@ -46,11 +66,11 @@ type Options struct {
 }
 
 func (o *Options) fill() {
-	if o.MaxSAPs == 0 {
-		o.MaxSAPs = 400
-	}
 	if o.MaxTheoryRounds == 0 {
 		o.MaxTheoryRounds = 200
+	}
+	if o.MaxLazyRounds == 0 {
+		o.MaxLazyRounds = 5000
 	}
 }
 
@@ -59,9 +79,14 @@ type Stats struct {
 	BoolVars     int
 	Clauses      int64
 	TheoryRounds int
-	SATConflicts int64
-	// SATDecisions / SATPropagations mirror the CDCL engine's own effort
-	// counters, for the consolidated metrics registry.
+	// LazyRounds counts transitivity-refinement iterations (SAT models
+	// rejected for cyclic order relations); LazyLemmas counts the cycle
+	// lemmas those rounds added. Both stay zero under EagerTransitivity.
+	LazyRounds int64
+	LazyLemmas int64
+	// SATConflicts / SATDecisions / SATPropagations mirror the CDCL
+	// engine's own effort counters, for the consolidated metrics registry.
+	SATConflicts    int64
 	SATDecisions    int64
 	SATPropagations int64
 }
@@ -75,12 +100,77 @@ func (st *Stats) sample(s *sat.Solver) {
 
 // Solve computes a bug-reproducing schedule with the CNF backend.
 func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, error) {
+	sess, err := NewSession(sys, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess.Solve()
+}
+
+// Session is a re-entrant CNF solving session: the system is encoded
+// once, and Solve may be called repeatedly — after adding retractable
+// blocking clauses with BlockMapping, or simply to re-enter with a fresh
+// deadline — without re-encoding. Learnt clauses, theory lemmas and
+// variable activity all persist across calls, which is what makes
+// re-entry cheaper than a fresh solver each attempt.
+type Session struct {
+	opts Options
+	e    *encoder
+	st   Stats
+	// guards are the assumption literals activating the retractable
+	// blocking clauses added by BlockMapping; RetractBlocks retires them.
+	guards []sat.Lit
+}
+
+// NewSession encodes the system. The returned session is single-goroutine.
+func NewSession(sys *constraints.System, opts Options) (*Session, error) {
 	opts.fill()
 	n := len(sys.SAPs)
-	if n > opts.MaxSAPs {
-		return nil, nil, fmt.Errorf("cnfsolver: %d SAPs exceeds the cubic-encoding limit %d", n, opts.MaxSAPs)
-	}
 	e := &encoder{sys: sys, n: n, s: sat.New(0)}
+	for _, sap := range sys.SAPs {
+		if sap.Kind.IsMemory() && sap.Addr == symexec.NoAddr {
+			e.symbolicAddrs = true
+		}
+	}
+	e.eager = opts.EagerTransitivity || e.symbolicAddrs
+	limit := opts.MaxSAPs
+	if limit == 0 {
+		if e.eager {
+			limit = 400
+		} else {
+			limit = 2000
+		}
+	}
+	if n > limit {
+		return nil, fmt.Errorf("cnfsolver: %d SAPs exceeds the encoding limit %d", n, limit)
+	}
+	e.encode()
+	sess := &Session{opts: opts, e: e}
+	sess.refresh()
+	return sess, nil
+}
+
+// Lazy reports whether the session uses the lazy-transitivity encoding.
+func (sess *Session) Lazy() bool { return !sess.e.eager }
+
+// Stats returns a snapshot of the session's cumulative statistics.
+func (sess *Session) Stats() Stats {
+	sess.refresh()
+	return sess.st
+}
+
+func (sess *Session) refresh() {
+	sess.st.BoolVars = sess.e.s.NumVars()
+	sess.st.Clauses = sess.e.clauses
+	sess.st.sample(sess.e.s)
+}
+
+// Solve runs the DPLL(T) loop until a validated schedule emerges. The
+// returned stats pointer aliases the session's cumulative statistics.
+func (sess *Session) Solve() (*solver.Solution, *Stats, error) {
+	opts := sess.opts
+	e := sess.e
+	st := &sess.st
 	var deadline time.Time
 	if opts.Deadline > 0 {
 		deadline = time.Now().Add(opts.Deadline)
@@ -95,8 +185,6 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 		}
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
-	e.encode()
-	st := &Stats{BoolVars: e.s.NumVars(), Clauses: e.clauses}
 	// The stop hook keeps a single CDCL call from outliving the budget; a
 	// stopped call returns Unknown, which surfaces below as *Interrupted.
 	// It is also the live-progress sampling point: the engine polls it on
@@ -106,36 +194,55 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 	e.s.Stop = func() bool {
 		if opts.Progress != nil {
 			if polls++; polls%16 == 0 {
-				st.sample(e.s)
+				sess.refresh()
 				opts.Progress(*st)
 			}
 		}
 		return interrupted()
 	}
 
-	for round := 0; round < opts.MaxTheoryRounds; round++ {
-		st.TheoryRounds = round + 1
+	base := st.TheoryRounds
+	lazyThisCall := 0
+	for round := 0; round < opts.MaxTheoryRounds; {
+		st.TheoryRounds = base + round + 1
 		if opts.Progress != nil {
-			st.sample(e.s)
+			sess.refresh()
 			opts.Progress(*st)
 		}
 		if interrupted() {
-			st.sample(e.s)
+			sess.refresh()
 			return nil, st, &solver.Interrupted{Reason: "cnf theory loop cut short", Bound: -1}
 		}
-		switch e.s.Solve() {
+		switch e.s.Solve(sess.guards...) {
 		case sat.Sat:
 		case sat.Unknown:
-			st.sample(e.s)
+			sess.refresh()
 			return nil, st, &solver.Interrupted{Reason: "sat search cut short", Bound: -1}
 		default:
-			st.sample(e.s)
-			return nil, st, &Unsat{Rounds: round + 1}
+			sess.refresh()
+			return nil, st, e.unsat(round + 1)
 		}
+		if !e.eager {
+			// Transitivity theory first: reject models whose order relation
+			// is cyclic, learning one lemma per cycle found. These rounds
+			// are cheap (incremental SAT + Pearce–Kelly) and do not consume
+			// the value-theory round budget.
+			if added := e.refineAcyclic(); added > 0 {
+				st.LazyRounds++
+				st.LazyLemmas += int64(added)
+				if lazyThisCall++; lazyThisCall > opts.MaxLazyRounds {
+					sess.refresh()
+					return nil, st, fmt.Errorf("cnfsolver: transitivity refinement did not converge in %d rounds", opts.MaxLazyRounds)
+				}
+				continue
+			}
+		}
+		round++
+		st.TheoryRounds = base + round
 		order := e.extractOrder()
-		w, err := sys.ValidateSchedule(order)
+		w, err := e.sys.ValidateSchedule(order)
 		if err == nil {
-			st.sample(e.s)
+			sess.refresh()
 			return &solver.Solution{Order: order, Witness: w, Preemptions: w.Preemptions}, st, nil
 		}
 		// Theory rejection: derive the smallest sound conflict clause.
@@ -145,24 +252,102 @@ func Solve(sys *constraints.System, opts Options) (*solver.Solution, *Stats, err
 		// coarser blocking.
 		e.block(err)
 	}
-	st.sample(e.s)
+	sess.refresh()
 	return nil, st, fmt.Errorf("cnfsolver: theory refinement did not converge in %d rounds", opts.MaxTheoryRounds)
 }
 
+// Mapping returns, for each read, the choice index selected by the last
+// model (0 = initial value, k = k-th candidate write) or -1 for free
+// reads. Only meaningful immediately after a successful Solve.
+func (sess *Session) Mapping() []int {
+	e := sess.e
+	m := make([]int, len(e.sys.Reads))
+	for i := range e.sys.Reads {
+		m[i] = e.currentChoice(i)
+	}
+	return m
+}
+
+// BlockMapping adds a retractable blocking clause forbidding the last
+// model's read→write mapping, activated by an assumption literal on
+// subsequent Solve calls. It is how a caller enumerates the distinct
+// mapping classes of a system: Solve, BlockMapping, Solve, … until Unsat.
+// Only sound when addresses are concrete — with symbolic addresses a
+// mapping does not determine the read values.
+func (sess *Session) BlockMapping() {
+	e := sess.e
+	guard := e.s.NewVar()
+	lits := make([]sat.Lit, 0, len(e.mapVars)+1)
+	lits = append(lits, sat.MkLit(guard, true))
+	for _, v := range e.mapVars {
+		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
+	}
+	e.add(lits...)
+	sess.guards = append(sess.guards, sat.MkLit(guard, false))
+}
+
+// RetractBlocks permanently deactivates every blocking clause added by
+// BlockMapping, making the blocked mappings reachable again — the
+// cross-attempt reuse hook: a later bound sweep re-enters the same
+// encoded session with a clean slate but keeps all learnt clauses.
+func (sess *Session) RetractBlocks() {
+	for _, g := range sess.guards {
+		sess.e.s.AddClause(g.Not())
+	}
+	sess.guards = sess.guards[:0]
+}
+
+// RegionConflict identifies two lock regions of the same mutex, in
+// different threads, that are both entered and never released — no
+// interleaving can serialize them, so the system is unsatisfiable for a
+// reason worth naming (a bare empty clause would leave `clap explain`
+// with nothing to report).
+type RegionConflict struct {
+	Mutex   ir.SyncID
+	ThreadA trace.ThreadID
+	LockA   constraints.SAPRef
+	ThreadB trace.ThreadID
+	LockB   constraints.SAPRef
+}
+
+// GroupID returns the constraint-group name of the mutex's lock
+// serialization ("fso/lock/m<id>"), matching constraints.Groups — the
+// same vocabulary the MUS shrinker uses, so explain output lines up.
+func (c *RegionConflict) GroupID() string { return fmt.Sprintf("fso/lock/m%d", c.Mutex) }
+
+func (c *RegionConflict) String() string {
+	return fmt.Sprintf("%s: thread %d (lock at SAP %d) and thread %d (lock at SAP %d) both hold mutex m%d at the failure and never release it",
+		c.GroupID(), c.ThreadA, c.LockA, c.ThreadB, c.LockB, c.Mutex)
+}
+
 // Unsat reports an unsatisfiable system.
-type Unsat struct{ Rounds int }
+type Unsat struct {
+	Rounds int
+	// Conflict, when set, names the structural reason: two never-released
+	// lock regions that cannot coexist.
+	Conflict *RegionConflict
+}
 
 // Error implements error.
 func (u *Unsat) Error() string {
+	if u.Conflict != nil {
+		return fmt.Sprintf("cnfsolver: unsatisfiable: %s", u.Conflict)
+	}
 	return fmt.Sprintf("cnfsolver: unsatisfiable (after %d theory rounds)", u.Rounds)
 }
 
 type encoder struct {
-	sys     *constraints.System
-	n       int
-	s       *sat.Solver
-	pairVar map[[2]int]int // (i<j) -> SAT var meaning "SAP i before SAP j"
-	mapVars []int          // read→write / init choice variables
+	sys *constraints.System
+	n   int
+	s   *sat.Solver
+	// pairVar is a dense n×n arena: pairVar[a*n+b] (a<b) is the SAT var
+	// meaning "SAP a before SAP b", or -1 when the pair has no variable
+	// yet. pairList records the allocated flat indices in allocation
+	// order, for model iteration. The map it replaces cost a hash per
+	// lit() call in the encoder's hottest loop.
+	pairVar  []int32
+	pairList []int32
+	mapVars  []int // read→write / init choice variables
 	// choiceLit[readIdx][k] is the literal for the k-th choice of the
 	// read (k=0: initial value, k=1..: candidate writes).
 	choiceLit [][]sat.Lit
@@ -171,6 +356,23 @@ type encoder struct {
 	// not, read values are functions of the mapping alone and theory
 	// failures can block just the mapping projection.
 	symbolicAddrs bool
+	// eager selects the all-triples transitivity encoding. It is forced on
+	// when addresses are symbolic: the symbolic blocking level must forbid
+	// the exact rejected total order, and under the lazy encoding the
+	// model only pins the allocated pairs — blocking their projection
+	// would also exclude every other linear extension of the same partial
+	// order, most of them never tested. Eager encoding pins all pairs, so
+	// the projection is the total order and blocking it is sound.
+	eager bool
+	// conflicts collects never-released region pairs found during
+	// encoding; the first one decorates the Unsat error.
+	conflicts []RegionConflict
+
+	// Lazy-transitivity state: the Pearce–Kelly order graph (reset each
+	// refinement round) and reusable scratch.
+	og       *solver.OrderGraph
+	lemmaBuf []sat.Lit
+	orderBuf []constraints.SAPRef
 }
 
 // lit returns the literal for "a before b".
@@ -183,12 +385,14 @@ func (e *encoder) lit(a, b int) sat.Lit {
 		a, b = b, a
 		neg = true
 	}
-	v, ok := e.pairVar[[2]int{a, b}]
-	if !ok {
-		v = e.s.NewVar()
-		e.pairVar[[2]int{a, b}] = v
+	idx := a*e.n + b
+	v := e.pairVar[idx]
+	if v < 0 {
+		v = int32(e.s.NewVar())
+		e.pairVar[idx] = v
+		e.pairList = append(e.pairList, int32(idx))
 	}
-	return sat.MkLit(v, neg)
+	return sat.MkLit(int(v), neg)
 }
 
 func (e *encoder) add(lits ...sat.Lit) {
@@ -197,24 +401,25 @@ func (e *encoder) add(lits ...sat.Lit) {
 }
 
 func (e *encoder) encode() {
-	e.pairVar = map[[2]int]int{}
-	for _, sap := range e.sys.SAPs {
-		if sap.Kind.IsMemory() && sap.Addr == symexec.NoAddr {
-			e.symbolicAddrs = true
-		}
+	e.pairVar = make([]int32, e.n*e.n)
+	for i := range e.pairVar {
+		e.pairVar[i] = -1
 	}
-	// Transitivity: before(a,b) ∧ before(b,c) → before(a,c), all triples.
-	for a := 0; a < e.n; a++ {
-		for b := 0; b < e.n; b++ {
-			if b == a {
-				continue
-			}
-			for c := b + 1; c < e.n; c++ {
-				if c == a {
+	if e.eager {
+		// Transitivity: before(a,b) ∧ before(b,c) → before(a,c), all
+		// triples — the paper's faithful O(n³) reference shape.
+		for a := 0; a < e.n; a++ {
+			for b := 0; b < e.n; b++ {
+				if b == a {
 					continue
 				}
-				e.add(e.lit(a, b).Not(), e.lit(b, c).Not(), e.lit(a, c))
-				e.add(e.lit(c, b).Not(), e.lit(b, a).Not(), e.lit(c, a))
+				for c := b + 1; c < e.n; c++ {
+					if c == a {
+						continue
+					}
+					e.add(e.lit(a, b).Not(), e.lit(b, c).Not(), e.lit(a, c))
+					e.add(e.lit(c, b).Not(), e.lit(b, a).Not(), e.lit(c, a))
+				}
 			}
 		}
 	}
@@ -289,8 +494,17 @@ func (e *encoder) encode() {
 				case b.HasUnlock:
 					e.add(e.lit(int(b.Unlock), int(a.Lock)))
 				default:
-					// Two never-released regions cannot both exist.
-					e.s.AddClause()
+					// Two never-released regions cannot both exist. Record
+					// the named conflict before poisoning the formula so
+					// the Unsat error (and explain) can say which regions.
+					e.conflicts = append(e.conflicts, RegionConflict{
+						Mutex:   m,
+						ThreadA: a.Thread,
+						LockA:   a.Lock,
+						ThreadB: b.Thread,
+						LockB:   b.Lock,
+					})
+					e.add()
 				}
 			}
 		}
@@ -318,6 +532,53 @@ func (e *encoder) encode() {
 			}
 		}
 	}
+}
+
+// unsat builds the Unsat error, attaching the first recorded structural
+// conflict when encoding itself proved the system infeasible.
+func (e *encoder) unsat(rounds int) *Unsat {
+	u := &Unsat{Rounds: rounds}
+	if len(e.conflicts) > 0 {
+		u.Conflict = &e.conflicts[0]
+	}
+	return u
+}
+
+// refineAcyclic is the transitivity theory check: it orients every
+// allocated pair variable per the current model into the order graph and
+// adds one lemma per cycle discovered (the disjunction of the negated
+// edge literals along the cycle — a clause every total order satisfies).
+// It returns the number of lemmas added; zero means the relation is
+// acyclic and the graph's topological ranks order the model.
+func (e *encoder) refineAcyclic() int {
+	if e.og == nil {
+		e.og = solver.NewOrderGraph(e.n)
+	}
+	e.og.Reset()
+	lemmas := 0
+	for _, idx := range e.pairList {
+		a, b := int(idx)/e.n, int(idx)%e.n
+		from, to := a, b
+		if !e.s.Value(int(e.pairVar[idx])) {
+			from, to = b, a
+		}
+		if e.og.AddEdge(constraints.SAPRef(from), constraints.SAPRef(to)) {
+			continue
+		}
+		// The rejected edge closes a cycle: to →* from exists in the
+		// graph. Every edge on that path is true in the model, so negating
+		// them (plus the rejected edge) rules the cycle out for good.
+		path := e.og.Path(constraints.SAPRef(to), constraints.SAPRef(from))
+		lits := e.lemmaBuf[:0]
+		for i := 0; i+1 < len(path); i++ {
+			lits = append(lits, e.lit(int(path[i]), int(path[i+1])).Not())
+		}
+		lits = append(lits, e.lit(from, to).Not())
+		e.lemmaBuf = lits
+		e.add(lits...)
+		lemmas++
+	}
+	return lemmas
 }
 
 // learnValueLemmas statically discharges the easy value constraints: for
@@ -403,15 +664,21 @@ func (e *encoder) definitelySame(a, b constraints.SAPRef) bool {
 	return x.Var == y.Var && x.Addr != symexec.NoAddr && y.Addr != symexec.NoAddr && x.Addr == y.Addr
 }
 
-// extractOrder reads the total order off the pair variables by counting
-// predecessors (a valid model's transitive closure makes the counts a
-// permutation).
+// extractOrder reads the total order off the model. Lazy mode takes the
+// topological ranks maintained by the order graph (refineAcyclic just
+// inserted every model edge without finding a cycle, so the ranks
+// linearize the model's partial order). Eager mode counts predecessors —
+// there every pair is assigned and the counts form a permutation.
 func (e *encoder) extractOrder() []constraints.SAPRef {
+	if !e.eager {
+		e.orderBuf = e.og.TopoOrder(e.orderBuf)
+		return append([]constraints.SAPRef(nil), e.orderBuf...)
+	}
 	before := make([]int, e.n)
 	for a := 0; a < e.n; a++ {
 		for b := a + 1; b < e.n; b++ {
-			v := e.pairVar[[2]int{a, b}]
-			if e.s.Value(v) {
+			v := e.pairVar[a*e.n+b]
+			if e.s.Value(int(v)) {
 				before[b]++
 			} else {
 				before[a]++
@@ -438,7 +705,8 @@ func (e *encoder) extractOrder() []constraints.SAPRef {
 //  2. Otherwise, with concrete addresses, block the full mapping
 //     projection.
 //  3. With symbolic addresses, values can depend on the order too: block
-//     the full pair assignment (complete but slowest).
+//     the full pair assignment (complete but slowest; always on the eager
+//     encoding, where the pair assignment is the total order).
 func (e *encoder) block(verr error) {
 	if !e.symbolicAddrs {
 		if ve, ok := verr.(*constraints.ValidationError); ok && ve.FailedExpr != nil {
@@ -454,11 +722,23 @@ func (e *encoder) block(verr error) {
 		e.add(lits...)
 		return
 	}
-	lits := make([]sat.Lit, 0, len(e.pairVar))
-	for _, v := range e.pairVar {
+	lits := make([]sat.Lit, 0, len(e.pairList))
+	for _, idx := range e.pairList {
+		v := int(e.pairVar[idx])
 		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
 	}
 	e.add(lits...)
+}
+
+// currentChoice returns the selected choice index of read ri in the SAT
+// model, or -1 if the read is free or no choice is set.
+func (e *encoder) currentChoice(ri int) int {
+	for k, lit := range e.choiceLit[ri] {
+		if e.s.Value(lit.Var()) != lit.Neg() {
+			return k
+		}
+	}
+	return -1
 }
 
 // supportClause negates the current choices of every read in the
@@ -467,16 +747,6 @@ func (e *encoder) supportClause(expr symbolic.Expr) []sat.Lit {
 	readIdx := map[symbolic.SymID]int{}
 	for i, ri := range e.sys.Reads {
 		readIdx[e.sys.SAP(ri.Read).Sym.ID] = i
-	}
-	// currentChoice returns the selected choice index of read ri in the
-	// SAT model, or -1 if none is set (should not happen for a model).
-	currentChoice := func(ri int) int {
-		for k, lit := range e.choiceLit[ri] {
-			if e.s.Value(lit.Var()) != lit.Neg() {
-				return k
-			}
-		}
-		return -1
 	}
 	seen := map[int]bool{}
 	var lits []sat.Lit
@@ -491,7 +761,7 @@ func (e *encoder) supportClause(expr symbolic.Expr) []sat.Lit {
 				continue
 			}
 			seen[ri] = true
-			k := currentChoice(ri)
+			k := e.currentChoice(ri)
 			if k < 0 {
 				return false
 			}

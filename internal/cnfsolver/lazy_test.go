@@ -1,0 +1,181 @@
+package cnfsolver_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cnfsolver"
+	"repro/internal/constraints"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// mappingKey canonicalizes a read→write mapping vector for set comparison.
+func mappingKey(m []int) string {
+	parts := make([]string, len(m))
+	for i, k := range m {
+		parts[i] = fmt.Sprint(k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// enumerateMappings collects every distinct feasible read→write mapping of
+// the system under the given options by repeated Solve + BlockMapping.
+// Every solution's schedule is validated against the system on the way.
+func enumerateMappings(t *testing.T, sys *constraints.System, opts cnfsolver.Options, cap int) []string {
+	t.Helper()
+	sess, err := cnfsolver.NewSession(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for len(keys) < cap {
+		sol, _, err := sess.Solve()
+		if err != nil {
+			if _, ok := err.(*cnfsolver.Unsat); ok {
+				break
+			}
+			t.Fatalf("solve: %v", err)
+		}
+		if _, err := sys.ValidateSchedule(sol.Order); err != nil {
+			t.Fatalf("enumerated schedule does not validate: %v", err)
+		}
+		keys = append(keys, mappingKey(sess.Mapping()))
+		sess.BlockMapping()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestLazyMatchesEagerMappings is the schedule-equivalence property on
+// hand-written systems: the lazy-transitivity and eager encodings must
+// admit exactly the same set of read→write mapping classes, each with a
+// validating witness schedule.
+func TestLazyMatchesEagerMappings(t *testing.T) {
+	srcs := map[string]string{
+		"figure2": figure2SC,
+		"lost update": `
+int c;
+func worker() {
+	int t = c;
+	c = t + 1;
+}
+func main() {
+	int h1 = spawn worker();
+	int h2 = spawn worker();
+	join(h1);
+	join(h2);
+	int v = c;
+	assert(v == 2, "lost update");
+}
+`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			_, sys := buildSystem(t, src, vm.SC, 3000)
+			lazy := enumerateMappings(t, sys, cnfsolver.Options{}, 256)
+			eager := enumerateMappings(t, sys, cnfsolver.Options{EagerTransitivity: true}, 256)
+			if len(lazy) == 0 {
+				t.Fatal("no mappings found")
+			}
+			if strings.Join(lazy, ";") != strings.Join(eager, ";") {
+				t.Fatalf("mapping sets differ:\nlazy:  %v\neager: %v", lazy, eager)
+			}
+		})
+	}
+}
+
+func TestLazySessionIsLazyByDefault(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	sess, err := cnfsolver.NewSession(sys, cnfsolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Lazy() {
+		t.Fatal("concrete-address system must use the lazy encoding")
+	}
+	if _, _, err := sess.Solve(); err != nil {
+		t.Fatalf("lazy solve: %v", err)
+	}
+	eager, err := cnfsolver.NewSession(sys, cnfsolver.Options{EagerTransitivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Lazy() {
+		t.Fatal("EagerTransitivity must force the eager encoding")
+	}
+	// The lazy encoding's whole point: far fewer clauses than the cubic
+	// closure of the same system.
+	if ls, es := sess.Stats(), eager.Stats(); ls.Clauses*10 > es.Clauses {
+		t.Fatalf("lazy encoding not materially smaller: %d vs eager %d clauses", ls.Clauses, es.Clauses)
+	}
+}
+
+// TestSessionRetractBlocks checks the cross-attempt reuse contract: after
+// blocking every mapping to exhaustion, retracting the blocks makes the
+// session solvable again without re-encoding.
+func TestSessionRetractBlocks(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	sess, err := cnfsolver.NewSession(sys, cnfsolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutions := 0
+	for {
+		_, _, err := sess.Solve()
+		if err != nil {
+			if _, ok := err.(*cnfsolver.Unsat); ok {
+				break
+			}
+			t.Fatalf("solve: %v", err)
+		}
+		solutions++
+		sess.BlockMapping()
+		if solutions > 256 {
+			t.Fatal("runaway enumeration")
+		}
+	}
+	if solutions == 0 {
+		t.Fatal("system must be satisfiable")
+	}
+	sess.RetractBlocks()
+	if _, _, err := sess.Solve(); err != nil {
+		t.Fatalf("solve after RetractBlocks: %v", err)
+	}
+}
+
+// TestUnsatNamesNeverReleasedRegions pins the explainable-unsat contract
+// for the lock-region default branch: two cross-thread regions that never
+// release their mutex must produce an Unsat error that names the mutex
+// and both regions, not a silent empty clause.
+func TestUnsatNamesNeverReleasedRegions(t *testing.T) {
+	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
+	// Graft a conflicting pair of never-released regions onto the system:
+	// the encoder only looks at Thread/Lock/HasUnlock.
+	if sys.Regions == nil {
+		sys.Regions = map[ir.SyncID][]constraints.Region{}
+	}
+	sys.Regions[3] = []constraints.Region{
+		{Thread: 0, Lock: 0, HasUnlock: false},
+		{Thread: 1, Lock: 1, HasUnlock: false},
+	}
+	_, _, err := cnfsolver.Solve(sys, cnfsolver.Options{})
+	u, ok := err.(*cnfsolver.Unsat)
+	if !ok {
+		t.Fatalf("expected Unsat, got %v", err)
+	}
+	if u.Conflict == nil {
+		t.Fatal("Unsat must carry the region conflict")
+	}
+	if u.Conflict.GroupID() != "fso/lock/m3" {
+		t.Fatalf("conflict group = %q, want fso/lock/m3", u.Conflict.GroupID())
+	}
+	msg := u.Error()
+	for _, want := range []string{"m3", "thread 0", "thread 1", "never release"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("unsat message %q missing %q", msg, want)
+		}
+	}
+}

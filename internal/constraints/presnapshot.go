@@ -1,0 +1,124 @@
+package constraints
+
+// PreSnapshot is a serializable capture of the Preprocess pass's
+// decisions: the surviving read→write and wait→signal candidate sets plus
+// the reduction stats. The core disk cache stores one per recording
+// content hash, so a repeat reproduction (clapd's dedupe path, bound
+// sweeps, bench reruns) replays the pruning in O(candidates) instead of
+// re-running the closure and rule passes.
+//
+// A snapshot carries no SAP identities beyond dense indices, so it is
+// only meaningful for a system built from the very same recording; Apply
+// therefore validates shape (and subset-ness) defensively and refuses
+// anything that does not line up, leaving the system untouched.
+type PreSnapshot struct {
+	Schema string         `json:"schema"`
+	SAPs   int            `json:"saps"`
+	Reads  []ReadSnapshot `json:"reads"`
+	Waits  [][]SAPRef     `json:"waits"`
+	Stats  PreStats       `json:"stats"`
+}
+
+// PreSnapshotSchema versions the snapshot encoding; bump on any change to
+// the pruning semantics the snapshot captures.
+const PreSnapshotSchema = "clap-pre/1"
+
+// ReadSnapshot is one read's post-preprocessing candidate state.
+type ReadSnapshot struct {
+	Cands  []SAPRef `json:"cands,omitempty"`
+	Free   bool     `json:"free,omitempty"`
+	NoInit bool     `json:"noinit,omitempty"`
+}
+
+// Snapshot captures the preprocessing result, or nil when Preprocess has
+// not run.
+func (sys *System) Snapshot() *PreSnapshot {
+	if sys.Pre == nil {
+		return nil
+	}
+	snap := &PreSnapshot{
+		Schema: PreSnapshotSchema,
+		SAPs:   len(sys.SAPs),
+		Reads:  make([]ReadSnapshot, len(sys.Reads)),
+		Waits:  make([][]SAPRef, len(sys.Waits)),
+		Stats:  *sys.Pre,
+	}
+	for i := range sys.Reads {
+		ri := &sys.Reads[i]
+		snap.Reads[i] = ReadSnapshot{
+			Cands:  append([]SAPRef(nil), ri.Cands...),
+			Free:   ri.Free,
+			NoInit: ri.NoInit,
+		}
+	}
+	for i := range sys.Waits {
+		snap.Waits[i] = append([]SAPRef(nil), sys.Waits[i].Cands...)
+	}
+	return snap
+}
+
+// subseq reports whether want is an order-preserving subsequence of have.
+// Pruning only ever filters candidate lists in place, so a genuine
+// snapshot of this system must pass; anything else is a stale or foreign
+// cache entry.
+func subseq(want, have []SAPRef) bool {
+	j := 0
+	for _, w := range want {
+		for j < len(have) && have[j] != w {
+			j++
+		}
+		if j == len(have) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// ApplySnapshot replays a captured preprocessing result onto this system,
+// reporting false — with the system untouched — when the snapshot does
+// not match its shape. On success the system looks exactly as if
+// Preprocess had run (sys.Pre set, Rivals preserving the full pre-pruning
+// candidate sets), and Preprocess becomes a no-op.
+func (sys *System) ApplySnapshot(snap *PreSnapshot) bool {
+	if sys.Pre != nil || snap == nil || snap.Schema != PreSnapshotSchema {
+		return false
+	}
+	if snap.SAPs != len(sys.SAPs) || len(snap.Reads) != len(sys.Reads) || len(snap.Waits) != len(sys.Waits) {
+		return false
+	}
+	n := SAPRef(len(sys.SAPs))
+	for i := range snap.Reads {
+		for _, c := range snap.Reads[i].Cands {
+			if c < 0 || c >= n {
+				return false
+			}
+		}
+		if !subseq(snap.Reads[i].Cands, sys.Reads[i].Cands) {
+			return false
+		}
+	}
+	for i := range snap.Waits {
+		for _, c := range snap.Waits[i] {
+			if c < 0 || c >= n {
+				return false
+			}
+		}
+		if !subseq(snap.Waits[i], sys.Waits[i].Cands) {
+			return false
+		}
+	}
+	for i := range snap.Reads {
+		ri := &sys.Reads[i]
+		ri.Rivals = ri.Cands
+		ri.Cands = append([]SAPRef(nil), snap.Reads[i].Cands...)
+		ri.Free = snap.Reads[i].Free
+		ri.NoInit = snap.Reads[i].NoInit
+	}
+	for i := range snap.Waits {
+		sys.Waits[i].Cands = append([]SAPRef(nil), snap.Waits[i]...)
+	}
+	st := snap.Stats
+	sys.Pre = &st
+	return true
+}

@@ -451,6 +451,17 @@ type ReproduceOptions struct {
 	// another (sequential, then parallel, then CNF) instead of racing
 	// them concurrently. Intended for baseline benchmarking.
 	SerialPortfolio bool
+	// Cache, when set, is the content-addressed artifact cache: the
+	// preprocessing snapshot and the solved schedule are loaded from (and
+	// stored to) it under CacheKey. Cached schedules are re-validated
+	// against the freshly built system before being trusted, so a stale
+	// entry degrades to a normal solve rather than a wrong answer. Hits
+	// and misses are counted as core.cache.{hit,miss}.
+	Cache *DiskCache
+	// CacheKey addresses this recording's artifacts in Cache; empty means
+	// Recording.ContentKey(). clapd passes its bundle digest so the
+	// daemon's dedupe and the cache share one address space.
+	CacheKey string
 	// Ctx cancels the offline phases (nil = never).
 	Ctx context.Context
 	// Deadline bounds the whole offline pipeline (0 = none). The remaining
@@ -539,15 +550,46 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 	rep.System = sys
 	rep.Stats = sys.ComputeStats()
 	emitConstraintStats(tr.Reg(), rep.Stats)
+	cacheKey := ""
+	if opts.Cache != nil {
+		if cacheKey = opts.CacheKey; cacheKey == "" {
+			cacheKey = rec.ContentKey()
+		}
+	}
 	if !opts.NoPreprocess {
 		psp := tr.Root().Start("preprocess")
-		emitPreStats(tr.Reg(), sys.PreprocessObs(psp))
+		applied := false
+		if opts.Cache != nil {
+			if snap := opts.Cache.LoadPreprocess(cacheKey); snap != nil && sys.ApplySnapshot(snap) {
+				tr.Reg().Counter("core.cache.hit").Add(1)
+				psp.SetAttr("cache", "hit")
+				emitPreStats(tr.Reg(), sys.Pre)
+				applied = true
+			}
+		}
+		if !applied {
+			emitPreStats(tr.Reg(), sys.PreprocessObs(psp))
+			if opts.Cache != nil {
+				tr.Reg().Counter("core.cache.miss").Add(1)
+				opts.Cache.StorePreprocess(cacheKey, sys.Snapshot())
+			}
+		}
 		psp.End()
 	}
 
 	slv := tr.Root().Start("solve")
 	slv.SetAttr("kind", opts.Solver.String())
-	sol, err := solveStage(rep, sys, opts, deadline, slv)
+	var sol *solver.Solution
+	err = nil
+	if opts.Cache != nil {
+		sol = cachedSolve(rep, sys, opts.Cache, cacheKey, slv)
+	}
+	if sol == nil {
+		sol, err = solveStage(rep, sys, opts, deadline, slv)
+		if sol != nil && opts.Cache != nil {
+			opts.Cache.StoreSchedule(cacheKey, sol.Order, lastSolver(rep.Attempts))
+		}
+	}
 	emitSolveSummary(tr.Reg(), rep.Attempts, sol)
 	if sol == nil {
 		if err != nil {

@@ -1,0 +1,101 @@
+// Randomized schedule-equivalence property for the lazy-transitivity CNF
+// core: on random racy programs from the PR-2 generator family, the lazy
+// encoding must admit exactly the same set of read→write mapping classes
+// as the eager all-triples encoding, each with a validating witness
+// schedule. This is the end-to-end guard that the refinement loop never
+// invents or loses interleavings.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cnfsolver"
+	"repro/internal/constraints"
+)
+
+// enumerateCNFMappings collects the distinct feasible read→write mappings
+// of sys under opts by repeated Solve + BlockMapping, validating every
+// witness schedule. ok is false when the cap was hit before Unsat — the
+// enumeration is then a prefix, not the full set, and must not be compared.
+func enumerateCNFMappings(t *testing.T, sys *constraints.System, opts cnfsolver.Options, cap int) (keys []string, ok bool) {
+	t.Helper()
+	sess, err := cnfsolver.NewSession(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(keys) < cap {
+		sol, _, err := sess.Solve()
+		if err != nil {
+			if _, isUnsat := err.(*cnfsolver.Unsat); isUnsat {
+				sort.Strings(keys)
+				return keys, true
+			}
+			t.Fatalf("solve: %v", err)
+		}
+		if _, err := sys.ValidateSchedule(sol.Order); err != nil {
+			t.Fatalf("enumerated schedule does not validate: %v", err)
+		}
+		parts := make([]string, 0, len(sess.Mapping()))
+		for _, w := range sess.Mapping() {
+			parts = append(parts, fmt.Sprint(w))
+		}
+		keys = append(keys, strings.Join(parts, ","))
+		sess.BlockMapping()
+	}
+	return keys, false
+}
+
+func TestPropertyLazyMatchesEagerOnRandomPrograms(t *testing.T) {
+	const (
+		trials     = 20
+		mappingCap = 96
+		maxSAPs    = 2000
+		// Random programs can cycle through many value-rejected mapping
+		// classes before each feasible one; give the theory loop room.
+		theoryRounds = 20000
+	)
+	r := rand.New(rand.NewSource(4242))
+	compared := 0
+	for trial := 0; trial < trials; trial++ {
+		src, model := genRacyProgram(r)
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not compile: %v\n%s", trial, err, src)
+		}
+		rec, err := Record(prog, RecordOptions{Model: model, SeedLimit: 300})
+		if err != nil {
+			continue // fully locked variants never fail: fine
+		}
+		sys, err := rec.Analyze()
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v", trial, err)
+		}
+		sys.Preprocess()
+
+		lazy, lazyFull := enumerateCNFMappings(t, sys,
+			cnfsolver.Options{MaxSAPs: maxSAPs, MaxTheoryRounds: theoryRounds}, mappingCap)
+		eager, eagerFull := enumerateCNFMappings(t, sys,
+			cnfsolver.Options{MaxSAPs: maxSAPs, MaxTheoryRounds: theoryRounds, EagerTransitivity: true}, mappingCap)
+		if !lazyFull || !eagerFull {
+			// Too many mapping classes to enumerate exhaustively; the
+			// capped prefixes are order-dependent and incomparable.
+			continue
+		}
+		if len(lazy) == 0 {
+			t.Fatalf("trial %d: recording failed but no feasible mapping found\n%s", trial, src)
+		}
+		if strings.Join(lazy, ";") != strings.Join(eager, ";") {
+			t.Fatalf("trial %d: lazy mappings (%d) != eager mappings (%d)\nlazy:  %v\neager: %v\n%s",
+				trial, len(lazy), len(eager), lazy, eager, src)
+		}
+		compared++
+	}
+	if compared < 5 {
+		t.Fatalf("only %d/%d random programs were exhaustively compared; generator or cap too tame", compared, trials)
+	}
+	t.Logf("lazy == eager mapping sets on %d/%d random programs", compared, trials)
+}

@@ -117,6 +117,8 @@ func emitCNFStats(reg *obs.Registry, st *cnfsolver.Stats) {
 	reg.Gauge("solver.cnf.boolvars").Set(int64(st.BoolVars))
 	reg.Gauge("solver.cnf.clauses").Set(st.Clauses)
 	reg.Gauge("solver.cnf.rounds").Set(int64(st.TheoryRounds))
+	reg.Gauge("solver.cnf.lazy.rounds").Set(st.LazyRounds)
+	reg.Gauge("solver.cnf.lazy.lemmas").Set(st.LazyLemmas)
 	reg.Gauge("solver.cnf.sat.conflicts").Set(st.SATConflicts)
 	reg.Gauge("solver.cnf.sat.decisions").Set(st.SATDecisions)
 	reg.Gauge("solver.cnf.sat.propagations").Set(st.SATPropagations)

@@ -61,6 +61,8 @@ var StableNames = []string{
 	"solver.cnf.boolvars",
 	"solver.cnf.clauses",
 	"solver.cnf.rounds",
+	"solver.cnf.lazy.rounds", // lazy-transitivity refinement iterations
+	"solver.cnf.lazy.lemmas", // cycle lemmas those iterations learned
 	"solver.cnf.sat.conflicts",
 	"solver.cnf.sat.decisions",
 	"solver.cnf.sat.propagations",
@@ -69,6 +71,11 @@ var StableNames = []string{
 	"solve.attempts",
 	"solve.preemptions",
 	"solve.schedule.len",
+
+	// Content-addressed artifact cache (core.DiskCache): one hit or miss
+	// per cached artifact consulted (preprocess snapshot, schedule).
+	"core.cache.hit",
+	"core.cache.miss",
 
 	// Replay phase (replay.Outcome).
 	"replay.events.matched",

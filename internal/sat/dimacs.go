@@ -14,10 +14,13 @@ import (
 // a reference solver.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.originals)); err != nil {
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.origEnd)); err != nil {
 		return err
 	}
-	for _, c := range s.originals {
+	start := int32(0)
+	for _, end := range s.origEnd {
+		c := s.origLits[start:end]
+		start = end
 		for _, l := range c {
 			if _, err := bw.WriteString(l.String()); err != nil {
 				return err

@@ -1,0 +1,51 @@
+package sat
+
+import "testing"
+
+// TestSolveReentryWithAssumptions pins the session contract the CNF
+// backend relies on: Solve may be re-entered after a Sat verdict — with
+// clauses added in between and assumptions on top — and must rewind the
+// stale model rather than stacking assumption levels onto it.
+func TestSolveReentryWithAssumptions(t *testing.T) {
+	s := New(2)
+	a, b := MkLit(0, false), MkLit(1, false)
+	if !s.AddClause(a, b) {
+		t.Fatal("add")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("first solve = %v", got)
+	}
+	if got := s.Solve(a.Not()); got != Sat {
+		t.Fatalf("solve under ¬a = %v", got)
+	}
+	if s.Value(1) != true {
+		t.Fatal("¬a forces b")
+	}
+	if !s.AddClause(b.Not()) {
+		t.Fatal("add ¬b")
+	}
+	if got := s.Solve(a.Not()); got != Unsat {
+		t.Fatalf("(a∨b)∧¬b under ¬a = %v, want UNSAT", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("(a∨b)∧¬b without assumptions = %v, want SAT", got)
+	}
+	if s.Value(0) != true {
+		t.Fatal("model must set a")
+	}
+	// A guarded blocking clause retired by a unit: the standard
+	// assumption-literal retraction pattern.
+	g := s.NewVar()
+	if !s.AddClause(MkLit(g, true), a.Not()) {
+		t.Fatal("add guard clause")
+	}
+	if got := s.Solve(MkLit(g, false)); got != Unsat {
+		t.Fatalf("guarded block active = %v, want UNSAT", got)
+	}
+	if !s.AddClause(MkLit(g, true)) {
+		t.Fatal("retire guard")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after retiring guard = %v, want SAT", got)
+	}
+}

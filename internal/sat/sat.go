@@ -84,12 +84,19 @@ type clause struct {
 }
 
 // Solver is a CDCL SAT solver. Create with New, add clauses, call Solve.
+//
+// The solver is re-entrant: Solve may be called repeatedly, with clauses
+// added in between, and keeps its learnt clauses across calls. Each Solve
+// first rewinds to decision level 0, so a call with assumptions after a
+// Sat verdict starts from a clean trail.
 type Solver struct {
 	clauses []*clause
 	learnts []*clause
 	// originals keeps every added clause verbatim for DIMACS export
-	// (AddClause simplifies units and satisfied clauses away internally).
-	originals [][]Lit
+	// (AddClause simplifies units and satisfied clauses away internally),
+	// stored flat: clause i is origLits[origEnd[i-1]:origEnd[i]].
+	origLits []Lit
+	origEnd  []int32
 	// watches[int(l)] = clauses watching literal l (convention: the list
 	// for l holds clauses in which l is watched). Dense by literal index —
 	// propagate is the solver's inner loop and a map lookup per trail
@@ -115,6 +122,16 @@ type Solver struct {
 	// once per conflict and allocated a map plus a growing slice each time.
 	seen      []bool
 	learntBuf []Lit
+	addBuf    []Lit // AddClause normalize scratch
+
+	// Problem clauses come out of slab arenas: large encodings (the CNF
+	// backend emits tens of thousands of clauses) cost O(clauses/slab)
+	// allocations instead of two per clause. Learnt clauses stay
+	// individually heap-allocated — reduceDB churns them and the GC must
+	// be able to reclaim the dropped half.
+	clauseSlab []clause
+	slabUsed   int
+	litBlock   []Lit
 
 	// Stats
 	Conflicts    int64
@@ -176,6 +193,39 @@ func (s *Solver) value(l Lit) lbool {
 	return v
 }
 
+// allocLits copies lits into the flat literal arena and returns a
+// capacity-capped subslice. Clause literal slices are swapped in place by
+// the watch machinery but never grow, so packing them into shared blocks
+// is safe.
+func (s *Solver) allocLits(lits []Lit) []Lit {
+	n := len(lits)
+	if cap(s.litBlock)-len(s.litBlock) < n {
+		size := 1 << 14
+		if n > size {
+			size = n
+		}
+		s.litBlock = make([]Lit, 0, size)
+	}
+	start := len(s.litBlock)
+	s.litBlock = append(s.litBlock, lits...)
+	return s.litBlock[start : start+n : start+n]
+}
+
+// newClause carves a problem clause out of the slab arena. Slabs are
+// never appended to after creation, so &slab[i] pointers stay stable.
+func (s *Solver) newClause(lits []Lit) *clause {
+	if s.slabUsed == len(s.clauseSlab) {
+		s.clauseSlab = make([]clause, 512)
+		s.slabUsed = 0
+	}
+	c := &s.clauseSlab[s.slabUsed]
+	s.slabUsed++
+	c.lits = s.allocLits(lits)
+	c.learnt = false
+	c.activity = 0
+	return c
+}
+
 // AddClause adds a clause (returns false if the formula became trivially
 // unsatisfiable). It may be called between Solve calls — the trail is
 // rewound to level 0 first — which is how the lazy-theory loop in
@@ -184,10 +234,12 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
-	s.originals = append(s.originals, append([]Lit(nil), lits...))
+	s.origLits = append(s.origLits, lits...)
+	s.origEnd = append(s.origEnd, int32(len(s.origLits)))
 	s.cancelUntil(0)
 	// Normalize: sort, dedupe, drop tautologies and false literals.
-	ls := append([]Lit(nil), lits...)
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	out := ls[:0]
 	var prev Lit = -1
@@ -218,7 +270,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return s.propagate() == nil || func() bool { s.ok = false; return false }()
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.newClause(out)
 	s.clauses = append(s.clauses, c)
 	s.watch(c)
 	return true
@@ -464,7 +516,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
-	s.order = newVarHeap(s)
+	// Rewind any leftover trail from a previous Solve: a Sat verdict leaves
+	// the model assigned, and re-entering with assumptions on top of stale
+	// decision levels would corrupt the assumption indexing.
+	s.cancelUntil(0)
+	// The heap persists across calls (cancelUntil pushes unassigned vars
+	// back); the repair loop below is a no-op for members and costs no
+	// allocation, it just restores the "every unassigned var is enqueued"
+	// invariant for variables created since the last call.
+	if s.order == nil {
+		s.order = newVarHeap(s)
+	}
 	for v := 0; v < len(s.assign); v++ {
 		if s.assign[v] == lUndef {
 			s.order.push(v)
@@ -485,16 +547,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if s.decisionLevel() == 0 {
 				return Unsat
 			}
-			// Do not learn across assumption levels: backtracking past the
-			// assumptions would forget them; treat conflicts at or below
-			// the assumption level as Unsat-under-assumptions.
+			// Backjump to the learnt clause's natural level, even when that
+			// is below the assumption levels: the decision loop re-enqueues
+			// assumptions on the way back up, and an assumption falsified by
+			// the learnt clause is caught there as Unsat-under-assumptions.
+			// (Clamping bl to the assumption level instead would enqueue
+			// unit learnts with a nil reason at a non-zero level, which a
+			// later conflict analysis at that level would dereference.)
 			learnt, bl := s.analyze(conflict)
-			if bl < len(assumptions) {
-				bl = len(assumptions)
-				if s.decisionLevel() <= bl {
-					return Unsat
-				}
-			}
 			s.cancelUntil(bl)
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], nil) {
