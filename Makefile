@@ -4,13 +4,21 @@ FUZZTIME ?= 10s
 FUZZ_TARGETS := FuzzDecodePathLog FuzzDecodePathLogSalvage \
 	FuzzDecodeAccessVectorLog FuzzDecodeSyncOrderLog
 
-.PHONY: ci vet build test fuzz-smoke bench bench-baseline bench-compare \
-	bench-gate vet-examples race-obs metrics-smoke timeline-smoke serve-smoke
+.PHONY: ci lint vet fmt-check build test fuzz-smoke bench bench-baseline \
+	bench-compare bench-gate vet-examples races-examples race-obs \
+	metrics-smoke timeline-smoke serve-smoke
 
-ci: vet build test vet-examples fuzz-smoke race-obs metrics-smoke timeline-smoke serve-smoke bench-gate
+ci: lint build test vet-examples races-examples fuzz-smoke race-obs metrics-smoke timeline-smoke serve-smoke bench-gate
+
+lint: vet fmt-check
 
 vet:
 	$(GO) vet ./...
+
+# gofmt prints the files it would rewrite; any output is a failure.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Run the static lockset/happens-before lint over the checked-in example
 # programs. Findings are expected (some examples are intentionally racy);
@@ -18,6 +26,16 @@ vet:
 # target only guards that the linter runs every example without error.
 vet-examples:
 	$(GO) run ./cmd/clap vet examples/vet/*.mc
+
+# Run the predictive race analysis over the examples/races corpus — one
+# program per verdict class (confirmed, solver-refuted, race-free,
+# symbolic-index). The exact reports are pinned by the golden tests in
+# internal/bench; this target guards the end-to-end CLI path.
+races-examples:
+	@for f in examples/races/*.mc; do \
+		echo "clap races $$f"; \
+		$(GO) run ./cmd/clap races $$f >/dev/null || exit 1; \
+	done
 
 build:
 	$(GO) build ./...

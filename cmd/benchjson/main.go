@@ -34,8 +34,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -316,9 +318,7 @@ func loadReport(path string) (*Report, error) {
 // runCompare prints the per-benchmark per-stage speedup table between two
 // snapshots and returns the process exit code: 1 when any stage measured
 // in both snapshots regressed by more than regressionTolerance in ns/op,
-// 0 otherwise. Stages skipped in either snapshot are reported but never
-// gate — a stage newly skipped is a behavior change for the equivalence
-// tests, not the perf gate, to catch.
+// 0 otherwise.
 func runCompare(oldPath, newPath string) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -334,35 +334,95 @@ func runCompare(oldPath, newPath string) int {
 		fmt.Fprintf(os.Stderr, "benchjson: comparing mode %q against %q — speedups reflect the mode change too\n",
 			oldRep.Mode, newRep.Mode)
 	}
+	_, regressions := compareReports(os.Stdout, oldRep, newRep)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// canonicalStages fixes the display order of the pipeline's own stages;
+// stage names present in a snapshot but not listed here (from a newer or
+// older benchjson) sort after them alphabetically.
+var canonicalStages = []string{"build", "preprocess", "sequential", "parsolve", "cnf"}
+
+// stageUnion returns every stage name appearing in either map: the
+// canonical pipeline order first, then unknown names sorted. Snapshots
+// from different benchjson versions therefore diff without erroring —
+// a stage only one side has shows up as added/removed, not a crash.
+func stageUnion(a, b map[string]StageResult) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range canonicalStages {
+		_, ina := a[s]
+		_, inb := b[s]
+		if ina || inb {
+			names = append(names, s)
+			seen[s] = true
+		}
+	}
+	var extra []string
+	for s := range a {
+		if !seen[s] {
+			extra = append(extra, s)
+			seen[s] = true
+		}
+	}
+	for s := range b {
+		if !seen[s] {
+			extra = append(extra, s)
+			seen[s] = true
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// compareReports writes the per-benchmark per-stage speedup table and
+// returns how many stages were compared and how many regressed beyond
+// regressionTolerance. Stages present in only one snapshot are reported
+// as "added"/"removed" and never gate; stages present in both but skipped
+// on one side are likewise reported without gating — a stage newly
+// skipped is a behavior change for the equivalence tests, not the perf
+// gate, to catch.
+func compareReports(w io.Writer, oldRep, newRep *Report) (compared, regressions int) {
 	oldBy := map[string]BenchResult{}
 	for _, b := range oldRep.Benchmarks {
 		oldBy[b.Name] = b
 	}
 
-	fmt.Printf("%-10s %-11s %14s %14s %8s %8s  %s\n",
+	fmt.Fprintf(w, "%-10s %-11s %14s %14s %8s %8s  %s\n",
 		"benchmark", "stage", "old ns/op", "new ns/op", "speedup", "allocs", "verdict")
-	regressions := 0
-	compared := 0
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Printf("%-10s only in %s\n", nb.Name, newPath)
+			fmt.Fprintf(w, "%-10s only in new snapshot\n", nb.Name)
 			continue
 		}
-		for _, stage := range []string{"build", "preprocess", "sequential", "parsolve", "cnf"} {
+		for _, stage := range stageUnion(ob.Stages, nb.Stages) {
 			ns, nok := nb.Stages[stage]
 			osr, ook := ob.Stages[stage]
-			oldOK := ook && !osr.Skipped
-			newOK := nok && !ns.Skipped
+			switch {
+			case !ook:
+				fmt.Fprintf(w, "%-10s %-11s %14s %14.0f %8s %8s  added\n",
+					nb.Name, stage, "-", ns.NsPerOp, "-", "-")
+				continue
+			case !nok:
+				fmt.Fprintf(w, "%-10s %-11s %14.0f %14s %8s %8s  removed\n",
+					nb.Name, stage, osr.NsPerOp, "-", "-", "-")
+				continue
+			}
+			oldOK := !osr.Skipped
+			newOK := !ns.Skipped
 			switch {
 			case !oldOK && !newOK:
 				continue // unmeasured on both sides: nothing to say
 			case !oldOK:
-				fmt.Printf("%-10s %-11s %14s %14.0f %8s %8s  no old measurement\n",
+				fmt.Fprintf(w, "%-10s %-11s %14s %14.0f %8s %8s  no old measurement\n",
 					nb.Name, stage, "-", ns.NsPerOp, "-", "-")
 				continue
 			case !newOK:
-				fmt.Printf("%-10s %-11s %14.0f %14s %8s %8s  skipped in new snapshot\n",
+				fmt.Fprintf(w, "%-10s %-11s %14.0f %14s %8s %8s  skipped in new snapshot\n",
 					nb.Name, stage, osr.NsPerOp, "-", "-", "-")
 				continue
 			}
@@ -377,16 +437,13 @@ func runCompare(oldPath, newPath string) int {
 				verdict = fmt.Sprintf("REGRESSION (+%.0f%%)", (ns.NsPerOp/osr.NsPerOp-1)*100)
 				regressions++
 			}
-			fmt.Printf("%-10s %-11s %14.0f %14.0f %7.2fx %8s  %s\n",
+			fmt.Fprintf(w, "%-10s %-11s %14.0f %14.0f %7.2fx %8s  %s\n",
 				nb.Name, stage, osr.NsPerOp, ns.NsPerOp, speedup, allocs, verdict)
 		}
 	}
-	fmt.Printf("\n%d stages compared, %d regressions (tolerance %.0f%%)\n",
+	fmt.Fprintf(w, "\n%d stages compared, %d regressions (tolerance %.0f%%)\n",
 		compared, regressions, regressionTolerance*100)
-	if regressions > 0 {
-		return 1
-	}
-	return 0
+	return compared, regressions
 }
 
 // portfolioWall times the end-to-end portfolio solve: a fresh system build
@@ -405,12 +462,12 @@ func portfolioWall(p *bench.Prepared, baseline bool, reps int) (time.Duration, s
 		sol, attempts, err := core.RunPortfolio(sys, core.ReproduceOptions{
 			NoPreprocess:    baseline,
 			SerialPortfolio: baseline,
-			SeqOptions: solver.Options{MaxPreemptions: p.Bench.MaxPreemptions},
+			SeqOptions:      solver.Options{MaxPreemptions: p.Bench.MaxPreemptions},
 			// Workers defaults to GOMAXPROCS: the portfolio wall is an
 			// end-to-end number on this machine, not the fixed 8-worker
 			// Table 3 configuration the parsolve stage measures.
 			ParOptions: parsolve.Options{MaxBound: p.Bench.ParallelBound},
-			Deadline: 20 * time.Second,
+			Deadline:   20 * time.Second,
 		})
 		wall := time.Since(t0)
 		if err != nil || sol == nil {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(mode string, stages map[string]StageResult) *Report {
+	return &Report{
+		Schema:     "clap-bench/1",
+		Mode:       mode,
+		Benchmarks: []BenchResult{{Name: "sim_race", Stages: stages}},
+	}
+}
+
+// TestCompareStageUnion pins the cross-version diff contract: a stage
+// present in only one snapshot reports "added"/"removed" instead of
+// erroring or gating, and stages measured in both still diff normally.
+func TestCompareStageUnion(t *testing.T) {
+	oldRep := snap("current", map[string]StageResult{
+		"build":      {NsPerOp: 1000, AllocsPerOp: 10},
+		"sequential": {NsPerOp: 2000, AllocsPerOp: 20},
+		"retired":    {NsPerOp: 500},
+	})
+	newRep := snap("current", map[string]StageResult{
+		"build":      {NsPerOp: 1000, AllocsPerOp: 10},
+		"sequential": {NsPerOp: 1000, AllocsPerOp: 20},
+		"novel":      {NsPerOp: 300},
+	})
+
+	var b strings.Builder
+	compared, regressions := compareReports(&b, oldRep, newRep)
+	out := b.String()
+
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2 (build, sequential):\n%s", compared, out)
+	}
+	if regressions != 0 {
+		t.Errorf("regressions = %d, want 0:\n%s", regressions, out)
+	}
+	for _, want := range []string{"added", "removed", "novel", "retired"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("added/removed stages must not gate:\n%s", out)
+	}
+}
+
+// TestCompareRegressionStillGates guards that the union rewrite did not
+// loosen the perf gate itself.
+func TestCompareRegressionStillGates(t *testing.T) {
+	oldRep := snap("current", map[string]StageResult{"cnf": {NsPerOp: 1000}})
+	newRep := snap("current", map[string]StageResult{"cnf": {NsPerOp: 2000}})
+
+	var b strings.Builder
+	compared, regressions := compareReports(&b, oldRep, newRep)
+	if compared != 1 || regressions != 1 {
+		t.Errorf("compared = %d, regressions = %d, want 1, 1:\n%s", compared, regressions, b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("regression verdict missing:\n%s", b.String())
+	}
+}
+
+// TestStageUnionOrder pins canonical-stages-first, extras sorted.
+func TestStageUnionOrder(t *testing.T) {
+	a := map[string]StageResult{"cnf": {}, "zeta": {}, "build": {}}
+	b := map[string]StageResult{"alpha": {}, "preprocess": {}}
+	got := stageUnion(a, b)
+	want := []string{"build", "preprocess", "cnf", "alpha", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("stageUnion = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stageUnion = %v, want %v", got, want)
+		}
+	}
+}

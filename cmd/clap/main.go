@@ -8,6 +8,11 @@
 //	clap bench <name>                  reproduce one built-in benchmark
 //	clap vet <prog.mc>...              static lockset/happens-before lint:
 //	                                   potential races and lock-order cycles
+//	clap races <prog.mc|bench>         predictive race detection: record one
+//	                                   execution, then decide each conflicting
+//	                                   access pair by solver-checked adjacency
+//	                                   (-json for the clap-races/1 report,
+//	                                   -witness for witness schedules)
 //	clap decodelog <log> [flags]       inspect a recorded path log file
 //	clap stats <metrics.json>          pretty-print a -metrics-json report
 //	clap timeline <prog.mc|bench>      record, solve and replay, then write the
@@ -45,6 +50,10 @@
 //	                    interrupted phases report partial diagnostics
 //	-o FILE             record: also write the crash-tolerant framed log;
 //	                    timeline: write the Chrome trace-event JSON here
+//	-json               races: emit the stable clap-races/1 JSON report
+//	                    instead of the text listing
+//	-witness            races: print each confirmed race's validated
+//	                    witness schedule with the racing pair marked
 //	-salvage            decodelog: recover the longest valid prefix from a
 //	                    truncated or corrupt log instead of failing
 //	-simplify           post-process the schedule to fewer preemptions
@@ -79,6 +88,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explain"
 	"repro/internal/obs"
+	"repro/internal/races"
 	"repro/internal/replay"
 	"repro/internal/simplify"
 	"repro/internal/solver"
@@ -121,6 +131,8 @@ type flags struct {
 	cs       int
 	timeout  time.Duration
 	out      string
+	jsonOut  bool
+	witness  bool
 	salvage  bool
 	dump     bool
 	simplify bool
@@ -256,6 +268,10 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 			if f.require, err = need(a); err != nil {
 				return nil, f, err
 			}
+		case "-json":
+			f.jsonOut = true
+		case "-witness":
+			f.witness = true
 		case "-progress":
 			f.progress = true
 		case "-salvage":
@@ -275,7 +291,7 @@ func parseFlags(args []string) (rest []string, f flags, err error) {
 
 func run(args []string) (err error) {
 	if len(args) < 1 {
-		return usagef("usage: clap run|record|reproduce|bench|vet|decodelog|stats|timeline|explain|serve|jobs|bundle ... (see the package docs for flags)")
+		return usagef("usage: clap run|record|reproduce|bench|vet|races|decodelog|stats|timeline|explain|serve|jobs|bundle ... (see the package docs for flags)")
 	}
 	cmd := args[0]
 	rest, f, err := parseFlags(args[1:])
@@ -339,6 +355,8 @@ func run(args []string) (err error) {
 		return cmdBench(rest, f)
 	case "vet":
 		return cmdVet(rest, f)
+	case "races":
+		return cmdRaces(rest, f)
 	case "decodelog":
 		return cmdDecodeLog(rest, f)
 	case "stats":
@@ -560,6 +578,98 @@ func cmdVet(rest []string, f flags) error {
 		}
 	}
 	return nil
+}
+
+// cmdRaces runs the predictive race detector: record one execution
+// (hunting a failure first — the mutual-exclusion benchmarks only touch
+// their racy state on a failing schedule — and falling back to a clean
+// seed run), then analyze every conflicting access pair for
+// solver-checked adjacency. Demotion is disabled so every shared access
+// appears as a SAP the analysis can see.
+func cmdRaces(rest []string, f flags) error {
+	src, name, f, err := resolveTarget(rest, f, "usage: clap races <prog.mc|benchmark> [-json] [-witness] [flags]")
+	if err != nil {
+		return err
+	}
+	prog, err := core.Compile(src)
+	if err != nil {
+		return err
+	}
+	ropts := core.RecordOptions{
+		Model: f.model, Inputs: f.inputs, Seed: f.seed, SeedLimit: f.seeds,
+		Deadline: f.timeout, NoDemote: true, Obs: f.tr,
+	}
+	rec, err := core.Record(prog, ropts)
+	if err != nil {
+		var nf *core.NoFailureError
+		if !errors.As(err, &nf) {
+			return err
+		}
+		// No failing schedule: analyze a clean recorded execution instead.
+		if rec, err = core.RecordSeed(prog, f.seed, ropts); err != nil {
+			return err
+		}
+	}
+	rep, err := rec.DetectRaces(races.Options{Deadline: f.timeout}, f.tr)
+	if err != nil {
+		return err
+	}
+	if f.jsonOut {
+		data, err := rep.MarshalReport(races.Meta{Program: name, Model: f.model.String(), Seed: rec.Seed})
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	fmt.Print(rep.Render())
+	if f.witness {
+		for _, fd := range rep.Confirmed() {
+			fmt.Print(renderWitness(rep, fd))
+		}
+	}
+	return nil
+}
+
+// renderWitness prints a confirmed race's validated schedule, one SAP per
+// line, with the racing pair marked. The schedule around the pair is what
+// matters, so the listing is windowed to it.
+func renderWitness(rep *races.Report, fd races.Finding) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "witness for %s (%s):\n", fd.Var, fd.How)
+	order := fd.Witness.Order
+	at := -1
+	for i, r := range order {
+		if r == fd.A.SAP || r == fd.B.SAP {
+			at = i
+			break
+		}
+	}
+	lo, hi := 0, len(order)
+	const window = 4
+	if at >= 0 {
+		if at-window > lo {
+			lo = at - window
+		}
+		if at+window+2 < hi {
+			hi = at + window + 2
+		}
+	}
+	if lo > 0 {
+		fmt.Fprintf(&b, "  ... %d earlier\n", lo)
+	}
+	for i := lo; i < hi; i++ {
+		r := order[i]
+		mark := "  "
+		if r == fd.A.SAP || r == fd.B.SAP {
+			mark = "* "
+		}
+		fmt.Fprintf(&b, "  %s[%3d] %s\n", mark, i, rep.Sys.SAP(r))
+	}
+	if hi < len(order) {
+		fmt.Fprintf(&b, "  ... %d later\n", len(order)-hi)
+	}
+	return b.String()
 }
 
 func cmdReproduce(rest []string, f flags) error {

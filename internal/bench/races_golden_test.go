@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/races"
+	"repro/internal/vm"
+)
+
+// racesRecording records one execution of the benchmark the way `clap
+// races` does: hunt a failing schedule first (the mutual-exclusion
+// benchmarks only touch their racy state on a failing run), fall back to
+// a clean seed run, and keep every shared access a SAP (NoDemote).
+func racesRecording(t *testing.T, b Benchmark, tr *obs.Trace) *core.Recording {
+	t.Helper()
+	prog, err := core.Compile(b.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := core.RecordOptions{
+		Model: b.Model, Inputs: b.Inputs, SeedLimit: b.SeedLimit,
+		NoDemote: true, Obs: tr,
+	}
+	rec, err := core.Record(prog, opts)
+	if err != nil {
+		var nf *core.NoFailureError
+		if !errors.As(err, &nf) {
+			t.Fatalf("record: %v", err)
+		}
+		if rec, err = core.RecordSeed(prog, 0, opts); err != nil {
+			t.Fatalf("record seed: %v", err)
+		}
+	}
+	return rec
+}
+
+// staticOnlyRacyVars lists the known racy variables whose conflicting
+// accesses the hunted recording cannot pair dynamically — the second
+// writer never runs on the recorded schedule (bbuf, bakery, dekker only
+// write `bad` when mutual exclusion is already broken) or the threads
+// touch disjoint concrete indices (swarm's workers split the array).
+// Those must still surface, as static-only findings; every other known
+// racy variable must be confirmed outright with a validated witness.
+var staticOnlyRacyVars = map[string]map[string]bool{
+	"bbuf":   {"bad": true},
+	"swarm":  {"data": true},
+	"bakery": {"bad": true},
+	"dekker": {"bad": true},
+}
+
+// TestRacesGoldenBenchmarks pins the `clap races` report for the paper's
+// eleven programs and asserts the acceptance contract: every known racy
+// variable (the vet-pinned set) is found — confirmed with a witness when
+// the recording exercises the conflicting pair, surfaced as static-only
+// when this recording cannot witness it.
+func TestRacesGoldenBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := racesRecording(t, b, nil)
+			rep, err := rec.DetectRaces(races.Options{}, nil)
+			if err != nil {
+				t.Fatalf("races: %v", err)
+			}
+			got := rep.Render()
+			checkGolden(t, filepath.Join("testdata", "races", b.Name+".races"), got)
+			for _, v := range knownRacyVars[b.Name] {
+				switch {
+				case strings.Contains(got, "confirmed: "+v+":"):
+				case staticOnlyRacyVars[b.Name][v] && strings.Contains(got, "static: "+v+":"):
+				case staticOnlyRacyVars[b.Name][v]:
+					t.Errorf("%s: known racy variable %q not found:\n%s", b.Name, v, got)
+				default:
+					t.Errorf("%s: known racy variable %q not confirmed:\n%s", b.Name, v, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRacesGoldenExamples pins the `clap races` report for the
+// examples/races corpus, each program a regression test for one verdict
+// class: true_race must confirm, handshake_refuted must refute its
+// lockset false positive through the solver, join_ordered must report
+// nothing at all, and array_index must confirm through the symbolic-
+// address eager fallback.
+func TestRacesGoldenExamples(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "races")
+	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no races examples under %s (err=%v)", dir, err)
+	}
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".mc")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := Benchmark{Name: name, Source: string(src), Model: vm.SC, SeedLimit: 3000}
+			rec := racesRecording(t, b, nil)
+			rep, err := rec.DetectRaces(races.Options{}, nil)
+			if err != nil {
+				t.Fatalf("races: %v", err)
+			}
+			got := rep.Render()
+			checkGolden(t, strings.TrimSuffix(path, ".mc")+".races", got)
+			switch name {
+			case "true_race", "array_index":
+				if len(rep.Confirmed()) == 0 {
+					t.Errorf("%s must confirm a race:\n%s", name, got)
+				}
+			case "handshake_refuted":
+				if len(rep.Confirmed()) != 0 || rep.Counters.Refuted == 0 {
+					t.Errorf("the handshake pair must be refuted, nothing confirmed:\n%s", got)
+				}
+				if rep.Counters.SolverCalls == 0 {
+					t.Errorf("the refutation must come from the solver:\n%s", got)
+				}
+			case "join_ordered":
+				if len(rep.Findings) != 0 {
+					t.Errorf("join-ordered program must report zero findings:\n%s", got)
+				}
+			}
+		})
+	}
+}
+
+// TestRacesWitnessesValidate re-validates every confirmed race's witness
+// schedule end to end: ValidateSchedule accepts the order again, and no
+// synchronization SAP separates the racing pair in it — the pair is
+// happens-before-unordered in the witness, which is what "data race"
+// means.
+func TestRacesWitnessesValidate(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := racesRecording(t, b, nil)
+			rep, err := rec.DetectRaces(races.Options{}, nil)
+			if err != nil {
+				t.Fatalf("races: %v", err)
+			}
+			for _, f := range rep.Confirmed() {
+				if f.Witness == nil {
+					t.Errorf("%s %s: confirmed without witness", f.Var, f.How)
+					continue
+				}
+				if _, err := rep.Sys.ValidateSchedule(f.Witness.Order); err != nil {
+					t.Errorf("%s %s: witness fails revalidation: %v", f.Var, f.How, err)
+					continue
+				}
+				pa, pb := -1, -1
+				for i, r := range f.Witness.Order {
+					if r == f.A.SAP {
+						pa = i
+					}
+					if r == f.B.SAP {
+						pb = i
+					}
+				}
+				if pa < 0 || pb < 0 {
+					t.Errorf("%s %s: racing pair missing from witness order", f.Var, f.How)
+					continue
+				}
+				if pa > pb {
+					pa, pb = pb, pa
+				}
+				for k := pa + 1; k < pb; k++ {
+					if rep.Sys.SAP(f.Witness.Order[k]).Kind.IsSync() {
+						t.Errorf("%s %s: sync SAP %s between the racing pair",
+							f.Var, f.How, rep.Sys.SAP(f.Witness.Order[k]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRacesSessionReuse pins the amortization contract: per-pair solving
+// re-enters one CNF session per recording instead of rebuilding, visible
+// through the races.* counters. NoPerturb forces every surviving pair
+// through the solver so the reuse is actually exercised, and the counters
+// land in the obs registry under stable names.
+func TestRacesSessionReuse(t *testing.T) {
+	b, ok := ByName("sim_race")
+	if !ok {
+		t.Fatal("sim_race benchmark missing")
+	}
+	tr := obs.NewTrace("bench")
+	rec := racesRecording(t, b, nil)
+	rep, err := rec.DetectRaces(races.Options{NoPerturb: true}, tr)
+	if err != nil {
+		t.Fatalf("races: %v", err)
+	}
+	c := rep.Counters
+	if c.Sessions != 1 {
+		t.Errorf("sessions = %d, want exactly 1 per recording", c.Sessions)
+	}
+	if c.SolverCalls < 2 {
+		t.Errorf("solver calls = %d, want ≥ 2 (several sites must hit the solver)", c.SolverCalls)
+	}
+	if got, want := c.SessionReuse(), c.SolverCalls-c.Sessions; got != want || got < 1 {
+		t.Errorf("session reuse = %d, want %d (calls − sessions, ≥ 1)", got, want)
+	}
+	if len(rep.Confirmed()) == 0 {
+		t.Error("solver-only pass confirmed nothing on sim_race")
+	}
+
+	counters, gauges := tr.Reg().Snapshot()
+	all := make(map[string]int64, len(counters)+len(gauges))
+	for k, v := range counters {
+		all[k] = v
+	}
+	for k, v := range gauges {
+		all[k] = v
+	}
+	for name := range all {
+		if !obs.IsStable(name) {
+			t.Errorf("metric %q not in the stable-name list", name)
+		}
+	}
+	for _, name := range []string{
+		"races.pairs", "races.pairs.pruned.static", "races.pairs.pruned.mutex",
+		"races.sites.confirmed", "races.sites.refuted", "races.sites.unknown",
+		"races.sites.static", "races.solver.calls", "races.solver.sessions",
+		"races.solver.reuse",
+	} {
+		if !obs.IsStable(name) {
+			t.Errorf("%q missing from the stable-name list", name)
+		}
+		if _, ok := all[name]; !ok {
+			t.Errorf("races run published no %q metric", name)
+		}
+	}
+	if all["races.solver.reuse"] != int64(c.SessionReuse()) {
+		t.Errorf("races.solver.reuse = %d, want %d", all["races.solver.reuse"], c.SessionReuse())
+	}
+}

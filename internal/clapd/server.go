@@ -10,7 +10,7 @@
 //	      503 {error}               draining for shutdown
 //	GET  /v1/jobs                   job table snapshot
 //	GET  /v1/jobs/{digest}          one job's state
-//	GET  /v1/jobs/{digest}/{artifact}   artifact ∈ result|metrics|timeline|explain|bundle
+//	GET  /v1/jobs/{digest}/{artifact}   artifact ∈ result|metrics|timeline|explain|races|bundle
 //	GET  /v1/stats                  the daemon's clap-metrics/1 report (clapd.* counters)
 //	GET  /healthz                   "ok" (200) or "draining" (503)
 package clapd
@@ -139,7 +139,7 @@ func (d *Daemon) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	name, ok := artifactNames[artifact]
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown artifact %q (want result|metrics|timeline|explain|bundle)", artifact)
+		httpError(w, http.StatusNotFound, "unknown artifact %q (want result|metrics|timeline|explain|races|bundle)", artifact)
 		return
 	}
 	data, err := d.store.Read(digest, name)

@@ -35,6 +35,7 @@ const (
 	ArtifactMetrics  = "metrics.json"
 	ArtifactTimeline = "timeline.json"
 	ArtifactExplain  = "explain.txt"
+	ArtifactRaces    = "races.json"
 )
 
 // artifactNames is the closed set GET /v1/jobs/{digest}/{artifact}
@@ -45,6 +46,7 @@ var artifactNames = map[string]string{
 	"metrics":  ArtifactMetrics,
 	"timeline": ArtifactTimeline,
 	"explain":  ArtifactExplain,
+	"races":    ArtifactRaces,
 }
 
 // Store is the content-addressed on-disk blob store.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/races"
 	"repro/internal/timeline"
 )
 
@@ -321,6 +322,16 @@ func (d *Daemon) writeExplainArtifacts(digest string, rep *core.Reproduction) {
 			diff.Render(&buf)
 			if err := d.store.Write(digest, ArtifactExplain, buf.Bytes()); err != nil {
 				d.logger.Printf("job %.12s: explain write failed: %v", digest, err)
+			}
+		}
+	}
+	if rec := rep.Recording; rec != nil {
+		if report, err := rec.DetectRaces(races.Options{}, nil); err == nil {
+			meta := races.Meta{Program: digest[:12], Model: rec.Model.String(), Seed: rec.Seed}
+			if data, err := report.MarshalReport(meta); err == nil {
+				if err := d.store.Write(digest, ArtifactRaces, data); err != nil {
+					d.logger.Printf("job %.12s: races write failed: %v", digest, err)
+				}
 			}
 		}
 	}

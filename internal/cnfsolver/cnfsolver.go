@@ -290,11 +290,44 @@ func (sess *Session) BlockMapping() {
 // BlockMapping, making the blocked mappings reachable again — the
 // cross-attempt reuse hook: a later bound sweep re-enters the same
 // encoded session with a clean slate but keeps all learnt clauses.
+// Adjacency groups added by AssumeAdjacent are retired the same way.
 func (sess *Session) RetractBlocks() {
 	for _, g := range sess.guards {
 		sess.e.s.AddClause(g.Not())
 	}
 	sess.guards = sess.guards[:0]
+}
+
+// AssumeAdjacent adds the race-adjacency constraint group for memory SAPs
+// a and b: subsequent Solve calls only accept schedules in which no
+// synchronization operation separates the pair (either orientation). The
+// encoding pins, for every sync SAP c, before(c,a) ↔ before(c,b) — every
+// sync operation lands on the same side of both accesses. Other threads'
+// memory accesses may still fall between them: a schedule in which only
+// memory operations separate the pair leaves it happens-before-unordered,
+// which is exactly the data-race criterion. Since every total order the
+// session accepts covers all SAPs, the equivalence constrains both the
+// lazy order graph's topological ranks and the eager permutation
+// extraction.
+//
+// The clauses ride the same assumption-guard machinery as BlockMapping:
+// they are active only while their guard is assumed, and RetractBlocks
+// retires them permanently. The races enumerator's per-pair loop is
+// Retract → AssumeAdjacent(next pair) → Solve on one shared session, so
+// the encoding, learnt clauses and theory lemmas amortize across pairs.
+func (sess *Session) AssumeAdjacent(a, b constraints.SAPRef) {
+	e := sess.e
+	guard := e.s.NewVar()
+	g := sat.MkLit(guard, true)
+	for c := 0; c < e.n; c++ {
+		if c == int(a) || c == int(b) || !e.sys.SAP(constraints.SAPRef(c)).Kind.IsSync() {
+			continue
+		}
+		x, y := e.lit(c, int(a)), e.lit(c, int(b))
+		e.add(g, x.Not(), y)
+		e.add(g, x, y.Not())
+	}
+	sess.guards = append(sess.guards, sat.MkLit(guard, false))
 }
 
 // RegionConflict identifies two lock regions of the same mutex, in

@@ -103,9 +103,9 @@ func (sys *System) Groups() []Group {
 		n := len(tt.PathCond)
 		if n > 0 {
 			out = append(out, Group{
-				Kind: GroupPath,
-				ID:   fmt.Sprintf("fpath/t%d", tt.Thread),
-				Desc: fmt.Sprintf("Fpath(t%d): %d path conditions of thread %d", tt.Thread, n, tt.Thread),
+				Kind:   GroupPath,
+				ID:     fmt.Sprintf("fpath/t%d", tt.Thread),
+				Desc:   fmt.Sprintf("Fpath(t%d): %d path conditions of thread %d", tt.Thread, n, tt.Thread),
 				Thread: tt.Thread, Mutex: -1, Index: -1,
 				Exprs: sys.Path[off : off+n],
 			})
@@ -134,9 +134,9 @@ func (sys *System) Groups() []Group {
 		t := trace.ThreadID(tid)
 		if edges := mo[t]; len(edges) > 0 {
 			out = append(out, Group{
-				Kind: GroupMO,
-				ID:   fmt.Sprintf("fmo/t%d", t),
-				Desc: fmt.Sprintf("Fmo(t%d): %d program-order edges of thread %d under %v", t, len(edges), t, sys.Model),
+				Kind:   GroupMO,
+				ID:     fmt.Sprintf("fmo/t%d", t),
+				Desc:   fmt.Sprintf("Fmo(t%d): %d program-order edges of thread %d under %v", t, len(edges), t, sys.Model),
 				Thread: t, Mutex: -1, Index: -1,
 				Edges: edges,
 			})
@@ -162,9 +162,9 @@ func (sys *System) Groups() []Group {
 	// Lock mutual exclusion per mutex, in sorted mutex order.
 	for _, m := range sys.RegionMutexes() {
 		out = append(out, Group{
-			Kind: GroupLock,
-			ID:   fmt.Sprintf("fso/lock/m%d", m),
-			Desc: fmt.Sprintf("Fso(m%d): mutual exclusion of %d lock regions on mutex %d", m, len(sys.Regions[m]), m),
+			Kind:   GroupLock,
+			ID:     fmt.Sprintf("fso/lock/m%d", m),
+			Desc:   fmt.Sprintf("Fso(m%d): mutual exclusion of %d lock regions on mutex %d", m, len(sys.Regions[m]), m),
 			Thread: -1, Mutex: m, Index: -1,
 		})
 	}
@@ -173,9 +173,9 @@ func (sys *System) Groups() []Group {
 	for i, wi := range sys.Waits {
 		b := sys.SAPs[wi.Begin]
 		out = append(out, Group{
-			Kind: GroupWait,
-			ID:   fmt.Sprintf("fso/wait/%d", i),
-			Desc: fmt.Sprintf("Fso(wait %d): wait on c%d at t%d#%d must map to one of %d signals", i, b.Cond, b.Thread, b.Seq, len(wi.Cands)),
+			Kind:   GroupWait,
+			ID:     fmt.Sprintf("fso/wait/%d", i),
+			Desc:   fmt.Sprintf("Fso(wait %d): wait on c%d at t%d#%d must map to one of %d signals", i, b.Cond, b.Thread, b.Seq, len(wi.Cands)),
 			Thread: -1, Mutex: -1, Index: i,
 		})
 	}
@@ -184,9 +184,9 @@ func (sys *System) Groups() []Group {
 	for i, ri := range sys.Reads {
 		r := sys.SAPs[ri.Read]
 		out = append(out, Group{
-			Kind: GroupRW,
-			ID:   fmt.Sprintf("frw/r%d", i),
-			Desc: fmt.Sprintf("Frw(read t%d#%d g%d): read must map to a same-address write or the initial value", r.Thread, r.Seq, r.Var),
+			Kind:   GroupRW,
+			ID:     fmt.Sprintf("frw/r%d", i),
+			Desc:   fmt.Sprintf("Frw(read t%d#%d g%d): read must map to a same-address write or the initial value", r.Thread, r.Seq, r.Var),
 			Thread: -1, Mutex: -1, Index: i,
 		})
 	}

@@ -1,0 +1,99 @@
+// Predictive-race glue: build a benign constraint system from a recording
+// and run the races analysis over it. Like the flight-recorder glue, the
+// races package itself is pipeline-agnostic (it never imports core); this
+// file gathers the pipeline's pieces — benign symbolic execution, the
+// recorded interleaving's alignment times, the static lockset verdicts —
+// into its inputs and mirrors its counters into the obs registry.
+package core
+
+import (
+	"repro/internal/constraints"
+	"repro/internal/explain"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/races"
+	"repro/internal/symexec"
+	"repro/internal/vm"
+)
+
+// AnalyzeBenign builds the constraint system of the recorded execution
+// with Fbug dropped (symexec.Options.NoBug): the system describes every
+// feasible schedule of the recorded paths, not just failing ones. A
+// recording that ended in an assertion failure is still accepted — the
+// failing assertion's condition is discarded rather than required — so
+// both hunted failure recordings and clean seed recordings analyze.
+func (r *Recording) AnalyzeBenign() (*constraints.System, error) {
+	var locks map[ir.Instr]ir.LockSet
+	if r.Static != nil {
+		locks = r.Static.Must
+	}
+	spec := symexec.FailureSpec{Thread: symexec.NoThread}
+	if r.Failure != nil && r.Failure.Kind == vm.FailAssert {
+		spec = symexec.FailureSpec{Thread: r.Failure.Thread, Site: r.Failure.Site}
+	}
+	an, err := symexec.Analyze(r.Prog, r.Paths, r.Log, symexec.Options{
+		Shared:  r.Sharing.Shared,
+		Inputs:  r.Inputs,
+		Locks:   locks,
+		Failure: spec,
+		NoBug:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return constraints.Build(an, r.Model)
+}
+
+// DetectRaces runs the predictive race analysis over the recording:
+// benign symbolic execution and constraint encoding, recorded-order
+// alignment (for the perturbation fast path), then races.Analyze with
+// the recording's static result as the first-stage pair filter. When tr
+// is non-nil the per-reason counters are published under the races.*
+// stable names inside a "races" span.
+func (r *Recording) DetectRaces(opts races.Options, tr *obs.Trace) (*races.Report, error) {
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Root().Start("races")
+		defer sp.End()
+	}
+	sys, err := r.AnalyzeBenign()
+	if err != nil {
+		return nil, err
+	}
+	sys.Preprocess()
+
+	// The fast path needs every SAP stamped with its recorded time; a
+	// capture or alignment failure just downgrades to solver-only.
+	var times []int64
+	if events, err := r.CaptureEvents(); err == nil {
+		if t, err := explain.AlignRecorded(sys, events, r.Demoted); err == nil {
+			times = t
+		}
+	}
+
+	rep, err := races.Analyze(sys, r.Static, times, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		emitRaceCounters(tr.Reg(), rep.Counters)
+		sp.SetInt("confirmed", int64(rep.Counters.Confirmed))
+		sp.SetInt("pairs", int64(rep.Counters.Pairs))
+	}
+	return rep, nil
+}
+
+// emitRaceCounters publishes the analysis counters under the stable
+// races.* names (pinned by the obs name-stability test).
+func emitRaceCounters(reg *obs.Registry, c races.Counters) {
+	reg.Set("races.pairs", int64(c.Pairs))
+	reg.Set("races.pairs.pruned.static", int64(c.PrunedStatic))
+	reg.Set("races.pairs.pruned.mutex", int64(c.PrunedMutex))
+	reg.Set("races.sites.confirmed", int64(c.Confirmed))
+	reg.Set("races.sites.refuted", int64(c.Refuted))
+	reg.Set("races.sites.unknown", int64(c.Unknown))
+	reg.Set("races.sites.static", int64(c.StaticOnly))
+	reg.Set("races.solver.calls", int64(c.SolverCalls))
+	reg.Set("races.solver.sessions", int64(c.Sessions))
+	reg.Set("races.solver.reuse", int64(c.SessionReuse()))
+}

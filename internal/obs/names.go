@@ -89,6 +89,18 @@ var StableNames = []string{
 	"explain.flips",   // conflicting SAP pairs the solver reversed
 	"explain.remaps",  // reads whose last writer changed
 
+	// Predictive race detection (core.DetectRaces / internal/races).
+	"races.pairs",               // conflicting SAP pairs enumerated
+	"races.pairs.pruned.static", // pruned as statically ordered
+	"races.pairs.pruned.mutex",  // pruned by a common must-held lock
+	"races.sites.confirmed",     // site verdicts with a validated witness
+	"races.sites.refuted",       // sites proven never-adjacent
+	"races.sites.unknown",       // sites the budgets could not decide
+	"races.sites.static",        // static races with no recorded pair
+	"races.solver.calls",        // CNF adjacency queries issued
+	"races.solver.sessions",     // CNF sessions built (≤1 per recording)
+	"races.solver.reuse",        // queries that re-entered a live session
+
 	// Reproduction daemon (internal/clapd), reported via GET /v1/stats.
 	// Counters unless noted; clapd.queue.depth is a gauge.
 	"clapd.ingest.accepted",

@@ -1,0 +1,139 @@
+package races
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Schema is the versioned identifier of the JSON report format.
+const Schema = "clap-races/1"
+
+// Render formats the report as the human-readable listing of `clap races`.
+// The output is deterministic: findings are pre-sorted and every line is a
+// pure function of the report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s: %s: %s vs %s", f.Status, f.Var, accessString(f.A), accessString(f.B))
+		switch {
+		case f.Status == Confirmed && f.Witness != nil:
+			fmt.Fprintf(&b, " [%s witness: %d SAPs, %d preemptions]",
+				f.How, len(f.Witness.Order), f.Witness.Preemptions)
+		case f.How != "":
+			fmt.Fprintf(&b, " [%s]", f.How)
+		}
+		if f.Pairs > 1 {
+			fmt.Fprintf(&b, " (%d pairs)", f.Pairs)
+		}
+		b.WriteByte('\n')
+	}
+	c := r.Counters
+	if c.Confirmed == 0 {
+		b.WriteString("summary: no races confirmed")
+	} else {
+		fmt.Fprintf(&b, "summary: %d race%s confirmed", c.Confirmed, plural(c.Confirmed))
+	}
+	fmt.Fprintf(&b, ", %d refuted, %d unknown, %d static-only; %d pairs (%d pruned static, %d pruned mutex); %d solver calls, %d sessions\n",
+		c.Refuted, c.Unknown, c.StaticOnly, c.Pairs, c.PrunedStatic, c.PrunedMutex, c.SolverCalls, c.Sessions)
+	return b.String()
+}
+
+func accessString(a Access) string {
+	kind := "read"
+	if a.Write {
+		kind = "write"
+	}
+	if a.Thread < 0 {
+		// Static-only sites have no witnessing dynamic access.
+		return fmt.Sprintf("%s @%s", kind, a.Pos)
+	}
+	return fmt.Sprintf("%s t%d@%s", kind, a.Thread, a.Pos)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// Meta labels a JSON report with the analyzed program's identity.
+type Meta struct {
+	Program string `json:"program,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+}
+
+type jsonReport struct {
+	Schema   string        `json:"schema"`
+	Meta     Meta          `json:"meta"`
+	Findings []jsonFinding `json:"findings"`
+	Counters jsonCounters  `json:"counters"`
+}
+
+type jsonFinding struct {
+	Var     string       `json:"var"`
+	Status  string       `json:"status"`
+	How     string       `json:"how,omitempty"`
+	A       jsonAccess   `json:"a"`
+	B       jsonAccess   `json:"b"`
+	Pairs   int          `json:"pairs"`
+	Witness *jsonWitness `json:"witness,omitempty"`
+}
+
+type jsonAccess struct {
+	Kind   string `json:"kind"`
+	Thread int64  `json:"thread"`
+	Pos    string `json:"pos"`
+}
+
+type jsonWitness struct {
+	SAPs        int `json:"saps"`
+	Preemptions int `json:"preemptions"`
+}
+
+type jsonCounters struct {
+	Counters
+	SessionReuse int `json:"session_reuse"`
+}
+
+// MarshalReport renders the report in the stable clap-races/1 schema.
+func (r *Report) MarshalReport(meta Meta) ([]byte, error) {
+	out := jsonReport{
+		Schema:   Schema,
+		Meta:     meta,
+		Findings: []jsonFinding{},
+		Counters: jsonCounters{Counters: r.Counters, SessionReuse: r.Counters.SessionReuse()},
+	}
+	for _, f := range r.Findings {
+		jf := jsonFinding{
+			Var:    f.Var,
+			Status: f.Status.String(),
+			How:    f.How,
+			A:      jsonAccessOf(f.A),
+			B:      jsonAccessOf(f.B),
+			Pairs:  f.Pairs,
+		}
+		if f.Witness != nil {
+			jf.Witness = &jsonWitness{SAPs: len(f.Witness.Order), Preemptions: f.Witness.Preemptions}
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func jsonAccessOf(a Access) jsonAccess {
+	kind := "read"
+	if a.Write {
+		kind = "write"
+	}
+	return jsonAccess{Kind: kind, Thread: int64(a.Thread), Pos: a.Pos.String()}
+}

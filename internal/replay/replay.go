@@ -105,8 +105,8 @@ func Run(sys *constraints.System, sol *solver.Solution, opts Options) (*Outcome,
 		mode:    opts.Mode,
 		ctx:     opts.Ctx,
 		capture: opts.Capture,
-		r2p:  map[trace.ThreadID]vm.ThreadID{0: 0},
-		p2r:  map[vm.ThreadID]trace.ThreadID{0: 0},
+		r2p:     map[trace.ThreadID]vm.ThreadID{0: 0},
+		p2r:     map[vm.ThreadID]trace.ThreadID{0: 0},
 	}
 	if opts.Deadline > 0 {
 		r.deadline = time.Now().Add(opts.Deadline)

@@ -1,0 +1,36 @@
+package staticanalysis_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/staticanalysis"
+)
+
+// TestAnalyzeDeterministic re-runs the full static analysis many times
+// over the racy benchmarks and byte-compares the rendered reports. The
+// analysis iterates Go maps internally (locksets, access tables, pair
+// verdicts), so any missing sort shows up here as a flaky report — and a
+// flaky report would flake the vet goldens and the races first-stage
+// filter downstream.
+func TestAnalyzeDeterministic(t *testing.T) {
+	const rounds = 50
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := core.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want := staticanalysis.Analyze(prog).Render()
+			for i := 1; i < rounds; i++ {
+				if got := staticanalysis.Analyze(prog).Render(); got != want {
+					t.Fatalf("round %d diverged:\n--- first ---\n%s\n--- round %d ---\n%s",
+						i, want, i, got)
+				}
+			}
+		})
+	}
+}

@@ -156,12 +156,15 @@ func (a *analysis) findRaces() {
 				}
 				if !common.Empty() {
 					lockExcl++
+					a.res.recordVerdict(g, x, y, PairLockExcluded)
 					continue
 				}
 				if !conc {
 					hbOrd++
+					a.res.recordVerdict(g, x, y, PairOrdered)
 					continue
 				}
+				a.res.recordVerdict(g, x, y, PairRace)
 				a.res.Races = append(a.res.Races, Race{Global: g, A: x, B: y})
 			}
 		}

@@ -45,6 +45,88 @@ type Race struct {
 	A, B   Access
 }
 
+// PairVerdict classifies one conflicting access-site pair, for predictive
+// passes (internal/races) that use the static analysis as a cheap
+// first-stage filter before asking the solver.
+type PairVerdict uint8
+
+// Pair verdicts.
+const (
+	// PairUnknown: the pair was never examined (an access outside the
+	// analyzed sites). Callers must treat it as potentially racing.
+	PairUnknown PairVerdict = iota
+	// PairRace: the pair survived both static filters — a potential race.
+	PairRace
+	// PairLockExcluded: a common must-held mutex excludes the pair.
+	PairLockExcluded
+	// PairOrdered: the static happens-before patterns order the pair.
+	PairOrdered
+)
+
+// String names the verdict.
+func (v PairVerdict) String() string {
+	switch v {
+	case PairRace:
+		return "race"
+	case PairLockExcluded:
+		return "lock-excluded"
+	case PairOrdered:
+		return "ordered"
+	}
+	return "unknown"
+}
+
+// pairSite identifies an access site by source position and kind — the
+// identity that survives into the symbolic execution's SAPs, so dynamic
+// accesses can be mapped back to their static verdict.
+type pairSite struct {
+	pos   minic.Pos
+	write bool
+}
+
+type pairKey struct {
+	global ir.GlobalID
+	a, b   pairSite
+}
+
+// canonPair orders the two sites so (a,b) and (b,a) share a key.
+func canonPair(g ir.GlobalID, a, b pairSite) pairKey {
+	if siteLess(b, a) {
+		a, b = b, a
+	}
+	return pairKey{global: g, a: a, b: b}
+}
+
+func siteLess(a, b pairSite) bool {
+	if a.pos.Line != b.pos.Line {
+		return a.pos.Line < b.pos.Line
+	}
+	if a.pos.Col != b.pos.Col {
+		return a.pos.Col < b.pos.Col
+	}
+	return !a.write && b.write
+}
+
+// PairVerdictAt returns the static verdict for the conflicting site pair
+// on global g identified by source position and access kind. Distinct
+// instruction pairs that collapse onto the same source sites are merged
+// conservatively: any racing instance makes the merged verdict PairRace.
+func (r *Result) PairVerdictAt(g ir.GlobalID, posA minic.Pos, writeA bool, posB minic.Pos, writeB bool) PairVerdict {
+	return r.verdicts[canonPair(g, pairSite{posA, writeA}, pairSite{posB, writeB})]
+}
+
+// recordVerdict stores one pair's verdict under its canonical key.
+func (r *Result) recordVerdict(g ir.GlobalID, a, b Access, v PairVerdict) {
+	if r.verdicts == nil {
+		r.verdicts = map[pairKey]PairVerdict{}
+	}
+	key := canonPair(g, pairSite{a.Pos, a.Write}, pairSite{b.Pos, b.Write})
+	if prev, ok := r.verdicts[key]; ok && (prev == PairRace || v != PairRace) {
+		return // a racing instance dominates; otherwise first verdict wins
+	}
+	r.verdicts[key] = v
+}
+
 // LockEdge is one lock-order edge: Held was may-held when Acquired was
 // acquired at Pos (in function Fn).
 type LockEdge struct {
@@ -96,6 +178,9 @@ type Result struct {
 
 	// pair counters carried from the race pass into ComputeStats.
 	pairs, lockExcluded, hbOrdered int
+	// verdicts records every examined pair's classification, keyed by
+	// canonical (global, site, site); see PairVerdictAt.
+	verdicts map[pairKey]PairVerdict
 }
 
 // Stats condenses the result for -verbose output and bench snapshots.

@@ -17,8 +17,19 @@ type Options struct {
 	Shared []bool
 	// Inputs are the deterministic program inputs of the recorded run.
 	Inputs []int64
-	// Failure identifies the failing assertion; it is required.
+	// Failure identifies the failing assertion. It is required unless
+	// NoBug is set; with NoBug, a Thread of NoThread marks a recording
+	// that ended without an assertion failure.
 	Failure FailureSpec
+	// NoBug builds a benign analysis for predictive passes (the race
+	// detector) that explore the recorded run's full feasible-interleaving
+	// space instead of reproducing its failure: Fbug becomes the constant
+	// true. When Failure still names a failing assertion, that assertion's
+	// condition — false in the recorded run — is dropped rather than added
+	// to Fpath: the thread stopped there, so its outcome constrains
+	// nothing that executed. With Failure.Thread == NoThread every
+	// recorded assertion held and joins Fpath as usual.
+	NoBug bool
 	// Locks optionally maps instructions to their statically must-held
 	// locksets (staticanalysis.Result.Must); memory SAPs are stamped with
 	// them.
@@ -89,10 +100,15 @@ func Analyze(prog *ir.Program, paths []*ballarus.FuncPaths, log *trace.PathLog, 
 		// Resolve assertion records: the failing thread's last assertion is
 		// the bug; every other assertion held on the recorded path.
 		for k, ar := range ex.asserts {
-			failing := tid == opts.Failure.Thread && k == len(ex.asserts)-1
+			failing := opts.Failure.Thread != NoThread && tid == opts.Failure.Thread && k == len(ex.asserts)-1
 			if failing {
 				if ar.site != opts.Failure.Site {
 					return nil, fmt.Errorf("symexec: thread %d last assertion is site %d, failure reports site %d", tid, ar.site, opts.Failure.Site)
+				}
+				if opts.NoBug {
+					// The recorded run ended at this assertion either way;
+					// its (false) condition constrains nothing that ran.
+					continue
 				}
 				an.Bug = symbolic.Not(ar.cond)
 			} else {
@@ -104,7 +120,10 @@ func Analyze(prog *ir.Program, paths []*ballarus.FuncPaths, log *trace.PathLog, 
 		an.Threads = append(an.Threads, tt)
 	}
 	if an.Bug == nil {
-		return nil, fmt.Errorf("symexec: failing thread %d recorded no assertion at site %d", opts.Failure.Thread, opts.Failure.Site)
+		if !opts.NoBug {
+			return nil, fmt.Errorf("symexec: failing thread %d recorded no assertion at site %d", opts.Failure.Thread, opts.Failure.Site)
+		}
+		an.Bug = symbolic.True
 	}
 	an.NumSyms = g.namer.Count()
 	return an, nil

@@ -200,6 +200,10 @@ func (a *Analysis) PathCondCount() int {
 	return n
 }
 
+// NoThread marks a FailureSpec with no failing thread: the recorded run
+// ended without an assertion failure (only valid with Options.NoBug).
+const NoThread trace.ThreadID = -1
+
 // FailureSpec tells the analysis which assertion failed.
 type FailureSpec struct {
 	Thread trace.ThreadID

@@ -218,7 +218,7 @@ func TestFramedHugePayloadRejected(t *testing.T) {
 	buf := append([]byte{}, framedMagic...)
 	buf = append(buf, framedVersion)
 	buf = append(buf, frameMarker, frameEvents)
-	buf = binary.AppendUvarint(buf, 0)            // thread
+	buf = binary.AppendUvarint(buf, 0)             // thread
 	buf = binary.AppendUvarint(buf, uint64(1)<<40) // absurd payload length
 	if _, err := DecodeFramedPathLog(buf); err == nil {
 		t.Fatal("absurd payload length accepted")
@@ -285,10 +285,10 @@ func TestFlatDecoderBoundChecks(t *testing.T) {
 		t.Fatalf("DecodeAccessVectorLog: want *CorruptError for a huge vector length, got %v", err)
 	}
 	// A huge event count in the flat path log must hit the decoder cap.
-	buf = binary.AppendUvarint(nil, 1)              // one thread
-	buf = binary.AppendUvarint(buf, 0)              // parent+1
-	buf = binary.AppendUvarint(buf, 0)              // index
-	buf = binary.AppendUvarint(buf, uint64(1)<<40)  // event count
+	buf = binary.AppendUvarint(nil, 1)             // one thread
+	buf = binary.AppendUvarint(buf, 0)             // parent+1
+	buf = binary.AppendUvarint(buf, 0)             // index
+	buf = binary.AppendUvarint(buf, uint64(1)<<40) // event count
 	if _, err := DecodePathLog(buf); !errors.As(err, &cerr) {
 		t.Fatalf("DecodePathLog: want *CorruptError for a huge event count, got %v", err)
 	}
