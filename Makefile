@@ -63,9 +63,10 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
-# CI smoke gate for the lazy-transitivity CNF core: solve the three
-# historically slowest benchmarks once and require the clause count to
-# stay an order of magnitude below the eager cubic ceiling.
+# CI smoke gate for the lazy-transitivity CNF core: solve the
+# historically slowest benchmarks (including symbolic-address racey,
+# formerly forced eager) once and require the clause count to stay an
+# order of magnitude below the eager cubic ceiling.
 bench-gate:
 	$(GO) test ./internal/bench/ -run '^TestBenchGateLazyCNF$$' -count=1 -v
 

@@ -1,11 +1,14 @@
 // Lazy-vs-eager equivalence and the clause-count gate over the paper's
 // benchmark corpus. TestLazyEagerEquivalenceOnBenchmarks is the corpus
 // half of the schedule-equivalence property (the randomized half lives in
-// internal/core): both encodings must agree on solvability for all eleven
-// programs, and on the exact mapping sets for the small concrete ones.
-// TestBenchGateLazyCNF is the CI smoke gate: on the three slowest
-// benchmarks the lazy encoding must stay far below the eager cubic
-// clause ceiling, so an accidental return to eager-by-default fails fast.
+// internal/cnfsolver): both encodings must agree on solvability for all
+// eleven programs — symbolic addresses included, now that address-split
+// refinement closed the lazy encoding's completeness gap — and on the
+// exact mapping sets for the small ones, concrete and symbolic alike.
+// TestBenchGateLazyCNF is the CI smoke gate: on the slowest benchmarks
+// (including racey, formerly forced eager by its symbolic addresses) the
+// lazy encoding must stay far below the eager cubic clause ceiling, so an
+// accidental return to eager-by-default fails fast.
 package bench
 
 import (
@@ -49,13 +52,18 @@ func enumerateMappings(t *testing.T, sys *constraints.System, opts cnfsolver.Opt
 	return keys, false
 }
 
-// smallConcrete lists benchmarks cheap enough to enumerate their full
-// mapping sets in both encodings (concrete addresses, sub-second eager
-// solves). The rest get the solve-level check only.
-var smallConcrete = map[string]bool{
+// smallEnumerable lists benchmarks cheap enough to enumerate their full
+// mapping sets in both encodings (sub-second eager solves). bbuf and
+// pfscan carry symbolic addresses, so their enumeration exercises
+// address-split refinement against the eager closure on real programs —
+// the corpus half of the equivalence property that retired the eager
+// fallback. The rest get the solve-level check only.
+var smallEnumerable = map[string]bool{
 	"sim_race": true,
 	"dekker":   true,
 	"peterson": true,
+	"bbuf":     true,
+	"pfscan":   true,
 }
 
 func TestLazyEagerEquivalenceOnBenchmarks(t *testing.T) {
@@ -64,9 +72,9 @@ func TestLazyEagerEquivalenceOnBenchmarks(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			t.Parallel()
 			p := preparedFor(t, b)
-			// The solve-level check runs with pipeline-default budgets so
-			// the non-convergent symbolic benchmarks abstain quickly in both
-			// modes instead of grinding through an inflated round budget.
+			// The solve-level check runs with pipeline-default budgets:
+			// since address-split refinement, every benchmark — symbolic
+			// addresses included — converges within them in both modes.
 			opts := func(eager bool) cnfsolver.Options {
 				return cnfsolver.Options{
 					EagerTransitivity: eager,
@@ -102,7 +110,7 @@ func TestLazyEagerEquivalenceOnBenchmarks(t *testing.T) {
 			}
 			t.Logf("lazy: %d clauses, %d lazy rounds, %d lemmas", stL.Clauses, stL.LazyRounds, stL.LazyLemmas)
 
-			if !smallConcrete[b.Name] {
+			if !smallEnumerable[b.Name] {
 				return
 			}
 			// Enumeration blocks one mapping class per feasible model plus
@@ -116,7 +124,7 @@ func TestLazyEagerEquivalenceOnBenchmarks(t *testing.T) {
 			lazy, lazyFull := enumerateMappings(t, sysL, enumOpts(false), 1024)
 			eager, eagerFull := enumerateMappings(t, sysE, enumOpts(true), 1024)
 			if !lazyFull || !eagerFull {
-				t.Fatalf("mapping enumeration capped (lazy full=%v eager full=%v); raise the cap or drop %s from smallConcrete",
+				t.Fatalf("mapping enumeration capped (lazy full=%v eager full=%v); raise the cap or drop %s from smallEnumerable",
 					lazyFull, eagerFull, b.Name)
 			}
 			if strings.Join(lazy, ";") != strings.Join(eager, ";") {
@@ -128,11 +136,15 @@ func TestLazyEagerEquivalenceOnBenchmarks(t *testing.T) {
 }
 
 // TestBenchGateLazyCNF is the bench-gate smoke check wired into CI: on
-// the three historically slowest benchmarks the CNF stage must stay lazy,
+// the historically slowest benchmarks the CNF stage must stay lazy,
 // i.e. its clause count must sit far below the eager encoding's cubic
-// transitivity floor of n(n-1)(n-2) ordered-triple implications.
+// transitivity floor of n(n-1)(n-2) ordered-triple implications. racey
+// is the symbolic-address representative: its array writes index by
+// loop-carried values, so before address-split refinement it was forced
+// onto the eager encoding — the gate now holds it to the lazy budget
+// too, address-split lemmas included.
 func TestBenchGateLazyCNF(t *testing.T) {
-	for _, name := range []string{"swarm", "bakery", "dekker"} {
+	for _, name := range []string{"swarm", "bakery", "dekker", "racey"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -89,8 +89,8 @@ func TestRacesGoldenBenchmarks(t *testing.T) {
 // examples/races corpus, each program a regression test for one verdict
 // class: true_race must confirm, handshake_refuted must refute its
 // lockset false positive through the solver, join_ordered must report
-// nothing at all, and array_index must confirm through the symbolic-
-// address eager fallback.
+// nothing at all, and array_index must confirm through the lazy
+// encoding's address-split refinement of its symbolic indices.
 func TestRacesGoldenExamples(t *testing.T) {
 	dir := filepath.Join("..", "..", "examples", "races")
 	paths, err := filepath.Glob(filepath.Join(dir, "*.mc"))

@@ -1,0 +1,96 @@
+package cnfsolver
+
+import (
+	"sort"
+
+	"repro/internal/constraints"
+	"repro/internal/trace"
+)
+
+// extractOrderMinSwitch linearizes the model's order relation like
+// extractOrder, but greedily stays on the running thread while it has a
+// ready SAP, switching only when forced. Plain topological ranks
+// interleave threads arbitrarily and overshoot any preemption budget even
+// when the underlying partial order admits a near-sequential extension;
+// the greedy walk instead realizes only the context switches the order
+// relation (or thread exhaustion) forces. Used by SolveBounded; the plain
+// Solve path keeps the rank extraction so its schedules — and the golden
+// outputs downstream — are unchanged.
+func (e *encoder) extractOrderMinSwitch() []constraints.SAPRef {
+	// Orient the allocated pairs into adjacency lists. The relation is
+	// acyclic here: lazy mode runs refineAcyclic first, eager mode's
+	// triples enforce transitivity outright.
+	adj := make([][]int32, e.n)
+	indeg := make([]int, e.n)
+	for _, idx := range e.pairList {
+		a, b := int(idx)/e.n, int(idx)%e.n
+		from, to := a, b
+		if !e.s.Value(int(e.pairVar[idx])) {
+			from, to = b, a
+		}
+		adj[from] = append(adj[from], int32(to))
+		indeg[to]++
+	}
+	// Per-thread SAP lists in index order (= the thread's issue order),
+	// sorted thread IDs for run-to-run determinism.
+	byThread := map[trace.ThreadID][]int{}
+	var tids []trace.ThreadID
+	for i := 0; i < e.n; i++ {
+		t := e.sys.SAP(constraints.SAPRef(i)).Thread
+		if _, ok := byThread[t]; !ok {
+			tids = append(tids, t)
+		}
+		byThread[t] = append(byThread[t], i)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	order := make([]constraints.SAPRef, 0, e.n)
+	scheduled := make([]bool, e.n)
+	schedule := func(i int) {
+		scheduled[i] = true
+		for _, t := range adj[i] {
+			indeg[t]--
+		}
+		order = append(order, constraints.SAPRef(i))
+	}
+	// pickIn returns the thread's earliest ready SAP, or -1. The scan
+	// starts at the thread's first unscheduled SAP; under store buffering
+	// a thread's SAPs are only partially ordered, so a blocked SAP does
+	// not block its later ones.
+	start := make([]int, len(tids))
+	pickIn := func(ti int) int {
+		list := byThread[tids[ti]]
+		for start[ti] < len(list) && scheduled[list[start[ti]]] {
+			start[ti]++
+		}
+		for _, i := range list[start[ti]:] {
+			if !scheduled[i] && indeg[i] == 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	cur := -1
+	for len(order) < e.n {
+		i := -1
+		if cur >= 0 {
+			i = pickIn(cur)
+		}
+		if i < 0 {
+			for ti := range tids {
+				if ti == cur {
+					continue
+				}
+				if j := pickIn(ti); j >= 0 {
+					i, cur = j, ti
+					break
+				}
+			}
+		}
+		if i < 0 {
+			panic("cnfsolver: min-switch extraction stuck on a cyclic order relation")
+		}
+		schedule(i)
+	}
+	return order
+}

@@ -14,9 +14,19 @@
 // graph (internal/solver). Each cycle found becomes one refinement lemma
 // — the disjunction of the negated edge literals along it — and when the
 // relation is acyclic its topological ranks are the witness total order.
-// Options.EagerTransitivity restores the faithful all-triples encoding,
-// which is also the automatic fallback whenever addresses are symbolic
-// (see encoder.eager for why lazy blocking would be incomplete there).
+//
+// Symbolic addresses (CLAP §5: array accesses whose index is itself a
+// read value) are a second lazy theory, address-split refinement: each
+// model's symbolic addresses are evaluated under the mapping-implied
+// value assignment, the memory SAPs partition into concrete alias
+// classes, and read-from consistency is checked only within classes that
+// actually alias. A violation becomes a lemma restricted to the aliasing
+// subset plus the address valuation that produced it — the choice
+// literals whose values the address evaluation consulted — so the solver
+// can re-aim addresses without re-deriving orders (see refineAddrSplit
+// for the completeness argument). Options.EagerTransitivity restores the
+// faithful all-triples encoding; it is no longer forced by symbolic
+// addresses.
 package cnfsolver
 
 import (
@@ -48,9 +58,16 @@ type Options struct {
 	// Solve call (default 5000). Each round adds at least one cycle lemma,
 	// so the loop converges; the bound guards pathological instances.
 	MaxLazyRounds int
+	// MaxAddrRounds bounds the address-split refinement loop per Solve
+	// call (default 5000). Like the transitivity rounds these have their
+	// own budget: they re-aim symbolic addresses rather than reject a
+	// mapping, so they do not consume MaxTheoryRounds.
+	MaxAddrRounds int
 	// EagerTransitivity restores the all-triples O(n³) transitivity
-	// encoding (the paper's faithful reference shape). Systems with
-	// symbolic addresses use it regardless — see encoder.eager.
+	// encoding (the paper's faithful reference shape). Address-split
+	// refinement runs in both encodings, so symbolic-address systems
+	// accept the same schedules either way; eager only changes how
+	// transitivity is enforced (and lowers the size limit).
 	EagerTransitivity bool
 	// Ctx cancels the solve (nil = never); polled each theory round and,
 	// via the SAT engine's stop hook, inside each SAT call.
@@ -72,6 +89,9 @@ func (o *Options) fill() {
 	if o.MaxLazyRounds == 0 {
 		o.MaxLazyRounds = 5000
 	}
+	if o.MaxAddrRounds == 0 {
+		o.MaxAddrRounds = 5000
+	}
 }
 
 // Stats reports encoding size and solving effort.
@@ -84,6 +104,12 @@ type Stats struct {
 	// lemmas those rounds added. Both stay zero under EagerTransitivity.
 	LazyRounds int64
 	LazyLemmas int64
+	// AddrRounds counts address-split refinement iterations (SAT models
+	// rejected for symbolic-address inconsistency); AddrLemmas counts the
+	// lemmas those rounds added. Both stay zero when every address is
+	// concrete.
+	AddrRounds int64
+	AddrLemmas int64
 	// SATConflicts / SATDecisions / SATPropagations mirror the CDCL
 	// engine's own effort counters, for the consolidated metrics registry.
 	SATConflicts    int64
@@ -117,9 +143,43 @@ type Session struct {
 	opts Options
 	e    *encoder
 	st   Stats
-	// guards are the assumption literals activating the retractable
-	// blocking clauses added by BlockMapping; RetractBlocks retires them.
-	guards []sat.Lit
+	// groups are the retractable clause groups holding the blocking
+	// clauses added by BlockMapping, AssumeAdjacent and the bounded
+	// sweep's over-budget blocks; RetractBlocks retires them all.
+	groups []sat.Group
+	// boundGroup guards the over-budget schedule blocks added by
+	// SolveBounded (nil until the first such block). It is one of groups;
+	// kept separately so successive bounded rounds share a guard.
+	boundGroup *sat.Group
+}
+
+// Encoding size limits: the eager all-triples encoding emits ≈ n³/3
+// transitivity clauses (≈ 10M at 400 SAPs); the lazy encoding's only
+// quadratic cost is the n×n pair arena.
+const (
+	eagerMaxSAPs = 400
+	lazyMaxSAPs  = 2000
+)
+
+// TooLarge reports a system the session refuses to encode: its SAP count
+// exceeds the limit for the encoding in effect. Eager marks the case
+// where Options.EagerTransitivity selected the cubic encoding, whose much
+// lower default limit is the operative one — for systems in the
+// (eagerMaxSAPs, lazyMaxSAPs] band the encoding choice, not the system
+// size, is the root cause, and the message says so.
+type TooLarge struct {
+	SAPs  int
+	Limit int
+	Eager bool
+}
+
+// Error implements error.
+func (e *TooLarge) Error() string {
+	if e.Eager {
+		return fmt.Sprintf("cnfsolver: %d SAPs exceeds the eager-encoding limit %d (EagerTransitivity selects the cubic encoding; the lazy default accepts up to %d)",
+			e.SAPs, e.Limit, lazyMaxSAPs)
+	}
+	return fmt.Sprintf("cnfsolver: %d SAPs exceeds the encoding limit %d", e.SAPs, e.Limit)
 }
 
 // NewSession encodes the system. The returned session is single-goroutine.
@@ -132,17 +192,19 @@ func NewSession(sys *constraints.System, opts Options) (*Session, error) {
 			e.symbolicAddrs = true
 		}
 	}
-	e.eager = opts.EagerTransitivity || e.symbolicAddrs
+	e.eager = opts.EagerTransitivity
 	limit := opts.MaxSAPs
+	eagerLimited := false
 	if limit == 0 {
 		if e.eager {
-			limit = 400
+			limit = eagerMaxSAPs
+			eagerLimited = true
 		} else {
-			limit = 2000
+			limit = lazyMaxSAPs
 		}
 	}
 	if n > limit {
-		return nil, fmt.Errorf("cnfsolver: %d SAPs exceeds the encoding limit %d", n, limit)
+		return nil, &TooLarge{SAPs: n, Limit: limit, Eager: eagerLimited}
 	}
 	e.encode()
 	sess := &Session{opts: opts, e: e}
@@ -152,6 +214,16 @@ func NewSession(sys *constraints.System, opts Options) (*Session, error) {
 
 // Lazy reports whether the session uses the lazy-transitivity encoding.
 func (sess *Session) Lazy() bool { return !sess.e.eager }
+
+// SetOptions replaces the session's solving options — the budget fields
+// (Ctx, Deadline), the round limits and Progress. Encoding-time fields
+// (MaxSAPs, EagerTransitivity) were fixed at NewSession and are ignored
+// here. Callers re-entering one session under successively smaller wall
+// budgets (the rescue bound sweep) use this between Solve calls.
+func (sess *Session) SetOptions(opts Options) {
+	opts.fill()
+	sess.opts = opts
+}
 
 // Stats returns a snapshot of the session's cumulative statistics.
 func (sess *Session) Stats() Stats {
@@ -168,6 +240,32 @@ func (sess *Session) refresh() {
 // Solve runs the DPLL(T) loop until a validated schedule emerges. The
 // returned stats pointer aliases the session's cumulative statistics.
 func (sess *Session) Solve() (*solver.Solution, *Stats, error) {
+	return sess.solve(-1)
+}
+
+// SolveBounded runs the same DPLL(T) loop but only accepts schedules with
+// at most bound preemptions. Models are linearized with the thread-greedy
+// extraction (stay on the running thread while it has a ready SAP)
+// instead of the plain topological ranks, and a valid-but-over-budget
+// schedule is blocked under a retractable group, so a later sweep with a
+// higher bound on the same session re-admits it after RetractBlocks. An
+// Unsat from SolveBounded is inconclusive for the system as a whole: the
+// greedy extraction is an approximation, so exhaustion means "no schedule
+// found within the bound", not a proof of absence.
+func (sess *Session) SolveBounded(bound int) (*solver.Solution, *Stats, error) {
+	return sess.solve(bound)
+}
+
+// assumeLits collects the activation literals of the live clause groups.
+func (sess *Session) assumeLits() []sat.Lit {
+	lits := make([]sat.Lit, len(sess.groups))
+	for i, g := range sess.groups {
+		lits[i] = g.Assume()
+	}
+	return lits
+}
+
+func (sess *Session) solve(bound int) (*solver.Solution, *Stats, error) {
 	opts := sess.opts
 	e := sess.e
 	st := &sess.st
@@ -203,6 +301,7 @@ func (sess *Session) Solve() (*solver.Solution, *Stats, error) {
 
 	base := st.TheoryRounds
 	lazyThisCall := 0
+	addrThisCall := 0
 	for round := 0; round < opts.MaxTheoryRounds; {
 		st.TheoryRounds = base + round + 1
 		if opts.Progress != nil {
@@ -213,7 +312,7 @@ func (sess *Session) Solve() (*solver.Solution, *Stats, error) {
 			sess.refresh()
 			return nil, st, &solver.Interrupted{Reason: "cnf theory loop cut short", Bound: -1}
 		}
-		switch e.s.Solve(sess.guards...) {
+		switch e.s.Solve(sess.assumeLits()...) {
 		case sat.Sat:
 		case sat.Unknown:
 			sess.refresh()
@@ -237,19 +336,56 @@ func (sess *Session) Solve() (*solver.Solution, *Stats, error) {
 				continue
 			}
 		}
+		var order []constraints.SAPRef
+		if bound >= 0 {
+			order = e.extractOrderMinSwitch()
+		} else {
+			order = e.extractOrder()
+		}
+		if e.symbolicAddrs {
+			// Address-split theory: evaluate every symbolic address under
+			// the mapping-implied values and reject models whose read-from
+			// choices contradict the resulting concrete alias classes. Like
+			// the transitivity rounds, these repair the model rather than
+			// reject a mapping, so they have their own budget.
+			added, coarse := e.refineAddrSplit(order)
+			if added == 0 && coarse {
+				// No targeted lemma possible (a support escaped the choice
+				// structure — not expected for preprocessed systems): fall
+				// back to blocking the exact model projection, which keeps
+				// the loop progressing at the cost of possibly excluding
+				// untested linear extensions.
+				e.blockModel()
+				added = 1
+			}
+			if added > 0 {
+				st.AddrRounds++
+				st.AddrLemmas += int64(added)
+				if addrThisCall++; addrThisCall > opts.MaxAddrRounds {
+					sess.refresh()
+					return nil, st, fmt.Errorf("cnfsolver: address-split refinement did not converge in %d rounds", opts.MaxAddrRounds)
+				}
+				continue
+			}
+		}
 		round++
 		st.TheoryRounds = base + round
-		order := e.extractOrder()
 		w, err := e.sys.ValidateSchedule(order)
 		if err == nil {
+			if bound >= 0 && w.Preemptions > bound {
+				// Valid but over the preemption budget: block this pair
+				// projection under the retractable bound group so a later,
+				// higher-bound sweep re-admits it.
+				sess.blockOverBound()
+				continue
+			}
 			sess.refresh()
 			return &solver.Solution{Order: order, Witness: w, Preemptions: w.Preemptions}, st, nil
 		}
 		// Theory rejection: derive the smallest sound conflict clause.
 		// A violated path/bug condition depends only on the mappings in
-		// its transitive support (when addresses are concrete), so blocking
-		// that support kills every model sharing it; otherwise fall back to
-		// coarser blocking.
+		// its transitive support, so blocking that support kills every
+		// model sharing it; otherwise fall back to the mapping projection.
 		e.block(err)
 	}
 	sess.refresh()
@@ -269,21 +405,57 @@ func (sess *Session) Mapping() []int {
 }
 
 // BlockMapping adds a retractable blocking clause forbidding the last
-// model's read→write mapping, activated by an assumption literal on
-// subsequent Solve calls. It is how a caller enumerates the distinct
-// mapping classes of a system: Solve, BlockMapping, Solve, … until Unsat.
-// Only sound when addresses are concrete — with symbolic addresses a
-// mapping does not determine the read values.
+// model's read→write mapping class, activated on subsequent Solve calls.
+// It is how a caller enumerates the distinct mapping classes of a system:
+// Solve, BlockMapping, Solve, … until Unsat. Sound under symbolic
+// addresses too: a successful Solve only returns models that passed
+// address-split refinement, where every read value — and hence every
+// address — is determined by the mapping alone.
+//
+// The clause negates the conjunction of each read's *selected* choice
+// (the one Mapping reports), not the full mapVar assignment. The choice
+// structure only enforces at-least-one, so on symbolic-address systems a
+// model may set extra choice variables true besides the selected ones;
+// blocking the full assignment would forbid one model per call and
+// re-enumerate the same class once per feasible extra-assignment. The
+// projection is still exhaustive: every class keeps a canonical model
+// with exactly its selected choices true (choice variables occur
+// positively only in the at-least-one clause, so flipping extras false
+// preserves satisfaction), and that model violates no other class's
+// blocking clause. It never re-enumerates: any future model of the same
+// class has all the selected choices true again.
 func (sess *Session) BlockMapping() {
 	e := sess.e
-	guard := e.s.NewVar()
-	lits := make([]sat.Lit, 0, len(e.mapVars)+1)
-	lits = append(lits, sat.MkLit(guard, true))
-	for _, v := range e.mapVars {
+	g := e.s.NewGroup()
+	lits := make([]sat.Lit, 0, len(e.choiceLit))
+	for ri := range e.sys.Reads {
+		if k := e.currentChoice(ri); k >= 0 {
+			lits = append(lits, e.choiceLit[ri][k].Not())
+		}
+	}
+	g.Add(lits...)
+	e.clauses++
+	sess.groups = append(sess.groups, g)
+}
+
+// blockOverBound forbids the current model's pair projection under the
+// shared bound group: the schedule is valid but exceeds the preemption
+// budget of the running SolveBounded call. RetractBlocks retires the
+// group, so a subsequent higher-bound sweep sees the schedule again.
+func (sess *Session) blockOverBound() {
+	e := sess.e
+	if sess.boundGroup == nil {
+		g := e.s.NewGroup()
+		sess.boundGroup = &g
+		sess.groups = append(sess.groups, g)
+	}
+	lits := make([]sat.Lit, 0, len(e.pairList))
+	for _, idx := range e.pairList {
+		v := int(e.pairVar[idx])
 		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
 	}
-	e.add(lits...)
-	sess.guards = append(sess.guards, sat.MkLit(guard, false))
+	sess.boundGroup.Add(lits...)
+	e.clauses++
 }
 
 // RetractBlocks permanently deactivates every blocking clause added by
@@ -292,10 +464,11 @@ func (sess *Session) BlockMapping() {
 // encoded session with a clean slate but keeps all learnt clauses.
 // Adjacency groups added by AssumeAdjacent are retired the same way.
 func (sess *Session) RetractBlocks() {
-	for _, g := range sess.guards {
-		sess.e.s.AddClause(g.Not())
+	for _, g := range sess.groups {
+		g.Retire()
 	}
-	sess.guards = sess.guards[:0]
+	sess.groups = sess.groups[:0]
+	sess.boundGroup = nil
 }
 
 // AssumeAdjacent adds the race-adjacency constraint group for memory SAPs
@@ -317,17 +490,17 @@ func (sess *Session) RetractBlocks() {
 // the encoding, learnt clauses and theory lemmas amortize across pairs.
 func (sess *Session) AssumeAdjacent(a, b constraints.SAPRef) {
 	e := sess.e
-	guard := e.s.NewVar()
-	g := sat.MkLit(guard, true)
+	g := e.s.NewGroup()
 	for c := 0; c < e.n; c++ {
 		if c == int(a) || c == int(b) || !e.sys.SAP(constraints.SAPRef(c)).Kind.IsSync() {
 			continue
 		}
 		x, y := e.lit(c, int(a)), e.lit(c, int(b))
-		e.add(g, x.Not(), y)
-		e.add(g, x, y.Not())
+		g.Add(x.Not(), y)
+		g.Add(x, y.Not())
+		e.clauses += 2
 	}
-	sess.guards = append(sess.guards, sat.MkLit(guard, false))
+	sess.groups = append(sess.groups, g)
 }
 
 // RegionConflict identifies two lock regions of the same mutex, in
@@ -385,17 +558,19 @@ type encoder struct {
 	// read (k=0: initial value, k=1..: candidate writes).
 	choiceLit [][]sat.Lit
 	clauses   int64
-	// symbolicAddrs reports whether any SAP has an unresolved address; if
-	// not, read values are functions of the mapping alone and theory
-	// failures can block just the mapping projection.
+	// readIdx maps a read SAP's symbol to its index in sys.Reads; built
+	// once in encode and shared by the support-clause construction, the
+	// static value lemmas and the address-split theory.
+	readIdx map[symbolic.SymID]int
+	// symbolicAddrs reports whether any SAP has an unresolved address.
+	// When set, each model additionally passes the address-split theory
+	// (refineAddrSplit) before validation; once it does, read values are
+	// functions of the mapping alone — the same invariant concrete systems
+	// get for free — so mapping-level blocking stays sound.
 	symbolicAddrs bool
-	// eager selects the all-triples transitivity encoding. It is forced on
-	// when addresses are symbolic: the symbolic blocking level must forbid
-	// the exact rejected total order, and under the lazy encoding the
-	// model only pins the allocated pairs — blocking their projection
-	// would also exclude every other linear extension of the same partial
-	// order, most of them never tested. Eager encoding pins all pairs, so
-	// the projection is the total order and blocking it is sound.
+	// eager selects the all-triples transitivity encoding
+	// (Options.EagerTransitivity). Formerly also forced on by symbolic
+	// addresses; the address-split theory removed that coupling.
 	eager bool
 	// conflicts collects never-released region pairs found during
 	// encoding; the first one decorates the Unsat error.
@@ -406,6 +581,10 @@ type encoder struct {
 	og       *solver.OrderGraph
 	lemmaBuf []sat.Lit
 	orderBuf []constraints.SAPRef
+	// Address-split scratch: per-SAP resolved addresses and per-SAP
+	// schedule positions, reused across refinement rounds.
+	addrBuf []addrInfo
+	posBuf  []int
 }
 
 // lit returns the literal for "a before b".
@@ -437,6 +616,10 @@ func (e *encoder) encode() {
 	e.pairVar = make([]int32, e.n*e.n)
 	for i := range e.pairVar {
 		e.pairVar[i] = -1
+	}
+	e.readIdx = make(map[symbolic.SymID]int, len(e.sys.Reads))
+	for i := range e.sys.Reads {
+		e.readIdx[e.sys.SAP(e.sys.Reads[i].Read).Sym.ID] = i
 	}
 	if e.eager {
 		// Transitivity: before(a,b) ∧ before(b,c) → before(a,c), all
@@ -622,11 +805,6 @@ func (e *encoder) refineAcyclic() int {
 // flags take constant values) would need one lazy refinement round per bad
 // mapping.
 func (e *encoder) learnValueLemmas() {
-	// Read index and constant candidate values per symbol.
-	readIdx := map[symbolic.SymID]int{}
-	for i, ri := range e.sys.Reads {
-		readIdx[e.sys.SAP(ri.Read).Sym.ID] = i
-	}
 	constVals := func(ri int) ([]int64, bool) {
 		info := e.sys.Reads[ri]
 		vals := []int64{info.Init}
@@ -654,7 +832,7 @@ func (e *encoder) learnValueLemmas() {
 		combos := 1
 		ok := true
 		for _, id := range ids {
-			ri, found := readIdx[id]
+			ri, found := e.readIdx[id]
 			if !found || e.sys.Reads[ri].Free {
 				ok = false
 				break
@@ -730,32 +908,40 @@ func (e *encoder) extractOrder() []constraints.SAPRef {
 	return order
 }
 
-// block forbids the rejected model. Three levels, most precise first:
+// block forbids the rejected model. Two levels, most precise first:
 //
-//  1. A violated value condition with concrete addresses depends only on
-//     the mappings in its transitive support — block just those reads'
-//     current choices (a proper theory conflict clause).
-//  2. Otherwise, with concrete addresses, block the full mapping
-//     projection.
-//  3. With symbolic addresses, values can depend on the order too: block
-//     the full pair assignment (complete but slowest; always on the eager
-//     encoding, where the pair assignment is the total order).
+//  1. A violated value condition depends only on the mappings in its
+//     transitive support — block just those reads' current choices (a
+//     proper theory conflict clause). Sound under symbolic addresses too:
+//     block is only reached after address-split refinement accepted the
+//     model, at which point every read value is determined by the mapping
+//     alone (see refineAddrSplit).
+//  2. Otherwise block the full mapping projection.
 func (e *encoder) block(verr error) {
-	if !e.symbolicAddrs {
-		if ve, ok := verr.(*constraints.ValidationError); ok && ve.FailedExpr != nil {
-			if lits := e.supportClause(ve.FailedExpr); lits != nil {
-				e.add(lits...)
-				return
-			}
+	if ve, ok := verr.(*constraints.ValidationError); ok && ve.FailedExpr != nil {
+		if lits := e.supportClause(ve.FailedExpr); lits != nil {
+			e.add(lits...)
+			return
 		}
-		lits := make([]sat.Lit, 0, len(e.mapVars))
-		for _, v := range e.mapVars {
-			lits = append(lits, sat.MkLit(v, e.s.Value(v)))
-		}
-		e.add(lits...)
-		return
 	}
-	lits := make([]sat.Lit, 0, len(e.pairList))
+	lits := make([]sat.Lit, 0, len(e.mapVars))
+	for _, v := range e.mapVars {
+		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
+	}
+	e.add(lits...)
+}
+
+// blockModel forbids the exact current model projection: every mapping
+// choice plus every allocated pair literal. Coarse last resort for the
+// never-expected case where address-split refinement cannot form a
+// targeted lemma; under the lazy encoding it may also exclude untested
+// linear extensions (the pre-address-split incompleteness), which is why
+// it exists only as a fallback.
+func (e *encoder) blockModel() {
+	lits := make([]sat.Lit, 0, len(e.mapVars)+len(e.pairList))
+	for _, v := range e.mapVars {
+		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
+	}
 	for _, idx := range e.pairList {
 		v := int(e.pairVar[idx])
 		lits = append(lits, sat.MkLit(v, e.s.Value(v)))
@@ -775,41 +961,44 @@ func (e *encoder) currentChoice(ri int) int {
 }
 
 // supportClause negates the current choices of every read in the
-// expression's transitive value support.
+// expression's transitive value support, or nil when the support escapes
+// the choice structure (a free read or an unset choice).
 func (e *encoder) supportClause(expr symbolic.Expr) []sat.Lit {
-	readIdx := map[symbolic.SymID]int{}
-	for i, ri := range e.sys.Reads {
-		readIdx[e.sys.SAP(ri.Read).Sym.ID] = i
-	}
-	seen := map[int]bool{}
-	var lits []sat.Lit
-	var visit func(expr symbolic.Expr) bool
-	visit = func(expr symbolic.Expr) bool {
-		for _, id := range symbolic.Syms(expr, nil, nil) {
-			ri, ok := readIdx[id]
-			if !ok || e.choiceLit[ri] == nil {
-				return false
-			}
-			if seen[ri] {
-				continue
-			}
-			seen[ri] = true
-			k := e.currentChoice(ri)
-			if k < 0 {
-				return false
-			}
-			lits = append(lits, e.choiceLit[ri][k].Not())
-			if k > 0 {
-				// The mapped write's value has its own dependencies.
-				if !visit(e.sys.SAP(e.sys.Reads[ri].Cands[k-1]).Val) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if !visit(expr) {
+	lits, ok := e.suppLits(symbolic.Syms(expr, nil, nil), map[int]bool{}, nil)
+	if !ok {
 		return nil
 	}
 	return lits
+}
+
+// suppLits appends the negated current choice of every read in the
+// transitive value support of ids (each read's chosen write contributes
+// its value expression's symbols in turn). ok=false when some symbol is
+// not a constrained read or has no choice in the model — then no sound
+// premise over choices exists.
+func (e *encoder) suppLits(ids []symbolic.SymID, seen map[int]bool, lits []sat.Lit) ([]sat.Lit, bool) {
+	for _, id := range ids {
+		ri, ok := e.readIdx[id]
+		if !ok || e.choiceLit[ri] == nil {
+			return lits, false
+		}
+		if seen[ri] {
+			continue
+		}
+		seen[ri] = true
+		k := e.currentChoice(ri)
+		if k < 0 {
+			return lits, false
+		}
+		lits = append(lits, e.choiceLit[ri][k].Not())
+		if k > 0 {
+			// The mapped write's value has its own dependencies.
+			var deep bool
+			lits, deep = e.suppLits(symbolic.Syms(e.sys.SAP(e.sys.Reads[ri].Cands[k-1]).Val, nil, nil), seen, lits)
+			if !deep {
+				return lits, false
+			}
+		}
+	}
+	return lits, true
 }

@@ -1,6 +1,8 @@
 package cnfsolver_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/cnfsolver"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/replay"
 	"repro/internal/solver"
+	"repro/internal/symexec"
 	"repro/internal/vm"
 )
 
@@ -144,7 +147,68 @@ func main() {
 
 func TestCNFSolverSizeLimit(t *testing.T) {
 	_, sys := buildSystem(t, figure2SC, vm.SC, 3000)
-	if _, _, err := cnfsolver.Solve(sys, cnfsolver.Options{MaxSAPs: 2}); err == nil {
+	_, _, err := cnfsolver.Solve(sys, cnfsolver.Options{MaxSAPs: 2})
+	if err == nil {
 		t.Fatal("size limit must refuse large systems")
+	}
+	var big *cnfsolver.TooLarge
+	if !errors.As(err, &big) {
+		t.Fatalf("expected TooLarge, got %T: %v", err, err)
+	}
+	if big.Eager {
+		t.Fatalf("caller-set MaxSAPs must not be attributed to the eager encoding: %v", err)
+	}
+	if big.Limit != 2 || big.SAPs != len(sys.SAPs) {
+		t.Fatalf("TooLarge fields = %+v, want Limit=2, SAPs=%d", big, len(sys.SAPs))
+	}
+}
+
+func dummySAPs(n int) []*symexec.SAP {
+	saps := make([]*symexec.SAP, n)
+	for i := range saps {
+		saps[i] = &symexec.SAP{}
+	}
+	return saps
+}
+
+// TestTooLargeAttributesLimitCause pins the size-refusal diagnostics on
+// the default limits: a system in the (400, 2000] band encodes fine
+// lazily but is refused under EagerTransitivity, and the eager refusal
+// must name the encoding choice — not the system size — as the cause.
+// The limit check precedes encoding, so a synthetic SAP slice suffices.
+func TestTooLargeAttributesLimitCause(t *testing.T) {
+	mid := &constraints.System{SAPs: dummySAPs(500)}
+	if _, err := cnfsolver.NewSession(mid, cnfsolver.Options{EagerTransitivity: true}); err == nil {
+		t.Fatal("eager limit must refuse 500 SAPs")
+	} else {
+		var big *cnfsolver.TooLarge
+		if !errors.As(err, &big) {
+			t.Fatalf("expected TooLarge, got %T: %v", err, err)
+		}
+		if !big.Eager || big.Limit != 400 {
+			t.Fatalf("eager refusal misattributed: %+v", big)
+		}
+		msg := err.Error()
+		for _, want := range []string{"eager-encoding limit 400", "lazy default accepts up to 2000"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("eager TooLarge message %q missing %q", msg, want)
+			}
+		}
+	}
+
+	huge := &constraints.System{SAPs: dummySAPs(2500)}
+	if _, err := cnfsolver.NewSession(huge, cnfsolver.Options{}); err == nil {
+		t.Fatal("lazy limit must refuse 2500 SAPs")
+	} else {
+		var big *cnfsolver.TooLarge
+		if !errors.As(err, &big) {
+			t.Fatalf("expected TooLarge, got %T: %v", err, err)
+		}
+		if big.Eager || big.Limit != 2000 {
+			t.Fatalf("lazy refusal misattributed: %+v", big)
+		}
+		if strings.Contains(err.Error(), "eager") {
+			t.Fatalf("lazy TooLarge message must not mention eager: %q", err.Error())
+		}
 	}
 }

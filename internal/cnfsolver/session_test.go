@@ -128,8 +128,8 @@ func TestSessionAdjacencyInterleave(t *testing.T) {
 
 // symbolicAddrSC indexes a shared array by a value read from a shared
 // variable: the read's value is a fresh symbolic variable, so the write's
-// address is unresolved and the session must fall back to the eager
-// encoding (lazy blocking is incomplete under symbolic addresses).
+// address is unresolved and the session's address-split refinement must
+// close the aliasing question lazily, model by model.
 const symbolicAddrSC = `
 int a[4];
 int idx;
@@ -147,13 +147,12 @@ func main() {
 }
 `
 
-// TestSessionSymbolicAddrEagerFallback pins the guard machinery on the
-// eager fallback path: a symbolic-address system forces eager encoding,
-// and the same BlockMapping / AssumeAdjacent / RetractBlocks interleave
-// keeps working there — the guards constrain the permutation variables
-// rather than the lazy order graph, but retraction semantics must be
-// identical.
-func TestSessionSymbolicAddrEagerFallback(t *testing.T) {
+// TestSessionSymbolicAddrLazy pins the guard machinery on a
+// symbolic-address system: address-split refinement lets such systems use
+// the lazy encoding (the eager fallback is retired), and the same
+// BlockMapping / AssumeAdjacent / RetractBlocks interleave keeps working
+// — retraction semantics must be identical to the concrete-address path.
+func TestSessionSymbolicAddrLazy(t *testing.T) {
 	prog, err := core.Compile(symbolicAddrSC)
 	if err != nil {
 		t.Fatal(err)
@@ -170,8 +169,8 @@ func TestSessionSymbolicAddrEagerFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Lazy() {
-		t.Fatal("symbolic-address system must force the eager encoding")
+	if !sess.Lazy() {
+		t.Fatal("symbolic-address system must default to the lazy encoding")
 	}
 	if !solveMaybe(t, sys, sess) {
 		t.Fatal("system must be satisfiable")

@@ -15,8 +15,11 @@ import (
 	"repro/internal/solver"
 )
 
-// CacheSchema versions the on-disk artifact encoding.
-const CacheSchema = "clap-cache/1"
+// CacheSchema versions the on-disk artifact encoding. Bumped to /2 when
+// address-split refinement retired the eager fallback: symbolic-address
+// systems now solve through a different encoding, so schedules cached by
+// /1 sessions are no longer comparable attempt-for-attempt.
+const CacheSchema = "clap-cache/2"
 
 // DiskCache is a content-addressed on-disk cache of reproduction
 // artifacts: the preprocessing snapshot and the solved schedule, keyed by

@@ -49,7 +49,10 @@ type SolverAttempt struct {
 	// Elapsed is the stage's wall time.
 	Elapsed time.Duration
 	// Outcome is one of "solved", "interrupted", "fault injected",
-	// "panicked", "no schedule" or "failed".
+	// "panicked", "no schedule", "too large" or "failed". "too large"
+	// marks a CNF stage that refused to encode the system
+	// (cnfsolver.TooLarge); its Err says which limit applied — in
+	// particular whether an explicit EagerTransitivity request lowered it.
 	Outcome string
 	// Err holds the failure detail when the stage did not solve.
 	Err string
@@ -114,9 +117,13 @@ func runSolverStage(name string, parent *obs.Span, fn func() (*solver.Solution, 
 	att.BoundReached = bound
 	if err != nil {
 		var intr *solver.Interrupted
-		if errors.As(err, &intr) {
+		var big *cnfsolver.TooLarge
+		switch {
+		case errors.As(err, &intr):
 			att.Outcome = "interrupted"
-		} else {
+		case errors.As(err, &big):
+			att.Outcome = "too large"
+		default:
 			att.Outcome = "failed"
 		}
 		att.Err = err.Error()
@@ -191,6 +198,47 @@ func capBudget(d *time.Duration, budget time.Duration) {
 	}
 	if *d == 0 || *d > budget {
 		*d = budget
+	}
+}
+
+// cnfRescueSweep builds the sequential solver's RescueSweep hook: one
+// reusable CNF session swept across preemption bounds. The session is
+// created on first use — the hook is only consulted when the bound sweep
+// failed with capped enumerations, so the common fast path never pays for
+// the encoding — and reused across bounds with the over-budget blocks
+// retracted between calls, so learnt clauses and theory lemmas amortize
+// over the whole sweep. The budget is the hosting stage's wall share,
+// anchored when the closure is built: however many bounds the sweep
+// visits, the stage stays inside its original allotment.
+func cnfRescueSweep(sys *constraints.System, base cnfsolver.Options, budget time.Duration) func(int) (*solver.Solution, error) {
+	var sess *cnfsolver.Session
+	var end time.Time
+	if budget > 0 {
+		end = time.Now().Add(budget)
+	}
+	return func(bound int) (*solver.Solution, error) {
+		if !end.IsZero() {
+			rem := time.Until(end)
+			if rem <= 0 {
+				return nil, &solver.Interrupted{Reason: "cnf rescue sweep budget exhausted", Bound: bound}
+			}
+			base.Deadline = rem
+		}
+		if sess == nil {
+			s, err := cnfsolver.NewSession(sys, base)
+			if err != nil {
+				return nil, err
+			}
+			sess = s
+		} else {
+			sess.RetractBlocks()
+		}
+		sess.SetOptions(base)
+		sol, _, err := sess.SolveBounded(bound)
+		if err != nil {
+			return nil, err
+		}
+		return sol, nil
 	}
 }
 
@@ -324,6 +372,14 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 		capBudget(&cnfOpts.Deadline, defaultCNFBudget)
 	}
 
+	// The sequential stage's rescue pass sweeps bounds through a reusable
+	// CNF session before falling back to escalated enumeration. Wired from
+	// the pre-Progress cnfOpts copy so the rescue session does not publish
+	// to the racing CNF stage's gauge family.
+	if seqOpts.RescueSweep == nil {
+		seqOpts.RescueSweep = cnfRescueSweep(sys, cnfOpts, seqOpts.Deadline)
+	}
+
 	// The racing stages publish to disjoint gauge families, so one shared
 	// registry serves all three concurrently.
 	reg := rep.Trace.Reg()
@@ -434,6 +490,11 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	}
 	wireSeq(&seqOpts, opts.Ctx, deadline)
 	capBudget(&seqOpts.Deadline, stageBudget(deadline, 4, defaultSeqBudget))
+	if seqOpts.RescueSweep == nil {
+		rescueCNF := opts.CNFOptions
+		wireCNF(&rescueCNF, opts.Ctx, deadline)
+		seqOpts.RescueSweep = cnfRescueSweep(sys, rescueCNF, seqOpts.Deadline)
+	}
 	wireProgress(reg, &seqOpts, nil, nil)
 	sol, att := runSolverStage("sequential", sp, func() (*solver.Solution, int, error) {
 		s, stats, err := solver.Solve(sys, seqOpts)

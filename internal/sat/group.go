@@ -1,0 +1,47 @@
+package sat
+
+// Group is a retractable clause group: a set of clauses that are active
+// only while the group's guard literal is assumed, and that can later be
+// retired permanently in one step. It is the standard assumption-guard
+// construction packaged as an API: every clause added to the group gets
+// the guard literal as an extra disjunct, so the clause is vacuously true
+// unless the solver is asked to assume the guard's negation.
+//
+// Callers that stack temporary constraints on a long-lived solver — the
+// CNF session's mapping blocks, race-adjacency pins and preemption-bound
+// sweeps — create one group per constraint batch, pass Assume() with each
+// Solve call while the batch should hold, and Retire the group when the
+// batch is done. Retiring adds the guard as a unit clause, which
+// permanently satisfies (and thus deactivates) every clause in the group;
+// the solver's learnt clauses survive, which is what makes group-based
+// re-entry cheaper than rebuilding the instance.
+type Group struct {
+	guard int
+	s     *Solver
+}
+
+// NewGroup allocates a fresh retractable clause group on the solver.
+func (s *Solver) NewGroup() Group {
+	return Group{guard: s.NewVar(), s: s}
+}
+
+// Assume returns the assumption literal that activates the group's
+// clauses; pass it to Solve for every call during which the group's
+// clauses must hold.
+func (g Group) Assume() Lit { return MkLit(g.guard, false) }
+
+// Add adds a clause to the group: it holds only while the group is
+// assumed. It reports false when the solver is already unsatisfiable.
+func (g Group) Add(lits ...Lit) bool {
+	all := make([]Lit, 0, len(lits)+1)
+	all = append(all, MkLit(g.guard, true))
+	all = append(all, lits...)
+	return g.s.AddClause(all...)
+}
+
+// Retire permanently deactivates the group's clauses by asserting the
+// guard, after which Assume must no longer be passed to Solve. Retiring
+// an already-retired group is a no-op.
+func (g Group) Retire() {
+	g.s.AddClause(MkLit(g.guard, false).Not())
+}

@@ -1,0 +1,59 @@
+package sat
+
+import "testing"
+
+// TestGroupActivationAndRetire pins the retractable-group contract: group
+// clauses constrain the model only when the group is assumed, and Retire
+// removes them permanently while the rest of the instance keeps solving.
+func TestGroupActivationAndRetire(t *testing.T) {
+	s := New(0)
+	x := s.NewVar()
+	y := s.NewVar()
+	s.AddClause(MkLit(x, false), MkLit(y, false)) // x ∨ y
+
+	g := s.NewGroup()
+	g.Add(MkLit(x, true)) // ¬x, only under the group
+	g.Add(MkLit(y, true)) // ¬y, only under the group
+
+	// Without the assumption the group is inert: x ∨ y alone is SAT.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("unassumed group: got %v, want SAT", got)
+	}
+	// Assumed, the group forces ¬x ∧ ¬y against x ∨ y: UNSAT.
+	if got := s.Solve(g.Assume()); got != Unsat {
+		t.Fatalf("assumed group: got %v, want UNSAT", got)
+	}
+	// Retired, the clauses are gone for good; the instance is SAT again.
+	g.Retire()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("retired group: got %v, want SAT", got)
+	}
+	if !s.Value(x) && !s.Value(y) {
+		t.Fatal("model violates x ∨ y")
+	}
+}
+
+// TestGroupIndependence: two groups are controlled independently — each
+// Solve call picks which batches of temporary clauses hold.
+func TestGroupIndependence(t *testing.T) {
+	s := New(0)
+	x := s.NewVar()
+	gPos := s.NewGroup()
+	gPos.Add(MkLit(x, false)) // x
+	gNeg := s.NewGroup()
+	gNeg.Add(MkLit(x, true)) // ¬x
+
+	if got := s.Solve(gPos.Assume()); got != Sat || !s.Value(x) {
+		t.Fatalf("gPos alone: got %v (x=%v), want SAT with x", got, s.Value(x))
+	}
+	if got := s.Solve(gNeg.Assume()); got != Sat || s.Value(x) {
+		t.Fatalf("gNeg alone: got %v (x=%v), want SAT with ¬x", got, s.Value(x))
+	}
+	if got := s.Solve(gPos.Assume(), gNeg.Assume()); got != Unsat {
+		t.Fatalf("both groups: got %v, want UNSAT", got)
+	}
+	gNeg.Retire()
+	if got := s.Solve(gPos.Assume()); got != Sat || !s.Value(x) {
+		t.Fatalf("after retiring gNeg: got %v, want SAT with x", got)
+	}
+}

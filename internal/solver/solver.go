@@ -76,6 +76,17 @@ type Options struct {
 	// bounds exactly where the budgeted mapping search may thrash. Default
 	// 2_000_000 candidates; negative disables the pass.
 	GenEscalateBudget int
+	// RescueSweep, when set, is consulted by the minimal-mode rescue pass
+	// before the escalated enumeration: it is called once per
+	// still-undecided preemption bound, in ascending order, and should
+	// return a schedule with at most that many preemptions. Only a
+	// returned schedule is trusted; a nil result (with or without error)
+	// is inconclusive and the escalated enumerator still decides the
+	// bound. The portfolio wires the CNF session's bounded sweep (one
+	// reusable encoded session, retractable bound blocks) through this
+	// hook; the function value inverts the dependency, since cnfsolver
+	// imports this package.
+	RescueSweep func(bound int) (*Solution, error)
 	// BoundDecisionBudget caps mapping-search decisions per bound in
 	// minimal mode (default 60_000): rather than prove an infeasible low
 	// bound unsatisfiable exhaustively, the sweep moves on — minimality
@@ -217,13 +228,22 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 	// by streaming validation). Re-enumerate those bounds, in order, with
 	// the escalated budget; bounds the first pass proved empty stay proved.
 	if opts.GenEscalateBudget > 0 {
+		stillCapped := false
 		for c := 0; c <= min(opts.GenFallbackBound, opts.MinimalSearchLimit); c++ {
 			if !s.genCapped[c] {
 				continue
 			}
 			s.bound = c
 			s.stats.BoundReached = c
-			sol, _ := s.tryGenerate(c, genLimits{
+			if opts.RescueSweep != nil {
+				if sol, err := opts.RescueSweep(c); err == nil && sol != nil {
+					return sol, s.stats, nil
+				}
+				// Nothing found (or the backend failed): inconclusive — the
+				// sweep is an approximation, so only the enumerator below
+				// can prove the bound empty.
+			}
+			sol, decided := s.tryGenerate(c, genLimits{
 				MaxSchedules: opts.GenEscalateBudget,
 				MaxCSPSets:   10_000_000,
 				MaxWalkNodes: 500_000_000,
@@ -234,6 +254,15 @@ func Solve(sys *constraints.System, opts Options) (*Solution, *Stats, error) {
 			if sol != nil {
 				return sol, s.stats, nil
 			}
+			if !decided {
+				stillCapped = true
+			}
+		}
+		if stillCapped {
+			// Even the escalated enumeration overflowed its budget, so the
+			// low bounds remain undecided — a generic "no schedule" verdict
+			// here would misreport budget exhaustion as unsatisfiability.
+			return nil, s.stats, fmt.Errorf("solver: rescue enumeration exhausted its budget with low preemption bounds undecided (escalate budget %d)", opts.GenEscalateBudget)
 		}
 	}
 	return nil, s.stats, &Unsat{Reason: fmt.Sprintf("no schedule within %d preemptions", opts.MinimalSearchLimit)}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/constraints"
@@ -160,6 +161,48 @@ func TestGenEscalationRescue(t *testing.T) {
 		t.Fatal("starved solve without escalation should be unsatisfiable")
 	} else if _, ok := err.(*Unsat); !ok {
 		t.Fatalf("expected *Unsat, got %v", err)
+	}
+}
+
+// TestRescueBudgetExhaustionNotUnsat pins the rescue pass's verdict
+// honesty: when even the escalated enumeration overflows its budget, the
+// low bounds are still undecided and the solve must NOT report the
+// generic Unsat — that would misreport budget exhaustion as proved
+// unsatisfiability. (The result used to be dropped on the floor with
+// `sol, _ := tryGenerate(...)`.) The same system under a real escalation
+// budget is genuinely unsatisfiable, which pins the contrast.
+func TestRescueBudgetExhaustionNotUnsat(t *testing.T) {
+	sys := buildFailingSystem(t, dekkerTSOSrc, vm.TSO, 3000)
+	// The SC encoding of the TSO-only bug is unsatisfiable — but a starved
+	// solve may not say so.
+	sysSC, err := constraints.Build(sys.An, vm.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := Options{
+		MaxPreemptions:      -1,
+		MinimalSearchLimit:  3,
+		GenScheduleBudget:   1,
+		GenEscalateBudget:   1,
+		BoundDecisionBudget: 1,
+	}
+	_, _, err = Solve(sysSC, starved)
+	if err == nil {
+		t.Fatal("starved solve of an unsatisfiable system returned a solution")
+	}
+	if _, ok := err.(*Unsat); ok {
+		t.Fatalf("budget exhaustion misreported as Unsat: %v", err)
+	}
+	if !strings.Contains(err.Error(), "undecided") {
+		t.Fatalf("exhaustion error should say the bounds are undecided: %v", err)
+	}
+	// Control: with the default escalation budget the enumeration is
+	// exhaustive at every capped bound and the verdict is a true Unsat.
+	starved.GenEscalateBudget = 0
+	if _, _, err := Solve(sysSC, starved); err == nil {
+		t.Fatal("unsatisfiable system solved")
+	} else if _, ok := err.(*Unsat); !ok {
+		t.Fatalf("expected *Unsat under the full escalation budget, got %v", err)
 	}
 }
 

@@ -19,6 +19,28 @@ func (m MapEnv) Value(id SymID) (int64, bool) {
 	return v, ok
 }
 
+// RecordingEnv wraps an Env and records every symbol the evaluation
+// actually consulted. Because evaluation short-circuits (logical
+// operators, ITE, Select), the recorded set is the precise support of the
+// produced value — typically smaller than the syntactic Syms of the
+// expression. The CNF backend uses it to evaluate symbolic address
+// expressions under a model and then build conflict premises no larger
+// than the valuation that produced the address.
+type RecordingEnv struct {
+	Base Env
+	// Used collects the consulted symbol IDs; allocated on first use.
+	Used map[SymID]bool
+}
+
+// Value implements Env, recording the consulted symbol.
+func (r *RecordingEnv) Value(id SymID) (int64, bool) {
+	if r.Used == nil {
+		r.Used = map[SymID]bool{}
+	}
+	r.Used[id] = true
+	return r.Base.Value(id)
+}
+
 // EvalError reports a failed evaluation: an unbound symbol, a type mismatch
 // or an arithmetic trap.
 type EvalError struct {

@@ -1,0 +1,44 @@
+package symbolic
+
+import "testing"
+
+// TestRecordingEnvTracksPreciseSupport: the recorded set holds exactly the
+// symbols evaluation consulted — short-circuited operands stay out.
+func TestRecordingEnvTracksPreciseSupport(t *testing.T) {
+	a, b := NewSym(0, "a"), NewSym(1, "b")
+	// (a == 0) && (b == 1): with a=1 the right operand short-circuits.
+	e := NewBinary(OpLAnd,
+		NewBinary(OpEq, a, Int(0)),
+		NewBinary(OpEq, b, Int(1)))
+
+	rec := &RecordingEnv{Base: MapEnv{0: 1, 1: 1}}
+	v, err := EvalBool(e, rec)
+	if err != nil || v {
+		t.Fatalf("eval = %v, %v; want false, nil", v, err)
+	}
+	if !rec.Used[0] || rec.Used[1] {
+		t.Fatalf("used = %v; want {0} only (b short-circuited)", rec.Used)
+	}
+
+	// With a=0 both operands evaluate and both symbols are consulted.
+	rec = &RecordingEnv{Base: MapEnv{0: 0, 1: 1}}
+	if v, err := EvalBool(e, rec); err != nil || !v {
+		t.Fatalf("eval = %v, %v; want true, nil", v, err)
+	}
+	if !rec.Used[0] || !rec.Used[1] {
+		t.Fatalf("used = %v; want {0, 1}", rec.Used)
+	}
+}
+
+// TestRecordingEnvRecordsUnboundLookups: a failed lookup is still a
+// consultation — the caller learns which symbol was missing.
+func TestRecordingEnvRecordsUnboundLookups(t *testing.T) {
+	a := NewSym(7, "a")
+	rec := &RecordingEnv{Base: MapEnv{}}
+	if _, err := EvalInt(a, rec); err == nil {
+		t.Fatal("expected unbound-symbol error")
+	}
+	if !rec.Used[7] {
+		t.Fatalf("used = %v; want {7}", rec.Used)
+	}
+}
