@@ -21,7 +21,9 @@
 // speedup table (old ns/op over new, with the alloc ratio alongside) for
 // every stage measured in both, and exits non-zero when any such stage
 // regressed by more than 10% in ns/op — the perf gate `make bench-compare`
-// runs in CI.
+// runs in CI. When both snapshots carry per-stage latency histograms an
+// informational p99 line follows each stage row; the gate itself stays
+// on mean ns/op.
 //
 // -baseline measures the pre-optimization configuration: constraint
 // preprocessing off and the portfolio as the old serial
@@ -44,6 +46,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parsolve"
 	"repro/internal/solver"
 )
@@ -86,6 +89,11 @@ type StageResult struct {
 	Generated float64 `json:"generated,omitempty"`
 	Validated float64 `json:"validated,omitempty"`
 	Valid     float64 `json:"valid,omitempty"`
+	// LatencyHist is the per-iteration wall-time distribution
+	// (stage.bench.<stage>.ns), so -compare can diff tail latency, not
+	// just the mean ns/op. Additive to clap-bench/2; older snapshots
+	// simply lack it.
+	LatencyHist *obs.HistSnapshot `json:"latency_hist,omitempty"`
 }
 
 // StaticJSON summarizes the static lockset / happens-before analysis and
@@ -205,6 +213,10 @@ func measure(name string, baseline bool, reps int) BenchResult {
 		res.Err = err.Error()
 		return res
 	}
+	// The stage runners feed each timed iteration into this registry's
+	// stage.bench.<stage>.ns histograms.
+	lat := obs.NewRegistry()
+	p.Lat = lat
 	res.SAPs = p.Stats.SAPs
 	res.Constraints = p.Stats.Clauses
 	res.Variables = p.Stats.Variables
@@ -246,8 +258,11 @@ func measure(name string, baseline bool, reps int) BenchResult {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "   %-11s", stage)
-		res.Stages[stage] = runStage(stage, fn)
-		sr := res.Stages[stage]
+		sr := runStage(stage, fn)
+		if hs, ok := lat.TakeSnapshot().Hists["stage.bench."+stage+".ns"]; ok && hs.Count > 0 {
+			sr.LatencyHist = &hs
+		}
+		res.Stages[stage] = sr
 		if sr.Skipped {
 			fmt.Fprintf(os.Stderr, " skipped\n")
 		} else {
@@ -439,6 +454,19 @@ func compareReports(w io.Writer, oldRep, newRep *Report) (compared, regressions 
 			}
 			fmt.Fprintf(w, "%-10s %-11s %14.0f %14.0f %7.2fx %8s  %s\n",
 				nb.Name, stage, osr.NsPerOp, ns.NsPerOp, speedup, allocs, verdict)
+			// Tail-latency diff, informational only: the gate stays on
+			// mean ns/op. Printed when both snapshots carry histograms
+			// (clap-bench/2 with latency_hist); older snapshots lack them.
+			if osr.LatencyHist != nil && ns.LatencyHist != nil {
+				oldP99 := osr.LatencyHist.P99()
+				newP99 := ns.LatencyHist.P99()
+				ratio := "-"
+				if newP99 > 0 {
+					ratio = fmt.Sprintf("%.2fx", float64(oldP99)/float64(newP99))
+				}
+				fmt.Fprintf(w, "%-10s %-11s %14d %14d %8s %8s  p99 latency\n",
+					"", "  p99", oldP99, newP99, ratio, "-")
+			}
 		}
 	}
 	fmt.Fprintf(w, "\n%d stages compared, %d regressions (tolerance %.0f%%)\n",

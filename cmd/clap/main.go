@@ -30,6 +30,10 @@
 //	clap jobs -dir D                   list the daemon's job journal states
 //	clap bundle <prog.mc|bench> -o F   record locally, emit an uploadable
 //	                                   clap-bundle/1 for POST /v1/jobs
+//	clap top <url>                     poll a running daemon's /metrics and
+//	                                   render a one-screen fleet summary
+//	                                   (-interval D poll period, -once for a
+//	                                   single snapshot)
 //
 // Exit codes: 0 on success; 1 when the pipeline or a required check fails
 // (`stats -require` missing a span, `explain` on a failed solve — the
@@ -371,6 +375,8 @@ func run(args []string) (err error) {
 		return cmdJobs(rest, f)
 	case "bundle":
 		return cmdBundle(rest, f)
+	case "top":
+		return cmdTop(rest, f)
 	default:
 		return usagef("unknown subcommand %q", cmd)
 	}

@@ -1,0 +1,169 @@
+// clap top: a fleet cockpit for a running clapd. It polls the daemon's
+// GET /metrics (Prometheus text), decodes the exposition back into a
+// registry snapshot, and renders a one-screen summary: job throughput
+// counters, the live queue/worker gauges, and the stage latency
+// histograms with their percentiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func cmdTop(args []string, f flags) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", 2*time.Second, "poll period")
+	once := fs.Bool("once", false, "scrape and render a single snapshot, then exit")
+	if err := fs.Parse(args); err != nil {
+		return usagef("top: %v", err)
+	}
+	if fs.NArg() != 1 {
+		return usagef("top: want exactly one daemon URL, got %d args", fs.NArg())
+	}
+	url := strings.TrimSuffix(fs.Arg(0), "/")
+
+	p := newTopPoller(url, *interval, os.Stdout)
+	if *once {
+		return p.scrapeOnce()
+	}
+
+	// Interactive mode: poll until interrupted. The poller owns its
+	// goroutine and hands it back through Stop — no leak on exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	p.clearScreen = true
+	p.Start()
+	<-sig
+	p.Stop()
+	return nil
+}
+
+// topPoller scrapes one daemon's /metrics on a fixed period. Start
+// launches the loop; Stop signals it and waits for it to exit, so a
+// stopped poller leaves no goroutine behind.
+type topPoller struct {
+	url         string
+	interval    time.Duration
+	out         io.Writer
+	client      *http.Client
+	clearScreen bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newTopPoller(url string, interval time.Duration, out io.Writer) *topPoller {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &topPoller{
+		url:      url,
+		interval: interval,
+		out:      out,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the poll loop in its own goroutine.
+func (p *topPoller) Start() {
+	go p.run()
+}
+
+// Stop signals the loop and blocks until its goroutine has exited.
+func (p *topPoller) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *topPoller) run() {
+	defer close(p.done)
+	// First scrape immediately, then on the ticker.
+	if err := p.scrapeOnce(); err != nil {
+		fmt.Fprintf(p.out, "scrape %s: %v\n", p.url, err)
+	}
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if err := p.scrapeOnce(); err != nil {
+				// A restarting daemon is a normal sight from the cockpit:
+				// report and keep polling.
+				fmt.Fprintf(p.out, "scrape %s: %v\n", p.url, err)
+			}
+		}
+	}
+}
+
+// scrapeOnce fetches /metrics, decodes it, and renders the summary.
+func (p *topPoller) scrapeOnce() error {
+	resp, err := p.client.Get(p.url + "/metrics")
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	s, err := obs.DecodeProm(data)
+	if err != nil {
+		return err
+	}
+	if p.clearScreen {
+		fmt.Fprint(p.out, "\x1b[H\x1b[2J")
+	}
+	renderTop(p.out, p.url, s)
+	return nil
+}
+
+// renderTop writes the one-screen summary. Decoded prom names are the
+// sanitized (underscore) forms of the stable dotted names.
+func renderTop(w io.Writer, url string, s obs.RegSnapshot) {
+	c := func(name string) int64 { return s.Counters[obs.PromName(name)] }
+	g := func(name string) int64 { return s.Gauges[obs.PromName(name)] }
+
+	fmt.Fprintf(w, "clapd %s\n\n", url)
+	fmt.Fprintf(w, "jobs     done %-6d retried %-6d poisoned %-6d executed %-6d accepted %d\n",
+		c("clapd.jobs.done"), c("clapd.jobs.retried"), c("clapd.jobs.poisoned"),
+		c("clapd.jobs.executed"), c("clapd.ingest.accepted"))
+	fmt.Fprintf(w, "live     queue depth %-6d workers busy %d\n",
+		g("clapd.queue.depth"), g("clapd.workers.busy"))
+
+	names := make([]string, 0, len(s.Hists))
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	wrote := false
+	for _, name := range names {
+		h := s.Hists[name]
+		if h.Count == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "\n%-32s %-8s %-10s %-10s %s\n", "latency", "count", "p50", "p90", "p99")
+			wrote = true
+		}
+		fmt.Fprintf(w, "%-32s %-8d %-10s %-10s %s\n", name, h.Count,
+			time.Duration(h.P50()), time.Duration(h.P90()), time.Duration(h.P99()))
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func fakeMetricsServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Add("clapd.jobs.done", 2)
+	reg.Add("clapd.jobs.executed", 3)
+	reg.Set("clapd.queue.depth", 1)
+	reg.Set("clapd.workers.busy", 1)
+	reg.Observe("stage.solve.ns", 5000)
+	reg.Observe("stage.solve.ns", 1<<21)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(obs.EncodeProm(reg.TakeSnapshot()))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTopScrapeRenders(t *testing.T) {
+	srv := fakeMetricsServer(t)
+	var buf bytes.Buffer
+	p := newTopPoller(srv.URL, time.Second, &buf)
+	if err := p.scrapeOnce(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"done 2", "executed 3", "queue depth 1", "workers busy 1",
+		"stage_solve_ns", "p50", "p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTopPollerNoGoroutineLeak pins the poller's lifecycle discipline:
+// Stop joins the polling goroutine, and after closing idle connections
+// the process goroutine count returns to its pre-Start level.
+func TestTopPollerNoGoroutineLeak(t *testing.T) {
+	srv := fakeMetricsServer(t)
+	before := runtime.NumGoroutine()
+
+	var buf bytes.Buffer
+	p := newTopPoller(srv.URL, 5*time.Millisecond, &buf)
+	p.Start()
+	// Let several poll cycles run so ticker and HTTP goroutines exist.
+	time.Sleep(30 * time.Millisecond)
+	p.Stop()
+	select {
+	case <-p.done:
+	default:
+		t.Fatal("Stop returned before the poll goroutine exited")
+	}
+	p.client.CloseIdleConnections()
+
+	// Idle HTTP conn goroutines unwind asynchronously; poll for settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines: %d before Start, %d after Stop — poller leaked", before, got)
+	}
+	if buf.Len() == 0 {
+		t.Error("poller produced no output")
+	}
+}

@@ -25,6 +25,22 @@ func TestObsNamesStable(t *testing.T) {
 		for _, name := range []string{
 			"solver.cnf.lazy.rounds", "solver.cnf.lazy.lemmas",
 			"core.cache.hit", "core.cache.miss",
+			// Deep solver telemetry: refinement kinds, session reuse, and
+			// the CDCL engine totals.
+			"solver.cnf.addr.rounds", "solver.cnf.addr.lemmas",
+			"solver.cnf.blocks.mapping",
+			"solver.cnf.session.solves", "solver.cnf.session.reuse",
+			"sat.solves", "sat.restarts", "sat.learnts",
+			// Stage latency histograms, pipeline and benchjson flavors.
+			"stage.record.ns", "stage.symexec.ns", "stage.preprocess.ns",
+			"stage.solve.ns", "stage.replay.ns",
+			"stage.solve.sequential.ns", "stage.solve.parallel.ns",
+			"stage.solve.cnf.ns",
+			"stage.bench.build.ns", "stage.bench.preprocess.ns",
+			"stage.bench.sequential.ns", "stage.bench.parsolve.ns",
+			"stage.bench.cnf.ns",
+			// Daemon fleet metrics.
+			"clapd.queue.depth", "clapd.workers.busy", "clapd.job.ns",
 		} {
 			if !obs.IsStable(name) {
 				t.Errorf("%q missing from the stable-name list", name)
@@ -56,7 +72,10 @@ func TestObsNamesStable(t *testing.T) {
 			return counters, gauges
 		}
 		_, gauges := run()
-		for _, name := range []string{"solver.cnf.lazy.rounds", "solver.cnf.lazy.lemmas"} {
+		for _, name := range []string{
+			"solver.cnf.lazy.rounds", "solver.cnf.lazy.lemmas",
+			"solver.cnf.session.solves", "sat.solves",
+		} {
 			if _, ok := gauges[name]; !ok {
 				t.Errorf("CNF run published no %q gauge", name)
 			}
@@ -113,6 +132,17 @@ func TestObsNamesStable(t *testing.T) {
 			}
 			if len(counters)+len(gauges) == 0 {
 				t.Error("instrumented run published no metrics")
+			}
+			s := tr.Reg().TakeSnapshot()
+			for name := range s.Hists {
+				if !obs.IsStable(name) {
+					t.Errorf("histogram %q not in the stable-name list", name)
+				}
+			}
+			for _, stage := range []string{"record", "symexec", "preprocess", "solve", "replay"} {
+				if s.Hists["stage."+stage+".ns"].Count == 0 {
+					t.Errorf("stage.%s.ns latency histogram is empty after a full run", stage)
+				}
 			}
 		})
 	}

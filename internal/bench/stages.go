@@ -18,6 +18,13 @@ import (
 	"repro/internal/solver"
 )
 
+// observeLat feeds one timed iteration's wall time into the stage's
+// latency histogram. No-op when the caller did not attach a registry
+// (p.Lat nil): the obs handles are nil-safe all the way down.
+func observeLat(p *Prepared, stage string, start time.Time) {
+	p.Lat.Hist("stage.bench." + stage + ".ns").Observe(int64(time.Since(start)))
+}
+
 // StageDeadline bounds each measured solve so a regression shows up as a
 // skipped/interrupted stage instead of a hung benchmark run.
 const StageDeadline = 60 * time.Second
@@ -44,9 +51,11 @@ func StageBuild(p *Prepared) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := p.Recording.Analyze(); err != nil {
 				b.Fatal(err)
 			}
+			observeLat(p, "build", t0)
 		}
 	}
 }
@@ -67,7 +76,9 @@ func StagePreprocess(p *Prepared) func(*testing.B) {
 				b.Fatal(err)
 			}
 			b.StartTimer()
+			t0 := time.Now()
 			pre = sys.Preprocess()
+			observeLat(p, "preprocess", t0)
 		}
 		b.ReportMetric(float64(pre.CandsBefore), "preprocess.cands.before")
 		b.ReportMetric(float64(pre.CandsAfter), "preprocess.cands.after")
@@ -89,12 +100,14 @@ func StageSequential(p *Prepared, sys *constraints.System) func(*testing.B) {
 		var st *solver.Stats
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			_, stats, err := solver.Solve(sys, solver.Options{
 				MaxPreemptions: bound, Deadline: StageDeadline,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
+			observeLat(p, "sequential", t0)
 			st = stats
 		}
 		b.ReportMetric(float64(st.Decisions), "solver.seq.decisions")
@@ -111,6 +124,7 @@ func StageParsolve(p *Prepared, sys *constraints.System) func(*testing.B) {
 		var res *parsolve.Result
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			r, err := parsolve.Solve(sys, parsolve.Options{
 				Workers: 8, MaxBound: p.Bench.ParallelBound,
 				Deadline: StageDeadline,
@@ -122,6 +136,7 @@ func StageParsolve(p *Prepared, sys *constraints.System) func(*testing.B) {
 				b.Skipf("bug unreachable within bound %d (generated %d candidates)",
 					p.Bench.ParallelBound, r.Generated)
 			}
+			observeLat(p, "parsolve", t0)
 			res = r
 		}
 		b.ReportMetric(float64(res.Generated), "solver.par.generated")
@@ -138,12 +153,14 @@ func StageCNF(p *Prepared, sys *constraints.System) func(*testing.B) {
 		var st *cnfsolver.Stats
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			_, stats, err := cnfsolver.Solve(sys, cnfsolver.Options{
 				Deadline: StageDeadline,
 			})
 			if err != nil {
 				b.Skipf("cnf stage unavailable: %v", err)
 			}
+			observeLat(p, "cnf", t0)
 			st = stats
 		}
 		b.ReportMetric(float64(st.BoolVars), "solver.cnf.boolvars")

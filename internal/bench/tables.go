@@ -12,6 +12,7 @@ import (
 	"repro/internal/constraints"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/parsolve"
 	"repro/internal/solver"
 	"repro/internal/vm"
@@ -26,6 +27,12 @@ type Prepared struct {
 	System    *constraints.System
 	Stats     constraints.Stats
 	Symbolic  time.Duration
+
+	// Lat, when set, receives each timed stage iteration's wall time in
+	// the stage.bench.<stage>.ns histograms. cmd/benchjson attaches a
+	// registry here so its reports carry latency distributions; the
+	// go-test benchmark path leaves it nil and pays nothing.
+	Lat *obs.Registry
 }
 
 // Prepare compiles, records a failing run and builds the constraint system.

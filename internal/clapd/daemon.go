@@ -8,7 +8,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -51,7 +50,8 @@ type Config struct {
 	// Obs receives the daemon's spans and clapd.* counters (one trace
 	// for the process; per-job traces are separate). Created when nil.
 	Obs *obs.Trace
-	// LogWriter receives operational log lines (default: discarded).
+	// LogWriter receives the structured event log — one JSON object per
+	// line, see Event (default: discarded).
 	LogWriter io.Writer
 }
 
@@ -85,6 +85,11 @@ type Job struct {
 	Err     string `json:"err,omitempty"`
 	// Recovered marks a job re-queued by restart recovery.
 	Recovered bool `json:"recovered,omitempty"`
+
+	// enteredAt stamps the current state's start so the event log can
+	// report how long the job spent in each state. In-memory only: the
+	// journal carries states, not wall-clock.
+	enteredAt time.Time
 }
 
 // ErrSaturated refuses an ingest when the active-job budget is spent.
@@ -101,7 +106,7 @@ type Daemon struct {
 	store   *Store
 	journal *Journal
 	tr      *obs.Trace
-	logger  *log.Logger
+	log     *EventLog
 	// cache is the cross-attempt artifact cache (nil when disabled); see
 	// Config.CacheDir.
 	cache *core.DiskCache
@@ -109,6 +114,7 @@ type Daemon struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	queue  []string // digests awaiting a worker, FIFO
+	busy   int      // workers currently executing a job
 	wake   chan struct{}
 	drain  bool
 	closed bool
@@ -156,7 +162,7 @@ func Open(cfg Config) (*Daemon, error) {
 		store:   store,
 		journal: journal,
 		tr:      tr,
-		logger:  log.New(logw, "clapd: ", log.LstdFlags),
+		log:     NewEventLog(logw),
 		jobs:    map[string]*Job{},
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
@@ -174,15 +180,19 @@ func Open(cfg Config) (*Daemon, error) {
 		if cerr != nil {
 			// The cache is an accelerator, never a dependency: log and run
 			// without it.
-			d.logger.Printf("artifact cache disabled: %v", cerr)
+			d.log.Logf("artifact cache disabled: %v", cerr)
 		} else {
 			d.cache = cache
 		}
 	}
 	if jrec.DroppedBytes > 0 {
-		d.logger.Printf("journal recovery dropped %dB tail: %s", jrec.DroppedBytes, jrec.DroppedReason)
+		d.log.Logf("journal recovery dropped %dB tail: %s", jrec.DroppedBytes, jrec.DroppedReason)
 		d.reg().Add("clapd.journal.dropped.bytes", int64(jrec.DroppedBytes))
 	}
+	// Pin the live gauges to 0 so an idle daemon's /metrics already
+	// carries them; recovery below overwrites the queue depth.
+	d.setQueueGauge()
+	d.setBusyGauge()
 	if err := d.recover(entries); err != nil {
 		journal.Close()
 		cancel()
@@ -245,9 +255,25 @@ func (d *Daemon) transition(job *Job, to State, attempt int, jobErr string) erro
 	if _, err := d.journal.Append(job.Digest, to, attempt, jobErr); err != nil {
 		return err
 	}
+	from := job.State
+	now := time.Now()
+	var dur time.Duration
+	if !job.enteredAt.IsZero() {
+		dur = now.Sub(job.enteredAt)
+	}
 	job.State = to
 	job.Attempt = attempt
 	job.Err = jobErr
+	job.enteredAt = now
+	d.log.Emit(Event{
+		Kind:    "job.transition",
+		Digest:  job.Digest,
+		From:    string(from),
+		State:   string(to),
+		Attempt: attempt,
+		DurNS:   int64(dur),
+		Err:     jobErr,
+	})
 	return nil
 }
 
@@ -321,11 +347,12 @@ func (d *Daemon) Ingest(raw []byte) (*IngestResult, error) {
 	if _, err := d.store.PutBundle(digest, raw); err != nil {
 		return nil, err
 	}
-	job := &Job{Digest: digest, Name: b.Name, State: StateQueued}
+	job := &Job{Digest: digest, Name: b.Name, State: StateQueued, enteredAt: time.Now()}
 	if _, err := d.journal.Append(digest, StateQueued, 0, ""); err != nil {
 		// Not accepted: nothing durable, the client must retry.
 		return nil, err
 	}
+	d.log.Emit(Event{Kind: "job.transition", Digest: digest, State: string(StateQueued)})
 	d.jobs[digest] = job
 	d.queue = append(d.queue, digest)
 	d.setQueueGauge()
@@ -413,6 +440,12 @@ func (d *Daemon) notify() {
 
 func (d *Daemon) setQueueGauge() {
 	d.reg().Set("clapd.queue.depth", int64(len(d.queue)))
+}
+
+// setBusyGauge republishes the busy-worker count. Callers hold d.mu
+// (or run single-threaded at Open).
+func (d *Daemon) setBusyGauge() {
+	d.reg().Set("clapd.workers.busy", int64(d.busy))
 }
 
 // pop takes the next queued digest, blocking until work arrives or the

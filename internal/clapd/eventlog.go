@@ -1,0 +1,69 @@
+// Structured event log: the daemon's operational log is one JSON object
+// per line, so a fleet operator can tail it with jq instead of parsing
+// prose. Job state transitions are first-class events carrying the
+// digest, old/new state, attempt, and time spent in the previous state;
+// everything else (cache warnings, artifact-write failures, injected
+// faults) rides along as freeform messages with the same envelope.
+package clapd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one log line. Zero-valued fields are omitted so transition
+// events and freeform messages share a schema without padding.
+type Event struct {
+	// TS is the emission time, RFC3339 with nanoseconds, UTC.
+	TS string `json:"ts"`
+	// Kind classifies the line: "job.transition", "job.log", or "daemon".
+	Kind   string `json:"event"`
+	Digest string `json:"digest,omitempty"`
+	// From/State bracket a transition (previous state → new state).
+	From    string `json:"from,omitempty"`
+	State   string `json:"state,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// DurNS is the time spent in the previous state, nanoseconds.
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Err   string `json:"err,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+}
+
+// EventLog serializes events onto one writer. The zero value and nil
+// both drop everything, mirroring the nil-safety of the obs package.
+type EventLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewEventLog writes JSON lines to w (nil w → all events dropped).
+func NewEventLog(w io.Writer) *EventLog { return &EventLog{w: w} }
+
+// Emit stamps and writes one event. Marshal failures are swallowed: the
+// log must never take down the daemon.
+func (l *EventLog) Emit(e Event) {
+	if l == nil || l.w == nil {
+		return
+	}
+	e.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(append(data, '\n'))
+	l.mu.Unlock()
+}
+
+// Logf emits a daemon-scoped freeform message.
+func (l *EventLog) Logf(format string, args ...any) {
+	l.Emit(Event{Kind: "daemon", Msg: fmt.Sprintf(format, args...)})
+}
+
+// Jobf emits a job-scoped freeform message.
+func (l *EventLog) Jobf(digest, format string, args ...any) {
+	l.Emit(Event{Kind: "job.log", Digest: digest, Msg: fmt.Sprintf(format, args...)})
+}

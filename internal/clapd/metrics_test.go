@@ -1,0 +1,220 @@
+package clapd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestLiveGaugesMoveUnderLoad pins the fleet gauges: with the worker
+// pool frozen, queued ingests raise clapd.queue.depth deterministically
+// and both gauges ride along in /v1/stats; with a live worker, the busy
+// gauge is observed at 1 while the job runs and returns to 0 after.
+func TestLiveGaugesMoveUnderLoad(t *testing.T) {
+	cfg := fastConfig(t.TempDir())
+	cfg.Workers = -1 // freeze the queue: depth is fully deterministic
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if got := d.reg().Get("clapd.queue.depth"); got != 0 {
+		t.Fatalf("idle queue depth = %d, want 0", got)
+	}
+	if _, ok := d.reg().Lookup("clapd.workers.busy"); !ok {
+		t.Fatal("clapd.workers.busy not initialized at Open")
+	}
+	encode := func(seed int64) []byte {
+		b := testBundle(t)
+		b.Seed = seed
+		raw, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	for i := int64(1); i <= 2; i++ {
+		if res, err := d.Ingest(encode(i)); err != nil || res.Status != IngestAccepted {
+			t.Fatalf("ingest %d: %v %v", i, res, err)
+		}
+	}
+	var stats obs.Report
+	getJSON(t, srv.URL+"/v1/stats", &stats)
+	if got := stats.Gauges["clapd.queue.depth"]; got != 2 {
+		t.Errorf("/v1/stats clapd.queue.depth = %d, want 2", got)
+	}
+	if got, ok := stats.Gauges["clapd.workers.busy"]; !ok || got != 0 {
+		t.Errorf("/v1/stats clapd.workers.busy = %d (present %v), want 0 with frozen workers", got, ok)
+	}
+}
+
+func TestBusyGaugeTracksRunningJob(t *testing.T) {
+	d, err := Open(fastConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, d)
+
+	raw, digest := testBundleBytes(t)
+	if _, err := d.Ingest(raw); err != nil {
+		t.Fatal(err)
+	}
+	// Watch the gauge while the job runs; the pipeline attempt is far
+	// longer than the poll period, so a busy worker cannot hide.
+	maxBusy := int64(0)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if v := d.reg().Get("clapd.workers.busy"); v > maxBusy {
+			maxBusy = v
+		}
+		if j, ok := d.JobView(digest); ok && j.State.Terminal() {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	job := waitTerminal(t, d, digest, time.Second)
+	if job.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", job.State, job.Err)
+	}
+	if maxBusy != 1 {
+		t.Errorf("max observed clapd.workers.busy = %d, want 1", maxBusy)
+	}
+	if got := d.reg().Get("clapd.workers.busy"); got != 0 {
+		t.Errorf("clapd.workers.busy = %d after completion, want 0", got)
+	}
+	if got := d.reg().TakeSnapshot().Hists["clapd.job.ns"].Count; got != 1 {
+		t.Errorf("clapd.job.ns count = %d, want 1 attempt observed", got)
+	}
+}
+
+// TestMetricsEndpoint drives two jobs to done and checks GET /metrics:
+// Prometheus text with the summed per-job counters merged into the
+// daemon registry, the live gauges, and non-empty stage latency
+// histograms — and that two scrapes of the now-idle daemon are
+// byte-identical (the encoder is deterministic).
+func TestMetricsEndpoint(t *testing.T) {
+	d, err := Open(fastConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	for i := int64(1); i <= 2; i++ {
+		b := testBundle(t)
+		b.Seed = i
+		raw, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Ingest(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := waitTerminal(t, d, res.Digest, 60*time.Second)
+		if job.State != StateDone {
+			t.Fatalf("job %d finished %s (%s), want done", i, job.State, job.Err)
+		}
+	}
+
+	text := getRaw(t, srv.URL+"/metrics", 200)
+	s, err := obs.DecodeProm(text)
+	if err != nil {
+		t.Fatalf("decoding /metrics: %v\n%s", err, text)
+	}
+	if got := s.Counters["clapd_jobs_done"]; got != 2 {
+		t.Errorf("clapd_jobs_done = %d, want 2", got)
+	}
+	if got := s.Counters["clapd_jobs_executed"]; got != 2 {
+		t.Errorf("clapd_jobs_executed = %d, want 2", got)
+	}
+	// Per-job pipeline counters merged in: two reproduced replays.
+	if got := s.Counters["replay_reproduced"]; got != 2 {
+		t.Errorf("merged replay.reproduced = %d, want 2", got)
+	}
+	for _, g := range []string{"clapd_queue_depth", "clapd_workers_busy"} {
+		if v, ok := s.Gauges[g]; !ok || v != 0 {
+			t.Errorf("gauge %s = %d (present %v), want 0 on the idle daemon", g, v, ok)
+		}
+	}
+	for _, h := range []string{"clapd_job_ns", "stage_symexec_ns", "stage_preprocess_ns", "stage_solve_ns", "stage_replay_ns"} {
+		if got := s.Hists[h].Count; got < 2 {
+			t.Errorf("histogram %s count = %d, want ≥ 2", h, got)
+		}
+	}
+
+	if again := getRaw(t, srv.URL+"/metrics", 200); !bytes.Equal(text, again) {
+		t.Error("two scrapes of an idle daemon differ — /metrics is not deterministic")
+	}
+}
+
+// TestEventLogStructure replaces-the-bare-logger contract: every line
+// the daemon writes is one JSON object, and each job state transition
+// appears with digest, state, attempt, and duration.
+func TestEventLogStructure(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewEventLog(&buf)
+	cfg := fastConfig(t.TempDir())
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.log = log // swap in before any job activity
+	defer shutdown(t, d)
+
+	raw, digest := testBundleBytes(t)
+	if _, err := d.Ingest(raw); err != nil {
+		t.Fatal(err)
+	}
+	if job := waitTerminal(t, d, digest, 60*time.Second); job.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", job.State, job.Err)
+	}
+	shutdown(t, d) // flush: workers are done before we read the buffer
+
+	var states []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if e.TS == "" {
+			t.Errorf("event without timestamp: %q", line)
+		}
+		if e.Kind != "job.transition" {
+			continue
+		}
+		if e.Digest != digest {
+			t.Errorf("transition for wrong digest: %q", line)
+		}
+		states = append(states, e.State)
+		if e.State != string(StateQueued) {
+			if e.Attempt == 0 {
+				t.Errorf("post-queue transition without attempt: %q", line)
+			}
+			if e.DurNS <= 0 {
+				t.Errorf("transition without duration: %q", line)
+			}
+		}
+	}
+	want := []string{string(StateQueued), string(StateRunning), string(StateDone)}
+	if strings.Join(states, ",") != strings.Join(want, ",") {
+		t.Errorf("transition sequence %v, want %v", states, want)
+	}
+
+	// A nil event log (the default with no LogWriter) drops silently.
+	var nilLog *EventLog
+	nilLog.Logf("dropped")
+	nilLog.Jobf("d", "dropped")
+}

@@ -12,6 +12,7 @@
 //	GET  /v1/jobs/{digest}          one job's state
 //	GET  /v1/jobs/{digest}/{artifact}   artifact ∈ result|metrics|timeline|explain|races|bundle
 //	GET  /v1/stats                  the daemon's clap-metrics/1 report (clapd.* counters)
+//	GET  /metrics                   the same registry in Prometheus text format
 //	GET  /healthz                   "ok" (200) or "draining" (503)
 package clapd
 
@@ -22,6 +23,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the daemon's HTTP API.
@@ -30,6 +33,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", d.handleJobs)
 	mux.HandleFunc("/v1/jobs/", d.handleJob)
 	mux.HandleFunc("/v1/stats", d.handleStats)
+	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealth)
 	return mux
 }
@@ -164,6 +168,19 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// handleMetrics serves the daemon-lifetime registry — the daemon's own
+// clapd.* metrics plus every finished job's merged registry — in
+// Prometheus text format. The encoding is deterministic (sorted names,
+// fixed buckets), so two scrapes of an idle daemon are byte-identical.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(obs.EncodeProm(d.reg().TakeSnapshot()))
 }
 
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -98,27 +98,36 @@ func (d *Daemon) runJob(digest string) {
 		// The journal refused (full disk, injected fault): leave the job
 		// queued-on-disk; re-queue in memory after backoff.
 		d.mu.Unlock()
-		d.logger.Printf("job %.12s: running transition failed: %v", digest, err)
+		d.log.Jobf(digest, "running transition failed: %v", err)
 		d.scheduleRetryPush(digest, attempt)
 		return
 	}
+	d.busy++
+	d.setBusyGauge()
 	d.mu.Unlock()
 
+	start := time.Now()
 	err := faultinject.Fire("clapd.worker.start")
 	var res *Result
 	if err == nil {
 		res, err = d.execute(digest, attempt)
 	}
+	// Every attempt — success, retryable failure, poison — lands in the
+	// job-latency histogram: tail latency is a fleet property, not a
+	// success-only one.
+	d.reg().Hist("clapd.job.ns").Observe(int64(time.Since(start)))
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.busy--
+	d.setBusyGauge()
 	switch {
 	case err == nil:
 		if res != nil {
 			res.Attempt = attempt
 		}
 		if terr := d.transition(job, StateDone, attempt, ""); terr != nil {
-			d.logger.Printf("job %.12s: done transition failed: %v", digest, terr)
+			d.log.Jobf(digest, "done transition failed: %v", terr)
 			d.reg().Add("clapd.jobs.done.unjournaled", 1)
 			return
 		}
@@ -126,22 +135,20 @@ func (d *Daemon) runJob(digest string) {
 	case isPermanent(err) || attempt >= d.cfg.MaxAttempts:
 		d.writeFailureResult(digest, job.Name, attempt, err)
 		if terr := d.transition(job, StatePoisoned, attempt, err.Error()); terr != nil {
-			d.logger.Printf("job %.12s: poison transition failed: %v", digest, terr)
+			d.log.Jobf(digest, "poison transition failed: %v", terr)
 			return
 		}
 		d.reg().Add("clapd.jobs.poisoned", 1)
-		d.logger.Printf("job %.12s poisoned after attempt %d: %v", digest, attempt, err)
 	default:
 		if terr := d.transition(job, StateRetrying, attempt, err.Error()); terr != nil {
-			d.logger.Printf("job %.12s: retry transition failed: %v", digest, terr)
+			d.log.Jobf(digest, "retry transition failed: %v", terr)
 			return
 		}
 		d.reg().Add("clapd.jobs.retried", 1)
-		d.logger.Printf("job %.12s attempt %d failed, retrying: %v", digest, attempt, err)
 		d.scheduleRetryPush(digest, attempt)
 	}
 	if ferr := faultinject.Fire("clapd.worker.done"); ferr != nil {
-		d.logger.Printf("job %.12s: injected post-transition fault: %v", digest, ferr)
+		d.log.Jobf(digest, "injected post-transition fault: %v", ferr)
 	}
 }
 
@@ -220,10 +227,14 @@ func (d *Daemon) execute(digest string, attempt int) (res *Result, err error) {
 			res = nil
 		}
 		// The metrics artifact goes out on every exit path — success,
-		// error, panic — fsynced, like the CLI's profile teardown.
+		// error, panic — fsynced, like the CLI's profile teardown. The
+		// attempt's registry also folds into the daemon-lifetime registry
+		// (counters sum, gauges last-wins, histogram buckets add), so
+		// /metrics aggregates every attempt the process ever ran.
+		d.reg().Merge(tr.Reg().TakeSnapshot())
 		if mdata, merr := tr.Report().Encode(); merr == nil {
 			if werr := d.store.Write(digest, ArtifactMetrics, mdata); werr != nil {
-				d.logger.Printf("job %.12s: metrics write failed: %v", digest, werr)
+				d.log.Jobf(digest, "metrics write failed: %v", werr)
 				if err == nil {
 					err = werr
 					res = nil
@@ -312,7 +323,7 @@ func (d *Daemon) writeExplainArtifacts(digest string, rep *core.Reproduction) {
 	if tl, err := rep.BuildTimeline(digest[:12]); err == nil {
 		if data, err := timeline.EncodeChrome(tl); err == nil && timeline.Validate(data) == nil {
 			if err := d.store.Write(digest, ArtifactTimeline, data); err != nil {
-				d.logger.Printf("job %.12s: timeline write failed: %v", digest, err)
+				d.log.Jobf(digest, "timeline write failed: %v", err)
 			}
 		}
 	}
@@ -321,7 +332,7 @@ func (d *Daemon) writeExplainArtifacts(digest string, rep *core.Reproduction) {
 			var buf bytes.Buffer
 			diff.Render(&buf)
 			if err := d.store.Write(digest, ArtifactExplain, buf.Bytes()); err != nil {
-				d.logger.Printf("job %.12s: explain write failed: %v", digest, err)
+				d.log.Jobf(digest, "explain write failed: %v", err)
 			}
 		}
 	}
@@ -330,7 +341,7 @@ func (d *Daemon) writeExplainArtifacts(digest string, rep *core.Reproduction) {
 			meta := races.Meta{Program: digest[:12], Model: rec.Model.String(), Seed: rec.Seed}
 			if data, err := report.MarshalReport(meta); err == nil {
 				if err := d.store.Write(digest, ArtifactRaces, data); err != nil {
-					d.logger.Printf("job %.12s: races write failed: %v", digest, err)
+					d.log.Jobf(digest, "races write failed: %v", err)
 				}
 			}
 		}
@@ -352,6 +363,6 @@ func (d *Daemon) writeFailureResult(digest, name string, attempt int, jobErr err
 		return
 	}
 	if werr := d.store.Write(digest, ArtifactResult, append(data, '\n')); werr != nil {
-		d.logger.Printf("job %.12s: failure result write failed: %v", digest, werr)
+		d.log.Jobf(digest, "failure result write failed: %v", werr)
 	}
 }

@@ -110,11 +110,34 @@ type Stats struct {
 	// concrete.
 	AddrRounds int64
 	AddrLemmas int64
-	// SATConflicts / SATDecisions / SATPropagations mirror the CDCL
-	// engine's own effort counters, for the consolidated metrics registry.
+	// MappingBlocks counts mapping-refinement blocking clauses: theory
+	// rejections of a read→write mapping (support clauses or projection
+	// blocks) plus the retractable BlockMapping class blocks — the third
+	// refinement kind next to cycle and address-split lemmas.
+	MappingBlocks int64
+	// Solves counts DPLL(T) entries on the session (Solve/SolveBounded
+	// calls); SessionReuse is the entries beyond the first, i.e. how often
+	// the encoded system was re-entered instead of rebuilt.
+	Solves int64
+	// SATConflicts / SATDecisions / SATPropagations / SATRestarts /
+	// SATLearned mirror the CDCL engine's own effort counters, for the
+	// consolidated metrics registry. SATSolves counts individual engine
+	// Solve calls (one per theory round).
 	SATConflicts    int64
 	SATDecisions    int64
 	SATPropagations int64
+	SATRestarts     int64
+	SATLearned      int64
+	SATSolves       int64
+}
+
+// SessionReuse reports how many DPLL(T) entries re-entered a live session
+// rather than paying a fresh encode.
+func (st *Stats) SessionReuse() int64 {
+	if st.Solves <= 1 {
+		return 0
+	}
+	return st.Solves - 1
 }
 
 // sample copies the CDCL engine's live counters into the stats.
@@ -122,6 +145,8 @@ func (st *Stats) sample(s *sat.Solver) {
 	st.SATConflicts = s.Conflicts
 	st.SATDecisions = s.Decisions
 	st.SATPropagations = s.Propagations
+	st.SATRestarts = s.Restarts
+	st.SATLearned = s.Learned
 }
 
 // Solve computes a bug-reproducing schedule with the CNF backend.
@@ -269,6 +294,7 @@ func (sess *Session) solve(bound int) (*solver.Solution, *Stats, error) {
 	opts := sess.opts
 	e := sess.e
 	st := &sess.st
+	st.Solves++
 	var deadline time.Time
 	if opts.Deadline > 0 {
 		deadline = time.Now().Add(opts.Deadline)
@@ -312,6 +338,7 @@ func (sess *Session) solve(bound int) (*solver.Solution, *Stats, error) {
 			sess.refresh()
 			return nil, st, &solver.Interrupted{Reason: "cnf theory loop cut short", Bound: -1}
 		}
+		st.SATSolves++
 		switch e.s.Solve(sess.assumeLits()...) {
 		case sat.Sat:
 		case sat.Unknown:
@@ -387,6 +414,7 @@ func (sess *Session) solve(bound int) (*solver.Solution, *Stats, error) {
 		// its transitive support, so blocking that support kills every
 		// model sharing it; otherwise fall back to the mapping projection.
 		e.block(err)
+		st.MappingBlocks++
 	}
 	sess.refresh()
 	return nil, st, fmt.Errorf("cnfsolver: theory refinement did not converge in %d rounds", opts.MaxTheoryRounds)
@@ -426,6 +454,7 @@ func (sess *Session) Mapping() []int {
 // class has all the selected choices true again.
 func (sess *Session) BlockMapping() {
 	e := sess.e
+	sess.st.MappingBlocks++
 	g := e.s.NewGroup()
 	lits := make([]sat.Lit, 0, len(e.choiceLit))
 	for ri := range e.sys.Reads {

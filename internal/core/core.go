@@ -214,7 +214,7 @@ func Record(prog *ir.Program, opts RecordOptions) (*Recording, error) {
 		}
 	}
 	sp := opts.Obs.Root().Start("record")
-	defer sp.End()
+	defer endStage(opts.Obs.Reg(), "record", sp)
 	var levels []LevelStats
 	interrupted := false
 hunt:
@@ -543,10 +543,10 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 	sys, err := rec.Analyze()
 	if err != nil {
 		ssp.SetAttr("err", err.Error())
-		ssp.End()
+		endStage(tr.Reg(), "symexec", ssp)
 		return nil, err
 	}
-	ssp.End()
+	endStage(tr.Reg(), "symexec", ssp)
 	rep.System = sys
 	rep.Stats = sys.ComputeStats()
 	emitConstraintStats(tr.Reg(), rep.Stats)
@@ -574,7 +574,7 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 				opts.Cache.StorePreprocess(cacheKey, sys.Snapshot())
 			}
 		}
-		psp.End()
+		endStage(tr.Reg(), "preprocess", psp)
 	}
 
 	slv := tr.Root().Start("solve")
@@ -595,11 +595,11 @@ func Reproduce(rec *Recording, opts ReproduceOptions) (*Reproduction, error) {
 		if err != nil {
 			slv.SetAttr("err", err.Error())
 		}
-		slv.End()
+		endStage(tr.Reg(), "solve", slv)
 		return rep, err
 	}
 	slv.SetInt("preemptions", int64(sol.Preemptions))
-	slv.End()
+	endStage(tr.Reg(), "solve", slv)
 	rep.Solution = sol
 
 	if !opts.SkipReplay {
@@ -640,7 +640,7 @@ func solveStage(rep *Reproduction, sys *constraints.System, opts ReproduceOption
 		}
 		wireSeq(&seqOpts, opts.Ctx, deadline)
 		wireProgress(reg, &seqOpts, nil, nil)
-		sol, att := runSolverStage("sequential", sp, func() (*solver.Solution, int, error) {
+		sol, att := runSolverStage(reg, "sequential", sp, func() (*solver.Solution, int, error) {
 			s, stats, err := solver.Solve(sys, seqOpts)
 			rep.SeqStats = stats
 			emitSeqStats(reg, stats)
@@ -655,7 +655,7 @@ func solveStage(rep *Reproduction, sys *constraints.System, opts ReproduceOption
 		parOpts := opts.ParOptions
 		wirePar(&parOpts, opts.Ctx, deadline)
 		wireProgress(reg, nil, &parOpts, nil)
-		sol, att := runSolverStage("parallel", sp, func() (*solver.Solution, int, error) {
+		sol, att := runSolverStage(reg, "parallel", sp, func() (*solver.Solution, int, error) {
 			res, err := parsolve.Solve(sys, parOpts)
 			rep.Parallel = res
 			emitParResult(reg, res)
@@ -676,7 +676,7 @@ func solveStage(rep *Reproduction, sys *constraints.System, opts ReproduceOption
 		cnfOpts := opts.CNFOptions
 		wireCNF(&cnfOpts, opts.Ctx, deadline)
 		wireProgress(reg, nil, nil, &cnfOpts)
-		sol, att := runSolverStage("cnf", sp, func() (*solver.Solution, int, error) {
+		sol, att := runSolverStage(reg, "cnf", sp, func() (*solver.Solution, int, error) {
 			s, stats, err := cnfsolver.Solve(sys, cnfOpts)
 			rep.CNFStats = stats
 			emitCNFStats(reg, stats)
@@ -710,11 +710,11 @@ func (rep *Reproduction) Replay(ropts replay.Options) (*replay.Outcome, error) {
 	out, err := replay.Run(rep.System, rep.Solution, ropts)
 	if err != nil {
 		sp.SetAttr("err", err.Error())
-		sp.End()
+		endStage(rep.Trace.Reg(), "replay", sp)
 		return nil, err
 	}
 	sp.SetAttr("reproduced", fmt.Sprint(out.Reproduced))
-	sp.End()
+	endStage(rep.Trace.Reg(), "replay", sp)
 	rep.Outcome = out
 	emitReplay(rep.Trace.Reg(), out)
 	return out, nil

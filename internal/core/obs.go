@@ -119,9 +119,27 @@ func emitCNFStats(reg *obs.Registry, st *cnfsolver.Stats) {
 	reg.Gauge("solver.cnf.rounds").Set(int64(st.TheoryRounds))
 	reg.Gauge("solver.cnf.lazy.rounds").Set(st.LazyRounds)
 	reg.Gauge("solver.cnf.lazy.lemmas").Set(st.LazyLemmas)
+	reg.Gauge("solver.cnf.addr.rounds").Set(st.AddrRounds)
+	reg.Gauge("solver.cnf.addr.lemmas").Set(st.AddrLemmas)
+	reg.Gauge("solver.cnf.blocks.mapping").Set(st.MappingBlocks)
+	reg.Gauge("solver.cnf.session.solves").Set(st.Solves)
+	reg.Gauge("solver.cnf.session.reuse").Set(st.SessionReuse())
 	reg.Gauge("solver.cnf.sat.conflicts").Set(st.SATConflicts)
 	reg.Gauge("solver.cnf.sat.decisions").Set(st.SATDecisions)
 	reg.Gauge("solver.cnf.sat.propagations").Set(st.SATPropagations)
+	reg.Gauge("sat.solves").Set(st.SATSolves)
+	reg.Gauge("sat.restarts").Set(st.SATRestarts)
+	reg.Gauge("sat.learnts").Set(st.SATLearned)
+}
+
+// endStage closes a pipeline-stage span and feeds its wall time into the
+// stage's latency histogram, the fleet-level view of where tail latency
+// lives. Nil-safe on both the registry and the span.
+func endStage(reg *obs.Registry, name string, sp *obs.Span) {
+	sp.End()
+	if sp != nil {
+		reg.Hist("stage." + name + ".ns").Observe(int64(sp.Duration()))
+	}
 }
 
 // emitSolveSummary publishes the solve stage's bottom line.

@@ -82,8 +82,9 @@ func (a SolverAttempt) String() string {
 // skips the stage, a panic is recovered into the attempt record, and an
 // interrupt is classified apart from a genuine failure. The attempt is
 // recorded as a "solve.<name>" child span of parent — panics and faults
-// included, so a trace shows every stage that ran and why it exited.
-func runSolverStage(name string, parent *obs.Span, fn func() (*solver.Solution, int, error)) (sol *solver.Solution, att SolverAttempt) {
+// included, so a trace shows every stage that ran and why it exited — and
+// its wall time feeds the per-backend stage.solve.<name>.ns histogram.
+func runSolverStage(reg *obs.Registry, name string, parent *obs.Span, fn func() (*solver.Solution, int, error)) (sol *solver.Solution, att SolverAttempt) {
 	att = SolverAttempt{Solver: name, BoundReached: -1}
 	sp := parent.Start("solve." + name)
 	start := time.Now()
@@ -106,6 +107,7 @@ func runSolverStage(name string, parent *obs.Span, fn func() (*solver.Solution, 
 			sp.SetInt("preemptions", int64(att.Preemptions))
 		}
 		sp.End()
+		reg.Hist("stage.solve." + name + ".ns").Observe(att.Elapsed.Nanoseconds())
 	}()
 	if err := faultinject.Fire("solver." + name); err != nil {
 		att.Outcome = "fault injected"
@@ -277,7 +279,7 @@ func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solut
 	if !opts.NoPreprocess {
 		psp := opts.Obs.Root().Start("preprocess")
 		emitPreStats(opts.Obs.Reg(), sys.PreprocessObs(psp))
-		psp.End()
+		endStage(opts.Obs.Reg(), "preprocess", psp)
 	}
 	sp := opts.Obs.Root().Start("solve")
 	sp.SetAttr("kind", "portfolio")
@@ -286,7 +288,7 @@ func RunPortfolio(sys *constraints.System, opts ReproduceOptions) (*solver.Solut
 	if err != nil {
 		sp.SetAttr("err", err.Error())
 	}
-	sp.End()
+	endStage(opts.Obs.Reg(), "solve", sp)
 	return sol, trail, err
 }
 
@@ -442,7 +444,7 @@ func runPortfolioRacing(rep *Reproduction, sys *constraints.System, opts Reprodu
 				case <-t.C:
 				}
 			}
-			sol, att := runSolverStage(stages[i].name, sp, stages[i].run)
+			sol, att := runSolverStage(reg, stages[i].name, sp, stages[i].run)
 			results <- stageResult{idx: i, sol: sol, att: att}
 		}(i)
 	}
@@ -496,7 +498,7 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 		seqOpts.RescueSweep = cnfRescueSweep(sys, rescueCNF, seqOpts.Deadline)
 	}
 	wireProgress(reg, &seqOpts, nil, nil)
-	sol, att := runSolverStage("sequential", sp, func() (*solver.Solution, int, error) {
+	sol, att := runSolverStage(reg, "sequential", sp, func() (*solver.Solution, int, error) {
 		s, stats, err := solver.Solve(sys, seqOpts)
 		rep.SeqStats = stats
 		emitSeqStats(reg, stats)
@@ -515,7 +517,7 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	wirePar(&parOpts, opts.Ctx, deadline)
 	capBudget(&parOpts.Deadline, stageBudget(deadline, 2, defaultParBudget))
 	wireProgress(reg, nil, &parOpts, nil)
-	sol, att = runSolverStage("parallel", sp, func() (*solver.Solution, int, error) {
+	sol, att = runSolverStage(reg, "parallel", sp, func() (*solver.Solution, int, error) {
 		res, err := parsolve.Solve(sys, parOpts)
 		rep.Parallel = res
 		emitParResult(reg, res)
@@ -540,7 +542,7 @@ func runPortfolioSerial(rep *Reproduction, sys *constraints.System, opts Reprodu
 	wireCNF(&cnfOpts, opts.Ctx, deadline)
 	capBudget(&cnfOpts.Deadline, stageBudget(deadline, 1, defaultCNFBudget))
 	wireProgress(reg, nil, nil, &cnfOpts)
-	sol, att = runSolverStage("cnf", sp, func() (*solver.Solution, int, error) {
+	sol, att = runSolverStage(reg, "cnf", sp, func() (*solver.Solution, int, error) {
 		s, stats, err := cnfsolver.Solve(sys, cnfOpts)
 		rep.CNFStats = stats
 		emitCNFStats(reg, stats)

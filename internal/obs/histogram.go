@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout. Every histogram shares one fixed exponential
+// nanosecond layout: bucket i covers (2^(histMinShift+i-1), 2^(histMinShift+i)]
+// ns, the first bucket absorbs everything at or below 2^12 ns (≈4µs —
+// below the resolution anyone tunes a pipeline stage to), and a final
+// overflow bucket catches observations beyond 2^39 ns (≈9.2 min — past
+// every stage deadline). A fixed shared layout is what makes bucket-wise
+// addition a sound merge across registries and across processes.
+const (
+	histMinShift = 12
+	histBuckets  = 28
+)
+
+// HistBounds returns the finite upper bucket bounds in nanoseconds,
+// ascending. The overflow bucket (everything above the last bound) is not
+// represented; encoders render it as +Inf.
+func HistBounds() []int64 {
+	b := make([]int64, histBuckets)
+	for i := range b {
+		b[i] = 1 << (histMinShift + i)
+	}
+	return b
+}
+
+// hist is the backing store: one atomic counter per bucket plus running
+// count and sum, so Observe never takes the registry lock.
+type hist struct {
+	buckets [histBuckets + 1]atomic.Int64 // final element = overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// histBucket maps an observation to the index of the smallest bucket
+// whose upper bound covers it.
+func histBucket(ns int64) int {
+	if ns <= 1<<histMinShift {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1)) - histMinShift
+	if b >= histBuckets {
+		return histBuckets
+	}
+	return b
+}
+
+func (h *hist) snapshot() HistSnapshot {
+	s := HistSnapshot{Buckets: make([]int64, histBuckets+1)}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Histogram is a typed handle to one latency histogram. The handle caches
+// the backing store, so Observe costs three atomic adds and no locks. The
+// zero Histogram — and any handle from a nil registry — silently drops
+// observations, matching Counter/Gauge nil-safety.
+type Histogram struct {
+	h *hist
+}
+
+// Hist returns a handle to the named histogram, registering it.
+func (r *Registry) Hist(name string) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Histogram{h: r.histLocked(name)}
+}
+
+func (r *Registry) histLocked(name string) *hist {
+	if r.hists == nil {
+		r.hists = map[string]*hist{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &hist{}
+		r.hists[name] = h
+		r.kinds[name] = KindHistogram
+	}
+	return h
+}
+
+// Observe records one value (nanoseconds for the stage.*.ns family).
+func (h Histogram) Observe(ns int64) {
+	if h.h == nil {
+		return
+	}
+	h.h.buckets[histBucket(ns)].Add(1)
+	h.h.count.Add(1)
+	h.h.sum.Add(ns)
+}
+
+// Observe records into the named histogram without holding a handle.
+func (r *Registry) Observe(name string, ns int64) { r.Hist(name).Observe(ns) }
+
+// HistSnapshot is one histogram's point-in-time state: per-bucket
+// (non-cumulative) counts in the fixed shared layout, the final element
+// being the overflow bucket. It is the JSON form carried by clap-metrics
+// reports and bench snapshots.
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Add folds other into h bucket-wise: counts and sums add, buckets add
+// index-wise. Addition over the fixed layout is commutative and
+// associative, so any merge order yields the same distribution.
+func (h *HistSnapshot) Add(other HistSnapshot) {
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, histBuckets+1)
+	}
+	for i, v := range other.Buckets {
+		if i < len(h.Buckets) {
+			h.Buckets[i] += v
+		}
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+}
+
+// Quantile returns the q-quantile's upper bucket bound in nanoseconds
+// (q in [0,1]): the bound of the bucket holding the rank-q observation,
+// exact to within one power of two. Empty histograms report 0;
+// observations in the overflow bucket report the largest finite bound.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	cum := int64(0)
+	for i, v := range h.Buckets {
+		cum += v
+		if cum >= rank {
+			if i >= histBuckets {
+				return 1 << (histMinShift + histBuckets - 1)
+			}
+			return 1 << (histMinShift + i)
+		}
+	}
+	return 1 << (histMinShift + histBuckets - 1)
+}
+
+// P50 returns the median's upper bucket bound in ns.
+func (h HistSnapshot) P50() int64 { return h.Quantile(0.50) }
+
+// P90 returns the 90th percentile's upper bucket bound in ns.
+func (h HistSnapshot) P90() int64 { return h.Quantile(0.90) }
+
+// P99 returns the 99th percentile's upper bucket bound in ns.
+func (h HistSnapshot) P99() int64 { return h.Quantile(0.99) }
+
+// RegSnapshot is a registry's full state: counters, gauges and every
+// histogram. It is the unit of cross-registry aggregation — clapd takes
+// one per finished job and folds it into the daemon-lifetime registry
+// with Merge — and the input to the Prometheus encoder.
+type RegSnapshot struct {
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// TakeSnapshot copies the registry's full state. Everything is zero for a
+// nil registry.
+func (r *Registry) TakeSnapshot() RegSnapshot {
+	if r == nil {
+		return RegSnapshot{}
+	}
+	counters, gauges := r.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var hists map[string]HistSnapshot
+	if len(r.hists) > 0 {
+		hists = make(map[string]HistSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			hists[n] = h.snapshot()
+		}
+	}
+	return RegSnapshot{Counters: counters, Gauges: gauges, Hists: hists}
+}
+
+// Merge folds a snapshot into the registry: counters sum, gauges
+// last-wins, histograms bucket-add. Safe for concurrent use and a no-op
+// on a nil registry, so per-job workers merge unconditionally.
+func (r *Registry) Merge(s RegSnapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.add(name, v, KindCounter)
+	}
+	for name, v := range s.Gauges {
+		r.set(name, v)
+	}
+	for name, hs := range s.Hists {
+		r.mu.Lock()
+		h := r.histLocked(name)
+		r.mu.Unlock()
+		for i, v := range hs.Buckets {
+			if i <= histBuckets && v != 0 {
+				h.buckets[i].Add(v)
+			}
+		}
+		h.count.Add(hs.Count)
+		h.sum.Add(hs.Sum)
+	}
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Hist("stage.test.ns")
+	for i := 0; i < 99; i++ {
+		h.Observe(1000) // first bucket: ≤ 4096ns
+	}
+	h.Observe(1 << 30)
+
+	s := r.TakeSnapshot()
+	hs, ok := s.Hists["stage.test.ns"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.Count != 100 {
+		t.Fatalf("count = %d, want 100", hs.Count)
+	}
+	if got := hs.Sum; got != 99*1000+1<<30 {
+		t.Errorf("sum = %d, want %d", got, 99*1000+1<<30)
+	}
+	if got := hs.P50(); got != 4096 {
+		t.Errorf("p50 = %d, want 4096 (first bucket's upper bound)", got)
+	}
+	if got := hs.P99(); got != 4096 {
+		t.Errorf("p99 = %d, want 4096 (rank 99 of 100 is still the first bucket)", got)
+	}
+	if got := hs.Quantile(1.0); got != 1<<30 {
+		t.Errorf("p100 = %d, want %d", got, 1<<30)
+	}
+}
+
+func TestHistogramOverflowAndZeroValue(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", 1<<45) // far past the largest finite bound
+	hs := r.TakeSnapshot().Hists["h"]
+	if hs.Count != 1 {
+		t.Fatalf("count = %d, want 1", hs.Count)
+	}
+	if got, want := hs.Quantile(1.0), int64(1<<39); got != want {
+		t.Errorf("overflow quantile = %d, want the largest finite bound %d", got, want)
+	}
+
+	// The zero-value handle and the nil registry both drop observations.
+	var zero Histogram
+	zero.Observe(1)
+	var nilReg *Registry
+	nilReg.Observe("h", 1)
+	nilReg.Hist("h").Observe(1)
+	if s := nilReg.TakeSnapshot(); len(s.Hists) != 0 {
+		t.Errorf("nil registry snapshot has %d hists", len(s.Hists))
+	}
+}
+
+// TestHistSnapshotAddAssociative pins the merge algebra: bucket-wise
+// addition is associative and commutative, so per-job registries can fold
+// into the daemon registry in any order and arrive at the same totals.
+func TestHistSnapshotAddAssociative(t *testing.T) {
+	mk := func(vals ...int64) HistSnapshot {
+		r := NewRegistry()
+		for _, v := range vals {
+			r.Observe("h", v)
+		}
+		return r.TakeSnapshot().Hists["h"]
+	}
+	a := mk(100, 5000, 1<<20)
+	b := mk(1<<15, 1<<15, 7)
+	c := mk(1<<38, 1<<45)
+
+	sum := func(parts ...HistSnapshot) HistSnapshot {
+		var out HistSnapshot
+		for _, p := range parts {
+			out.Add(p)
+		}
+		return out
+	}
+	left := sum(sum(a, b), c)
+	right := sum(a, sum(b, c))
+	swapped := sum(c, b, a)
+	for _, got := range []HistSnapshot{right, swapped} {
+		if got.Count != left.Count || got.Sum != left.Sum {
+			t.Fatalf("count/sum differ: %d/%d vs %d/%d", got.Count, got.Sum, left.Count, left.Sum)
+		}
+		for i := range left.Buckets {
+			if got.Buckets[i] != left.Buckets[i] {
+				t.Fatalf("bucket %d differs: %d vs %d", i, got.Buckets[i], left.Buckets[i])
+			}
+		}
+	}
+	if left.Count != 8 {
+		t.Errorf("merged count = %d, want 8", left.Count)
+	}
+}
+
+// TestMergeConcurrent folds many per-job snapshots into one registry from
+// concurrent goroutines — the daemon's exact merge pattern — and checks
+// the totals. Run under -race by the race-obs make target.
+func TestMergeConcurrent(t *testing.T) {
+	daemon := NewRegistry()
+	const jobs = 32
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := NewRegistry()
+			job.Add("jobs.executed", 1)
+			job.Add("events", int64(i))
+			job.Set("last.bound", int64(i))
+			job.Observe("stage.solve.ns", int64(1000*(i+1)))
+			job.Observe("stage.solve.ns", 1<<20)
+			daemon.Merge(job.TakeSnapshot())
+		}(i)
+	}
+	wg.Wait()
+
+	s := daemon.TakeSnapshot()
+	if got := s.Counters["jobs.executed"]; got != jobs {
+		t.Errorf("jobs.executed = %d, want %d (counters must sum)", got, jobs)
+	}
+	if got := s.Counters["events"]; got != jobs*(jobs-1)/2 {
+		t.Errorf("events = %d, want %d", got, jobs*(jobs-1)/2)
+	}
+	if _, ok := s.Gauges["last.bound"]; !ok {
+		t.Error("gauge last.bound missing after merge (gauges are last-wins)")
+	}
+	if got := s.Hists["stage.solve.ns"].Count; got != 2*jobs {
+		t.Errorf("histogram count = %d, want %d (buckets must add)", got, 2*jobs)
+	}
+	// Merging into a nil registry is a no-op, not a panic.
+	var nilReg *Registry
+	nilReg.Merge(s)
+}
+
+func TestEncodePromDeterministic(t *testing.T) {
+	build := func() RegSnapshot {
+		r := NewRegistry()
+		r.Add("clapd.jobs.done", 3)
+		r.Add("record.events", 120)
+		r.Set("clapd.queue.depth", 2)
+		r.Set("clapd.workers.busy", 1)
+		r.Observe("stage.solve.ns", 5000)
+		r.Observe("stage.solve.ns", 1<<22)
+		r.Observe("clapd.job.ns", 1<<45)
+		return r.TakeSnapshot()
+	}
+	a := EncodeProm(build())
+	b := EncodeProm(build())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodes of the same registry differ:\n%s\n--\n%s", a, b)
+	}
+
+	// Families must appear in sorted name order.
+	wantOrder := []string{
+		"clapd_job_ns", "clapd_jobs_done", "clapd_queue_depth",
+		"clapd_workers_busy", "record_events", "stage_solve_ns",
+	}
+	last := -1
+	for _, name := range wantOrder {
+		idx := bytes.Index(a, []byte("# TYPE "+name+" "))
+		if idx < 0 {
+			t.Fatalf("family %s missing from exposition:\n%s", name, a)
+		}
+		if idx < last {
+			t.Errorf("family %s out of sorted order", name)
+		}
+		last = idx
+	}
+
+	// Round trip: decode keeps the sanitized names, so a second
+	// encode-decode-encode cycle must be byte-stable.
+	s2, err := DecodeProm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Counters["clapd_jobs_done"]; got != 3 {
+		t.Errorf("decoded clapd_jobs_done = %d, want 3", got)
+	}
+	if got := s2.Gauges["clapd_queue_depth"]; got != 2 {
+		t.Errorf("decoded clapd_queue_depth = %d, want 2", got)
+	}
+	hs := s2.Hists["stage_solve_ns"]
+	if hs.Count != 2 || hs.Sum != 5000+1<<22 {
+		t.Errorf("decoded stage_solve_ns count/sum = %d/%d, want 2/%d", hs.Count, hs.Sum, 5000+1<<22)
+	}
+	c := EncodeProm(s2)
+	s3, err := DecodeProm(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := EncodeProm(s3)
+	if !bytes.Equal(c, d) {
+		t.Fatal("encode→decode→encode is not byte-stable")
+	}
+
+	if _, err := DecodeProm([]byte("clapd_stray 7\n")); err == nil {
+		t.Error("DecodeProm accepted a sample with no # TYPE declaration")
+	}
+}
+
+// TestPromNameIdempotent pins the sanitizer property the round trip
+// relies on: sanitizing an already-sanitized name changes nothing.
+func TestPromNameIdempotent(t *testing.T) {
+	for _, name := range []string{"stage.solve.ns", "clapd.jobs.done", "already_clean", "weird-name+x"} {
+		once := PromName(name)
+		if twice := PromName(once); twice != once {
+			t.Errorf("PromName(%q): %q then %q — not idempotent", name, once, twice)
+		}
+	}
+}
+
+func TestReportCarriesHists(t *testing.T) {
+	tr := NewTrace("t")
+	tr.Reg().Observe("stage.record.ns", 12345)
+	rep := tr.Report()
+	if len(rep.Hists) != 1 {
+		t.Fatalf("report has %d hists, want 1", len(rep.Hists))
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"histograms:", "stage.record.ns", "p50", "p99"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("rendered report missing %q:\n%s", want, buf.String())
+		}
+	}
+	// Encode/decode keeps the histogram (clap-metrics/1 stays additive).
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hists["stage.record.ns"].Count != 1 {
+		t.Error("histogram lost in the clap-metrics/1 round trip")
+	}
+}
+
+func TestHistBoundsShape(t *testing.T) {
+	bounds := HistBounds()
+	if len(bounds) == 0 {
+		t.Fatal("no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds not exponential at %d: %d then %d", i, bounds[i-1], bounds[i])
+		}
+	}
+	// Every finite bound maps into its own bucket: observing the bound
+	// itself must not spill into the next bucket (ranges are (lo, hi]).
+	for _, b := range bounds {
+		r := NewRegistry()
+		r.Observe("h", b)
+		hs := r.TakeSnapshot().Hists["h"]
+		if got := hs.Quantile(1.0); got != b {
+			t.Errorf("Observe(%d): quantile %d, want the bound itself", b, got)
+		}
+	}
+}

@@ -61,16 +61,45 @@ var StableNames = []string{
 	"solver.cnf.boolvars",
 	"solver.cnf.clauses",
 	"solver.cnf.rounds",
-	"solver.cnf.lazy.rounds", // lazy-transitivity refinement iterations
-	"solver.cnf.lazy.lemmas", // cycle lemmas those iterations learned
+	"solver.cnf.lazy.rounds",    // lazy-transitivity refinement iterations
+	"solver.cnf.lazy.lemmas",    // cycle lemmas those iterations learned
+	"solver.cnf.addr.rounds",    // address-split refinement iterations
+	"solver.cnf.addr.lemmas",    // choice-premised lemmas those iterations learned
+	"solver.cnf.blocks.mapping", // mapping-class blocking clauses added
+	"solver.cnf.session.solves", // DPLL(T) entries on the session
+	"solver.cnf.session.reuse",  // entries that re-entered a live session
 	"solver.cnf.sat.conflicts",
 	"solver.cnf.sat.decisions",
 	"solver.cnf.sat.propagations",
+
+	// CDCL engine totals (sat.Solver), split out of the solver.cnf.sat.*
+	// mirror so restart/learnt behavior is visible per run.
+	"sat.solves",   // engine Solve calls issued
+	"sat.restarts", // Luby restarts across those calls
+	"sat.learnts",  // learnt clauses retained across those calls
 
 	// Solve outcome, whichever backend won.
 	"solve.attempts",
 	"solve.preemptions",
 	"solve.schedule.len",
+
+	// Stage latency histograms: one observation per stage execution, in
+	// nanoseconds over the fixed exponential buckets (histogram.go). The
+	// stage.solve.<backend> family times individual portfolio attempts;
+	// stage.bench.* carries benchjson's per-iteration stage latencies.
+	"stage.record.ns",
+	"stage.symexec.ns",
+	"stage.preprocess.ns",
+	"stage.solve.ns",
+	"stage.replay.ns",
+	"stage.solve.sequential.ns",
+	"stage.solve.parallel.ns",
+	"stage.solve.cnf.ns",
+	"stage.bench.build.ns",
+	"stage.bench.preprocess.ns",
+	"stage.bench.sequential.ns",
+	"stage.bench.parsolve.ns",
+	"stage.bench.cnf.ns",
 
 	// Content-addressed artifact cache (core.DiskCache): one hit or miss
 	// per cached artifact consulted (preprocess snapshot, schedule).
@@ -101,8 +130,9 @@ var StableNames = []string{
 	"races.solver.sessions",     // CNF sessions built (≤1 per recording)
 	"races.solver.reuse",        // queries that re-entered a live session
 
-	// Reproduction daemon (internal/clapd), reported via GET /v1/stats.
-	// Counters unless noted; clapd.queue.depth is a gauge.
+	// Reproduction daemon (internal/clapd), reported via GET /v1/stats and
+	// GET /metrics. Counters unless noted; clapd.queue.depth and
+	// clapd.workers.busy are gauges, clapd.job.ns a histogram.
 	"clapd.ingest.accepted",
 	"clapd.ingest.dedup.cached",   // duplicate of a completed job, served from store
 	"clapd.ingest.dedup.poisoned", // duplicate of a permanently failed job
@@ -111,6 +141,8 @@ var StableNames = []string{
 	"clapd.ingest.rejected.toolarge",
 	"clapd.ingest.rejected.saturated", // admission refusals (HTTP 429)
 	"clapd.queue.depth",               // gauge: digests awaiting a worker
+	"clapd.workers.busy",              // gauge: workers executing a job right now
+	"clapd.job.ns",                    // histogram: per-attempt wall time
 	"clapd.jobs.executed",             // pipeline attempts started
 	"clapd.jobs.salvaged",             // attempts whose log needed salvage
 	"clapd.jobs.done",

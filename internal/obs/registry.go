@@ -16,6 +16,9 @@ const (
 	// KindGauge is a last-value-wins measurement (current preemption
 	// bound, live decision count). Gauges use Set.
 	KindGauge
+	// KindHistogram is a latency distribution over fixed exponential ns
+	// buckets (see histogram.go). Histograms use Observe.
+	KindHistogram
 )
 
 // Registry is a typed counter/gauge store keyed by stable dotted names
@@ -25,11 +28,12 @@ type Registry struct {
 	mu    sync.Mutex
 	vals  map[string]int64
 	kinds map[string]Kind
+	hists map[string]*hist
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{vals: map[string]int64{}, kinds: map[string]Kind{}}
+	return &Registry{vals: map[string]int64{}, kinds: map[string]Kind{}, hists: map[string]*hist{}}
 }
 
 // Counter is a typed handle to one monotonic counter.
@@ -138,8 +142,11 @@ func (r *Registry) Names() []string {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.vals))
+	names := make([]string, 0, len(r.vals)+len(r.hists))
 	for n := range r.vals {
+		names = append(names, n)
+	}
+	for n := range r.hists {
 		names = append(names, n)
 	}
 	r.mu.Unlock()

@@ -19,6 +19,9 @@ type Report struct {
 	Root     *Span            `json:"root"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Hists carries every latency histogram's bucket state (additive to
+	// clap-metrics/1: old readers ignore it, old reports decode with none).
+	Hists map[string]HistSnapshot `json:"hists,omitempty"`
 	// Artifacts links files the run wrote (timeline JSON, …) by kind.
 	Artifacts map[string]string `json:"artifacts,omitempty"`
 }
@@ -29,8 +32,8 @@ func (t *Trace) Report() *Report {
 	if t == nil {
 		return nil
 	}
-	c, g := t.reg.Snapshot()
-	return &Report{Schema: ReportSchema, Root: t.root.snapshot(), Counters: c, Gauges: g, Artifacts: t.Artifacts()}
+	s := t.reg.TakeSnapshot()
+	return &Report{Schema: ReportSchema, Root: t.root.snapshot(), Counters: s.Counters, Gauges: s.Gauges, Hists: s.Hists, Artifacts: t.Artifacts()}
 }
 
 // Encode marshals the report as indented JSON with a trailing newline.
@@ -110,6 +113,19 @@ func (r *Report) Render(w io.Writer) {
 	}
 	renderKV("counters", r.Counters)
 	renderKV("gauges", r.Gauges)
+	if len(r.Hists) > 0 {
+		fmt.Fprintf(w, "\nhistograms:\n")
+		keys := make([]string, 0, len(r.Hists))
+		for k := range r.Hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := r.Hists[k]
+			fmt.Fprintf(w, "  %-30s count %-6d p50 %-10s p90 %-10s p99 %s\n", k, h.Count,
+				time.Duration(h.P50()), time.Duration(h.P90()), time.Duration(h.P99()))
+		}
+	}
 	if len(r.Artifacts) > 0 {
 		fmt.Fprintf(w, "\nartifacts:\n")
 		keys := make([]string, 0, len(r.Artifacts))

@@ -138,7 +138,13 @@ type Solver struct {
 	Decisions    int64
 	Propagations int64
 	Learned      int64
+	Restarts     int64
 	MaxLearnts   int
+
+	// LastSolve holds the previous Solve call's effort in isolation —
+	// the deltas of the cumulative counters above — so telemetry can
+	// attribute work to individual calls on a long-lived session solver.
+	LastSolve SolveStats
 
 	// Stop, when set, is polled between conflicts; returning true aborts
 	// Solve with Unknown. It is how deadline-governed callers (the CNF
@@ -509,6 +515,16 @@ func luby(i int64) int64 {
 	}
 }
 
+// SolveStats is one Solve call's isolated search effort: the deltas of
+// the solver's cumulative counters over that call.
+type SolveStats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+	Restarts     int64
+}
+
 // Solve decides satisfiability. Assumptions, if given, are enforced as
 // decision-level-1 choices; Unsat under assumptions means no model extends
 // them.
@@ -516,6 +532,21 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	// LastSolve is computed as a delta on every exit path: Solve returns
+	// from half a dozen places, so the bookkeeping lives in one defer.
+	at := SolveStats{
+		Conflicts: s.Conflicts, Decisions: s.Decisions,
+		Propagations: s.Propagations, Learned: s.Learned, Restarts: s.Restarts,
+	}
+	defer func() {
+		s.LastSolve = SolveStats{
+			Conflicts:    s.Conflicts - at.Conflicts,
+			Decisions:    s.Decisions - at.Decisions,
+			Propagations: s.Propagations - at.Propagations,
+			Learned:      s.Learned - at.Learned,
+			Restarts:     s.Restarts - at.Restarts,
+		}
+	}()
 	// Rewind any leftover trail from a previous Solve: a Sat verdict leaves
 	// the model assigned, and re-entering with assumptions on top of stale
 	// decision levels would corrupt the assumption indexing.
@@ -578,6 +609,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if conflictsAtRestart >= budget && s.decisionLevel() > len(assumptions) {
 			// Restart.
 			restart++
+			s.Restarts++
 			conflictsAtRestart = 0
 			budget = luby(restart) * 64
 			s.cancelUntil(len(assumptions))

@@ -291,3 +291,63 @@ func TestStatsCounted(t *testing.T) {
 			s.Conflicts, s.Decisions, s.Propagations)
 	}
 }
+
+// TestLastSolveDeltas pins the per-call stats contract: the cumulative
+// counters keep growing across Solve calls, while LastSolve isolates the
+// effort of the most recent call — the number the per-session telemetry
+// in cnfsolver reports.
+func TestLastSolveDeltas(t *testing.T) {
+	s := pigeonhole(5) // hard UNSAT: guaranteed conflicts and propagations
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("status = %v, want UNSAT", got)
+	}
+	first := s.LastSolve
+	if first.Conflicts == 0 || first.Propagations == 0 {
+		t.Fatalf("first LastSolve = %+v, want nonzero conflicts and propagations", first)
+	}
+	if first.Conflicts != s.Conflicts || first.Propagations != s.Propagations {
+		t.Errorf("first call: LastSolve %+v must equal the cumulative totals (%d conflicts, %d props)",
+			first, s.Conflicts, s.Propagations)
+	}
+
+	// A second call re-derives the contradiction with far less work; its
+	// LastSolve must be exactly the delta over the first call's totals.
+	before := SolveStats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Learned:      s.Learned,
+		Restarts:     s.Restarts,
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve status = %v, want UNSAT", got)
+	}
+	want := SolveStats{
+		Conflicts:    s.Conflicts - before.Conflicts,
+		Decisions:    s.Decisions - before.Decisions,
+		Propagations: s.Propagations - before.Propagations,
+		Learned:      s.Learned - before.Learned,
+		Restarts:     s.Restarts - before.Restarts,
+	}
+	if s.LastSolve != want {
+		t.Errorf("second call: LastSolve = %+v, want the delta %+v", s.LastSolve, want)
+	}
+	if s.LastSolve.Conflicts >= first.Conflicts {
+		t.Errorf("re-solve burned %d conflicts, want fewer than the first call's %d (learnt clauses must help)",
+			s.LastSolve.Conflicts, first.Conflicts)
+	}
+}
+
+// TestRestartsCounted checks the restart counter moves on a search long
+// enough to cross the restart schedule.
+func TestRestartsCounted(t *testing.T) {
+	s := pigeonhole(7)
+	s.Solve()
+	if s.Restarts == 0 {
+		t.Skip("search finished before the first restart on this schedule")
+	}
+	if s.LastSolve.Restarts != s.Restarts {
+		t.Errorf("LastSolve.Restarts = %d, cumulative = %d: first call must match",
+			s.LastSolve.Restarts, s.Restarts)
+	}
+}

@@ -8,9 +8,12 @@
 #   phase 2  restart the daemon clean. The accepted job must be recovered
 #            (a re-upload dedupes against it), a second, deliberately
 #            truncated bundle must be admitted through the salvage path,
-#            and both jobs must reach a terminal state. A final duplicate
-#            upload must be served from the cache without re-running the
-#            pipeline (asserted via the clapd.jobs.executed counter).
+#            a third intact bundle must complete, and all jobs must reach
+#            a terminal state. A final duplicate upload must be served
+#            from the cache without re-running the pipeline (asserted via
+#            the clapd.jobs.executed counter). GET /metrics must then show
+#            at least two done jobs and non-empty stage latency
+#            histograms, and `clap top -once` must render the summary.
 #
 # Run via `make serve-smoke` (part of `make ci`).
 set -eu
@@ -38,6 +41,7 @@ $GO build -o "$CLAP" ./cmd/clap
 
 "$CLAP" bundle sim_race -o "$TMP/a.json" 2>/dev/null
 "$CLAP" bundle pbzip2 -o "$TMP/b.json" -truncate-log 7 2>/dev/null
+"$CLAP" bundle dekker -o "$TMP/c.json" 2>/dev/null
 
 # start_daemon <CLAP_FAULTS spec>; sets SRV_PID and BASE.
 start_daemon() {
@@ -76,10 +80,14 @@ post "$TMP/a.json" || fail "re-upload of recovered job failed"
 grep -qi "^X-Clap-Dedupe:" "$TMP/hdr" || fail "recovered job not found: duplicate was not deduped"
 post "$TMP/b.json" || fail "truncated bundle upload failed"
 grep -q " 201 " "$TMP/hdr" || fail "truncated bundle not accepted: $(head -1 "$TMP/hdr")"
+# A third, intact bundle guarantees at least two *done* jobs for the
+# /metrics assertions below (the truncated one may legitimately poison).
+post "$TMP/c.json" || fail "third bundle upload failed"
+grep -q " 201 " "$TMP/hdr" || fail "third bundle not accepted: $(head -1 "$TMP/hdr")"
 
 i=0
 while [ $i -lt 600 ]; do
-	if "$CLAP" jobs -dir "$DIR" | grep -q "^2 jobs: 0 queued, 0 running, 0 retrying"; then break; fi
+	if "$CLAP" jobs -dir "$DIR" | grep -q "^3 jobs: 0 queued, 0 running, 0 retrying"; then break; fi
 	i=$((i + 1))
 	[ $i -lt 600 ] || fail "jobs never reached terminal states: $("$CLAP" jobs -dir "$DIR")"
 	sleep 0.1
@@ -99,6 +107,21 @@ post "$TMP/a.json" || fail "cached duplicate upload failed"
 grep -qi "^X-Clap-Dedupe: cached" "$TMP/hdr" || fail "terminal duplicate not served from cache: $(cat "$TMP/hdr")"
 after=$(executed)
 [ "$before" = "$after" ] || fail "cached duplicate re-ran the pipeline ($before -> $after executions)"
+
+# --- /metrics: daemon-lifetime aggregation. -----------------------------
+# At least the two intact jobs are done, and the merged per-job registries
+# must have filled the stage latency histograms.
+curl -s "$BASE/metrics" >"$TMP/metrics.txt" || fail "GET /metrics failed"
+done_jobs=$(sed -n 's/^clapd_jobs_done \([0-9][0-9]*\)$/\1/p' "$TMP/metrics.txt")
+[ -n "$done_jobs" ] || fail "clapd_jobs_done missing from /metrics"
+[ "$done_jobs" -ge 2 ] || fail "clapd_jobs_done=$done_jobs, want >= 2"
+for h in stage_symexec_ns stage_preprocess_ns stage_solve_ns stage_replay_ns clapd_job_ns; do
+	count=$(sed -n "s/^${h}_count \([0-9][0-9]*\)\$/\1/p" "$TMP/metrics.txt")
+	[ -n "$count" ] || fail "histogram $h missing from /metrics"
+	[ "$count" -gt 0 ] || fail "histogram $h is empty in /metrics"
+done
+"$CLAP" top -once "$BASE" >"$TMP/top.txt" 2>&1 || fail "clap top -once failed: $(cat "$TMP/top.txt")"
+grep -q "done $done_jobs" "$TMP/top.txt" || fail "clap top summary disagrees with /metrics: $(cat "$TMP/top.txt")"
 
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || fail "graceful drain failed"
